@@ -1,0 +1,124 @@
+package genomedsm
+
+import (
+	"io"
+	"testing"
+
+	"genomedsm/internal/align"
+	"genomedsm/internal/bio"
+	"genomedsm/internal/experiments"
+	"genomedsm/internal/heuristics"
+)
+
+// benchCtx returns an experiment context sized for the Go benchmark
+// harness: heavily scaled inputs, trimmed grids, output discarded.
+func benchCtx() *experiments.Ctx {
+	ctx := experiments.New(io.Discard, 100)
+	ctx.Quick = true
+	return ctx
+}
+
+// runExperiment benchmarks one paper experiment end to end.
+func runExperiment(b *testing.B, name string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		if err := benchCtx().Run(name); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// One benchmark per paper table/figure: the benchmark regenerates the
+// experiment on micro-scaled inputs; cmd/benchtables regenerates the same
+// experiments at presentation scale.
+
+func BenchmarkTable1Heuristic(b *testing.B)       { runExperiment(b, "table1") }
+func BenchmarkFig9Speedups(b *testing.B)          { runExperiment(b, "fig9") }
+func BenchmarkFig10Breakdown(b *testing.B)        { runExperiment(b, "fig10") }
+func BenchmarkTable2BlastComparison(b *testing.B) { runExperiment(b, "table2") }
+func BenchmarkTable3BlockingSweep(b *testing.B)   { runExperiment(b, "table3") }
+func BenchmarkTable4Blocked(b *testing.B)         { runExperiment(b, "table4") }
+func BenchmarkFig13BlockVsNoBlock(b *testing.B)   { runExperiment(b, "fig13") }
+func BenchmarkFig14DotPlot(b *testing.B)          { runExperiment(b, "fig14") }
+func BenchmarkFig15Phase2(b *testing.B)           { runExperiment(b, "fig15") }
+func BenchmarkFig16GlobalAlign(b *testing.B)      { runExperiment(b, "fig16") }
+func BenchmarkFig18Preprocess(b *testing.B)       { runExperiment(b, "fig18") }
+func BenchmarkFig19BandSchemes(b *testing.B)      { runExperiment(b, "fig19") }
+func BenchmarkFig20IOModes(b *testing.B)          { runExperiment(b, "fig20") }
+func BenchmarkSec6ReverseRetrieval(b *testing.B)  { runExperiment(b, "sec6") }
+func BenchmarkTables567Example(b *testing.B)      { runExperiment(b, "tables567") }
+func BenchmarkAblations(b *testing.B)             { runExperiment(b, "ablations") }
+
+// Kernel micro-benchmarks: cost per dynamic-programming cell for the
+// exact and the heuristic recurrences (the constants behind every table).
+
+func benchPair(n int) (bio.Sequence, bio.Sequence) {
+	g := bio.NewGenerator(99)
+	s := g.Random(n)
+	return s, g.MutatedCopy(s, bio.DefaultMutationModel())
+}
+
+func BenchmarkKernelExactScan(b *testing.B) {
+	s, t := benchPair(1000)
+	b.SetBytes(int64(s.Len()) * int64(t.Len()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := align.Scan(s, t, bio.DefaultScoring(), align.ScanOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKernelHeuristicScan(b *testing.B) {
+	s, t := benchPair(1000)
+	b.SetBytes(int64(s.Len()) * int64(t.Len()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := heuristics.Scan(s, t, bio.DefaultScoring(),
+			heuristics.Params{Open: 12, Close: 12, MinScore: 30}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKernelFullMatrix(b *testing.B) {
+	s, t := benchPair(500)
+	b.SetBytes(int64(s.Len()) * int64(t.Len()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := align.BestLocal(s, t, bio.DefaultScoring()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKernelReverseRetrieve(b *testing.B) {
+	s, t := benchPair(1000)
+	sc := bio.DefaultScoring()
+	r, err := align.Scan(s, t, sc, align.ScanOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := align.ReverseRetrieve(s, t, sc, r.BestI, r.BestJ, r.BestScore); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCompareBlocked8(b *testing.B) {
+	g := bio.NewGenerator(123)
+	pair, err := g.HomologousPair(1500, bio.DefaultHomologyModel(1500))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Compare(pair.S, pair.T, Options{
+			Strategy: StrategyHeuristicBlock, Processors: 8,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,40 @@
+// Command benchtables regenerates every table and figure of the paper's
+// evaluation on the simulated cluster and prints them in the paper's
+// format.
+//
+// Usage:
+//
+//	benchtables                      # everything, sizes scaled 1/25
+//	benchtables -experiment table3   # one experiment
+//	benchtables -scale 10            # closer to paper sizes (slower)
+//	benchtables -list                # available experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"genomedsm/internal/experiments"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "experiment id or 'all'")
+		scale      = flag.Int("scale", 25, "divide the paper's input sizes by this factor")
+		seed       = flag.Int64("seed", 2005, "synthetic data seed")
+		list       = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+	if *list {
+		fmt.Println(strings.Join(experiments.Names(), "\n"))
+		return
+	}
+	ctx := experiments.New(os.Stdout, *scale)
+	ctx.Seed = *seed
+	if err := ctx.Run(*experiment); err != nil {
+		fmt.Fprintln(os.Stderr, "benchtables:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,78 @@
+// Command dotplot renders the similar-region dot plot of the paper's
+// Fig. 14: every local alignment found between two sequences becomes a
+// diagonal segment in the (s, t) plane.
+//
+// Usage:
+//
+//	dotplot -n 20000 -seed 7                 # ASCII to stdout
+//	dotplot -s a.fa -t b.fa -svg plot.svg    # SVG file
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"genomedsm"
+	"genomedsm/internal/bio"
+	"genomedsm/internal/heuristics"
+	"genomedsm/internal/viz"
+)
+
+func main() {
+	var (
+		n        = flag.Int("n", 20000, "synthetic sequence length (when no FASTA given)")
+		seed     = flag.Int64("seed", 7, "synthetic generator seed")
+		sFile    = flag.String("s", "", "FASTA file for sequence s")
+		tFile    = flag.String("t", "", "FASTA file for sequence t")
+		minScore = flag.Int("minscore", 40, "candidate score threshold")
+		width    = flag.Int("width", 78, "ASCII plot width")
+		height   = flag.Int("height", 32, "ASCII plot height")
+		svgOut   = flag.String("svg", "", "write an SVG file instead of ASCII output")
+	)
+	flag.Parse()
+	if err := run(*n, *seed, *sFile, *tFile, *minScore, *width, *height, *svgOut); err != nil {
+		fmt.Fprintln(os.Stderr, "dotplot:", err)
+		os.Exit(1)
+	}
+}
+
+func run(n int, seed int64, sFile, tFile string, minScore, width, height int, svgOut string) error {
+	var s, t genomedsm.Sequence
+	if sFile != "" && tFile != "" {
+		sr, err := bio.ReadFASTAFile(sFile)
+		if err != nil {
+			return err
+		}
+		tr, err := bio.ReadFASTAFile(tFile)
+		if err != nil {
+			return err
+		}
+		if len(sr) == 0 || len(tr) == 0 {
+			return fmt.Errorf("empty FASTA input")
+		}
+		s, t = sr[0].Seq, tr[0].Seq
+	} else {
+		pair, err := bio.NewGenerator(seed).HomologousPair(n, bio.DefaultHomologyModel(n))
+		if err != nil {
+			return err
+		}
+		s, t = pair.S, pair.T
+	}
+
+	cands, err := heuristics.Scan(s, t, bio.DefaultScoring(),
+		heuristics.Params{Open: 12, Close: 12, MinScore: minScore})
+	if err != nil {
+		return err
+	}
+	plot := &viz.DotPlot{SLen: s.Len(), TLen: t.Len(), Regions: cands}
+	if svgOut != "" {
+		if err := os.WriteFile(svgOut, []byte(plot.SVG(800, 800)), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s with %d regions\n", svgOut, len(cands))
+		return nil
+	}
+	fmt.Print(plot.ASCII(width, height))
+	return nil
+}

@@ -1,0 +1,34 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunASCII(t *testing.T) {
+	if err := run(800, 3, "", "", 30, 40, 16, ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSVG(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "plot.svg")
+	if err := run(800, 3, "", "", 30, 40, 16, out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "<svg") {
+		t.Error("output is not SVG")
+	}
+}
+
+func TestRunFASTAErrors(t *testing.T) {
+	if err := run(0, 0, "/nonexistent.fa", "/nonexistent.fa", 30, 40, 16, ""); err == nil {
+		t.Error("missing FASTA accepted")
+	}
+}

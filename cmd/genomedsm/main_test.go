@@ -1,0 +1,91 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"testing"
+
+	"genomedsm/internal/bio"
+)
+
+func TestRunSyntheticStrategies(t *testing.T) {
+	for _, strategy := range []string{"heuristic", "block", "preprocess"} {
+		if err := run(strategy, 2, 600, 5, "", "", 10, 10, 30, 2, 2, false, 3); err != nil {
+			t.Errorf("%s: %v", strategy, err)
+		}
+	}
+}
+
+func TestRunWithPhase2(t *testing.T) {
+	if err := run("block", 2, 800, 6, "", "", 10, 10, 40, 2, 2, true, 2); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRunUnknownStrategy(t *testing.T) {
+	if err := run("bogus", 2, 400, 1, "", "", 10, 10, 30, 2, 2, false, 3); err == nil {
+		t.Error("unknown strategy accepted")
+	}
+}
+
+func TestRunJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := runJSON(&buf, "block", 2, 600, 5, "", "", 10, 10, 30, 2, 2, true); err != nil {
+		t.Fatal(err)
+	}
+	var rep jsonReport
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if rep.Strategy != "heuristic-block" || rep.Processors != 2 || rep.SLen != 600 {
+		t.Errorf("report header: %+v", rep)
+	}
+	if len(rep.Regions) == 0 {
+		t.Error("no regions in JSON report")
+	}
+	for _, r := range rep.Regions {
+		if r.AlignmentScore == nil {
+			t.Error("phase-2 alignment score missing")
+			break
+		}
+	}
+	if len(rep.Breakdown) == 0 {
+		t.Error("no breakdown in JSON report")
+	}
+	// Pre-process variant carries its scoreboard summary.
+	buf.Reset()
+	if err := runJSON(&buf, "preprocess", 2, 600, 5, "", "", 10, 10, 30, 2, 2, false); err != nil {
+		t.Fatal(err)
+	}
+	var rep2 jsonReport
+	if err := json.Unmarshal(buf.Bytes(), &rep2); err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Preprocess == nil || rep2.Preprocess.TotalHits == 0 {
+		t.Errorf("preprocess JSON summary missing: %+v", rep2.Preprocess)
+	}
+}
+
+func TestRunFromFASTA(t *testing.T) {
+	dir := t.TempDir()
+	g := bio.NewGenerator(33)
+	pair, err := g.HomologousPair(600, bio.DefaultHomologyModel(600))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sPath := filepath.Join(dir, "s.fa")
+	tPath := filepath.Join(dir, "t.fa")
+	if err := bio.WriteFASTAFile(sPath, bio.Record{ID: "s", Seq: pair.S}); err != nil {
+		t.Fatal(err)
+	}
+	if err := bio.WriteFASTAFile(tPath, bio.Record{ID: "t", Seq: pair.T}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("block", 2, 0, 0, sPath, tPath, 10, 10, 30, 2, 2, false, 3); err != nil {
+		t.Error(err)
+	}
+	if err := run("block", 2, 0, 0, filepath.Join(dir, "missing.fa"), tPath, 10, 10, 30, 2, 2, false, 3); err == nil {
+		t.Error("missing FASTA accepted")
+	}
+}

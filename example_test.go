@@ -1,0 +1,63 @@
+package genomedsm_test
+
+import (
+	"fmt"
+	"log"
+
+	"genomedsm"
+)
+
+// ExampleGlobalAlignment reproduces the paper's Fig. 1.
+func ExampleGlobalAlignment() {
+	s, _ := genomedsm.NewSequence("GACGGATTAG")
+	t, _ := genomedsm.NewSequence("GATCGGAATAG")
+	al, err := genomedsm.GlobalAlignment(s, t, genomedsm.DefaultScoring())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("score %d\n", al.Score)
+	fmt.Print(al.Render(s, t))
+	// Output:
+	// score 6
+	// GA_CGGATTAG
+	// || |||| |||
+	// GATCGGAATAG
+}
+
+// ExampleBestLocalAlignment finds an exact local alignment in linear
+// space (the Section 6 method).
+func ExampleBestLocalAlignment() {
+	s, _ := genomedsm.NewSequence("TCTCGACGGATTAGTATATATATA")
+	t, _ := genomedsm.NewSequence("ATATGATCGGAATAGCTCT")
+	al, err := genomedsm.BestLocalAlignment(s, t, genomedsm.DefaultScoring())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("score %d ending at s[%d], t[%d]\n", al.Score, al.SEnd, al.TEnd)
+	// Output:
+	// score 6 ending at s[14], t[15]
+}
+
+// ExampleCompare runs the paper's blocked parallel strategy on a
+// synthetic pair with one planted similar region.
+func ExampleCompare() {
+	g := genomedsm.NewGenerator(1)
+	pair, err := g.HomologousPair(2000, genomedsm.HomologyModel{
+		Regions: 1, RegionLen: 120,
+		Divergence: genomedsm.MutationModel{SubstitutionRate: 0.05},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := genomedsm.Compare(pair.S, pair.T, genomedsm.Options{
+		Strategy:   genomedsm.StrategyHeuristicBlock,
+		Processors: 4,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d similar region(s) found by %d simulated nodes\n",
+		len(rep.Candidates), rep.Processors)
+	// Output:
+	// 1 similar region(s) found by 4 simulated nodes
+}

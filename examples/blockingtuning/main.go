@@ -1,0 +1,73 @@
+// blockingtuning sweeps the strategy-2 blocking multiplier on one input
+// (the paper's Table 3 experiment) and reports the best configuration —
+// the tool you would run before a long production comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"genomedsm"
+	"genomedsm/internal/cluster"
+	"genomedsm/internal/stats"
+	"genomedsm/internal/wavefront"
+)
+
+func main() {
+	var (
+		n     = flag.Int("n", 5000, "sequence length (base pairs)")
+		seed  = flag.Int64("seed", 3, "generator seed")
+		procs = flag.Int("procs", 8, "simulated cluster nodes")
+		maxM  = flag.Int("max", 5, "largest multiplier to try")
+	)
+	flag.Parse()
+
+	g := genomedsm.NewGenerator(*seed)
+	pair, err := g.HomologousPair(*n, genomedsm.DefaultHomologyModel(*n))
+	if err != nil {
+		log.Fatal(err)
+	}
+	h := genomedsm.HeuristicParams{Open: 12, Close: 12, MinScore: 40}
+	cc := genomedsm.Calibrated2005()
+
+	tbl := stats.NewTable(
+		fmt.Sprintf("blocking sweep: %d bp, %d nodes", *n, *procs),
+		"multiplier", "bands×blocks", "simulated time", "gain vs 1×1")
+	var base, best float64
+	bestLabel := ""
+	for a := 1; a <= *maxM; a++ {
+		for b := 1; b <= *maxM; b++ {
+			bc := genomedsm.MultiplierConfig(a, b, *procs)
+			if err := (wavefront.BlockConfig(bc)).Validate(pair.S.Len(), pair.T.Len()); err != nil {
+				continue
+			}
+			res, err := genomedsm.Compare(pair.S, pair.T, genomedsm.Options{
+				Strategy:   genomedsm.StrategyHeuristicBlock,
+				Processors: *procs,
+				Heuristics: &h,
+				Blocking:   &bc,
+				Cluster:    &cc,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			label := fmt.Sprintf("%d×%d", a, b)
+			if a == 1 && b == 1 {
+				base = res.Phase1Time
+			}
+			if best == 0 || res.Phase1Time < best {
+				best, bestLabel = res.Phase1Time, label
+			}
+			gain := "-"
+			if base > 0 {
+				gain = fmt.Sprintf("%.0f%%", 100*(base-res.Phase1Time)/res.Phase1Time)
+			}
+			tbl.AddRowRaw(label, fmt.Sprintf("%d×%d", bc.Bands, bc.Blocks),
+				stats.FormatSeconds(res.Phase1Time), gain)
+		}
+	}
+	fmt.Print(tbl.Render())
+	fmt.Printf("\nbest multiplier: %s (%.3f simulated s; speedup over 1×1: %.2fx)\n",
+		bestLabel, best, cluster.Speedup(base, best))
+}

@@ -1,0 +1,110 @@
+// coherencelab exercises the DSM substrate directly: it runs the same
+// producer/consumer workload under the write-invalidate (JIAJIA's) and
+// write-update coherence protocols, with and without home migration, and
+// prints the protocol trace of the first rounds — a lab bench for the §3
+// design-space discussion.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"genomedsm/internal/cluster"
+	"genomedsm/internal/dsm"
+	"genomedsm/internal/stats"
+)
+
+func main() {
+	rounds := flag.Int("rounds", 16, "producer/consumer rounds")
+	trace := flag.Int("trace", 12, "protocol trace lines to print")
+	flag.Parse()
+
+	type variant struct {
+		name string
+		opts dsm.Options
+	}
+	variants := []variant{
+		{"write-invalidate (JIAJIA)", dsm.Options{}},
+		{"write-update", dsm.Options{Protocol: dsm.WriteUpdate}},
+		{"write-invalidate + home migration", dsm.Options{HomeMigration: true}},
+	}
+
+	tbl := stats.NewTable("coherence lab — producer on node 1, consumer on node 0, page homed at 0",
+		"variant", "simulated time", "fetches", "diffs", "patches", "migrations", "bytes")
+	var firstTrace string
+	for i, v := range variants {
+		tracer := dsm.NewRingTracer(256)
+		v.opts.Tracer = tracer
+		makespan, st, err := run(*rounds, v.opts)
+		if err != nil {
+			log.Fatalf("%s: %v", v.name, err)
+		}
+		tbl.AddRowRaw(v.name, stats.FormatSeconds(makespan),
+			fmt.Sprintf("%d", st.PageFetches), fmt.Sprintf("%d", st.DiffsSent),
+			fmt.Sprintf("%d", st.Updates), fmt.Sprintf("%d", st.Migrations),
+			stats.FormatCount(st.BytesMoved))
+		if i == 0 {
+			lines := strings.Split(strings.TrimRight(tracer.Dump(), "\n"), "\n")
+			if len(lines) > *trace {
+				lines = lines[:*trace]
+			}
+			firstTrace = strings.Join(lines, "\n")
+		}
+	}
+	fmt.Print(tbl.Render())
+	fmt.Printf("\nprotocol trace of the first rounds (%s):\n%s\n", variants[0].name, firstTrace)
+}
+
+// run executes the workload: node 1 produces a value under a lock, node 0
+// consumes it, condition variables hand the turn back and forth.
+func run(rounds int, opts dsm.Options) (float64, dsm.Stats, error) {
+	cfg := cluster.Calibrated2005()
+	sys, err := dsm.NewSystem(2, cfg, opts)
+	if err != nil {
+		return 0, dsm.Stats{}, err
+	}
+	region, err := sys.AllocAt(cfg.PageSize, 0)
+	if err != nil {
+		return 0, dsm.Stats{}, err
+	}
+	err = sys.Run(func(n *dsm.Node) error {
+		for e := 0; e < rounds; e++ {
+			if n.ID() == 1 {
+				if err := n.WithLock(0, func() error {
+					return n.WriteAt(region, 64, []byte{byte(e + 1)})
+				}); err != nil {
+					return err
+				}
+				if err := n.Setcv(0); err != nil {
+					return err
+				}
+				if err := n.Waitcv(1); err != nil {
+					return err
+				}
+			} else {
+				if err := n.Waitcv(0); err != nil {
+					return err
+				}
+				var b [1]byte
+				if err := n.WithLock(0, func() error {
+					return n.ReadAt(region, 64, b[:])
+				}); err != nil {
+					return err
+				}
+				if b[0] != byte(e+1) {
+					return fmt.Errorf("round %d read %d", e, b[0])
+				}
+				if err := n.Setcv(1); err != nil {
+					return err
+				}
+			}
+		}
+		return n.Barrier()
+	})
+	if err != nil {
+		return 0, dsm.Stats{}, err
+	}
+	return sys.Makespan(), sys.TotalStats(), nil
+}

@@ -1,0 +1,193 @@
+package genomedsm
+
+import (
+	"testing"
+)
+
+func testInput(t *testing.T) (Sequence, Sequence) {
+	t.Helper()
+	g := NewGenerator(501)
+	pair, err := g.HomologousPair(1200, HomologyModel{
+		Regions: 5, RegionLen: 150, RegionJit: 50,
+		Divergence: MutationModel{SubstitutionRate: 0.05},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pair.S, pair.T
+}
+
+func TestCompareHeuristicStrategies(t *testing.T) {
+	s, tt := testInput(t)
+	h := HeuristicParams{Open: 12, Close: 12, MinScore: 40}
+	rep1, err := Compare(s, tt, Options{Strategy: StrategyHeuristic, Processors: 4, Heuristics: &h})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep2, err := Compare(s, tt, Options{Strategy: StrategyHeuristicBlock, Processors: 4, Heuristics: &h})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep1.Candidates) == 0 {
+		t.Fatal("strategy 1 found no candidates")
+	}
+	if len(rep1.Candidates) != len(rep2.Candidates) {
+		t.Errorf("strategies disagree: %d vs %d candidates", len(rep1.Candidates), len(rep2.Candidates))
+	}
+	for i := range rep1.Candidates {
+		if rep1.Candidates[i] != rep2.Candidates[i] {
+			t.Errorf("candidate %d differs between strategies", i)
+		}
+	}
+	if rep2.Phase1Time >= rep1.Phase1Time {
+		t.Errorf("blocked (%.3fs) not faster than per-cell handoff (%.3fs)", rep2.Phase1Time, rep1.Phase1Time)
+	}
+	if rep1.Stats.MsgsSent == 0 || len(rep1.Breakdowns) != 4 {
+		t.Error("report missing protocol stats or breakdowns")
+	}
+}
+
+func TestComparePhase2(t *testing.T) {
+	s, tt := testInput(t)
+	h := HeuristicParams{Open: 12, Close: 12, MinScore: 40}
+	rep, err := Compare(s, tt, Options{
+		Strategy: StrategyHeuristicBlock, Processors: 2, Heuristics: &h, Phase2: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Alignments) != len(rep.Candidates) {
+		t.Fatalf("%d alignments for %d candidates", len(rep.Alignments), len(rep.Candidates))
+	}
+	sc := DefaultScoring()
+	for i, al := range rep.Alignments {
+		if al == nil {
+			t.Fatalf("alignment %d missing", i)
+		}
+		if err := al.Validate(s, tt, sc); err != nil {
+			t.Errorf("alignment %d: %v", i, err)
+		}
+	}
+	if rep.Phase2Time <= 0 {
+		t.Error("phase-2 time not recorded")
+	}
+}
+
+func TestComparePreprocess(t *testing.T) {
+	s, tt := testInput(t)
+	pc := PreprocessConfig{
+		BandScheme: 0, BandSize: 200, ChunkSize: 200,
+		ResultInterleave: 200, Threshold: 20,
+	}
+	rep, err := Compare(s, tt, Options{Strategy: StrategyPreprocess, Processors: 4, Preprocess: &pc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Preprocess == nil || rep.Preprocess.TotalHits == 0 {
+		t.Fatal("pre-process produced no scoreboard")
+	}
+	if rep.Preprocess.BestScore < 40 {
+		t.Errorf("best exact score %d looks too low", rep.Preprocess.BestScore)
+	}
+}
+
+func TestCompareDefaultsWork(t *testing.T) {
+	s, tt := testInput(t)
+	rep, err := Compare(s, tt, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Processors != 1 || rep.Strategy != StrategyHeuristic {
+		t.Errorf("defaults: %+v", rep)
+	}
+}
+
+func TestCompareRejectsBadOptions(t *testing.T) {
+	s, tt := testInput(t)
+	if _, err := Compare(s, tt, Options{Processors: -2}); err == nil {
+		t.Error("negative processors accepted")
+	}
+	if _, err := Compare(s, tt, Options{Strategy: Strategy(99), Processors: 1}); err == nil {
+		t.Error("unknown strategy accepted")
+	}
+}
+
+func TestBestLocalAndGlobalAlignment(t *testing.T) {
+	s := mustSeq(t, "GACGGATTAG")
+	tt := mustSeq(t, "GATCGGAATAG")
+	g, err := GlobalAlignment(s, tt, DefaultScoring())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Score != 6 {
+		t.Errorf("Fig. 1 global score %d, want 6", g.Score)
+	}
+	l, err := BestLocalAlignment(s, tt, DefaultScoring())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Score < 6 {
+		t.Errorf("local score %d < global 6", l.Score)
+	}
+}
+
+func TestStrategyString(t *testing.T) {
+	if StrategyHeuristic.String() != "heuristic" ||
+		StrategyHeuristicBlock.String() != "heuristic-block" ||
+		StrategyPreprocess.String() != "pre-process" {
+		t.Error("strategy names wrong")
+	}
+	if Strategy(9).String() == "" {
+		t.Error("unknown strategy name empty")
+	}
+}
+
+func TestComparePhase2LinearSpace(t *testing.T) {
+	s, tt := testInput(t)
+	h := HeuristicParams{Open: 12, Close: 12, MinScore: 40}
+	full, err := Compare(s, tt, Options{
+		Strategy: StrategyHeuristicBlock, Processors: 2, Heuristics: &h, Phase2: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lin, err := Compare(s, tt, Options{
+		Strategy: StrategyHeuristicBlock, Processors: 2, Heuristics: &h,
+		Phase2: true, Phase2LinearSpace: 1, // force Hirschberg everywhere
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full.Alignments) != len(lin.Alignments) {
+		t.Fatalf("alignment counts differ: %d vs %d", len(full.Alignments), len(lin.Alignments))
+	}
+	for i := range full.Alignments {
+		if full.Alignments[i].Score != lin.Alignments[i].Score {
+			t.Errorf("alignment %d: scores %d vs %d", i, full.Alignments[i].Score, lin.Alignments[i].Score)
+		}
+	}
+	if lin.Phase2Time <= full.Phase2Time {
+		t.Errorf("hirschberg phase 2 (%.4fs) should cost more time than full matrix (%.4fs)",
+			lin.Phase2Time, full.Phase2Time)
+	}
+}
+
+func TestBestLocalAffine(t *testing.T) {
+	s := mustSeq(t, "ACGTACGTACGT")
+	al, err := BestLocalAffine(s, s, AffineScoring{Match: 2, Mismatch: -1, GapOpen: -3, GapExtend: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if al.Score != 24 {
+		t.Errorf("affine self score %d, want 24", al.Score)
+	}
+}
+
+func mustSeq(t *testing.T, s string) Sequence {
+	t.Helper()
+	seq, err := NewSequence(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return seq
+}

@@ -1,0 +1,3 @@
+module genomedsm
+
+go 1.22

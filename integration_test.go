@@ -1,0 +1,141 @@
+package genomedsm_test
+
+import (
+	"testing"
+
+	"genomedsm"
+	"genomedsm/internal/align"
+	"genomedsm/internal/blast"
+	"genomedsm/internal/cluster"
+	"genomedsm/internal/preprocess"
+)
+
+// TestEndToEndAllSystemsAgree is the capstone integration test: one
+// synthetic genome pair goes through every system in the repository —
+// both heuristic parallel strategies, the exact pre-process strategy,
+// phase 2, the Section 6 retrieval, and the BlastN baseline — and their
+// findings must be mutually consistent.
+func TestEndToEndAllSystemsAgree(t *testing.T) {
+	g := genomedsm.NewGenerator(777)
+	const n = 3000
+	pair, err := g.HomologousPair(n, genomedsm.HomologyModel{
+		Regions: 6, RegionLen: 200, RegionJit: 40,
+		Divergence: genomedsm.MutationModel{SubstitutionRate: 0.04},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := genomedsm.DefaultScoring()
+	h := genomedsm.HeuristicParams{Open: 12, Close: 12, MinScore: 80}
+	zero := cluster.Zero()
+
+	// 1. Both heuristic strategies, with phase 2.
+	rep1, err := genomedsm.Compare(pair.S, pair.T, genomedsm.Options{
+		Strategy: genomedsm.StrategyHeuristic, Processors: 4,
+		Heuristics: &h, Cluster: &zero, Phase2: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep2, err := genomedsm.Compare(pair.S, pair.T, genomedsm.Options{
+		Strategy: genomedsm.StrategyHeuristicBlock, Processors: 8,
+		Heuristics: &h, Cluster: &zero, Phase2: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep1.Candidates) != len(rep2.Candidates) {
+		t.Fatalf("strategies found %d vs %d regions", len(rep1.Candidates), len(rep2.Candidates))
+	}
+	if len(rep1.Candidates) < 6 {
+		t.Fatalf("only %d regions found for 6 planted", len(rep1.Candidates))
+	}
+
+	// 2. Every planted region is recovered by phase 1 and phase 2.
+	for _, r := range pair.Regions {
+		foundCand, foundAl := false, false
+		for i, c := range rep2.Candidates {
+			if c.SBegin <= r.SEnd && r.SBegin <= c.SEnd && c.TBegin <= r.TEnd && r.TBegin <= c.TEnd {
+				foundCand = true
+				al := rep2.Alignments[i]
+				if al != nil && al.Identity() > 0.85 {
+					foundAl = true
+				}
+				break
+			}
+		}
+		if !foundCand || !foundAl {
+			t.Errorf("planted region %+v: candidate=%v alignment=%v", r, foundCand, foundAl)
+		}
+	}
+
+	// 3. The exact pre-process scoreboard lights up where (and only
+	// roughly where) the candidates are.
+	pc := preprocess.Config{
+		BandScheme: preprocess.BandFixed, BandSize: 500,
+		ChunkSize: 500, ResultInterleave: 500, Threshold: 80,
+	}
+	pres, err := preprocess.Run(4, zero, pair.S, pair.T, sc, pc, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pres.TotalHits == 0 {
+		t.Fatal("exact scoreboard empty despite strong candidates")
+	}
+	for _, c := range rep2.Candidates {
+		band := -1
+		for b, bd := range pres.Bands {
+			if c.SEnd >= bd.R0 && c.SEnd <= bd.R1 {
+				band = b
+			}
+		}
+		group := c.TEnd / pc.ResultInterleave
+		if band >= 0 && pres.ResultMatrix[band][group] == 0 {
+			t.Errorf("candidate ending at (%d,%d) has an empty scoreboard block (%d,%d)",
+				c.SEnd, c.TEnd, band, group)
+		}
+	}
+
+	// 4. Section 6 exact retrieval at the pre-process best cell agrees
+	// with the exact best score and validates.
+	al, _, err := align.ReverseRetrieve(pair.S, pair.T, sc, pres.BestI, pres.BestJ, pres.BestScore)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if al.Score != pres.BestScore {
+		t.Errorf("retrieved %d, scoreboard best %d", al.Score, pres.BestScore)
+	}
+	if err := al.Validate(pair.S, pair.T, sc); err != nil {
+		t.Error(err)
+	}
+
+	// 5. The BlastN baseline finds the same strong regions (Table 2).
+	opt := blast.DefaultOptions()
+	opt.MinScore = 80
+	hits, err := blast.Search(pair.S, pair.T, sc, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) < len(rep2.Candidates)/2 {
+		t.Errorf("blast found %d regions, candidates %d", len(hits), len(rep2.Candidates))
+	}
+	for _, c := range rep2.Candidates[:min(3, len(rep2.Candidates))] {
+		near := false
+		for _, hit := range hits {
+			if hit.SBegin <= c.SEnd && c.SBegin <= hit.SEnd && hit.TBegin <= c.TEnd && c.TBegin <= hit.TEnd {
+				near = true
+				break
+			}
+		}
+		if !near {
+			t.Errorf("candidate %+v has no overlapping blast hit", c)
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

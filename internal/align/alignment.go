@@ -1,0 +1,199 @@
+// Package align implements the sequential alignment algorithms the paper
+// builds on: the full-matrix Smith–Waterman algorithm with traceback
+// (§2.1–2.2), the two-row linear-space variant (§4.1), Needleman–Wunsch
+// global alignment (§2.3), Hirschberg's linear-space global alignment
+// (referenced in §6), and the paper's Section 6 reverse-based retrieval
+// method with intermediate-zero elimination (Algorithm 1 + Theorem 6.2).
+//
+// Coordinates follow the paper's conventions: sequences are 1-based
+// (s[1..i]), and matrix entry A[i][j] is the similarity of prefixes
+// s[1..i] and t[1..j].
+package align
+
+import (
+	"fmt"
+	"strings"
+
+	"genomedsm/internal/bio"
+)
+
+// Op is one column of an alignment.
+type Op byte
+
+// Alignment column kinds. The names follow the arrow metaphor of §2.2:
+// a north-west arrow aligns s[i] with t[j]; a north arrow aligns s[i]
+// with a space; a west arrow aligns a space with t[j].
+const (
+	OpMatch    Op = 'M' // s[i] aligned to t[j], equal characters
+	OpMismatch Op = 'X' // s[i] aligned to t[j], distinct characters
+	OpGapS     Op = 'I' // space in s aligned to t[j] (west arrow)
+	OpGapT     Op = 'D' // s[i] aligned to space in t (north arrow)
+)
+
+// Alignment is a concrete alignment between subsequences of s and t.
+// Begin/End coordinates are 1-based inclusive; an alignment covering
+// s[3..10] has SBegin=3, SEnd=10.
+type Alignment struct {
+	SBegin, SEnd int
+	TBegin, TEnd int
+	Score        int
+	Ops          []Op
+}
+
+// Validate checks internal consistency of the alignment against the
+// sequences it claims to align: coordinates in range, op counts matching
+// the spanned subsequence lengths, and the recomputed column score equal
+// to Score.
+func (a *Alignment) Validate(s, t bio.Sequence, sc bio.Scoring) error {
+	if a.SBegin < 1 || a.SEnd > s.Len() || a.TBegin < 1 || a.TEnd > t.Len() {
+		return fmt.Errorf("align: coordinates (%d,%d)-(%d,%d) out of range for |s|=%d |t|=%d",
+			a.SBegin, a.TBegin, a.SEnd, a.TEnd, s.Len(), t.Len())
+	}
+	si, tj := a.SBegin, a.TBegin
+	score := 0
+	for _, op := range a.Ops {
+		switch op {
+		case OpMatch, OpMismatch:
+			if si > a.SEnd || tj > a.TEnd {
+				return fmt.Errorf("align: ops overrun coordinates")
+			}
+			want := OpMismatch
+			if s[si-1] == t[tj-1] && s[si-1] != 'N' {
+				want = OpMatch
+			}
+			if op != want {
+				return fmt.Errorf("align: op %c at s[%d],t[%d] disagrees with bases %c,%c",
+					op, si, tj, s[si-1], t[tj-1])
+			}
+			score += sc.Pair(s[si-1], t[tj-1])
+			si++
+			tj++
+		case OpGapS:
+			if tj > a.TEnd {
+				return fmt.Errorf("align: ops overrun t coordinates")
+			}
+			score += sc.Gap
+			tj++
+		case OpGapT:
+			if si > a.SEnd {
+				return fmt.Errorf("align: ops overrun s coordinates")
+			}
+			score += sc.Gap
+			si++
+		default:
+			return fmt.Errorf("align: unknown op %q", op)
+		}
+	}
+	if si != a.SEnd+1 || tj != a.TEnd+1 {
+		return fmt.Errorf("align: ops cover s[%d..%d] t[%d..%d], claim s[%d..%d] t[%d..%d]",
+			a.SBegin, si-1, a.TBegin, tj-1, a.SBegin, a.SEnd, a.TBegin, a.TEnd)
+	}
+	if score != a.Score {
+		return fmt.Errorf("align: recomputed score %d != claimed %d", score, a.Score)
+	}
+	return nil
+}
+
+// Length returns the number of columns.
+func (a *Alignment) Length() int { return len(a.Ops) }
+
+// Counts returns the number of matches, mismatches and gap columns.
+func (a *Alignment) Counts() (matches, mismatches, gaps int) {
+	for _, op := range a.Ops {
+		switch op {
+		case OpMatch:
+			matches++
+		case OpMismatch:
+			mismatches++
+		default:
+			gaps++
+		}
+	}
+	return
+}
+
+// Identity is the fraction of match columns.
+func (a *Alignment) Identity() float64 {
+	if len(a.Ops) == 0 {
+		return 0
+	}
+	m, _, _ := a.Counts()
+	return float64(m) / float64(len(a.Ops))
+}
+
+// Render produces the three-line textual form used by Fig. 1 and Fig. 16
+// of the paper: the s row with spaces, a marker row (| for match), and
+// the t row.
+func (a *Alignment) Render(s, t bio.Sequence) string {
+	var top, mid, bot strings.Builder
+	si, tj := a.SBegin, a.TBegin
+	for _, op := range a.Ops {
+		switch op {
+		case OpMatch:
+			top.WriteByte(s[si-1])
+			mid.WriteByte('|')
+			bot.WriteByte(t[tj-1])
+			si++
+			tj++
+		case OpMismatch:
+			top.WriteByte(s[si-1])
+			mid.WriteByte(' ')
+			bot.WriteByte(t[tj-1])
+			si++
+			tj++
+		case OpGapS:
+			top.WriteByte('_')
+			mid.WriteByte(' ')
+			bot.WriteByte(t[tj-1])
+			tj++
+		case OpGapT:
+			top.WriteByte(s[si-1])
+			mid.WriteByte(' ')
+			bot.WriteByte('_')
+			si++
+		}
+	}
+	return top.String() + "\n" + mid.String() + "\n" + bot.String() + "\n"
+}
+
+// RenderReport renders the alignment in the labelled format of Fig. 16
+// (initial/final coordinates, similarity, aligned subsequences wrapped at
+// width columns).
+func (a *Alignment) RenderReport(s, t bio.Sequence, width int) string {
+	if width <= 0 {
+		width = 60
+	}
+	body := a.Render(s, t)
+	lines := strings.SplitN(body, "\n", 3)
+	top, bot := lines[0], lines[2]
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "initial_x: %d final_x: %d\n", a.SBegin, a.SEnd)
+	fmt.Fprintf(&sb, "initial_y: %d final_y: %d\n", a.TBegin, a.TEnd)
+	fmt.Fprintf(&sb, "similarity: %d\n", a.Score)
+	for off := 0; off < len(top); off += width {
+		end := off + width
+		if end > len(top) {
+			end = len(top)
+		}
+		fmt.Fprintf(&sb, "align_s: %s\n", top[off:end])
+		fmt.Fprintf(&sb, "align_t: %s\n", bot[off:end])
+	}
+	return sb.String()
+}
+
+// Reverse returns the alignment mapped onto the reversed sequences: if a
+// aligns s[i..i'] with t[j..j'], Reverse(n, m) aligns
+// srev[n-i'+1 .. n-i+1] with trev[m-j'+1 .. m-j+1] with the column order
+// reversed. This is the coordinate transform of Observation 6.1.
+func (a *Alignment) Reverse(n, m int) *Alignment {
+	ops := make([]Op, len(a.Ops))
+	for i, op := range a.Ops {
+		ops[len(ops)-1-i] = op
+	}
+	return &Alignment{
+		SBegin: n - a.SEnd + 1, SEnd: n - a.SBegin + 1,
+		TBegin: m - a.TEnd + 1, TEnd: m - a.TBegin + 1,
+		Score: a.Score,
+		Ops:   ops,
+	}
+}

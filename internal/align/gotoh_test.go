@@ -1,0 +1,117 @@
+package align
+
+import (
+	"testing"
+	"testing/quick"
+
+	"genomedsm/internal/bio"
+)
+
+var affine = AffineScoring{Match: 2, Mismatch: -1, GapOpen: -3, GapExtend: -1}
+
+func TestAffineScoringValidate(t *testing.T) {
+	if err := affine.Validate(); err != nil {
+		t.Errorf("valid scheme rejected: %v", err)
+	}
+	bad := []AffineScoring{
+		{Match: 0, Mismatch: -1, GapOpen: -1, GapExtend: -1},
+		{Match: 1, Mismatch: 1, GapOpen: -1, GapExtend: -1},
+		{Match: 1, Mismatch: -1, GapOpen: 1, GapExtend: -1},
+		{Match: 1, Mismatch: -1, GapOpen: -1, GapExtend: 0},
+	}
+	for i, sc := range bad {
+		if err := sc.Validate(); err == nil {
+			t.Errorf("bad scheme %d accepted: %+v", i, sc)
+		}
+	}
+}
+
+func TestAffineIdentical(t *testing.T) {
+	s := bio.MustSequence("ACGTACGTAC")
+	al, err := BestLocalAffine(s, s, affine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if al.Score != 20 { // 10 matches × 2
+		t.Errorf("self score %d, want 20", al.Score)
+	}
+	if err := al.ValidateAffine(s, s, affine); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAffinePrefersOneLongGap(t *testing.T) {
+	// Affine penalties should bridge a single 4-base insertion rather
+	// than fragment the alignment: gap cost = open + 4·extend = −7 <
+	// losing 5 matches.
+	g := bio.NewGenerator(601)
+	left, right := g.Random(20), g.Random(20)
+	s := concat(left, right)
+	tt := concat(left, bio.MustSequence("ACGT"), right)
+	al, err := BestLocalAffine(s, tt, affine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := al.ValidateAffine(s, tt, affine); err != nil {
+		t.Fatal(err)
+	}
+	m, _, gaps := al.Counts()
+	if m != 40 || gaps != 4 {
+		t.Errorf("matches %d gaps %d, want 40 matched bases bridged by a 4-gap", m, gaps)
+	}
+	if want := 40*2 - 3 - 4; al.Score != want {
+		t.Errorf("score %d, want %d", al.Score, want)
+	}
+}
+
+func TestAffineEqualsLinearWhenOpenIsZero(t *testing.T) {
+	zeroOpen := AffineScoring{Match: 1, Mismatch: -1, GapOpen: 0, GapExtend: -2}
+	f := func(rawS, rawT []byte) bool {
+		s, tt := seqPair(rawS, rawT)
+		aff, err := BestLocalAffine(s, tt, zeroOpen)
+		if err != nil {
+			return false
+		}
+		lin, err := Sim(s, tt, zeroOpen.Linear())
+		if err != nil {
+			return false
+		}
+		return aff.Score == lin
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAffineNeverBeatsItsOwnValidation(t *testing.T) {
+	f := func(rawS, rawT []byte) bool {
+		s, tt := seqPair(rawS, rawT)
+		al, err := BestLocalAffine(s, tt, affine)
+		if err != nil {
+			return false
+		}
+		if al.Score == 0 {
+			return true
+		}
+		return al.ValidateAffine(s, tt, affine) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAffineNoSimilarity(t *testing.T) {
+	al, err := BestLocalAffine(bio.MustSequence("AAAA"), bio.MustSequence("CCCC"), affine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if al.Score != 0 || al.Length() != 0 {
+		t.Errorf("dissimilar inputs: %+v", al)
+	}
+}
+
+func TestAffineRejectsBadInput(t *testing.T) {
+	if _, err := BestLocalAffine(bio.MustSequence("A"), bio.MustSequence("A"), AffineScoring{}); err == nil {
+		t.Error("invalid scheme accepted")
+	}
+}

@@ -1,0 +1,148 @@
+package align
+
+import (
+	"genomedsm/internal/bio"
+)
+
+// Global computes the optimal global alignment of s and t with the
+// Needleman–Wunsch algorithm (§2.3): the recurrence of Eq. (1) without the
+// zero option, first row and column filled with accumulated gap penalties.
+// Phase 2 of the paper runs this on every similar region found in phase 1.
+func Global(s, t bio.Sequence, sc bio.Scoring) (*Alignment, error) {
+	m, err := NewNWMatrix(s, t, sc)
+	if err != nil {
+		return nil, err
+	}
+	rows, cols := m.Dims()
+	al := m.Traceback(rows-1, cols-1)
+	// Traceback reports Score(end) − Score(start); for global alignment
+	// start is the zero corner, so al.Score is already the global score.
+	return al, nil
+}
+
+// GlobalScore returns only the global-alignment score, in linear space.
+func GlobalScore(s, t bio.Sequence, sc bio.Scoring) (int, error) {
+	if err := sc.Validate(); err != nil {
+		return 0, err
+	}
+	row, err := nwLastRow(s, t, sc)
+	if err != nil {
+		return 0, err
+	}
+	return int(row[t.Len()]), nil
+}
+
+// nwLastRow computes the last row of the NW matrix for s vs t using two
+// linear arrays. It is the building block of Hirschberg's divide and
+// conquer.
+func nwLastRow(s, t bio.Sequence, sc bio.Scoring) ([]int32, error) {
+	m, n := s.Len(), t.Len()
+	prev := make([]int32, n+1)
+	cur := make([]int32, n+1)
+	for j := 1; j <= n; j++ {
+		prev[j] = int32(j * sc.Gap)
+	}
+	for i := 1; i <= m; i++ {
+		cur[0] = int32(i * sc.Gap)
+		si := s[i-1]
+		for j := 1; j <= n; j++ {
+			v := int(prev[j-1]) + sc.Pair(si, t[j-1])
+			if w := int(cur[j-1]) + sc.Gap; w > v {
+				v = w
+			}
+			if no := int(prev[j]) + sc.Gap; no > v {
+				v = no
+			}
+			cur[j] = int32(v)
+		}
+		prev, cur = cur, prev
+	}
+	return prev, nil
+}
+
+// GlobalLinear computes an optimal global alignment in linear space with
+// Hirschberg's divide-and-conquer [9]. The paper's Section 6 notes that
+// once an alignment's position is known, Hirschberg's method rebuilds it
+// in linear space at the cost of roughly doubling the work; GlobalLinear
+// is that method.
+func GlobalLinear(s, t bio.Sequence, sc bio.Scoring) (*Alignment, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	ops := make([]Op, 0, s.Len()+t.Len())
+	var rec func(s, t bio.Sequence) error
+	rec = func(s, t bio.Sequence) error {
+		m, n := s.Len(), t.Len()
+		switch {
+		case m == 0:
+			for j := 0; j < n; j++ {
+				ops = append(ops, OpGapS)
+			}
+			return nil
+		case n == 0:
+			for i := 0; i < m; i++ {
+				ops = append(ops, OpGapT)
+			}
+			return nil
+		case m == 1 || n == 1:
+			// Small enough for the full matrix.
+			al, err := Global(s, t, sc)
+			if err != nil {
+				return err
+			}
+			ops = append(ops, al.Ops...)
+			return nil
+		}
+		mid := m / 2
+		top, err := nwLastRow(s[:mid], t, sc)
+		if err != nil {
+			return err
+		}
+		bot, err := nwLastRow(bio.Sequence(s[mid:]).Reverse(), t.Reverse(), sc)
+		if err != nil {
+			return err
+		}
+		// Choose the split column maximizing top[j] + bot[n-j].
+		bestJ, bestV := 0, int32(-1<<30)
+		for j := 0; j <= n; j++ {
+			if v := top[j] + bot[n-j]; v > bestV {
+				bestV, bestJ = v, j
+			}
+		}
+		if err := rec(s[:mid], t[:bestJ]); err != nil {
+			return err
+		}
+		return rec(s[mid:], t[bestJ:])
+	}
+	if err := rec(s, t); err != nil {
+		return nil, err
+	}
+	al := &Alignment{
+		SBegin: 1, SEnd: s.Len(),
+		TBegin: 1, TEnd: t.Len(),
+		Ops: ops,
+	}
+	al.Score = scoreOps(s, t, sc, al)
+	return al, nil
+}
+
+// scoreOps recomputes the column score of an alignment's ops over the
+// subsequences it spans.
+func scoreOps(s, t bio.Sequence, sc bio.Scoring, a *Alignment) int {
+	si, tj, score := a.SBegin, a.TBegin, 0
+	for _, op := range a.Ops {
+		switch op {
+		case OpMatch, OpMismatch:
+			score += sc.Pair(s[si-1], t[tj-1])
+			si++
+			tj++
+		case OpGapS:
+			score += sc.Gap
+			tj++
+		case OpGapT:
+			score += sc.Gap
+			si++
+		}
+	}
+	return score
+}

@@ -1,0 +1,137 @@
+package align
+
+import (
+	"testing"
+	"testing/quick"
+
+	"genomedsm/internal/bio"
+)
+
+func TestGlobalIdentical(t *testing.T) {
+	s := bio.MustSequence("ACGTACGT")
+	al, err := Global(s, s, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if al.Score != 8 || al.Length() != 8 {
+		t.Errorf("self global: score %d length %d", al.Score, al.Length())
+	}
+	if err := al.Validate(s, s, sc); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGlobalAgainstEmpty(t *testing.T) {
+	s := bio.MustSequence("ACGT")
+	al, err := Global(s, nil, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if al.Score != 4*sc.Gap {
+		t.Errorf("global vs empty score %d, want %d", al.Score, 4*sc.Gap)
+	}
+	if al.Length() != 4 {
+		t.Errorf("length %d", al.Length())
+	}
+}
+
+func TestGlobalScoreMatchesMatrix(t *testing.T) {
+	f := func(rawS, rawT []byte) bool {
+		s, tt := seqPair(rawS, rawT)
+		al, err := Global(s, tt, sc)
+		if err != nil {
+			return false
+		}
+		lin, err := GlobalScore(s, tt, sc)
+		if err != nil {
+			return false
+		}
+		if lin != al.Score {
+			return false
+		}
+		if s.Len() > 0 && tt.Len() > 0 {
+			if err := al.Validate(s, tt, sc); err != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGlobalLinearMatchesGlobal(t *testing.T) {
+	f := func(rawS, rawT []byte) bool {
+		s, tt := seqPair(rawS, rawT)
+		want, err := GlobalScore(s, tt, sc)
+		if err != nil {
+			return false
+		}
+		al, err := GlobalLinear(s, tt, sc)
+		if err != nil {
+			return false
+		}
+		if al.Score != want {
+			return false
+		}
+		if s.Len() > 0 || tt.Len() > 0 {
+			return al.Validate(s, tt, sc) == nil
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGlobalLinearLargerInput(t *testing.T) {
+	g := bio.NewGenerator(67)
+	s := g.Random(700)
+	tt := g.MutatedCopy(s, bio.DefaultMutationModel())
+	want, err := GlobalScore(s, tt, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	al, err := GlobalLinear(s, tt, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if al.Score != want {
+		t.Errorf("hirschberg score %d, want %d", al.Score, want)
+	}
+	if err := al.Validate(s, tt, sc); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGlobalBadScoring(t *testing.T) {
+	if _, err := Global(bio.MustSequence("A"), bio.MustSequence("A"), bio.Scoring{}); err == nil {
+		t.Error("invalid scoring accepted by Global")
+	}
+	if _, err := GlobalScore(bio.MustSequence("A"), bio.MustSequence("A"), bio.Scoring{}); err == nil {
+		t.Error("invalid scoring accepted by GlobalScore")
+	}
+	if _, err := GlobalLinear(bio.MustSequence("A"), bio.MustSequence("A"), bio.Scoring{}); err == nil {
+		t.Error("invalid scoring accepted by GlobalLinear")
+	}
+}
+
+func TestNWMatrixBorders(t *testing.T) {
+	s := bio.MustSequence("ACG")
+	tt := bio.MustSequence("AC")
+	m, err := NewNWMatrix(s, tt, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i <= 3; i++ {
+		if got := m.Score(i, 0); got != i*sc.Gap {
+			t.Errorf("border A[%d][0] = %d, want %d", i, got, i*sc.Gap)
+		}
+	}
+	for j := 0; j <= 2; j++ {
+		if got := m.Score(0, j); got != j*sc.Gap {
+			t.Errorf("border A[0][%d] = %d, want %d", j, got, j*sc.Gap)
+		}
+	}
+}

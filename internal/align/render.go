@@ -1,0 +1,92 @@
+package align
+
+import (
+	"fmt"
+	"strings"
+
+	"genomedsm/internal/bio"
+)
+
+// RenderMatrix renders the similarity matrix as aligned text with the
+// sequences on the borders, in the style of the paper's Figs. 3–4 and
+// Tables 5–7. Cells where show returns false print blank — used to
+// visualize the pruned "useful area" of the Section 6 method (Table 7).
+// A nil show prints everything.
+func (a *Matrix) RenderMatrix(show func(i, j int) bool) string {
+	rows, cols := a.Dims()
+	var sb strings.Builder
+	// Header: the t sequence across the top.
+	sb.WriteString("    ")
+	for j := 1; j < cols; j++ {
+		fmt.Fprintf(&sb, "%3c", a.T[j-1])
+	}
+	sb.WriteByte('\n')
+	for i := 0; i < rows; i++ {
+		if i == 0 {
+			sb.WriteString(" ")
+		} else {
+			fmt.Fprintf(&sb, "%c", a.S[i-1])
+		}
+		for j := 0; j < cols; j++ {
+			if show != nil && !show(i, j) {
+				sb.WriteString("   ")
+				continue
+			}
+			fmt.Fprintf(&sb, "%3d", a.Score(i, j))
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// ReverseExample reproduces the Section 6 worked example (Tables 5–7) for
+// arbitrary inputs: it returns the detection scan result, the full
+// reverse matrix (Table 6), and the same matrix restricted to the pruned
+// useful area (Table 7), all as rendered text.
+func ReverseExample(s, t bio.Sequence, sc bio.Scoring) (detect string, full string, pruned string, err error) {
+	r, err := Scan(s, t, sc, ScanOptions{})
+	if err != nil {
+		return "", "", "", err
+	}
+	detect = fmt.Sprintf("detected alignment of score %d finishing at positions %d and %d of s and t\n",
+		r.BestScore, r.BestI, r.BestJ)
+	if r.BestScore <= 0 {
+		return detect, "", "", nil
+	}
+	srev := bio.Sequence(s[:r.BestI]).Reverse()
+	trev := bio.Sequence(t[:r.BestJ]).Reverse()
+	// The paper's Tables 6–7 put srev across the top and trev down the
+	// side; match that orientation.
+	m, err := NewSWMatrix(trev, srev, sc)
+	if err != nil {
+		return "", "", "", err
+	}
+	full = m.RenderMatrix(nil)
+
+	// The pruned area: cells reachable from the (1,1) seed without
+	// crossing an intermediate zero, exactly what ReverseRetrieve
+	// computes. Recompute reachability over the full matrix for display.
+	rows, cols := m.Dims()
+	active := make([][]bool, rows)
+	for i := range active {
+		active[i] = make([]bool, cols)
+	}
+	active[0][0] = true
+	for i := 1; i < rows; i++ {
+		for j := 1; j < cols; j++ {
+			if m.Score(i, j) <= 0 {
+				continue
+			}
+			if active[i-1][j-1] || active[i-1][j] || (j > 1 && active[i][j-1]) {
+				active[i][j] = true
+			}
+		}
+	}
+	pruned = m.RenderMatrix(func(i, j int) bool {
+		if i == 0 || j == 0 {
+			return true // the zero borders are printed, as in Table 7
+		}
+		return active[i][j]
+	})
+	return detect, full, pruned, nil
+}

@@ -1,0 +1,70 @@
+package align
+
+import (
+	"strings"
+	"testing"
+
+	"genomedsm/internal/bio"
+)
+
+func TestRenderMatrixFig3Values(t *testing.T) {
+	// Fig. 3's pair: the rendered matrix must show the sequences on the
+	// borders and a positive best score somewhere inside.
+	s := bio.MustSequence("ATAGCT")
+	tt := bio.MustSequence("GATATGCA")
+	m, err := NewSWMatrix(tt, s, sc) // t indexes rows in the paper's figure
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := m.RenderMatrix(nil)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != tt.Len()+2 { // header + zero row + |t| rows
+		t.Fatalf("%d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[2], "G") || !strings.HasPrefix(lines[9], "A") {
+		t.Errorf("row labels wrong:\n%s", out)
+	}
+	// The paper says the best local score appears in A[7,5]; with the
+	// +1/−1/−2 scheme that cell holds 3 (tied with A[4,3] — "many optimal
+	// local alignments may exist", §2.2).
+	_, _, best := m.MaxCell()
+	if got := m.Score(7, 5); got != best || got != 3 {
+		t.Errorf("A[7,5]=%d, max=%d; paper puts an optimum at (7,5) with value 3", got, best)
+	}
+}
+
+func TestReverseExamplePaperStrings(t *testing.T) {
+	s := bio.MustSequence("TCTCGACGGATTAGTATATATATA")
+	tt := bio.MustSequence("ATATGATCGGAATAGCTCT")
+	detect, full, pruned, err := ReverseExample(s, tt, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(detect, "score 6") || !strings.Contains(detect, "14 and 15") {
+		t.Errorf("detection line: %q", detect)
+	}
+	// Table 6's matrix is over the reversed prefixes: G A T T A G G C A G C T C T
+	// across the top (reverse of s[1..14]).
+	if !strings.Contains(strings.Split(full, "\n")[0], "G  A  T  T  A  G") {
+		t.Errorf("full matrix header wrong:\n%s", full)
+	}
+	// The pruned rendering must contain strictly fewer printed numbers.
+	count := func(s string) int { return strings.Count(s, "0") + strings.Count(s, "1") }
+	if count(pruned) >= count(full) {
+		t.Error("pruned matrix is not smaller than the full one")
+	}
+	// The score-6 cell must survive pruning (the alignment is found).
+	if !strings.Contains(pruned, "6") {
+		t.Errorf("pruned matrix lost the target score:\n%s", pruned)
+	}
+}
+
+func TestReverseExampleNoAlignment(t *testing.T) {
+	detect, full, pruned, err := ReverseExample(bio.MustSequence("AAAA"), bio.MustSequence("CCCC"), sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full != "" || pruned != "" || !strings.Contains(detect, "score 0") {
+		t.Errorf("no-alignment case: %q / %q / %q", detect, full, pruned)
+	}
+}

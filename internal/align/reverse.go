@@ -1,0 +1,335 @@
+package align
+
+import (
+	"fmt"
+
+	"genomedsm/internal/bio"
+)
+
+// RetrieveStats instruments the Section 6 retrieval so the Eq. (3) claim
+// (only ≈30% of the n'×n' matrix is necessary in the worst case) can be
+// measured.
+type RetrieveStats struct {
+	CellsComputed int64 // interior cells evaluated inside the useful area
+	FullCells     int64 // (p_max+1)·(q_max+1) the naive method would compute
+	RowsComputed  int   // rows of the reverse matrix that were touched
+}
+
+// UsefulFraction is CellsComputed / FullCells.
+func (st RetrieveStats) UsefulFraction() float64 {
+	if st.FullCells == 0 {
+		return 0
+	}
+	return float64(st.CellsComputed) / float64(st.FullCells)
+}
+
+// ReverseRetrieve implements the second step of the paper's Algorithm 1
+// (Section 6): given the end coordinates (endI, endJ) and score k of a
+// local alignment between s and t — typically found by Scan — it rebuilds
+// the alignment by running the dynamic programming over the *reverses* of
+// the prefixes s[1..endI] and t[1..endJ] (Observation 6.1), pruning every
+// computation that descends from an intermediate zero (Theorem 6.2).
+//
+// The returned alignment is expressed in original s/t coordinates and is
+// the minimal-length alignment of score k ending at (endI, endJ). Space is
+// proportional to the useful area only, O(n'²) with the Eq. (3) constant,
+// instead of endI·endJ.
+func ReverseRetrieve(s, t bio.Sequence, sc bio.Scoring, endI, endJ, k int) (*Alignment, RetrieveStats, error) {
+	var st RetrieveStats
+	if err := sc.Validate(); err != nil {
+		return nil, st, err
+	}
+	if endI < 1 || endI > s.Len() || endJ < 1 || endJ > t.Len() {
+		return nil, st, fmt.Errorf("align: end position (%d,%d) out of range for |s|=%d |t|=%d",
+			endI, endJ, s.Len(), t.Len())
+	}
+	if k < 1 {
+		return nil, st, fmt.Errorf("align: target score %d must be >= 1", k)
+	}
+	// Work over the reversed prefixes. srev[p] (1-based) is s[endI-p+1].
+	srevAt := func(p int) byte { return s[endI-p] }
+	trevAt := func(q int) byte { return t[endJ-q] }
+	pmax, qmax := endI, endJ
+
+	// Sparse row storage: row p keeps values and arrows for the active
+	// column window [lo, hi]. A cell is active when its value is positive
+	// and it is reachable from the (1,1) seed without crossing a zero —
+	// Theorem 6.2 says pruning the rest cannot lose the minimal-length
+	// alignment, because that alignment starts at the first character of
+	// each reversed sequence.
+	type row struct {
+		lo, hi int
+		val    []int32
+		arr    []byte
+	}
+	rows := make([]row, 1, 64)
+	rows[0] = row{lo: 0, hi: 0, val: []int32{0}, arr: []byte{0}}
+
+	get := func(r *row, q int) (int32, bool) {
+		if q < r.lo || q > r.hi {
+			return 0, false
+		}
+		return r.val[q-r.lo], r.val[q-r.lo] > 0 || (q == 0 && r.lo == 0)
+	}
+
+	bestP, bestQ := -1, -1
+	bestSum := 1 << 30
+	for p := 1; p <= pmax; p++ {
+		prev := &rows[p-1]
+		// Any cell in this row has path length ≥ p; stop once no cell can
+		// beat the best minimal-length hit found so far.
+		if bestP >= 0 && p+1 > bestSum {
+			break
+		}
+		lo := prev.lo
+		if lo < 1 {
+			lo = 1
+		}
+		if lo > qmax {
+			break
+		}
+		cur := row{lo: lo, hi: lo - 1}
+		sp := srevAt(p)
+		rowAlive := false
+		// Columns [lo, prev.hi+1] can receive diagonal or north arrows
+		// from the previous row; beyond that only west chains (runs of
+		// gaps in s) can stay alive, and they die as soon as a value
+		// drops to zero.
+		for q := lo; q <= qmax; q++ {
+			diagOnly := q > prev.hi+1
+			var v int32
+			var arrows byte
+			if dv, ok := get(prev, q-1); ok {
+				if cand := dv + int32(sc.Pair(sp, trevAt(q))); cand > 0 {
+					v, arrows = cand, ArrowDiag
+				}
+			}
+			if q-1 >= cur.lo && q-1 <= cur.hi {
+				if wv := cur.val[q-1-cur.lo]; wv > 0 {
+					switch cand := wv + int32(sc.Gap); {
+					case cand > v:
+						v, arrows = cand, ArrowWest
+					case cand == v && v > 0:
+						arrows |= ArrowWest
+					}
+				}
+			}
+			if nv, ok := get(prev, q); ok {
+				switch cand := nv + int32(sc.Gap); {
+				case cand > v:
+					v, arrows = cand, ArrowNorth
+				case cand == v && v > 0:
+					arrows |= ArrowNorth
+				}
+			}
+			st.CellsComputed++
+			if v <= 0 {
+				if diagOnly {
+					break // west chain exhausted; nothing further can revive
+				}
+				v, arrows = 0, 0
+			}
+			cur.val = append(cur.val, v)
+			cur.arr = append(cur.arr, arrows)
+			cur.hi = q
+			if v <= 0 {
+				continue
+			}
+			rowAlive = true
+			if int(v) >= k && p+q < bestSum {
+				bestP, bestQ, bestSum = p, q, p+q
+			}
+		}
+		// Shrink the stored window to the live cells.
+		for cur.lo <= cur.hi && cur.val[0] <= 0 {
+			cur.val = cur.val[1:]
+			cur.arr = cur.arr[1:]
+			cur.lo++
+		}
+		for cur.hi >= cur.lo && cur.val[len(cur.val)-1] <= 0 {
+			cur.val = cur.val[:len(cur.val)-1]
+			cur.arr = cur.arr[:len(cur.arr)-1]
+			cur.hi--
+		}
+		rows = append(rows, cur)
+		st.RowsComputed = p
+		if !rowAlive {
+			break
+		}
+	}
+	st.FullCells = int64(st.RowsComputed+1) * int64(qmax+1)
+	if bestP < 0 {
+		// Rare but possible: every score-k path ending exactly at
+		// (endI, endJ) revisits score k at an interior point, so its
+		// reverse partial sums touch zero and Theorem 6.2's pruning
+		// removes it. The theorem's proof tells us what remains: dropping
+		// the zero-score reverse prefix leaves an equal-score alignment at
+		// a smaller extent, i.e. the alignment relocates to an earlier
+		// forward end. A dense (unpruned) reverse Smith–Waterman finds the
+		// relocated alignment; it costs more memory but only runs in this
+		// corner case.
+		return reverseRetrieveDense(s, t, sc, endI, endJ, k, st)
+	}
+
+	// Traceback inside the stored area, collecting ops of the *reverse*
+	// alignment; reversing at the end yields the original-order ops.
+	var revOps []Op
+	p, q := bestP, bestQ
+	for p > 0 || q > 0 {
+		r := &rows[p]
+		if q < r.lo || q > r.hi {
+			return nil, st, fmt.Errorf("align: traceback escaped the stored area at (%d,%d)", p, q)
+		}
+		arrows := r.arr[q-r.lo]
+		if arrows == 0 {
+			break
+		}
+		switch {
+		case arrows&ArrowDiag != 0:
+			if srevAt(p) == trevAt(q) && srevAt(p) != 'N' {
+				revOps = append(revOps, OpMatch)
+			} else {
+				revOps = append(revOps, OpMismatch)
+			}
+			p--
+			q--
+		case arrows&ArrowWest != 0:
+			revOps = append(revOps, OpGapS)
+			q--
+		default:
+			revOps = append(revOps, OpGapT)
+			p--
+		}
+	}
+	if p != 0 || q != 0 {
+		return nil, st, fmt.Errorf("align: traceback stopped at (%d,%d), want origin", p, q)
+	}
+	// revOps is ordered end→start of the reverse alignment, which is
+	// start→end of the original alignment already.
+	al := &Alignment{
+		SBegin: endI - bestP + 1, SEnd: endI,
+		TBegin: endJ - bestQ + 1, TEnd: endJ,
+		Score: k,
+		Ops:   revOps,
+	}
+	return al, st, nil
+}
+
+// reverseRetrieveDense is the unpruned fallback for ReverseRetrieve: a
+// plain Smith–Waterman over the reversed prefixes, rows stored with
+// arrows, stopped at the first (minimal p+q) cell reaching score k. The
+// traceback start need not be the origin — the returned alignment carries
+// its true (possibly relocated) forward coordinates and its true score,
+// which is >= k.
+func reverseRetrieveDense(s, t bio.Sequence, sc bio.Scoring, endI, endJ, k int, st RetrieveStats) (*Alignment, RetrieveStats, error) {
+	srevAt := func(p int) byte { return s[endI-p] }
+	trevAt := func(q int) byte { return t[endJ-q] }
+	pmax, qmax := endI, endJ
+	vals := [][]int32{make([]int32, qmax+1)}
+	arrs := [][]byte{make([]byte, qmax+1)}
+	bestP, bestQ := -1, -1
+	bestSum := 1 << 30
+	for p := 1; p <= pmax; p++ {
+		if bestP >= 0 && p+1 > bestSum {
+			break
+		}
+		pv := vals[p-1]
+		cv := make([]int32, qmax+1)
+		ca := make([]byte, qmax+1)
+		sp := srevAt(p)
+		for q := 1; q <= qmax; q++ {
+			v := pv[q-1] + int32(sc.Pair(sp, trevAt(q)))
+			arrows := ArrowDiag
+			if w := cv[q-1] + int32(sc.Gap); w > v {
+				v, arrows = w, ArrowWest
+			}
+			if n := pv[q] + int32(sc.Gap); n > v {
+				v, arrows = n, ArrowNorth
+			}
+			if v <= 0 {
+				v, arrows = 0, 0
+			}
+			cv[q], ca[q] = v, arrows
+			st.CellsComputed++
+			if int(v) >= k && p+q < bestSum {
+				bestP, bestQ, bestSum = p, q, p+q
+			}
+		}
+		vals = append(vals, cv)
+		arrs = append(arrs, ca)
+	}
+	st.FullCells = int64(len(vals)) * int64(qmax+1)
+	if bestP < 0 {
+		return nil, st, fmt.Errorf("align: no alignment of score %d ends at or before (%d,%d)", k, endI, endJ)
+	}
+	var revOps []Op
+	p, q := bestP, bestQ
+	for p > 0 && q > 0 && arrs[p][q] != 0 {
+		switch arrs[p][q] {
+		case ArrowDiag:
+			if srevAt(p) == trevAt(q) && srevAt(p) != 'N' {
+				revOps = append(revOps, OpMatch)
+			} else {
+				revOps = append(revOps, OpMismatch)
+			}
+			p--
+			q--
+		case ArrowWest:
+			revOps = append(revOps, OpGapS)
+			q--
+		default:
+			revOps = append(revOps, OpGapT)
+			p--
+		}
+	}
+	al := &Alignment{
+		SBegin: endI - bestP + 1, SEnd: endI - p,
+		TBegin: endJ - bestQ + 1, TEnd: endJ - q,
+		Score: int(vals[bestP][bestQ] - vals[p][q]),
+		Ops:   revOps,
+	}
+	return al, st, nil
+}
+
+// BestLocalLinear runs the complete Section 6 pipeline: a linear-space
+// scan finds the best score and its end coordinates, and ReverseRetrieve
+// rebuilds the alignment in O(min(n,m) + n'²) space. This is the exact
+// replacement for the full-matrix BestLocal on long sequences.
+func BestLocalLinear(s, t bio.Sequence, sc bio.Scoring) (*Alignment, RetrieveStats, error) {
+	r, err := Scan(s, t, sc, ScanOptions{})
+	if err != nil {
+		return nil, RetrieveStats{}, err
+	}
+	if r.BestScore <= 0 {
+		return nil, RetrieveStats{}, fmt.Errorf("align: no positive-score local alignment exists")
+	}
+	return ReverseRetrieve(s, t, sc, r.BestI, r.BestJ, r.BestScore)
+}
+
+// RetrieveAll retrieves one alignment per endpoint (as produced by Scan
+// with EndpointMinScore set), skipping endpoints that fall inside an
+// already-retrieved alignment. Stats are accumulated.
+func RetrieveAll(s, t bio.Sequence, sc bio.Scoring, eps []Endpoint) ([]*Alignment, RetrieveStats, error) {
+	var total RetrieveStats
+	var out []*Alignment
+	for _, ep := range eps {
+		covered := false
+		for _, a := range out {
+			if ep.I >= a.SBegin && ep.I <= a.SEnd && ep.J >= a.TBegin && ep.J <= a.TEnd {
+				covered = true
+				break
+			}
+		}
+		if covered {
+			continue
+		}
+		a, st, err := ReverseRetrieve(s, t, sc, ep.I, ep.J, ep.Score)
+		total.CellsComputed += st.CellsComputed
+		total.FullCells += st.FullCells
+		if err != nil {
+			return nil, total, fmt.Errorf("endpoint (%d,%d,%d): %w", ep.I, ep.J, ep.Score, err)
+		}
+		out = append(out, a)
+	}
+	return out, total, nil
+}

@@ -1,0 +1,284 @@
+package align
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"genomedsm/internal/bio"
+)
+
+var sc = bio.DefaultScoring()
+
+// seqPair builds a pair of small DNA sequences from fuzzer bytes.
+func seqPair(rawS, rawT []byte) (bio.Sequence, bio.Sequence) {
+	conv := func(raw []byte) bio.Sequence {
+		if len(raw) > 64 {
+			raw = raw[:64]
+		}
+		s := make(bio.Sequence, len(raw))
+		for i, b := range raw {
+			s[i] = "ACGT"[int(b)%4]
+		}
+		return s
+	}
+	return conv(rawS), conv(rawT)
+}
+
+func TestPaperFig1GlobalAlignment(t *testing.T) {
+	// Fig. 1: s = GACGGATTAG, t = GATCGGAATAG align globally with score 6
+	// (9 matches, 1 mismatch, 1 space under +1/−1/−2).
+	s := bio.MustSequence("GACGGATTAG")
+	tt := bio.MustSequence("GATCGGAATAG")
+	al, err := Global(s, tt, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if al.Score != 6 {
+		t.Errorf("global score = %d, want 6", al.Score)
+	}
+	if err := al.Validate(s, tt, sc); err != nil {
+		t.Error(err)
+	}
+	m, mm, g := al.Counts()
+	if m != 9 || mm != 1 || g != 1 {
+		t.Errorf("counts = %d matches %d mismatches %d gaps, want 9/1/1", m, mm, g)
+	}
+}
+
+func TestSWIdenticalSequences(t *testing.T) {
+	s := bio.MustSequence("ACGTACGTGG")
+	al, err := BestLocal(s, s, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if al.Score != s.Len() {
+		t.Errorf("self-alignment score %d, want %d", al.Score, s.Len())
+	}
+	if al.SBegin != 1 || al.SEnd != s.Len() || al.TBegin != 1 || al.TEnd != s.Len() {
+		t.Errorf("self-alignment coordinates %+v", al)
+	}
+	if err := al.Validate(s, s, sc); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSWDisjointAlphabetGivesZero(t *testing.T) {
+	s := bio.MustSequence("AAAA")
+	tt := bio.MustSequence("CCCC")
+	m, err := NewSWMatrix(s, tt, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, score := m.MaxCell(); score != 0 {
+		t.Errorf("max score %d, want 0", score)
+	}
+}
+
+func TestSWEmptyInput(t *testing.T) {
+	s := bio.MustSequence("ACGT")
+	m, err := NewSWMatrix(s, nil, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, score := m.MaxCell(); score != 0 {
+		t.Errorf("score vs empty = %d", score)
+	}
+	al := m.Traceback(0, 0)
+	if al.Length() != 0 {
+		t.Errorf("traceback of empty matrix has %d ops", al.Length())
+	}
+}
+
+func TestSWRejectsBadScoring(t *testing.T) {
+	if _, err := NewSWMatrix(bio.MustSequence("A"), bio.MustSequence("A"), bio.Scoring{}); err == nil {
+		t.Error("zero scoring accepted")
+	}
+}
+
+func TestMatrixSizeLimit(t *testing.T) {
+	big := make(bio.Sequence, 10000)
+	for i := range big {
+		big[i] = 'A'
+	}
+	// 10001 * 10001 > 64M? No: 1.0e8 > 6.7e7, so this should trip the limit.
+	if _, err := NewSWMatrix(big, big, sc); err == nil {
+		t.Error("oversized matrix accepted")
+	}
+}
+
+func TestBestLocalEmbeddedMotif(t *testing.T) {
+	g := bio.NewGenerator(17)
+	motif := g.Random(40)
+	s := append(append(g.Random(100).Clone(), motif...), g.Random(80)...)
+	tt := append(append(g.Random(60).Clone(), motif...), g.Random(120)...)
+	al, err := BestLocal(s, tt, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if al.Score < 35 { // motif is 40 exact matches; allow flanking noise
+		t.Errorf("embedded motif score %d, want >= 35", al.Score)
+	}
+	if err := al.Validate(s, tt, sc); err != nil {
+		t.Error(err)
+	}
+	// The found region must overlap the planted motif in s.
+	if al.SEnd < 101 || al.SBegin > 140 {
+		t.Errorf("alignment s[%d..%d] misses planted motif at s[101..140]", al.SBegin, al.SEnd)
+	}
+}
+
+func TestSimIsSymmetric(t *testing.T) {
+	f := func(rawS, rawT []byte) bool {
+		s, tt := seqPair(rawS, rawT)
+		m1, err1 := NewSWMatrix(s, tt, sc)
+		m2, err2 := NewSWMatrix(tt, s, sc)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		_, _, a := m1.MaxCell()
+		_, _, b := m2.MaxCell()
+		return a == b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBestLocalScoreMatchesMatrixMax(t *testing.T) {
+	f := func(rawS, rawT []byte) bool {
+		s, tt := seqPair(rawS, rawT)
+		m, err := NewSWMatrix(s, tt, sc)
+		if err != nil {
+			return false
+		}
+		i, j, best := m.MaxCell()
+		al := m.Traceback(i, j)
+		if al.Score != best {
+			return false
+		}
+		return al.Validate(s, tt, sc) == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLocalsAbove(t *testing.T) {
+	g := bio.NewGenerator(23)
+	motif1 := g.Random(30)
+	motif2 := g.Random(25)
+	s := concat(g.Random(50), motif1, g.Random(50), motif2, g.Random(50))
+	tt := concat(g.Random(40), motif2, g.Random(70), motif1, g.Random(40))
+	als, err := LocalsAbove(s, tt, sc, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(als) < 2 {
+		t.Fatalf("found %d alignments, want >= 2 (two planted motifs)", len(als))
+	}
+	for i, a := range als {
+		if a.Score < 20 {
+			t.Errorf("alignment %d below threshold: %d", i, a.Score)
+		}
+		if err := a.Validate(s, tt, sc); err != nil {
+			t.Errorf("alignment %d invalid: %v", i, err)
+		}
+		if i > 0 && a.Score > als[i-1].Score {
+			t.Errorf("alignments not sorted by score at %d", i)
+		}
+		for j := 0; j < i; j++ {
+			b := als[j]
+			if a.SBegin <= b.SEnd && b.SBegin <= a.SEnd && a.TBegin <= b.TEnd && b.TBegin <= a.TEnd {
+				t.Errorf("alignments %d and %d overlap", i, j)
+			}
+		}
+	}
+	if _, err := LocalsAbove(s, tt, sc, 0); err == nil {
+		t.Error("minScore 0 accepted")
+	}
+}
+
+func TestRenderFormat(t *testing.T) {
+	s := bio.MustSequence("GACGGATTAG")
+	tt := bio.MustSequence("GATCGGAATAG")
+	al, err := Global(s, tt, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := al.Render(s, tt)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("render has %d lines, want 3", len(lines))
+	}
+	if len(lines[0]) != al.Length() || len(lines[1]) != al.Length() || len(lines[2]) != al.Length() {
+		t.Errorf("render line lengths %d/%d/%d, want %d", len(lines[0]), len(lines[1]), len(lines[2]), al.Length())
+	}
+	matches, _, _ := al.Counts()
+	if got := strings.Count(lines[1], "|"); got != matches {
+		t.Errorf("marker row has %d pipes, want %d", got, matches)
+	}
+	if !strings.Contains(lines[0], "_") && !strings.Contains(lines[2], "_") {
+		t.Error("gap column not rendered as underscore")
+	}
+}
+
+func TestRenderReport(t *testing.T) {
+	s := bio.MustSequence("ACGTACGTAC")
+	al, err := Global(s, s, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := al.RenderReport(s, s, 4)
+	for _, want := range []string{"initial_x: 1", "final_x: 10", "similarity: 10", "align_s: ACGT", "align_t: ACGT"} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q:\n%s", want, rep)
+		}
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	s := bio.MustSequence("ACGT")
+	al, err := Global(s, s, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := *al
+	bad.Score++
+	if err := bad.Validate(s, s, sc); err == nil {
+		t.Error("wrong score passed validation")
+	}
+	bad = *al
+	bad.SEnd = 99
+	if err := bad.Validate(s, s, sc); err == nil {
+		t.Error("out-of-range coordinate passed validation")
+	}
+	bad = *al
+	bad.Ops = append([]Op{}, al.Ops...)
+	bad.Ops[0] = OpGapS
+	if err := bad.Validate(s, s, sc); err == nil {
+		t.Error("inconsistent ops passed validation")
+	}
+}
+
+func TestIdentityAndCounts(t *testing.T) {
+	al := &Alignment{Ops: []Op{OpMatch, OpMatch, OpMismatch, OpGapS}}
+	m, mm, g := al.Counts()
+	if m != 2 || mm != 1 || g != 1 {
+		t.Errorf("counts %d/%d/%d", m, mm, g)
+	}
+	if al.Identity() != 0.5 {
+		t.Errorf("identity %v", al.Identity())
+	}
+	if (&Alignment{}).Identity() != 0 {
+		t.Error("empty identity not 0")
+	}
+}
+
+func concat(parts ...bio.Sequence) bio.Sequence {
+	var out bio.Sequence
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out
+}

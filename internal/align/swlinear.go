@@ -1,0 +1,174 @@
+package align
+
+import (
+	"fmt"
+
+	"genomedsm/internal/bio"
+)
+
+// Endpoint is a candidate local-alignment end position found by a linear
+// scan: the cell (I, J) holds Score and no successor cell extends the
+// alignment to an equal or better score.
+type Endpoint struct {
+	I, J  int // 1-based end coordinates in s and t
+	Score int
+}
+
+// ScanOptions configures Scan.
+type ScanOptions struct {
+	// EndpointMinScore, when positive, collects endpoints with at least
+	// this score.
+	EndpointMinScore int
+	// HitThreshold, when positive, counts matrix cells with score >= the
+	// threshold — the "scoreboard of points of interest" kept by the
+	// paper's pre-process strategy (§5).
+	HitThreshold int
+}
+
+// ScanResult is the outcome of a linear-space Smith–Waterman scan.
+type ScanResult struct {
+	BestScore    int
+	BestI, BestJ int // end coordinates of the best local alignment
+	Endpoints    []Endpoint
+	Hits         int64 // cells >= HitThreshold (0 when disabled)
+	Cells        int64 // interior cells computed (= |s|·|t|)
+}
+
+// Scan runs the Smith–Waterman recurrence over s and t using two linear
+// arrays (§4.1's space reduction, without the candidate heuristics, which
+// live in the heuristics package). It is the first step of Section 6's
+// Algorithm 1: detect where alignments of interest end, in O(min-row)
+// space.
+func Scan(s, t bio.Sequence, sc bio.Scoring, opt ScanOptions) (*ScanResult, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	m, n := s.Len(), t.Len()
+	res := &ScanResult{}
+	if m == 0 || n == 0 {
+		return res, nil
+	}
+	prev := make([]int32, n+1)
+	cur := make([]int32, n+1)
+	// next is needed only for endpoint detection (a cell is an endpoint
+	// when none of its successors east/south/south-east improves on it);
+	// we detect endpoints for row i-1 once row i is complete.
+	var pendRow []int32
+	pendIdx := 0
+	collect := opt.EndpointMinScore > 0
+	if collect {
+		pendRow = make([]int32, n+1)
+	}
+	flushEndpoints := func(rowIdx int, row, next []int32) {
+		for j := 1; j <= n; j++ {
+			v := row[j]
+			if int(v) < opt.EndpointMinScore {
+				continue
+			}
+			east := int32(0)
+			if j < n {
+				east = row[j+1]
+			}
+			south, diag := next[j], int32(0)
+			if j < n {
+				diag = next[j+1]
+			}
+			if v > east && v > south && v > diag {
+				res.Endpoints = append(res.Endpoints, Endpoint{I: rowIdx, J: j, Score: int(v)})
+			}
+		}
+	}
+	for i := 1; i <= m; i++ {
+		si := s[i-1]
+		cur[0] = 0
+		for j := 1; j <= n; j++ {
+			v := int(prev[j-1]) + sc.Pair(si, t[j-1])
+			if w := int(cur[j-1]) + sc.Gap; w > v {
+				v = w
+			}
+			if no := int(prev[j]) + sc.Gap; no > v {
+				v = no
+			}
+			if v < 0 {
+				v = 0
+			}
+			cur[j] = int32(v)
+			if v > res.BestScore {
+				res.BestScore, res.BestI, res.BestJ = v, i, j
+			}
+			if opt.HitThreshold > 0 && v >= opt.HitThreshold {
+				res.Hits++
+			}
+		}
+		res.Cells += int64(n)
+		if collect {
+			if i > 1 {
+				flushEndpoints(pendIdx, pendRow, cur)
+			}
+			copy(pendRow, cur)
+			pendIdx = i
+		}
+		prev, cur = cur, prev
+	}
+	if collect {
+		// The last row has no successors; every qualifying cell that beats
+		// its east neighbour is an endpoint.
+		zero := make([]int32, n+1)
+		flushEndpoints(pendIdx, pendRow, zero)
+	}
+	return res, nil
+}
+
+// Sim returns sim(s, t), the best local-alignment score, in linear space.
+func Sim(s, t bio.Sequence, sc bio.Scoring) (int, error) {
+	r, err := Scan(s, t, sc, ScanOptions{})
+	if err != nil {
+		return 0, err
+	}
+	return r.BestScore, nil
+}
+
+// ColumnScan computes the exact similarity column A[0..m][j] for every j
+// and hands each finished column to visit (which must not retain the
+// slice). It is the column-oriented kernel the pre-process strategy (§5)
+// distributes over bands; kept here so tests can compare the distributed
+// runs against a trusted sequential implementation.
+func ColumnScan(s, t bio.Sequence, sc bio.Scoring, visit func(j int, col []int32)) error {
+	if err := sc.Validate(); err != nil {
+		return err
+	}
+	m, n := s.Len(), t.Len()
+	prev := make([]int32, m+1)
+	cur := make([]int32, m+1)
+	if visit != nil {
+		visit(0, prev)
+	}
+	for j := 1; j <= n; j++ {
+		tj := t[j-1]
+		cur[0] = 0
+		for i := 1; i <= m; i++ {
+			v := int(prev[i-1]) + sc.Pair(s[i-1], tj)
+			if w := int(prev[i]) + sc.Gap; w > v {
+				v = w
+			}
+			if no := int(cur[i-1]) + sc.Gap; no > v {
+				v = no
+			}
+			if v < 0 {
+				v = 0
+			}
+			cur[i] = int32(v)
+		}
+		if visit != nil {
+			visit(j, cur)
+		}
+		prev, cur = cur, prev
+	}
+	return nil
+}
+
+// String implements fmt.Stringer for quick debugging of scan results.
+func (r *ScanResult) String() string {
+	return fmt.Sprintf("best=%d at (%d,%d), %d endpoints, %d hits over %d cells",
+		r.BestScore, r.BestI, r.BestJ, len(r.Endpoints), r.Hits, r.Cells)
+}

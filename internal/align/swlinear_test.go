@@ -1,0 +1,174 @@
+package align
+
+import (
+	"testing"
+	"testing/quick"
+
+	"genomedsm/internal/bio"
+)
+
+func TestScanMatchesFullMatrix(t *testing.T) {
+	f := func(rawS, rawT []byte) bool {
+		s, tt := seqPair(rawS, rawT)
+		m, err := NewSWMatrix(s, tt, sc)
+		if err != nil {
+			return false
+		}
+		_, _, want := m.MaxCell()
+		r, err := Scan(s, tt, sc, ScanOptions{})
+		if err != nil {
+			return false
+		}
+		return r.BestScore == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestScanEmpty(t *testing.T) {
+	r, err := Scan(nil, bio.MustSequence("ACGT"), sc, ScanOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.BestScore != 0 || r.Cells != 0 {
+		t.Errorf("scan of empty s: %+v", r)
+	}
+}
+
+func TestScanBadScoring(t *testing.T) {
+	if _, err := Scan(bio.MustSequence("A"), bio.MustSequence("A"), bio.Scoring{}, ScanOptions{}); err == nil {
+		t.Error("invalid scoring accepted")
+	}
+}
+
+func TestScanHitCountMatchesMatrix(t *testing.T) {
+	g := bio.NewGenerator(31)
+	s := g.Random(120)
+	tt := g.MutatedCopy(s, bio.DefaultMutationModel())
+	const threshold = 5
+	r, err := Scan(s, tt, sc, ScanOptions{HitThreshold: threshold})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewSWMatrix(s, tt, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want int64
+	rows, cols := m.Dims()
+	for i := 1; i < rows; i++ {
+		for j := 1; j < cols; j++ {
+			if m.Score(i, j) >= threshold {
+				want++
+			}
+		}
+	}
+	if r.Hits != want {
+		t.Errorf("hit count %d, want %d", r.Hits, want)
+	}
+	if r.Cells != int64(s.Len())*int64(tt.Len()) {
+		t.Errorf("cells %d, want %d", r.Cells, s.Len()*tt.Len())
+	}
+}
+
+func TestScanEndpointsCoverBestCell(t *testing.T) {
+	g := bio.NewGenerator(37)
+	motif := g.Random(30)
+	s := concat(g.Random(50), motif, g.Random(50))
+	tt := concat(g.Random(70), motif, g.Random(30))
+	r, err := Scan(s, tt, sc, ScanOptions{EndpointMinScore: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Endpoints) == 0 {
+		t.Fatal("no endpoints found despite planted motif")
+	}
+	found := false
+	for _, ep := range r.Endpoints {
+		if ep.I == r.BestI && ep.J == r.BestJ && ep.Score == r.BestScore {
+			found = true
+		}
+		if ep.Score < 15 {
+			t.Errorf("endpoint below threshold: %+v", ep)
+		}
+	}
+	if !found {
+		t.Errorf("best cell (%d,%d,%d) not among endpoints %v", r.BestI, r.BestJ, r.BestScore, r.Endpoints)
+	}
+}
+
+func TestScanEndpointScoresAreTrue(t *testing.T) {
+	// Every reported endpoint's score must equal the actual matrix value.
+	g := bio.NewGenerator(41)
+	s := g.Random(80)
+	tt := g.MutatedCopy(s, bio.DefaultMutationModel())
+	r, err := Scan(s, tt, sc, ScanOptions{EndpointMinScore: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewSWMatrix(s, tt, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ep := range r.Endpoints {
+		if got := m.Score(ep.I, ep.J); got != ep.Score {
+			t.Errorf("endpoint (%d,%d) claims %d, matrix has %d", ep.I, ep.J, ep.Score, got)
+		}
+	}
+}
+
+func TestColumnScanAgreesWithRowScan(t *testing.T) {
+	g := bio.NewGenerator(43)
+	s := g.Random(90)
+	tt := g.Random(110)
+	best := 0
+	err := ColumnScan(s, tt, sc, func(j int, col []int32) {
+		for _, v := range col {
+			if int(v) > best {
+				best = int(v)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Scan(s, tt, sc, ScanOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best != r.BestScore {
+		t.Errorf("column scan best %d, row scan best %d", best, r.BestScore)
+	}
+}
+
+func TestColumnScanColumnsMatchMatrix(t *testing.T) {
+	g := bio.NewGenerator(47)
+	s := g.Random(40)
+	tt := g.Random(50)
+	m, err := NewSWMatrix(s, tt, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = ColumnScan(s, tt, sc, func(j int, col []int32) {
+		for i := 0; i <= s.Len(); i++ {
+			if int(col[i]) != m.Score(i, j) {
+				t.Fatalf("column %d row %d: got %d, want %d", j, i, col[i], m.Score(i, j))
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSimHelper(t *testing.T) {
+	s := bio.MustSequence("ACGTACGT")
+	got, err := Sim(s, s, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 8 {
+		t.Errorf("Sim(s,s) = %d, want 8", got)
+	}
+}

@@ -1,0 +1,123 @@
+package bio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// Record is one FASTA entry.
+type Record struct {
+	ID          string // first word of the header line
+	Description string // remainder of the header line
+	Seq         Sequence
+}
+
+// ReadFASTA parses all records from r. It accepts the common FASTA layout:
+// '>' header lines followed by wrapped sequence lines; blank lines are
+// ignored. Sequence data is validated against the DNA alphabet.
+func ReadFASTA(r io.Reader) ([]Record, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	var recs []Record
+	var cur *Record
+	var body strings.Builder
+	line := 0
+	flush := func() error {
+		if cur == nil {
+			return nil
+		}
+		seq, err := NewSequence(body.String())
+		if err != nil {
+			return fmt.Errorf("record %q: %w", cur.ID, err)
+		}
+		cur.Seq = seq
+		recs = append(recs, *cur)
+		cur = nil
+		body.Reset()
+		return nil
+	}
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		if text[0] == '>' {
+			if err := flush(); err != nil {
+				return nil, err
+			}
+			header := strings.TrimSpace(text[1:])
+			id, desc, _ := strings.Cut(header, " ")
+			cur = &Record{ID: id, Description: desc}
+			continue
+		}
+		if cur == nil {
+			return nil, fmt.Errorf("bio: line %d: sequence data before any '>' header", line)
+		}
+		body.WriteString(text)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+	return recs, nil
+}
+
+// ReadFASTAFile reads all records from the named file.
+func ReadFASTAFile(path string) ([]Record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	recs, err := ReadFASTA(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return recs, nil
+}
+
+// WriteFASTA writes records to w, wrapping sequence lines at 70 columns.
+func WriteFASTA(w io.Writer, recs ...Record) error {
+	bw := bufio.NewWriter(w)
+	for _, rec := range recs {
+		header := rec.ID
+		if rec.Description != "" {
+			header += " " + rec.Description
+		}
+		if _, err := fmt.Fprintf(bw, ">%s\n", header); err != nil {
+			return err
+		}
+		for i := 0; i < len(rec.Seq); i += 70 {
+			end := i + 70
+			if end > len(rec.Seq) {
+				end = len(rec.Seq)
+			}
+			if _, err := bw.Write(rec.Seq[i:end]); err != nil {
+				return err
+			}
+			if err := bw.WriteByte('\n'); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteFASTAFile writes records to the named file, replacing it.
+func WriteFASTAFile(path string, recs ...Record) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteFASTA(f, recs...); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,116 @@
+package bio
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestReadFASTA(t *testing.T) {
+	in := `>seq1 first sequence
+ACGTACGT
+ACGT
+
+>seq2
+TTTT
+`
+	recs, err := ReadFASTA(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("got %d records, want 2", len(recs))
+	}
+	if recs[0].ID != "seq1" || recs[0].Description != "first sequence" {
+		t.Errorf("record 0 header = %q %q", recs[0].ID, recs[0].Description)
+	}
+	if recs[0].Seq.String() != "ACGTACGTACGT" {
+		t.Errorf("record 0 seq = %q", recs[0].Seq)
+	}
+	if recs[1].ID != "seq2" || recs[1].Seq.String() != "TTTT" {
+		t.Errorf("record 1 = %+v", recs[1])
+	}
+}
+
+func TestReadFASTAErrors(t *testing.T) {
+	if _, err := ReadFASTA(strings.NewReader("ACGT\n")); err == nil {
+		t.Error("sequence before header accepted")
+	}
+	if _, err := ReadFASTA(strings.NewReader(">x\nAC!T\n")); err == nil {
+		t.Error("invalid base accepted")
+	}
+}
+
+func TestReadFASTAEmpty(t *testing.T) {
+	recs, err := ReadFASTA(strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Errorf("got %d records from empty input", len(recs))
+	}
+}
+
+func TestFASTARoundTrip(t *testing.T) {
+	g := NewGenerator(42)
+	recs := []Record{
+		{ID: "a", Description: "synthetic genome", Seq: g.Random(500)},
+		{ID: "b", Seq: g.Random(71)}, // exercises the wrap boundary
+		{ID: "empty"},
+	}
+	var buf bytes.Buffer
+	if err := WriteFASTA(&buf, recs...); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFASTA(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("round trip: %d records, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if got[i].ID != recs[i].ID {
+			t.Errorf("record %d ID = %q, want %q", i, got[i].ID, recs[i].ID)
+		}
+		if got[i].Seq.String() != recs[i].Seq.String() {
+			t.Errorf("record %d sequence mismatch (%d vs %d bases)", i, got[i].Seq.Len(), recs[i].Seq.Len())
+		}
+	}
+}
+
+func TestFASTAFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "test.fa")
+	g := NewGenerator(7)
+	want := Record{ID: "chr1", Description: "test", Seq: g.Random(200)}
+	if err := WriteFASTAFile(path, want); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ReadFASTAFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Seq.String() != want.Seq.String() {
+		t.Errorf("file round trip mismatch")
+	}
+	if _, err := ReadFASTAFile(filepath.Join(dir, "missing.fa")); err == nil {
+		t.Error("reading missing file succeeded")
+	}
+}
+
+func TestWriteFASTAWrapping(t *testing.T) {
+	var buf bytes.Buffer
+	g := NewGenerator(3)
+	if err := WriteFASTA(&buf, Record{ID: "x", Seq: g.Random(150)}); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 4 { // header + 70 + 70 + 10
+		t.Fatalf("got %d lines, want 4: %v", len(lines), lines)
+	}
+	if len(lines[1]) != 70 || len(lines[3]) != 10 {
+		t.Errorf("wrap widths %d/%d, want 70/10", len(lines[1]), len(lines[3]))
+	}
+}

@@ -1,0 +1,62 @@
+package bio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadFASTA checks the parser never panics and that accepted input
+// round-trips.
+func FuzzReadFASTA(f *testing.F) {
+	f.Add(">a desc\nACGT\n")
+	f.Add(">x\nacgt\nNNNN\n>y\nTT\n")
+	f.Add("")
+	f.Add(">only header\n")
+	f.Add("garbage before\n>a\nACGT")
+	f.Fuzz(func(t *testing.T, in string) {
+		recs, err := ReadFASTA(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteFASTA(&buf, recs...); err != nil {
+			t.Fatalf("write of parsed records failed: %v", err)
+		}
+		again, err := ReadFASTA(&buf)
+		if err != nil {
+			t.Fatalf("re-parse failed: %v", err)
+		}
+		if len(again) != len(recs) {
+			t.Fatalf("round trip changed record count: %d -> %d", len(recs), len(again))
+		}
+		for i := range recs {
+			if again[i].Seq.String() != recs[i].Seq.String() {
+				t.Fatalf("record %d sequence changed", i)
+			}
+		}
+	})
+}
+
+// FuzzNewSequence checks validation never panics and accepted sequences
+// contain only the alphabet.
+func FuzzNewSequence(f *testing.F) {
+	f.Add("ACGT")
+	f.Add("acgtn")
+	f.Add("AC GT\n")
+	f.Add("bad!")
+	f.Fuzz(func(t *testing.T, in string) {
+		seq, err := NewSequence(in)
+		if err != nil {
+			return
+		}
+		for _, b := range seq {
+			if !validBase(b) {
+				t.Fatalf("accepted invalid base %q", b)
+			}
+		}
+		if seq.Reverse().Reverse().String() != seq.String() {
+			t.Fatal("reverse not an involution")
+		}
+	})
+}

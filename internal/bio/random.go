@@ -1,0 +1,199 @@
+package bio
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Generator produces reproducible synthetic DNA. It substitutes for the
+// real NCBI genomes used in the paper: the alignment algorithms only see
+// A/C/G/T strings, and the evaluation depends on sequence length and on
+// the presence of scattered similar regions, both of which Generator
+// controls exactly.
+type Generator struct {
+	rng *rand.Rand
+}
+
+// NewGenerator returns a Generator seeded deterministically.
+func NewGenerator(seed int64) *Generator {
+	return &Generator{rng: rand.New(rand.NewSource(seed))}
+}
+
+var bases = [4]byte{'A', 'C', 'G', 'T'}
+
+// Random returns a uniformly random DNA sequence of length n.
+func (g *Generator) Random(n int) Sequence {
+	s := make(Sequence, n)
+	for i := range s {
+		s[i] = bases[g.rng.Intn(4)]
+	}
+	return s
+}
+
+// MutationModel controls MutatedCopy.
+type MutationModel struct {
+	SubstitutionRate float64 // probability a base is substituted
+	InsertionRate    float64 // probability an insertion occurs after a base
+	DeletionRate     float64 // probability a base is deleted
+}
+
+// DefaultMutationModel mutates roughly 10% of positions, mostly by
+// substitution, which produces local alignments in the score range the
+// paper's thresholds were tuned for.
+func DefaultMutationModel() MutationModel {
+	return MutationModel{SubstitutionRate: 0.08, InsertionRate: 0.01, DeletionRate: 0.01}
+}
+
+// MutatedCopy returns a copy of s with point mutations and indels applied
+// according to the model.
+func (g *Generator) MutatedCopy(s Sequence, m MutationModel) Sequence {
+	out := make(Sequence, 0, len(s)+len(s)/16)
+	for _, b := range s {
+		r := g.rng.Float64()
+		switch {
+		case r < m.DeletionRate:
+			// drop the base
+		case r < m.DeletionRate+m.SubstitutionRate:
+			nb := bases[g.rng.Intn(4)]
+			for nb == b {
+				nb = bases[g.rng.Intn(4)]
+			}
+			out = append(out, nb)
+		default:
+			out = append(out, b)
+		}
+		if g.rng.Float64() < m.InsertionRate {
+			out = append(out, bases[g.rng.Intn(4)])
+		}
+	}
+	return out
+}
+
+// Region records where a planted homologous segment lives in each of the
+// two generated sequences (1-based inclusive coordinates, as used by the
+// alignment queue).
+type Region struct {
+	SBegin, SEnd int
+	TBegin, TEnd int
+}
+
+// HomologousPair describes a pair of synthetic sequences that share planted
+// similar regions — the workload shape the paper describes for real
+// genomes ("for two 400 kBP DNA sequences, we can obtain approximately
+// 2000 similar regions with an average size of 300 × 300").
+type HomologousPair struct {
+	S, T    Sequence
+	Regions []Region // planted regions, sorted by SBegin
+}
+
+// HomologyModel controls HomologousPair generation.
+type HomologyModel struct {
+	Regions    int           // number of planted similar regions
+	RegionLen  int           // average region length (bases)
+	RegionJit  int           // +- jitter on region length
+	Divergence MutationModel // mutations applied to the T-side copy of each region
+}
+
+// DefaultHomologyModel scales the paper's density (2000 regions of ~300 bp
+// per 400 kBP) to the requested sequence length. For sequences too short
+// to host 300 bp regions, the region size shrinks proportionally so the
+// model stays usable on scaled-down benchmark inputs.
+func DefaultHomologyModel(seqLen int) HomologyModel {
+	regions := seqLen / 200 // paper density: 2000 per 400k = 1 per 200
+	if regions < 1 {
+		regions = 1
+	}
+	regionLen, jit := 300, 150
+	if seqLen < 2*(regionLen+jit) {
+		regionLen = seqLen / 5
+		if regionLen < 16 {
+			regionLen = 16
+		}
+		jit = regionLen / 2
+	}
+	return HomologyModel{
+		Regions:    regions,
+		RegionLen:  regionLen,
+		RegionJit:  jit,
+		Divergence: MutationModel{SubstitutionRate: 0.05, InsertionRate: 0.005, DeletionRate: 0.005},
+	}
+}
+
+// HomologousPair generates two sequences of approximately n bases sharing
+// planted similar regions. Both backgrounds are independent random DNA;
+// each region is copied from S into T (with divergence mutations) at an
+// independently chosen position, so the dot plot of the pair shows
+// scattered similarity regions exactly like Fig. 2 / Fig. 14.
+func (g *Generator) HomologousPair(n int, m HomologyModel) (HomologousPair, error) {
+	if m.Regions < 0 {
+		return HomologousPair{}, fmt.Errorf("bio: negative region count %d", m.Regions)
+	}
+	if m.RegionLen <= 0 && m.Regions > 0 {
+		return HomologousPair{}, fmt.Errorf("bio: region length must be positive, got %d", m.RegionLen)
+	}
+	s := g.Random(n)
+	t := g.Random(n)
+	maxLen := m.RegionLen + m.RegionJit
+	if m.Regions > 0 && maxLen >= n {
+		return HomologousPair{}, fmt.Errorf("bio: region length %d does not fit in sequence length %d", maxLen, n)
+	}
+	var regions []Region
+	// Planted T intervals must not overlap, or a later plant would
+	// overwrite an earlier region and destroy its similarity. Rejection
+	// sampling with a bounded retry budget; if the sequence is too dense
+	// to place all regions we plant as many as fit.
+	var tUsed []Region
+	for i := 0; i < m.Regions; i++ {
+		rl := m.RegionLen
+		if m.RegionJit > 0 {
+			rl += g.rng.Intn(2*m.RegionJit+1) - m.RegionJit
+		}
+		if rl < 8 {
+			rl = 8
+		}
+		sPos := g.rng.Intn(n - rl)
+		segment := g.MutatedCopy(s[sPos:sPos+rl], m.Divergence)
+		tPos, ok := g.placeNonOverlapping(n, len(segment), tUsed)
+		if !ok {
+			break
+		}
+		copy(t[tPos:], segment)
+		r := Region{
+			SBegin: sPos + 1, SEnd: sPos + rl,
+			TBegin: tPos + 1, TEnd: tPos + len(segment),
+		}
+		regions = append(regions, r)
+		tUsed = append(tUsed, r)
+	}
+	sortRegions(regions)
+	return HomologousPair{S: s, T: t, Regions: regions}, nil
+}
+
+// placeNonOverlapping picks a start offset in [0, n-length] whose interval
+// does not intersect any already-used T interval. It reports failure after
+// a bounded number of attempts (the sequence is then considered full).
+func (g *Generator) placeNonOverlapping(n, length int, used []Region) (int, bool) {
+	if length > n {
+		return 0, false
+	}
+attempts:
+	for try := 0; try < 200; try++ {
+		pos := g.rng.Intn(n - length + 1)
+		begin, end := pos+1, pos+length // 1-based inclusive
+		for _, u := range used {
+			if begin <= u.TEnd && u.TBegin <= end {
+				continue attempts
+			}
+		}
+		return pos, true
+	}
+	return 0, false
+}
+
+func sortRegions(rs []Region) {
+	for i := 1; i < len(rs); i++ {
+		for j := i; j > 0 && rs[j].SBegin < rs[j-1].SBegin; j-- {
+			rs[j], rs[j-1] = rs[j-1], rs[j]
+		}
+	}
+}

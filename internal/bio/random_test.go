@@ -1,0 +1,150 @@
+package bio
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestRandomIsDeterministic(t *testing.T) {
+	a := NewGenerator(99).Random(1000)
+	b := NewGenerator(99).Random(1000)
+	if !reflect.DeepEqual(a, b) {
+		t.Error("same seed produced different sequences")
+	}
+	c := NewGenerator(100).Random(1000)
+	if reflect.DeepEqual(a, c) {
+		t.Error("different seeds produced identical sequences")
+	}
+}
+
+func TestRandomComposition(t *testing.T) {
+	s := NewGenerator(1).Random(100000)
+	if s.Len() != 100000 {
+		t.Fatalf("length %d", s.Len())
+	}
+	gc := s.GC()
+	if gc < 0.48 || gc > 0.52 {
+		t.Errorf("GC content %v far from uniform 0.5", gc)
+	}
+	for _, b := range s {
+		if !validBase(b) || b == 'N' {
+			t.Fatalf("invalid generated base %q", b)
+		}
+	}
+}
+
+func TestMutatedCopyRates(t *testing.T) {
+	g := NewGenerator(5)
+	s := g.Random(20000)
+	m := MutationModel{SubstitutionRate: 0.10, InsertionRate: 0, DeletionRate: 0}
+	c := g.MutatedCopy(s, m)
+	if c.Len() != s.Len() {
+		t.Fatalf("substitution-only copy changed length: %d vs %d", c.Len(), s.Len())
+	}
+	diff := 0
+	for i := range s {
+		if s[i] != c[i] {
+			diff++
+		}
+	}
+	rate := float64(diff) / float64(s.Len())
+	if rate < 0.08 || rate > 0.12 {
+		t.Errorf("substitution rate %v, want ~0.10", rate)
+	}
+}
+
+func TestMutatedCopyIndels(t *testing.T) {
+	g := NewGenerator(6)
+	s := g.Random(20000)
+	del := g.MutatedCopy(s, MutationModel{DeletionRate: 0.1})
+	if del.Len() >= s.Len() {
+		t.Errorf("deletion model did not shrink: %d vs %d", del.Len(), s.Len())
+	}
+	ins := g.MutatedCopy(s, MutationModel{InsertionRate: 0.1})
+	if ins.Len() <= s.Len() {
+		t.Errorf("insertion model did not grow: %d vs %d", ins.Len(), s.Len())
+	}
+}
+
+func TestMutatedCopyZeroModelIsIdentity(t *testing.T) {
+	g := NewGenerator(7)
+	s := g.Random(500)
+	if got := g.MutatedCopy(s, MutationModel{}); !reflect.DeepEqual(got, s) {
+		t.Error("zero mutation model altered the sequence")
+	}
+}
+
+func TestHomologousPair(t *testing.T) {
+	g := NewGenerator(11)
+	model := HomologyModel{Regions: 10, RegionLen: 200, RegionJit: 50,
+		Divergence: MutationModel{SubstitutionRate: 0.05}}
+	pair, err := g.HomologousPair(10000, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pair.S.Len() != 10000 || pair.T.Len() != 10000 {
+		t.Fatalf("lengths %d/%d", pair.S.Len(), pair.T.Len())
+	}
+	if len(pair.Regions) != 10 {
+		t.Fatalf("got %d regions, want 10", len(pair.Regions))
+	}
+	for i, r := range pair.Regions {
+		if r.SBegin < 1 || r.SEnd > 10000 || r.TBegin < 1 || r.TEnd > 10000 {
+			t.Errorf("region %d out of bounds: %+v", i, r)
+		}
+		if r.SEnd < r.SBegin || r.TEnd < r.TBegin {
+			t.Errorf("region %d inverted: %+v", i, r)
+		}
+		if i > 0 && r.SBegin < pair.Regions[i-1].SBegin {
+			t.Errorf("regions not sorted by SBegin at %d", i)
+		}
+		// The planted segments must actually be similar: count identities
+		// over the aligned prefix (substitution-only divergence here).
+		sSeg := pair.S.Sub(r.SBegin, r.SEnd)
+		tSeg := pair.T.Sub(r.TBegin, r.TEnd)
+		n := min(len(sSeg), len(tSeg))
+		match := 0
+		for k := 0; k < n; k++ {
+			if sSeg[k] == tSeg[k] {
+				match++
+			}
+		}
+		if frac := float64(match) / float64(n); frac < 0.85 {
+			t.Errorf("region %d identity %.2f too low; plant failed", i, frac)
+		}
+	}
+}
+
+func TestHomologousPairValidation(t *testing.T) {
+	g := NewGenerator(1)
+	if _, err := g.HomologousPair(100, HomologyModel{Regions: -1}); err == nil {
+		t.Error("negative regions accepted")
+	}
+	if _, err := g.HomologousPair(100, HomologyModel{Regions: 1, RegionLen: 0}); err == nil {
+		t.Error("zero region length accepted")
+	}
+	if _, err := g.HomologousPair(100, HomologyModel{Regions: 1, RegionLen: 200}); err == nil {
+		t.Error("region longer than sequence accepted")
+	}
+}
+
+func TestHomologousPairZeroRegions(t *testing.T) {
+	g := NewGenerator(2)
+	pair, err := g.HomologousPair(1000, HomologyModel{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pair.Regions) != 0 {
+		t.Errorf("expected no regions, got %d", len(pair.Regions))
+	}
+}
+
+func TestDefaultHomologyModelDensity(t *testing.T) {
+	m := DefaultHomologyModel(400000)
+	if m.Regions != 2000 {
+		t.Errorf("paper density: 400k should plant 2000 regions, got %d", m.Regions)
+	}
+	if m2 := DefaultHomologyModel(50); m2.Regions < 1 {
+		t.Errorf("tiny sequences must still plant at least one region, got %d", m2.Regions)
+	}
+}

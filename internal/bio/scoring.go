@@ -1,0 +1,42 @@
+package bio
+
+import "fmt"
+
+// Scoring holds the column scores used by every alignment algorithm in the
+// repository. The paper's scheme (§2) is +1 for identical characters, −1
+// for different characters and −2 for a space (gap).
+type Scoring struct {
+	Match    int // score for a column with identical characters
+	Mismatch int // score for a column with distinct characters
+	Gap      int // score for a column containing a space
+}
+
+// DefaultScoring is the scheme used throughout the paper's evaluation.
+func DefaultScoring() Scoring {
+	return Scoring{Match: 1, Mismatch: -1, Gap: -2}
+}
+
+// Validate checks that the scheme is sensible for local alignment: matches
+// must be rewarded and gaps/mismatches penalized, otherwise the local
+// recurrence degenerates (every extension would be profitable and "local"
+// alignments would always span the whole inputs).
+func (sc Scoring) Validate() error {
+	if sc.Match <= 0 {
+		return fmt.Errorf("bio: match score must be positive, got %d", sc.Match)
+	}
+	if sc.Mismatch >= 0 {
+		return fmt.Errorf("bio: mismatch score must be negative, got %d", sc.Mismatch)
+	}
+	if sc.Gap >= 0 {
+		return fmt.Errorf("bio: gap score must be negative, got %d", sc.Gap)
+	}
+	return nil
+}
+
+// Pair returns the substitution score for aligning bases a and b.
+func (sc Scoring) Pair(a, b byte) int {
+	if a == b && a != 'N' {
+		return sc.Match
+	}
+	return sc.Mismatch
+}

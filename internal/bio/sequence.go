@@ -1,0 +1,153 @@
+// Package bio provides the biological-sequence substrate used by the
+// GenomeDSM alignment strategies: DNA sequences, scoring schemes, FASTA
+// input/output and reproducible synthetic-genome generators.
+//
+// Sequences are stored 1 byte per base in upper-case ASCII. The package
+// deliberately restricts itself to the DNA alphabet plus 'N' (unknown),
+// matching the inputs used by the paper (whole mitochondrial genomes from
+// NCBI).
+package bio
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Sequence is a DNA sequence. The zero value is an empty sequence ready to
+// use. Sequences are mutable byte slices; callers that need isolation
+// should use Clone.
+type Sequence []byte
+
+// validBase reports whether b is an accepted upper-case base symbol.
+func validBase(b byte) bool {
+	switch b {
+	case 'A', 'C', 'G', 'T', 'N':
+		return true
+	}
+	return false
+}
+
+// NewSequence validates and normalizes s (accepting lower case and
+// whitespace) into a Sequence. It returns an error naming the first
+// offending byte if s contains anything outside the DNA alphabet.
+func NewSequence(s string) (Sequence, error) {
+	out := make(Sequence, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		b := s[i]
+		switch {
+		case b == ' ' || b == '\t' || b == '\n' || b == '\r':
+			continue
+		case b >= 'a' && b <= 'z':
+			b -= 'a' - 'A'
+		}
+		if !validBase(b) {
+			return nil, fmt.Errorf("bio: invalid base %q at position %d", s[i], i)
+		}
+		out = append(out, b)
+	}
+	return out, nil
+}
+
+// MustSequence is NewSequence that panics on invalid input. It is intended
+// for tests and literals.
+func MustSequence(s string) Sequence {
+	seq, err := NewSequence(s)
+	if err != nil {
+		panic(err)
+	}
+	return seq
+}
+
+// Len returns the number of bases.
+func (s Sequence) Len() int { return len(s) }
+
+// String renders the sequence as a plain string of bases.
+func (s Sequence) String() string { return string(s) }
+
+// Clone returns an independent copy of s.
+func (s Sequence) Clone() Sequence {
+	out := make(Sequence, len(s))
+	copy(out, s)
+	return out
+}
+
+// Reverse returns the reversed sequence (s[n-1], …, s[0]). Section 6 of the
+// paper retrieves alignments by running the dynamic programming over
+// reversed inputs; Reverse is the srev/trev operation used there.
+func (s Sequence) Reverse() Sequence {
+	out := make(Sequence, len(s))
+	for i, b := range s {
+		out[len(s)-1-i] = b
+	}
+	return out
+}
+
+// Complement returns the base-complemented sequence (A<->T, C<->G; N stays N).
+func (s Sequence) Complement() Sequence {
+	out := make(Sequence, len(s))
+	for i, b := range s {
+		out[i] = complementBase(b)
+	}
+	return out
+}
+
+func complementBase(b byte) byte {
+	switch b {
+	case 'A':
+		return 'T'
+	case 'T':
+		return 'A'
+	case 'C':
+		return 'G'
+	case 'G':
+		return 'C'
+	default:
+		return 'N'
+	}
+}
+
+// ReverseComplement returns the reverse complement of s.
+func (s Sequence) ReverseComplement() Sequence {
+	return s.Reverse().Complement()
+}
+
+// Sub returns the 1-based inclusive subsequence s[i..j], following the
+// paper's s[1..i] indexing convention. It panics if the range is invalid.
+func (s Sequence) Sub(i, j int) Sequence {
+	if i < 1 || j > len(s) || i > j+1 {
+		panic(fmt.Sprintf("bio: invalid subsequence range [%d..%d] of length %d", i, j, len(s)))
+	}
+	return s[i-1 : j]
+}
+
+// GC returns the fraction of G/C bases, a cheap composition check used by
+// the synthetic generator tests.
+func (s Sequence) GC() float64 {
+	if len(s) == 0 {
+		return 0
+	}
+	n := 0
+	for _, b := range s {
+		if b == 'G' || b == 'C' {
+			n++
+		}
+	}
+	return float64(n) / float64(len(s))
+}
+
+// Pretty renders the sequence wrapped at width columns for display.
+func (s Sequence) Pretty(width int) string {
+	if width <= 0 {
+		width = 60
+	}
+	var sb strings.Builder
+	for i := 0; i < len(s); i += width {
+		end := i + width
+		if end > len(s) {
+			end = len(s)
+		}
+		sb.Write(s[i:end])
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

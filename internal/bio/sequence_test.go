@@ -1,0 +1,201 @@
+package bio
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewSequenceValidates(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    string
+		wantErr bool
+	}{
+		{"ACGT", "ACGT", false},
+		{"acgt", "ACGT", false},
+		{"AC GT\nTT", "ACGTTT", false},
+		{"ACGTN", "ACGTN", false},
+		{"", "", false},
+		{"ACGU", "", true},
+		{"123", "", true},
+		{"AC-GT", "", true},
+	}
+	for _, c := range cases {
+		got, err := NewSequence(c.in)
+		if c.wantErr {
+			if err == nil {
+				t.Errorf("NewSequence(%q): expected error, got %q", c.in, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("NewSequence(%q): unexpected error %v", c.in, err)
+			continue
+		}
+		if got.String() != c.want {
+			t.Errorf("NewSequence(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestMustSequencePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustSequence on invalid input did not panic")
+		}
+	}()
+	MustSequence("XYZ")
+}
+
+func TestReverse(t *testing.T) {
+	s := MustSequence("ACGTT")
+	if got := s.Reverse().String(); got != "TTGCA" {
+		t.Errorf("Reverse = %q, want TTGCA", got)
+	}
+	if got := Sequence(nil).Reverse(); len(got) != 0 {
+		t.Errorf("Reverse of empty = %q", got)
+	}
+}
+
+func TestReverseIsInvolution(t *testing.T) {
+	f := func(raw []byte) bool {
+		s := randomSeqFromBytes(raw)
+		return reflect.DeepEqual(s.Reverse().Reverse(), s)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestComplement(t *testing.T) {
+	s := MustSequence("ACGTN")
+	if got := s.Complement().String(); got != "TGCAN" {
+		t.Errorf("Complement = %q, want TGCAN", got)
+	}
+	if got := s.ReverseComplement().String(); got != "NACGT" {
+		t.Errorf("ReverseComplement = %q, want NACGT", got)
+	}
+}
+
+func TestComplementIsInvolutionOnACGT(t *testing.T) {
+	f := func(raw []byte) bool {
+		s := randomSeqFromBytes(raw)
+		return reflect.DeepEqual(s.Complement().Complement(), s)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSub(t *testing.T) {
+	s := MustSequence("ACGTACGT")
+	if got := s.Sub(1, 4).String(); got != "ACGT" {
+		t.Errorf("Sub(1,4) = %q", got)
+	}
+	if got := s.Sub(5, 8).String(); got != "ACGT" {
+		t.Errorf("Sub(5,8) = %q", got)
+	}
+	if got := s.Sub(3, 2); len(got) != 0 { // empty range is allowed
+		t.Errorf("Sub(3,2) = %q, want empty", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Sub out of range did not panic")
+		}
+	}()
+	s.Sub(0, 3)
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	s := MustSequence("ACGT")
+	c := s.Clone()
+	c[0] = 'T'
+	if s[0] != 'A' {
+		t.Error("Clone shares storage with original")
+	}
+}
+
+func TestGC(t *testing.T) {
+	if gc := MustSequence("GGCC").GC(); gc != 1 {
+		t.Errorf("GC(GGCC) = %v", gc)
+	}
+	if gc := MustSequence("AATT").GC(); gc != 0 {
+		t.Errorf("GC(AATT) = %v", gc)
+	}
+	if gc := MustSequence("ACGT").GC(); gc != 0.5 {
+		t.Errorf("GC(ACGT) = %v", gc)
+	}
+	if gc := Sequence(nil).GC(); gc != 0 {
+		t.Errorf("GC(empty) = %v", gc)
+	}
+}
+
+func TestPrettyWraps(t *testing.T) {
+	s := MustSequence(strings.Repeat("ACGT", 10)) // 40 bases
+	out := s.Pretty(16)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("Pretty(16) produced %d lines, want 3: %q", len(lines), out)
+	}
+	if len(lines[0]) != 16 || len(lines[2]) != 8 {
+		t.Errorf("unexpected line lengths %d/%d", len(lines[0]), len(lines[2]))
+	}
+	if got := strings.ReplaceAll(out, "\n", ""); got != s.String() {
+		t.Errorf("Pretty altered content: %q", got)
+	}
+}
+
+func TestScoringValidate(t *testing.T) {
+	if err := DefaultScoring().Validate(); err != nil {
+		t.Errorf("default scoring invalid: %v", err)
+	}
+	bad := []Scoring{
+		{Match: 0, Mismatch: -1, Gap: -2},
+		{Match: 1, Mismatch: 0, Gap: -2},
+		{Match: 1, Mismatch: -1, Gap: 0},
+		{Match: -1, Mismatch: -1, Gap: -2},
+	}
+	for _, sc := range bad {
+		if err := sc.Validate(); err == nil {
+			t.Errorf("Validate(%+v) accepted invalid scheme", sc)
+		}
+	}
+}
+
+func TestScoringPair(t *testing.T) {
+	sc := DefaultScoring()
+	if got := sc.Pair('A', 'A'); got != 1 {
+		t.Errorf("Pair(A,A) = %d", got)
+	}
+	if got := sc.Pair('A', 'C'); got != -1 {
+		t.Errorf("Pair(A,C) = %d", got)
+	}
+	// N never matches, even against itself.
+	if got := sc.Pair('N', 'N'); got != -1 {
+		t.Errorf("Pair(N,N) = %d, want mismatch", got)
+	}
+}
+
+// randomSeqFromBytes maps arbitrary fuzz bytes onto the DNA alphabet so
+// quick.Check can exercise Sequence methods.
+func randomSeqFromBytes(raw []byte) Sequence {
+	s := make(Sequence, len(raw))
+	for i, b := range raw {
+		s[i] = bases[int(b)%4]
+	}
+	return s
+}
+
+func TestRandomSeqHelperAlphabet(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	raw := make([]byte, 100)
+	rng.Read(raw)
+	for _, b := range randomSeqFromBytes(raw) {
+		if !validBase(b) {
+			t.Fatalf("helper produced invalid base %q", b)
+		}
+	}
+}

@@ -1,0 +1,204 @@
+package blast
+
+import (
+	"testing"
+
+	"genomedsm/internal/align"
+	"genomedsm/internal/bio"
+)
+
+var sc = bio.DefaultScoring()
+
+func TestOptionsValidate(t *testing.T) {
+	if err := DefaultOptions().Validate(); err != nil {
+		t.Errorf("default options invalid: %v", err)
+	}
+	bad := []Options{
+		{WordSize: 2, XDrop: 10, MinScore: 10},
+		{WordSize: 20, XDrop: 10, MinScore: 10},
+		{WordSize: 11, XDrop: 0, MinScore: 10},
+		{WordSize: 11, XDrop: 10, MinScore: 0},
+		{WordSize: 11, XDrop: 10, MinScore: 10, Margin: -1},
+	}
+	for i, o := range bad {
+		if err := o.Validate(); err == nil {
+			t.Errorf("bad options %d accepted: %+v", i, o)
+		}
+	}
+}
+
+func TestIndexSkipsN(t *testing.T) {
+	s := bio.MustSequence("ACGTACGTNNACGTACGTACGT")
+	idx := index(s, 8)
+	for word, positions := range idx {
+		for _, p := range positions {
+			for k := 0; k < 8; k++ {
+				if s[int(p)+k] == 'N' {
+					t.Fatalf("word %x at %d covers an N", word, p)
+				}
+			}
+		}
+	}
+}
+
+func TestIndexShortSequence(t *testing.T) {
+	if got := index(bio.MustSequence("ACG"), 11); len(got) != 0 {
+		t.Errorf("index of short sequence: %d words", len(got))
+	}
+}
+
+func TestSearchFindsExactDuplicate(t *testing.T) {
+	g := bio.NewGenerator(401)
+	s := g.Random(500)
+	hits, err := Search(s, s, sc, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) == 0 {
+		t.Fatal("self-search found nothing")
+	}
+	best := hits[0]
+	if best.Score < 480 {
+		t.Errorf("self-search best score %d, want near 500", best.Score)
+	}
+	if err := best.Validate(s, s, sc); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSearchFindsPlantedMotifs(t *testing.T) {
+	g := bio.NewGenerator(409)
+	m1, m2 := g.Random(80), g.Random(60)
+	s := cat(g.Random(300), m1, g.Random(200), m2, g.Random(250))
+	tt := cat(g.Random(150), g.MutatedCopy(m2, bio.MutationModel{SubstitutionRate: 0.04}),
+		g.Random(350), g.MutatedCopy(m1, bio.MutationModel{SubstitutionRate: 0.04}), g.Random(100))
+	hits, err := Search(s, tt, sc, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) < 2 {
+		t.Fatalf("found %d hits, want both planted motifs", len(hits))
+	}
+	for i, h := range hits {
+		if err := h.Validate(s, tt, sc); err != nil {
+			t.Errorf("hit %d invalid: %v", i, err)
+		}
+		if i > 0 && h.Score > hits[i-1].Score {
+			t.Errorf("hits not sorted by score at %d", i)
+		}
+	}
+	// The m1 hit must overlap s[301..380].
+	found := false
+	for _, h := range hits {
+		if h.SBegin <= 380 && h.SEnd >= 301 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("planted m1 not located")
+	}
+}
+
+func TestSearchNoiseIsQuiet(t *testing.T) {
+	g := bio.NewGenerator(419)
+	s := g.Random(2000)
+	tt := g.Random(2000)
+	opt := DefaultOptions()
+	opt.MinScore = 40
+	hits, err := Search(s, tt, sc, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 0 {
+		t.Errorf("found %d hits in unrelated noise", len(hits))
+	}
+}
+
+func TestSearchMaxHits(t *testing.T) {
+	g := bio.NewGenerator(421)
+	motif := g.Random(50)
+	s := cat(motif, g.Random(100), motif, g.Random(100), motif)
+	tt := motif.Clone()
+	opt := DefaultOptions()
+	opt.MaxHits = 1
+	hits, err := Search(s, tt, sc, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 1 {
+		t.Errorf("MaxHits=1 returned %d", len(hits))
+	}
+}
+
+func TestSearchValidation(t *testing.T) {
+	s := bio.MustSequence("ACGTACGTACGTACGT")
+	if _, err := Search(s, s, bio.Scoring{}, DefaultOptions()); err == nil {
+		t.Error("invalid scoring accepted")
+	}
+	if _, err := Search(s, s, sc, Options{WordSize: 1}); err == nil {
+		t.Error("invalid options accepted")
+	}
+	hits, err := Search(bio.MustSequence("ACG"), s, sc, DefaultOptions())
+	if err != nil || hits != nil {
+		t.Errorf("short query: %v %v", hits, err)
+	}
+}
+
+// TestTable2CoordinatesCloseToExact is the library-level version of the
+// paper's Table 2: the coordinates reported by the heuristic must be very
+// close to (but not necessarily identical with) the exact Smith–Waterman
+// coordinates of the same regions.
+func TestTable2CoordinatesCloseToExact(t *testing.T) {
+	g := bio.NewGenerator(431)
+	pair, err := g.HomologousPair(3000, bio.HomologyModel{
+		Regions: 3, RegionLen: 300, RegionJit: 50,
+		Divergence: bio.MutationModel{SubstitutionRate: 0.05, InsertionRate: 0.004, DeletionRate: 0.004},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := align.LocalsAbove(pair.S, pair.T, sc, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	heur, err := Search(pair.S, pair.T, sc, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exact) == 0 || len(heur) == 0 {
+		t.Fatalf("exact=%d heuristic=%d alignments", len(exact), len(heur))
+	}
+	// For each exact alignment, a heuristic hit must exist whose begin/end
+	// coordinates are within a small distance (Table 2 shows offsets of
+	// tens of bases between GenomeDSM and BlastN).
+	const tol = 120
+	for i, ea := range exact {
+		bestDist := 1 << 30
+		for _, ha := range heur {
+			d := absInt(ha.SBegin-ea.SBegin) + absInt(ha.TBegin-ea.TBegin) +
+				absInt(ha.SEnd-ea.SEnd) + absInt(ha.TEnd-ea.TEnd)
+			if d < bestDist {
+				bestDist = d
+			}
+		}
+		if bestDist > 4*tol {
+			t.Errorf("exact alignment %d (%d,%d)-(%d,%d) has no nearby heuristic hit (distance %d)",
+				i, ea.SBegin, ea.TBegin, ea.SEnd, ea.TEnd, bestDist)
+		}
+	}
+}
+
+func absInt(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func cat(parts ...bio.Sequence) bio.Sequence {
+	var out bio.Sequence
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out
+}

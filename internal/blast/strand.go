@@ -1,0 +1,60 @@
+package blast
+
+import (
+	"sort"
+
+	"genomedsm/internal/align"
+	"genomedsm/internal/bio"
+)
+
+// Hit is a strand-annotated alignment, as BlastN reports them.
+type Hit struct {
+	*align.Alignment
+	// MinusStrand is true when the alignment is between s and the
+	// reverse complement of t; its T coordinates refer to the original
+	// (plus-strand) t, with TBegin > TEnd mirroring BlastN's convention
+	// for minus-strand subject coordinates.
+	MinusStrand bool
+}
+
+// SearchBothStrands searches s against both strands of t, merging the
+// hits best-first. DNA homology frequently lies on the opposite strand;
+// the paper's mitochondrial genomes are compared plus/plus, but the real
+// BlastN it benchmarks against always checks both.
+func SearchBothStrands(s, t bio.Sequence, sc bio.Scoring, opt Options) ([]Hit, error) {
+	plus, err := Search(s, t, sc, opt)
+	if err != nil {
+		return nil, err
+	}
+	rc := t.ReverseComplement()
+	minus, err := Search(s, rc, sc, opt)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Hit, 0, len(plus)+len(minus))
+	for _, al := range plus {
+		out = append(out, Hit{Alignment: al})
+	}
+	n := t.Len()
+	for _, al := range minus {
+		// Map reverse-complement coordinates back to the plus strand:
+		// rc position p corresponds to t position n-p+1.
+		mapped := *al
+		mapped.TBegin = n - al.TBegin + 1 // > mapped.TEnd, by convention
+		mapped.TEnd = n - al.TEnd + 1
+		out = append(out, Hit{Alignment: &mapped, MinusStrand: true})
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Score != out[b].Score {
+			return out[a].Score > out[b].Score
+		}
+		if out[a].SBegin != out[b].SBegin {
+			return out[a].SBegin < out[b].SBegin
+		}
+		return out[a].TBegin < out[b].TBegin
+	})
+	if opt.MaxHits > 0 && len(out) > opt.MaxHits {
+		out = out[:opt.MaxHits]
+	}
+	return out, nil
+}

@@ -1,0 +1,77 @@
+package blast
+
+import (
+	"testing"
+
+	"genomedsm/internal/bio"
+)
+
+func TestSearchBothStrandsFindsInvertedSegment(t *testing.T) {
+	g := bio.NewGenerator(443)
+	motif := g.Random(70)
+	s := cat(g.Random(200), motif, g.Random(200))
+	// Plant the motif's reverse complement into t: invisible to the
+	// plus-strand search, found on the minus strand.
+	tt := cat(g.Random(150), motif.ReverseComplement(), g.Random(250))
+
+	plus, err := Search(s, tt, sc, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plus) != 0 {
+		t.Fatalf("plus-strand search found the inverted segment: %d hits", len(plus))
+	}
+	hits, err := SearchBothStrands(s, tt, sc, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) == 0 {
+		t.Fatal("both-strand search missed the inverted segment")
+	}
+	h := hits[0]
+	if !h.MinusStrand {
+		t.Error("hit not flagged as minus strand")
+	}
+	if h.TBegin <= h.TEnd {
+		t.Errorf("minus-strand t coordinates not inverted: %d..%d", h.TBegin, h.TEnd)
+	}
+	// The hit must overlap the planted segment in both sequences.
+	if h.SEnd < 201 || h.SBegin > 270 {
+		t.Errorf("hit s[%d..%d] misses planted motif at s[201..270]", h.SBegin, h.SEnd)
+	}
+	if h.TBegin < 151 || h.TEnd > 220 {
+		t.Errorf("hit t coordinates (%d..%d) miss planted segment t[151..220]", h.TEnd, h.TBegin)
+	}
+}
+
+func TestSearchBothStrandsMergesAndSorts(t *testing.T) {
+	g := bio.NewGenerator(449)
+	m1 := g.Random(90) // plus-strand, bigger score
+	m2 := g.Random(50) // minus-strand
+	s := cat(g.Random(100), m1, g.Random(100), m2, g.Random(100))
+	tt := cat(g.Random(80), m1, g.Random(120), m2.ReverseComplement(), g.Random(80))
+	hits, err := SearchBothStrands(s, tt, sc, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) < 2 {
+		t.Fatalf("found %d hits, want both motifs", len(hits))
+	}
+	if hits[0].MinusStrand || !hits[1].MinusStrand {
+		t.Errorf("strand flags wrong: %v %v", hits[0].MinusStrand, hits[1].MinusStrand)
+	}
+	for i := 1; i < len(hits); i++ {
+		if hits[i].Score > hits[i-1].Score {
+			t.Error("hits not sorted by score")
+		}
+	}
+	opt := DefaultOptions()
+	opt.MaxHits = 1
+	one, err := SearchBothStrands(s, tt, sc, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(one) != 1 {
+		t.Errorf("MaxHits=1 returned %d", len(one))
+	}
+}

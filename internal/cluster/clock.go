@@ -1,0 +1,105 @@
+package cluster
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Clock is a per-node virtual clock with category accounting. A Clock is
+// owned by exactly one node goroutine; cross-node time only flows through
+// explicit timestamps carried on messages, so no locking is needed.
+type Clock struct {
+	now float64
+	cat [numCategories]float64
+}
+
+// Now returns the node's current virtual time in seconds.
+func (c *Clock) Now() float64 { return c.now }
+
+// Advance moves the clock forward by d seconds, attributed to cat.
+// Negative d panics: virtual time is monotonic.
+func (c *Clock) Advance(d float64, cat Category) {
+	if d < 0 {
+		panic(fmt.Sprintf("cluster: negative clock advance %g", d))
+	}
+	c.now += d
+	c.cat[cat] += d
+}
+
+// AdvanceTo moves the clock to at least t, attributing the wait (if any)
+// to cat. It returns the waited duration. Used when a node blocks until
+// an event that happens at absolute virtual time t (a lock grant, a
+// barrier release, a condition-variable signal).
+func (c *Clock) AdvanceTo(t float64, cat Category) float64 {
+	if t <= c.now {
+		return 0
+	}
+	d := t - c.now
+	c.now = t
+	c.cat[cat] += d
+	return d
+}
+
+// Breakdown summarises where this node's time went.
+type Breakdown struct {
+	Total float64
+	Cat   [int(numCategories)]float64
+}
+
+// Breakdown returns a snapshot of the clock's accounting.
+func (c *Clock) Breakdown() Breakdown {
+	return Breakdown{Total: c.now, Cat: c.cat}
+}
+
+// Fraction returns the share of total time spent in cat (0 when the clock
+// never advanced).
+func (b Breakdown) Fraction(cat Category) float64 {
+	if b.Total == 0 {
+		return 0
+	}
+	return b.Cat[cat] / b.Total
+}
+
+// Merge returns the aggregate breakdown of several nodes: total is the
+// maximum node time (the parallel makespan) and category figures are
+// summed across nodes, the convention used by the paper's Fig. 10
+// (relative time spent per category across the run).
+func Merge(bs []Breakdown) Breakdown {
+	var out Breakdown
+	for _, b := range bs {
+		if b.Total > out.Total {
+			out.Total = b.Total
+		}
+		for i := range b.Cat {
+			out.Cat[i] += b.Cat[i]
+		}
+	}
+	return out
+}
+
+// String renders the breakdown as percentages of the summed category time,
+// Fig.-10 style.
+func (b Breakdown) String() string {
+	var sum float64
+	for _, v := range b.Cat {
+		sum += v
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "total %.2fs", b.Total)
+	if sum > 0 {
+		for cat := Category(0); cat < numCategories; cat++ {
+			if b.Cat[cat] > 0 {
+				fmt.Fprintf(&sb, " %s %.1f%%", cat, 100*b.Cat[cat]/sum)
+			}
+		}
+	}
+	return sb.String()
+}
+
+// Speedup returns serial/parallel, the paper's absolute speed-up measure.
+func Speedup(serial, parallel float64) float64 {
+	if parallel == 0 {
+		return 0
+	}
+	return serial / parallel
+}

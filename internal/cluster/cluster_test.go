@@ -1,0 +1,181 @@
+package cluster
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMessageCost(t *testing.T) {
+	nm := NetworkModel{Latency: 1e-3, Bandwidth: 1e6, PerMessageCPU: 1e-4}
+	got := nm.MessageCost(1000)
+	want := 1e-3 + 2e-4 + 1e-3
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("MessageCost = %g, want %g", got, want)
+	}
+	if rt := nm.RoundTrip(100, 1000); rt <= got {
+		t.Errorf("round trip %g not larger than one-way %g", rt, got)
+	}
+	zero := NetworkModel{}
+	if zero.MessageCost(1<<20) != 0 {
+		t.Error("zero model should cost nothing")
+	}
+}
+
+func TestDiskWriteCost(t *testing.T) {
+	dm := DiskModel{Latency: 10e-3, Bandwidth: 5e6}
+	got := dm.WriteCost(5e6)
+	if math.Abs(got-1.01) > 1e-9 {
+		t.Errorf("WriteCost = %g, want 1.01", got)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := Calibrated2005().Validate(); err != nil {
+		t.Errorf("calibrated config invalid: %v", err)
+	}
+	if err := Zero().Validate(); err != nil {
+		t.Errorf("zero config invalid: %v", err)
+	}
+	bad := Calibrated2005()
+	bad.CellTime = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative cell time accepted")
+	}
+	bad = Calibrated2005()
+	bad.PageSize = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero page size accepted")
+	}
+}
+
+func TestCalibrationMatchesPaperSerial(t *testing.T) {
+	// Table 1: serial 50 k × 50 k took 3461 s. The calibrated cell time
+	// must land within 10% of it.
+	cfg := Calibrated2005()
+	serial := cfg.CellTime * 50000 * 50000
+	if serial < 3461*0.85 || serial > 3461*1.1 {
+		t.Errorf("modelled serial 50k time %.0f s, paper says 3461 s", serial)
+	}
+}
+
+func TestClockAdvance(t *testing.T) {
+	var c Clock
+	c.Advance(2, Compute)
+	c.Advance(1, Comm)
+	if c.Now() != 3 {
+		t.Errorf("now = %g", c.Now())
+	}
+	b := c.Breakdown()
+	if b.Cat[Compute] != 2 || b.Cat[Comm] != 1 || b.Total != 3 {
+		t.Errorf("breakdown %+v", b)
+	}
+	if b.Fraction(Compute) != 2.0/3 {
+		t.Errorf("fraction %g", b.Fraction(Compute))
+	}
+}
+
+func TestClockAdvanceNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative advance did not panic")
+		}
+	}()
+	var c Clock
+	c.Advance(-1, Compute)
+}
+
+func TestClockAdvanceTo(t *testing.T) {
+	var c Clock
+	c.Advance(5, Compute)
+	if w := c.AdvanceTo(3, Barrier); w != 0 {
+		t.Errorf("waiting for the past returned %g", w)
+	}
+	if c.Now() != 5 {
+		t.Errorf("AdvanceTo moved the clock backwards: %g", c.Now())
+	}
+	if w := c.AdvanceTo(8, Barrier); w != 3 {
+		t.Errorf("wait = %g, want 3", w)
+	}
+	if c.Breakdown().Cat[Barrier] != 3 {
+		t.Error("wait not attributed to barrier")
+	}
+}
+
+func TestClockMonotonic(t *testing.T) {
+	f := func(steps []uint8) bool {
+		var c Clock
+		last := 0.0
+		for _, s := range steps {
+			switch s % 3 {
+			case 0:
+				c.Advance(float64(s), Compute)
+			case 1:
+				c.AdvanceTo(float64(s), Comm)
+			default:
+				c.AdvanceTo(c.Now()/2, LockCV)
+			}
+			if c.Now() < last {
+				return false
+			}
+			last = c.Now()
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := Breakdown{Total: 10}
+	a.Cat[Compute] = 8
+	a.Cat[Barrier] = 2
+	b := Breakdown{Total: 7}
+	b.Cat[Compute] = 7
+	m := Merge([]Breakdown{a, b})
+	if m.Total != 10 {
+		t.Errorf("merged total %g, want max 10", m.Total)
+	}
+	if m.Cat[Compute] != 15 || m.Cat[Barrier] != 2 {
+		t.Errorf("merged categories %+v", m.Cat)
+	}
+	if Merge(nil).Total != 0 {
+		t.Error("empty merge not zero")
+	}
+}
+
+func TestBreakdownString(t *testing.T) {
+	var c Clock
+	c.Advance(3, Compute)
+	c.Advance(1, Barrier)
+	s := c.Breakdown().String()
+	for _, want := range []string{"computation 75.0%", "barrier 25.0%", "total 4.00s"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("breakdown string %q missing %q", s, want)
+		}
+	}
+}
+
+func TestCategoryString(t *testing.T) {
+	names := map[Category]string{Compute: "computation", Comm: "communication",
+		LockCV: "lock+cv", Barrier: "barrier", IO: "io"}
+	for cat, want := range names {
+		if cat.String() != want {
+			t.Errorf("%d.String() = %q, want %q", cat, cat.String(), want)
+		}
+	}
+	if !strings.Contains(Category(99).String(), "99") {
+		t.Error("unknown category string")
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	if s := Speedup(100, 25); s != 4 {
+		t.Errorf("speedup %g", s)
+	}
+	if s := Speedup(100, 0); s != 0 {
+		t.Errorf("speedup with zero parallel time %g", s)
+	}
+}

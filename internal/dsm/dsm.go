@@ -1,0 +1,339 @@
+// Package dsm is a Go port of the JIAJIA software DSM system the paper
+// runs on (§3.1): a page-based distributed shared memory implementing the
+// Scope Consistency memory model with a home-based, write-invalidate,
+// multiple-writer coherence protocol.
+//
+// Every protocol action of JIAJIA is implemented and observable:
+//
+//   - shared pages have a fixed home node and are always present there;
+//   - a remote access miss fetches a copy of the page from its home
+//     (the analogue of JIAJIA's SIGSEGV fault handler — Go cannot trap
+//     loads and stores, so access goes through Node.ReadAt/WriteAt);
+//   - the first write to a remote page creates a twin; at a release or
+//     barrier the node produces diffs against the twins, sends them to the
+//     home nodes and emits write notices;
+//   - write notices ride on lock grants and barrier grants; receiving them
+//     invalidates stale cached copies (version-checked, so a copy that is
+//     still current is kept);
+//   - each node caches a bounded number of remote pages; when the cache is
+//     full a replacement evicts the oldest page, flushing its diff first;
+//   - locks, condition variables (jia_setcv / jia_waitcv) and the Fig.-6
+//     barrier protocol provide synchronization.
+//
+// Virtual time: nodes own a cluster.Clock; every protocol message advances
+// it per the cluster.NetworkModel and blocking operations resume at
+// causally-derived timestamps, reproducing the timing behaviour of the
+// paper's 8-node testbed (see package cluster).
+package dsm
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"genomedsm/internal/cluster"
+)
+
+// Options configures a System beyond the cluster cost model, mirroring
+// jia_config(option, value).
+type Options struct {
+	// CacheSlots is the per-node remote-page cache capacity in pages
+	// (JIAJIA's fixed remote-page area). Zero means a generous default.
+	CacheSlots int
+	// Locks is the number of distinct lock variables available. Zero
+	// means a default of 64.
+	Locks int
+	// CondVars is the number of condition variables. Zero means 64.
+	CondVars int
+	// HomeMigration enables JIAJIA's optional home-migration feature
+	// (jia_config(H_MIG, ON)): at each barrier, a page written by exactly
+	// one node other than its home migrates its home to that writer, so
+	// subsequent writes become local. Off by default, as in JIAJIA ("at
+	// the beginning of the execution, all features are set to OFF").
+	HomeMigration bool
+	// Protocol selects the coherence protocol (§3 discusses the
+	// write-invalidate / write-update design choice; JIAJIA itself is
+	// write-invalidate, the default here).
+	Protocol Protocol
+	// Tracer, when non-nil, receives every protocol event (page fetches,
+	// diffs, invalidations, synchronization) — the equivalent of
+	// JIAJIA's debug log.
+	Tracer Tracer
+}
+
+// Protocol selects how write notices are honoured at synchronization.
+type Protocol int
+
+// Coherence protocols.
+const (
+	// WriteInvalidate drops stale cached copies; the next access
+	// refetches the whole page from its home (JIAJIA's protocol).
+	WriteInvalidate Protocol = iota
+	// WriteUpdate patches stale cached copies with the home's retained
+	// diffs at synchronization time, trading update traffic for
+	// fault-free re-reads — the update side of the §3 design space.
+	// Copies staler than the retained history still fall back to
+	// invalidation.
+	WriteUpdate
+)
+
+func (p Protocol) String() string {
+	switch p {
+	case WriteInvalidate:
+		return "write-invalidate"
+	case WriteUpdate:
+		return "write-update"
+	default:
+		return fmt.Sprintf("protocol(%d)", int(p))
+	}
+}
+
+const (
+	defaultCacheSlots = 1024
+	defaultLocks      = 64
+	defaultCondVars   = 64
+)
+
+// Region is a contiguous range of the shared virtual address space
+// returned by Alloc.
+type Region struct {
+	start int
+	size  int
+}
+
+// Size returns the region's length in bytes.
+func (r Region) Size() int { return r.size }
+
+// Slice returns the sub-region [off, off+n).
+func (r Region) Slice(off, n int) (Region, error) {
+	if off < 0 || n < 0 || off+n > r.size {
+		return Region{}, fmt.Errorf("dsm: slice [%d,%d) outside region of %d bytes", off, off+n, r.size)
+	}
+	return Region{start: r.start + off, size: n}, nil
+}
+
+// System is one simulated JIAJIA cluster: the page table, the
+// synchronization managers and the SPMD runner.
+type System struct {
+	cfg    cluster.Config
+	opts   Options
+	nprocs int
+
+	mu        sync.Mutex
+	pages     []*page // indexed by page id
+	allocated int     // bytes handed out so far
+
+	locks   []*lockVar
+	cvs     []*condVar
+	barrier *barrierVar
+
+	migrations atomic.Int64
+
+	nodes []*Node
+}
+
+// NewSystem builds a cluster of nprocs nodes with the given cost model.
+func NewSystem(nprocs int, cfg cluster.Config, opts Options) (*System, error) {
+	if nprocs < 1 {
+		return nil, fmt.Errorf("dsm: need at least one node, got %d", nprocs)
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.CacheSlots == 0 {
+		opts.CacheSlots = defaultCacheSlots
+	}
+	if opts.CacheSlots < 1 {
+		return nil, fmt.Errorf("dsm: cache must hold at least one page, got %d", opts.CacheSlots)
+	}
+	if opts.Locks == 0 {
+		opts.Locks = defaultLocks
+	}
+	if opts.CondVars == 0 {
+		opts.CondVars = defaultCondVars
+	}
+	sys := &System{cfg: cfg, opts: opts, nprocs: nprocs}
+	sys.locks = make([]*lockVar, opts.Locks)
+	for i := range sys.locks {
+		sys.locks[i] = newLockVar(i % nprocs) // lock managers distributed round-robin
+	}
+	sys.cvs = make([]*condVar, opts.CondVars)
+	for i := range sys.cvs {
+		sys.cvs[i] = newCondVar(i % nprocs)
+	}
+	sys.barrier = newBarrierVar(0, nprocs) // node 0 owns the barrier, as in Fig. 6
+	sys.nodes = make([]*Node, nprocs)
+	for i := range sys.nodes {
+		sys.nodes[i] = newNode(sys, i)
+	}
+	return sys, nil
+}
+
+// Nprocs returns the number of nodes.
+func (s *System) Nprocs() int { return s.nprocs }
+
+// Config returns the cluster cost model in force.
+func (s *System) Config() cluster.Config { return s.cfg }
+
+// Node returns node i (0 ≤ i < Nprocs), for inspection after a run.
+func (s *System) Node(i int) *Node { return s.nodes[i] }
+
+// Alloc reserves size bytes of shared memory. Pages are homed according
+// to JIAJIA's NUMA-style block distribution: consecutive pages of one
+// allocation rotate across nodes starting at firstHome, so data can be
+// placed near its writer. Alloc must be called before Run (as jia_alloc
+// is called during initialization).
+func (s *System) Alloc(size int, firstHome int) (Region, error) {
+	if size <= 0 {
+		return Region{}, fmt.Errorf("dsm: allocation size %d must be positive", size)
+	}
+	if firstHome < 0 || firstHome >= s.nprocs {
+		return Region{}, fmt.Errorf("dsm: home node %d out of range", firstHome)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// Round the allocation up to whole pages, like jia_alloc.
+	ps := s.cfg.PageSize
+	start := s.allocated
+	npages := (size + ps - 1) / ps
+	for k := 0; k < npages; k++ {
+		s.pages = append(s.pages, newPage(len(s.pages), (firstHome+k)%s.nprocs, ps))
+	}
+	s.allocated += npages * ps
+	return Region{start: start, size: size}, nil
+}
+
+// AllocAt reserves size bytes with every page homed at the given node,
+// for data owned by a single producer.
+func (s *System) AllocAt(size, home int) (Region, error) {
+	if size <= 0 {
+		return Region{}, fmt.Errorf("dsm: allocation size %d must be positive", size)
+	}
+	if home < 0 || home >= s.nprocs {
+		return Region{}, fmt.Errorf("dsm: home node %d out of range", home)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ps := s.cfg.PageSize
+	start := s.allocated
+	npages := (size + ps - 1) / ps
+	for k := 0; k < npages; k++ {
+		s.pages = append(s.pages, newPage(len(s.pages), home, ps))
+	}
+	s.allocated += npages * ps
+	return Region{start: start, size: size}, nil
+}
+
+// AllocBlocked reserves size bytes split into per-node blocks: node i is
+// the home of the i-th equal share. This is the layout the paper's
+// strategies use for data written predominantly by one node.
+func (s *System) AllocBlocked(size int) (Region, error) {
+	if size <= 0 {
+		return Region{}, fmt.Errorf("dsm: allocation size %d must be positive", size)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ps := s.cfg.PageSize
+	start := s.allocated
+	npages := (size + ps - 1) / ps
+	per := (npages + s.nprocs - 1) / s.nprocs
+	for k := 0; k < npages; k++ {
+		home := k / per
+		if home >= s.nprocs {
+			home = s.nprocs - 1
+		}
+		s.pages = append(s.pages, newPage(len(s.pages), home, ps))
+	}
+	s.allocated += npages * ps
+	return Region{start: start, size: size}, nil
+}
+
+// page returns the page table entry for id.
+func (s *System) page(id int) *page {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pages[id]
+}
+
+// Run executes body SPMD-style on every node (body receives the node,
+// whose ID plays the role of JIAJIA's jiapid) and waits for all of them.
+// A panic in any node is recovered and returned as an error naming the
+// node.
+func (s *System) Run(body func(n *Node) error) error {
+	var wg sync.WaitGroup
+	errs := make([]error, s.nprocs)
+	for i := 0; i < s.nprocs; i++ {
+		wg.Add(1)
+		go func(n *Node) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					errs[n.id] = fmt.Errorf("dsm: node %d panicked: %v", n.id, r)
+				}
+			}()
+			errs[n.id] = body(n)
+		}(s.nodes[i])
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("node %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Breakdowns returns every node's virtual-time breakdown.
+func (s *System) Breakdowns() []cluster.Breakdown {
+	out := make([]cluster.Breakdown, s.nprocs)
+	for i, n := range s.nodes {
+		out[i] = n.clock.Breakdown()
+	}
+	return out
+}
+
+// Makespan returns the maximum node virtual time — the simulated parallel
+// execution time.
+func (s *System) Makespan() float64 {
+	best := 0.0
+	for _, n := range s.nodes {
+		if t := n.clock.Now(); t > best {
+			best = t
+		}
+	}
+	return best
+}
+
+// TotalStats aggregates protocol statistics across nodes.
+func (s *System) TotalStats() Stats {
+	var out Stats
+	for _, n := range s.nodes {
+		out.add(n.stats)
+	}
+	out.Migrations = s.migrations.Load()
+	return out
+}
+
+// migrateHomes runs the home-migration scan at a barrier: every page
+// whose only writer this epoch is a single non-home node moves its home
+// there. It returns the migrated page ids (delivered with the barrier
+// grant so the new homes can drop their now-redundant cached copies), and
+// resets the per-epoch writer tracking. Called with every node parked at
+// the barrier, so the page table is quiescent.
+func (s *System) migrateHomes() []int {
+	s.mu.Lock()
+	pages := s.pages
+	s.mu.Unlock()
+	var migrated []int
+	for _, p := range pages {
+		p.mu.Lock()
+		if s.opts.HomeMigration && p.writerEpoch >= 0 && p.writerEpoch != p.home {
+			p.home = p.writerEpoch
+			migrated = append(migrated, p.id)
+		}
+		p.writerEpoch = noWriter
+		p.mu.Unlock()
+	}
+	s.migrations.Add(int64(len(migrated)))
+	return migrated
+}

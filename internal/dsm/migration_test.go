@@ -1,0 +1,122 @@
+package dsm
+
+import (
+	"fmt"
+	"testing"
+
+	"genomedsm/internal/cluster"
+)
+
+// migrationWorkload has node 1 repeatedly write a page homed at node 0
+// across several barrier epochs, and returns the system for inspection.
+func migrationWorkload(t *testing.T, migrate bool) *System {
+	t.Helper()
+	cfg := cluster.Calibrated2005()
+	sys, err := NewSystem(2, cfg, Options{HomeMigration: migrate})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := sys.AllocAt(cfg.PageSize, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const epochs = 6
+	err = sys.Run(func(n *Node) error {
+		for e := 0; e < epochs; e++ {
+			if n.ID() == 1 {
+				if err := n.WriteAt(r, 10, []byte{byte(e + 1)}); err != nil {
+					return err
+				}
+			}
+			if err := n.Barrier(); err != nil {
+				return err
+			}
+			// Both nodes read the value each epoch.
+			var b [1]byte
+			if err := n.ReadAt(r, 10, b[:]); err != nil {
+				return err
+			}
+			if b[0] != byte(e+1) {
+				return fmt.Errorf("node %d epoch %d read %d", n.ID(), e, b[0])
+			}
+			// Second barrier: the writer must not start the next epoch's
+			// write before everyone has read this one.
+			if err := n.Barrier(); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestHomeMigrationMovesPage(t *testing.T) {
+	sys := migrationWorkload(t, true)
+	st := sys.TotalStats()
+	if st.Migrations != 1 {
+		t.Errorf("migrations %d, want 1 (page moves to its single writer once)", st.Migrations)
+	}
+	if home := sys.page(0).home; home != 1 {
+		t.Errorf("page home %d, want 1 after migration", home)
+	}
+	// After migration, node 1's writes are home writes: only the first
+	// epoch produces a twin + diff.
+	if st.Twins != 1 || st.DiffsSent != 1 {
+		t.Errorf("twins=%d diffs=%d, want 1 each (writes local after migration)", st.Twins, st.DiffsSent)
+	}
+}
+
+func TestHomeMigrationOffByDefault(t *testing.T) {
+	sys := migrationWorkload(t, false)
+	st := sys.TotalStats()
+	if st.Migrations != 0 {
+		t.Errorf("migrations %d with the feature off", st.Migrations)
+	}
+	if home := sys.page(0).home; home != 0 {
+		t.Errorf("page home %d, want unchanged 0", home)
+	}
+	// Without migration every epoch pays the twin + diff.
+	if st.DiffsSent < 5 {
+		t.Errorf("diffs=%d, want one per epoch without migration", st.DiffsSent)
+	}
+}
+
+func TestHomeMigrationReducesSimulatedTime(t *testing.T) {
+	off := migrationWorkload(t, false).Makespan()
+	on := migrationWorkload(t, true).Makespan()
+	if on >= off {
+		t.Errorf("migration did not pay off: on=%.6fs off=%.6fs", on, off)
+	}
+}
+
+func TestNoMigrationForMultiWriterPage(t *testing.T) {
+	cfg := cluster.Zero()
+	sys, err := NewSystem(2, cfg, Options{HomeMigration: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := sys.AllocAt(cfg.PageSize, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = sys.Run(func(n *Node) error {
+		// Both nodes write disjoint halves: multi-writer page must keep
+		// its home.
+		if err := n.WriteAt(r, n.ID()*100, []byte{1}); err != nil {
+			return err
+		}
+		return n.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.TotalStats().Migrations != 0 {
+		t.Error("multi-writer page migrated")
+	}
+	if sys.page(0).home != 0 {
+		t.Error("multi-writer page changed home")
+	}
+}

@@ -1,0 +1,304 @@
+package dsm
+
+import (
+	"fmt"
+
+	"genomedsm/internal/cluster"
+)
+
+// msgHeaderBytes approximates the wire overhead of one protocol message.
+const msgHeaderBytes = 32
+
+// noticeBytes approximates the wire size of one write notice (page id +
+// version).
+const noticeBytes = 12
+
+// cachedPage is one remote page held in a node's cache.
+type cachedPage struct {
+	data    []byte
+	version uint64 // master version at fetch time
+	twin    []byte // non-nil after the first write since the last flush
+	dirty   bool
+	seq     uint64 // insertion order, for FIFO replacement
+}
+
+// Node is one cluster workstation running the SPMD program. Its ID is the
+// JIAJIA jiapid. All methods must be called from the node's own goroutine
+// (the body passed to System.Run).
+type Node struct {
+	sys   *System
+	id    int
+	clock cluster.Clock
+	stats Stats
+
+	cache   map[int]*cachedPage
+	nextSeq uint64
+	// dirtyHome tracks pages homed here that this node wrote since its
+	// last release/barrier; they need write notices but no diffs.
+	dirtyHome map[int]bool
+}
+
+func newNode(sys *System, id int) *Node {
+	return &Node{
+		sys:       sys,
+		id:        id,
+		cache:     make(map[int]*cachedPage),
+		dirtyHome: make(map[int]bool),
+	}
+}
+
+// ID returns the node identifier (jiapid).
+func (n *Node) ID() int { return n.id }
+
+// Nprocs returns the number of nodes in the system.
+func (n *Node) Nprocs() int { return n.sys.nprocs }
+
+// Clock exposes the node's virtual clock so applications can charge
+// computation and I/O.
+func (n *Node) Clock() *cluster.Clock { return &n.clock }
+
+// Config returns the cluster cost model.
+func (n *Node) Config() cluster.Config { return n.sys.cfg }
+
+// Stats returns a copy of the node's protocol statistics.
+func (n *Node) Stats() Stats { return n.stats }
+
+// Compute charges the virtual cost of the given number of
+// dynamic-programming cells to the node, honouring heterogeneous node
+// speeds when configured.
+func (n *Node) Compute(cells int64) {
+	n.clock.Advance(float64(cells)*n.sys.cfg.CellTimeFor(n.id), cluster.Compute)
+}
+
+// pageSpan iterates over the pages covered by [start, start+length) in the
+// absolute shared address space, calling f with (pageID, offset inside
+// page, slice bounds into the caller's buffer).
+func (n *Node) pageSpan(start, length int, f func(pageID, pageOff, bufOff, count int) error) error {
+	ps := n.sys.cfg.PageSize
+	done := 0
+	for done < length {
+		addr := start + done
+		pid := addr / ps
+		off := addr % ps
+		count := ps - off
+		if count > length-done {
+			count = length - done
+		}
+		if err := f(pid, off, done, count); err != nil {
+			return err
+		}
+		done += count
+	}
+	return nil
+}
+
+func (r Region) check(off, count int) error {
+	if off < 0 || count < 0 || off+count > r.size {
+		return fmt.Errorf("dsm: access [%d,%d) outside region of %d bytes", off, off+count, r.size)
+	}
+	return nil
+}
+
+// ReadAt copies len(buf) bytes at offset off of region r into buf. A miss
+// on a remote page fetches it from its home (GETP/page reply), charging
+// the communication cost.
+func (n *Node) ReadAt(r Region, off int, buf []byte) error {
+	if err := r.check(off, len(buf)); err != nil {
+		return err
+	}
+	return n.pageSpan(r.start+off, len(buf), func(pid, pageOff, bufOff, count int) error {
+		p := n.sys.page(pid)
+		if p.home == n.id {
+			p.readMaster(pageOff, buf[bufOff:bufOff+count])
+			return nil
+		}
+		cp, err := n.ensureCached(p)
+		if err != nil {
+			return err
+		}
+		copy(buf[bufOff:bufOff+count], cp.data[pageOff:pageOff+count])
+		return nil
+	})
+}
+
+// WriteAt writes data at offset off of region r. The first write to a
+// remote page since the last flush creates a twin (the multiple-writer
+// protocol); home pages are written in place.
+func (n *Node) WriteAt(r Region, off int, data []byte) error {
+	if err := r.check(off, len(data)); err != nil {
+		return err
+	}
+	return n.pageSpan(r.start+off, len(data), func(pid, pageOff, bufOff, count int) error {
+		p := n.sys.page(pid)
+		if p.home == n.id {
+			p.writeMaster(pageOff, data[bufOff:bufOff+count], n.id)
+			n.dirtyHome[pid] = true
+			return nil
+		}
+		cp, err := n.ensureCached(p)
+		if err != nil {
+			return err
+		}
+		if cp.twin == nil {
+			cp.twin = make([]byte, len(cp.data))
+			copy(cp.twin, cp.data)
+			n.stats.Twins++
+		}
+		copy(cp.data[pageOff:pageOff+count], data[bufOff:bufOff+count])
+		cp.dirty = true
+		return nil
+	})
+}
+
+// ensureCached returns the node's valid copy of remote page p, fetching it
+// from the home on a miss and running the replacement algorithm when the
+// remote-page area is full.
+func (n *Node) ensureCached(p *page) (*cachedPage, error) {
+	if cp, ok := n.cache[p.id]; ok {
+		return cp, nil
+	}
+	if len(n.cache) >= n.sys.opts.CacheSlots {
+		if err := n.evictOne(); err != nil {
+			return nil, err
+		}
+	}
+	// GETP request to the home; reply carries the page.
+	data, version := p.snapshot()
+	n.clock.Advance(n.sys.cfg.Net.RoundTrip(msgHeaderBytes, msgHeaderBytes+len(data)), cluster.Comm)
+	n.stats.PageFetches++
+	n.stats.MsgsSent += 2
+	n.stats.BytesMoved += int64(2*msgHeaderBytes + len(data))
+	cp := &cachedPage{data: data, version: version, seq: n.nextSeq}
+	n.nextSeq++
+	n.cache[p.id] = cp
+	n.trace(TraceFetch, p.id, -1, fmt.Sprintf("v%d from home %d", version, p.home))
+	return cp, nil
+}
+
+// evictOne removes the oldest cached page, flushing its modifications home
+// first — JIAJIA's replacement algorithm.
+func (n *Node) evictOne() error {
+	var victimID = -1
+	var victim *cachedPage
+	for id, cp := range n.cache {
+		if victim == nil || cp.seq < victim.seq {
+			victimID, victim = id, cp
+		}
+	}
+	if victim == nil {
+		return fmt.Errorf("dsm: node %d cache empty during eviction", n.id)
+	}
+	if victim.dirty {
+		n.flushPage(victimID, victim, nil)
+	}
+	delete(n.cache, victimID)
+	n.stats.Evictions++
+	n.trace(TraceEvict, victimID, -1, "")
+	return nil
+}
+
+// flushPage diffs the cached copy against its twin, sends the diff to the
+// home (DIFF/DIFFGRANT exchange) and records a write notice in notices
+// when non-nil.
+func (n *Node) flushPage(pid int, cp *cachedPage, notices map[int]uint64) {
+	d := makeDiff(pid, cp.twin, cp.data)
+	cp.twin = nil
+	cp.dirty = false
+	if d.empty() {
+		return
+	}
+	p := n.sys.page(pid)
+	version := p.applyDiff(d, n.id)
+	// Deliberately leave cp.version at its fetch-time value: the cached
+	// copy does not contain writes other nodes (including the home) made
+	// meanwhile, so the write notice for this very diff must be able to
+	// invalidate it — as JIAJIA does, where written pages fall back to
+	// invalid at the next synchronization unless the node is the home.
+	n.clock.Advance(n.sys.cfg.Net.RoundTrip(d.wireSize()+msgHeaderBytes, msgHeaderBytes), cluster.Comm)
+	n.stats.DiffsSent++
+	n.stats.DiffBytes += int64(d.wireSize())
+	n.stats.MsgsSent += 2
+	n.stats.BytesMoved += int64(d.wireSize() + 2*msgHeaderBytes)
+	n.trace(TraceDiff, pid, -1, fmt.Sprintf("%dB -> v%d", d.wireSize(), version))
+	if notices != nil {
+		notices[pid] = version
+	}
+}
+
+// flushAll generates diffs for every modified page (remote and home) and
+// returns the write notices, as both the lock release and the barrier
+// arrival do.
+func (n *Node) flushAll() map[int]uint64 {
+	notices := make(map[int]uint64)
+	for pid, cp := range n.cache {
+		if cp.dirty {
+			n.flushPage(pid, cp, notices)
+		}
+	}
+	for pid := range n.dirtyHome {
+		p := n.sys.page(pid)
+		p.mu.Lock()
+		notices[pid] = p.version
+		p.mu.Unlock()
+		delete(n.dirtyHome, pid)
+	}
+	return notices
+}
+
+// applyNotices brings cached copies that the write notices prove stale
+// back in line: under write-invalidate they are dropped (refetched on the
+// next access); under write-update they are patched in place with the
+// home's retained diffs when the history reaches back far enough.
+func (n *Node) applyNotices(notices map[int]uint64) {
+	for pid, version := range notices {
+		cp, ok := n.cache[pid]
+		if !ok || cp.version >= version {
+			continue
+		}
+		if n.sys.opts.Protocol == WriteUpdate {
+			if n.patchPage(pid, cp) {
+				continue
+			}
+		}
+		if cp.dirty {
+			// Concurrent writer under a different lock: push our own
+			// modifications home before dropping the copy, so they are
+			// not lost (multiple-writer merge).
+			n.flushPage(pid, cp, nil)
+		}
+		delete(n.cache, pid)
+		n.stats.Invalidations++
+		n.trace(TraceInval, pid, -1, "")
+	}
+}
+
+// patchPage applies the home's retained diffs to the cached copy,
+// reporting false when the history is too short (caller falls back to
+// invalidation). Patching the twin as well keeps this node's next diff
+// limited to its own writes.
+func (n *Node) patchPage(pid int, cp *cachedPage) bool {
+	p := n.sys.page(pid)
+	diffs, ok := p.diffsSince(cp.version)
+	if !ok {
+		return false
+	}
+	bytes := 0
+	for _, vd := range diffs {
+		for _, run := range vd.d.runs {
+			copy(cp.data[run.off:run.off+len(run.data)], run.data)
+			if cp.twin != nil {
+				copy(cp.twin[run.off:run.off+len(run.data)], run.data)
+			}
+		}
+		bytes += vd.d.wireSize()
+		cp.version = vd.version
+	}
+	if len(diffs) > 0 {
+		n.clock.Advance(n.sys.cfg.Net.RoundTrip(msgHeaderBytes, msgHeaderBytes+bytes), cluster.Comm)
+		n.stats.MsgsSent += 2
+		n.stats.BytesMoved += int64(2*msgHeaderBytes + bytes)
+	}
+	n.stats.Updates++
+	n.trace(TraceUpdate, pid, -1, fmt.Sprintf("%d diffs", len(diffs)))
+	return true
+}

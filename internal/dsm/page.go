@@ -1,0 +1,202 @@
+package dsm
+
+import "sync"
+
+// page is one shared page. The home copy (master) lives here; remote nodes
+// hold cached copies in their own cache. The version counter increments on
+// every modification of the master (a home write set or an applied diff),
+// letting write-notice receivers decide whether their cached copy is
+// actually stale.
+type page struct {
+	id   int
+	home int
+
+	mu      sync.Mutex
+	master  []byte
+	version uint64
+	// writerEpoch tracks who wrote the page since the last barrier:
+	// noWriter, a node id, or multiWriter. The home-migration option uses
+	// it to move a page's home to its single remote writer.
+	writerEpoch int
+	// recent keeps the last few master modifications as diffs, so the
+	// write-update protocol can patch stale copies instead of refetching
+	// whole pages. Entry k carries the diff that took the master from
+	// version v−1 to v.
+	recent []versionedDiff
+}
+
+// versionedDiff is one retained master modification.
+type versionedDiff struct {
+	version uint64
+	d       diff
+}
+
+// maxRecentDiffs bounds the per-page update history; a copy staler than
+// this falls back to a full fetch.
+const maxRecentDiffs = 8
+
+// recordDiff appends a retained diff. Caller holds p.mu.
+func (p *page) recordDiff(v uint64, d diff) {
+	if len(p.recent) >= maxRecentDiffs {
+		copy(p.recent, p.recent[1:])
+		p.recent = p.recent[:len(p.recent)-1]
+	}
+	p.recent = append(p.recent, versionedDiff{version: v, d: d})
+}
+
+// diffsSince returns the retained diffs covering (from, current] and true,
+// or false when the history no longer reaches back to from.
+func (p *page) diffsSince(from uint64) ([]versionedDiff, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if from == p.version {
+		return nil, true
+	}
+	idx := -1
+	for i, vd := range p.recent {
+		if vd.version == from+1 {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return nil, false
+	}
+	out := make([]versionedDiff, len(p.recent)-idx)
+	copy(out, p.recent[idx:])
+	return out, out[len(out)-1].version == p.version
+}
+
+const (
+	noWriter    = -1
+	multiWriter = -2
+)
+
+func newPage(id, home, size int) *page {
+	return &page{id: id, home: home, master: make([]byte, size), writerEpoch: noWriter}
+}
+
+// noteWriter records a writer for the current barrier epoch. Caller holds
+// p.mu.
+func (p *page) noteWriter(w int) {
+	switch p.writerEpoch {
+	case noWriter:
+		p.writerEpoch = w
+	case w, multiWriter:
+	default:
+		p.writerEpoch = multiWriter
+	}
+}
+
+// snapshot copies the master into a fresh buffer and returns it with the
+// current version (a remote fetch).
+func (p *page) snapshot() ([]byte, uint64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]byte, len(p.master))
+	copy(out, p.master)
+	return out, p.version
+}
+
+// readMaster copies master[off:off+len(buf)] into buf (a home read).
+func (p *page) readMaster(off int, buf []byte) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	copy(buf, p.master[off:off+len(buf)])
+}
+
+// writeMaster writes data at off in the master (a home write by writer)
+// and bumps the version.
+func (p *page) writeMaster(off int, data []byte, writer int) uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	copy(p.master[off:off+len(data)], data)
+	p.version++
+	p.noteWriter(writer)
+	run := make([]byte, len(data))
+	copy(run, data)
+	p.recordDiff(p.version, diff{page: p.id, runs: []diffRun{{off: off, data: run}}})
+	return p.version
+}
+
+// applyDiff merges a diff produced by remote writer into the master — the
+// home side of the multiple-writer protocol. It returns the new version.
+func (p *page) applyDiff(d diff, writer int) uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, run := range d.runs {
+		copy(p.master[run.off:run.off+len(run.data)], run.data)
+	}
+	p.version++
+	p.noteWriter(writer)
+	p.recordDiff(p.version, d)
+	return p.version
+}
+
+// diff is the set of byte runs by which a cached copy departs from its
+// twin. Only the modified runs travel to the home node, which is what
+// makes concurrent writers to disjoint parts of one page mergeable.
+type diff struct {
+	page int
+	runs []diffRun
+}
+
+type diffRun struct {
+	off  int
+	data []byte
+}
+
+// diffHeaderBytes approximates the wire overhead of one run descriptor.
+const diffHeaderBytes = 8
+
+// wireSize is the number of bytes the diff occupies in a message.
+func (d diff) wireSize() int {
+	n := diffHeaderBytes // page id + run count
+	for _, r := range d.runs {
+		n += diffHeaderBytes + len(r.data)
+	}
+	return n
+}
+
+// empty reports whether the diff carries no modifications.
+func (d diff) empty() bool { return len(d.runs) == 0 }
+
+// makeDiff scans current against twin and collects the differing runs.
+// Adjacent differing bytes coalesce into one run; gaps of up to
+// coalesceGap equal bytes are absorbed to keep run counts (and therefore
+// header overhead) low, as real diff encodings do.
+func makeDiff(pageID int, twin, current []byte) diff {
+	const coalesceGap = 8
+	d := diff{page: pageID}
+	i := 0
+	for i < len(current) {
+		if current[i] == twin[i] {
+			i++
+			continue
+		}
+		start := i
+		last := i // last differing byte seen
+		i++
+		for i < len(current) {
+			if current[i] != twin[i] {
+				last = i
+				i++
+				continue
+			}
+			// A run of equal bytes: absorb if short, stop otherwise.
+			j := i
+			for j < len(current) && j-last <= coalesceGap && current[j] == twin[j] {
+				j++
+			}
+			if j-last > coalesceGap || j == len(current) {
+				break
+			}
+			i = j
+		}
+		run := make([]byte, last-start+1)
+		copy(run, current[start:last+1])
+		d.runs = append(d.runs, diffRun{off: start, data: run})
+		i = last + 1
+	}
+	return d
+}

@@ -1,0 +1,257 @@
+package dsm
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"genomedsm/internal/cluster"
+)
+
+func TestMakeDiffRoundTrip(t *testing.T) {
+	f := func(seed int64, nEdits uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		twin := make([]byte, 512)
+		rng.Read(twin)
+		current := make([]byte, 512)
+		copy(current, twin)
+		for e := 0; e < int(nEdits%32); e++ {
+			current[rng.Intn(len(current))] = byte(rng.Int())
+		}
+		d := makeDiff(7, twin, current)
+		// Applying the diff to a copy of the twin must reproduce current.
+		p := newPage(7, 0, 512)
+		copy(p.master, twin)
+		p.applyDiff(d, 1)
+		return bytes.Equal(p.master, current)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMakeDiffEmpty(t *testing.T) {
+	twin := make([]byte, 64)
+	current := make([]byte, 64)
+	d := makeDiff(0, twin, current)
+	if !d.empty() {
+		t.Errorf("diff of identical buffers not empty: %d runs", len(d.runs))
+	}
+	if d.wireSize() != diffHeaderBytes {
+		t.Errorf("empty diff wire size %d", d.wireSize())
+	}
+}
+
+func TestMakeDiffCoalesces(t *testing.T) {
+	twin := make([]byte, 256)
+	current := make([]byte, 256)
+	copy(current, twin)
+	// Two edits 4 bytes apart must coalesce into one run (gap <= 8)…
+	current[10] = 1
+	current[14] = 1
+	d := makeDiff(0, twin, current)
+	if len(d.runs) != 1 {
+		t.Errorf("near edits produced %d runs, want 1", len(d.runs))
+	}
+	// …while edits 50 bytes apart must stay separate.
+	current[100] = 1
+	d = makeDiff(0, twin, current)
+	if len(d.runs) != 2 {
+		t.Errorf("far edits produced %d runs, want 2", len(d.runs))
+	}
+}
+
+func TestMakeDiffFullPage(t *testing.T) {
+	twin := make([]byte, 128)
+	current := bytes.Repeat([]byte{9}, 128)
+	d := makeDiff(0, twin, current)
+	if len(d.runs) != 1 || len(d.runs[0].data) != 128 {
+		t.Errorf("full rewrite diff: %d runs", len(d.runs))
+	}
+	if d.wireSize() <= 128 {
+		t.Errorf("wire size %d must include headers", d.wireSize())
+	}
+}
+
+func TestCacheReplacement(t *testing.T) {
+	// Node 1 touches more remote pages than its cache holds; evictions
+	// must flush dirty pages so nothing is lost.
+	cfg := cluster.Zero()
+	sys, err := NewSystem(2, cfg, Options{CacheSlots: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const pages = 6
+	r, _ := sys.AllocAt(pages*cfg.PageSize, 0) // all homed at node 0
+	err = sys.Run(func(n *Node) error {
+		if n.ID() != 1 {
+			return n.Barrier()
+		}
+		for k := 0; k < pages; k++ {
+			if err := n.WriteAt(r, k*cfg.PageSize, []byte{byte(k + 1)}); err != nil {
+				return err
+			}
+		}
+		return n.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := sys.Node(1).Stats()
+	if st.Evictions != pages-2 {
+		t.Errorf("evictions %d, want %d", st.Evictions, pages-2)
+	}
+	// All writes must have reached the home, through evictions or the
+	// barrier flush.
+	err = sys.Run(func(n *Node) error {
+		if n.ID() != 0 {
+			return nil
+		}
+		for k := 0; k < pages; k++ {
+			var b [1]byte
+			if err := n.ReadAt(r, k*cfg.PageSize, b[:]); err != nil {
+				return err
+			}
+			if b[0] != byte(k+1) {
+				return fmt.Errorf("page %d lost its write: %d", k, b[0])
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentDisjointWritesProperty is the randomized multi-writer
+// check: nodes write random disjoint slices of a shared region without
+// locks, barrier, and the region must equal the sequential composition.
+func TestConcurrentDisjointWritesProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		const nprocs = 4
+		rng := rand.New(rand.NewSource(seed))
+		sys, err := NewSystem(nprocs, cluster.Zero(), Options{})
+		if err != nil {
+			return false
+		}
+		size := 2*4096 + rng.Intn(4096)
+		r, err := sys.Alloc(size, rng.Intn(nprocs))
+		if err != nil {
+			return false
+		}
+		want := make([]byte, size)
+		// Pre-compute each node's disjoint stripe writes.
+		type edit struct {
+			off  int
+			data []byte
+		}
+		edits := make([][]edit, nprocs)
+		stripe := size / nprocs
+		for id := 0; id < nprocs; id++ {
+			base := id * stripe
+			for e := 0; e < 16; e++ {
+				off := base + rng.Intn(stripe-8)
+				data := make([]byte, 1+rng.Intn(7))
+				rng.Read(data)
+				edits[id] = append(edits[id], edit{off, data})
+				copy(want[off:], data)
+			}
+		}
+		err = sys.Run(func(n *Node) error {
+			for _, e := range edits[n.ID()] {
+				if err := n.WriteAt(r, e.off, e.data); err != nil {
+					return err
+				}
+			}
+			return n.Barrier()
+		})
+		if err != nil {
+			return false
+		}
+		ok := true
+		err = sys.Run(func(n *Node) error {
+			if n.ID() != 0 {
+				return nil
+			}
+			got := make([]byte, size)
+			if err := n.ReadAt(r, 0, got); err != nil {
+				return err
+			}
+			ok = bytes.Equal(got, want)
+			return nil
+		})
+		return err == nil && ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTypedAccessors(t *testing.T) {
+	sys := newTestSystem(t, 1, Options{})
+	r, _ := sys.Alloc(4096, 0)
+	err := sys.Run(func(n *Node) error {
+		vals := []int32{-1, 0, 1 << 30, -(1 << 30)}
+		if err := n.WriteInt32s(r, 100, vals); err != nil {
+			return err
+		}
+		got := make([]int32, len(vals))
+		if err := n.ReadInt32s(r, 100, got); err != nil {
+			return err
+		}
+		for i := range vals {
+			if got[i] != vals[i] {
+				return fmt.Errorf("int32 %d: got %d want %d", i, got[i], vals[i])
+			}
+		}
+		if err := n.WriteInt64(r, 200, -12345678901234); err != nil {
+			return err
+		}
+		v, err := n.ReadInt64(r, 200)
+		if err != nil {
+			return err
+		}
+		if v != -12345678901234 {
+			return fmt.Errorf("int64 round trip: %d", v)
+		}
+		if err := n.WriteInt32s(r, 4095, []int32{1}); err == nil {
+			return fmt.Errorf("overflowing typed write accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMakespanAndBreakdowns(t *testing.T) {
+	cfg := cluster.Zero()
+	cfg.CellTime = 1e-6
+	sys, err := NewSystem(2, cfg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = sys.Run(func(n *Node) error {
+		n.Compute(int64(1000 * (n.ID() + 1)))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := sys.Makespan(); m < 2e-3-1e-9 || m > 2e-3+1e-9 {
+		t.Errorf("makespan %g, want 2ms", m)
+	}
+	bs := sys.Breakdowns()
+	if len(bs) != 2 || bs[0].Cat[cluster.Compute] >= bs[1].Cat[cluster.Compute] {
+		t.Errorf("breakdowns wrong: %+v", bs)
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	s := Stats{PageFetches: 3, MsgsSent: 7}
+	if got := s.String(); got == "" {
+		t.Error("empty stats string")
+	}
+}

@@ -1,0 +1,207 @@
+package dsm
+
+import (
+	"fmt"
+	"testing"
+
+	"genomedsm/internal/cluster"
+)
+
+// producerConsumer runs a one-writer/one-reader workload across several
+// lock-synchronized rounds and returns the system.
+func producerConsumer(t *testing.T, protocol Protocol, rounds int) *System {
+	t.Helper()
+	cfg := cluster.Calibrated2005()
+	sys, err := NewSystem(2, cfg, Options{Protocol: protocol})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := sys.AllocAt(cfg.PageSize, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = sys.Run(func(n *Node) error {
+		var b [1]byte
+		for e := 0; e < rounds; e++ {
+			if n.ID() == 0 {
+				if err := n.WithLock(0, func() error {
+					return n.WriteAt(r, 7, []byte{byte(e + 1)})
+				}); err != nil {
+					return err
+				}
+				if err := n.Setcv(0); err != nil {
+					return err
+				}
+				if err := n.Waitcv(1); err != nil {
+					return err
+				}
+			} else {
+				if err := n.Waitcv(0); err != nil {
+					return err
+				}
+				if err := n.WithLock(0, func() error {
+					return n.ReadAt(r, 7, b[:])
+				}); err != nil {
+					return err
+				}
+				if b[0] != byte(e+1) {
+					return fmt.Errorf("round %d read %d", e, b[0])
+				}
+				if err := n.Setcv(1); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestWriteUpdatePatchesInsteadOfRefetching(t *testing.T) {
+	const rounds = 6
+	inv := producerConsumer(t, WriteInvalidate, rounds).TotalStats()
+	upd := producerConsumer(t, WriteUpdate, rounds).TotalStats()
+
+	// Invalidate: the reader refetches the page every round.
+	if inv.PageFetches < rounds {
+		t.Errorf("invalidate fetched %d pages, want >= %d", inv.PageFetches, rounds)
+	}
+	if inv.Updates != 0 {
+		t.Errorf("invalidate applied %d updates", inv.Updates)
+	}
+	// Update: one initial fetch, then diffs patch the copy in place.
+	if upd.PageFetches != 1 {
+		t.Errorf("update fetched %d pages, want 1", upd.PageFetches)
+	}
+	if upd.Updates < rounds-1 {
+		t.Errorf("update applied %d patches, want >= %d", upd.Updates, rounds-1)
+	}
+	// For a single hot byte, patching moves far fewer bytes than page
+	// refetches.
+	if upd.BytesMoved >= inv.BytesMoved {
+		t.Errorf("update moved %d bytes, invalidate %d; update should be cheaper here",
+			upd.BytesMoved, inv.BytesMoved)
+	}
+}
+
+func TestWriteUpdateFallsBackWhenHistoryTooShort(t *testing.T) {
+	// The writer produces more versions between the reader's syncs than
+	// the retained history holds; the reader must fall back to a fetch
+	// and still observe the latest value.
+	cfg := cluster.Zero()
+	sys, err := NewSystem(2, cfg, Options{Protocol: WriteUpdate})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := sys.AllocAt(cfg.PageSize, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writes = maxRecentDiffs + 4
+	burstDone := make(chan struct{})
+	err = sys.Run(func(n *Node) error {
+		if n.ID() == 0 {
+			if err := n.WithLock(0, func() error { return n.WriteAt(r, 0, []byte{1}) }); err != nil {
+				return err
+			}
+			if err := n.Setcv(0); err != nil {
+				return err
+			}
+			if err := n.Waitcv(1); err != nil {
+				return err
+			}
+			// Burst of writes, each bumping the version.
+			err := n.WithLock(0, func() error {
+				for k := 0; k < writes; k++ {
+					if err := n.WriteAt(r, k, []byte{byte(k + 1)}); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+			close(burstDone)
+			return err
+		}
+		if err := n.Waitcv(0); err != nil {
+			return err
+		}
+		var b [1]byte
+		if err := n.WithLock(0, func() error { return n.ReadAt(r, 0, b[:]) }); err != nil {
+			return err
+		}
+		if err := n.Setcv(1); err != nil {
+			return err
+		}
+		// Native ordering: wait until the writer finished its burst, then
+		// synchronize through the lock so the notices arrive.
+		<-burstDone
+		if err := n.WithLock(0, func() error { return n.ReadAt(r, writes-1, b[:]) }); err != nil {
+			return err
+		}
+		if b[0] != byte(writes) {
+			return fmt.Errorf("read %d after burst, want %d", b[0], writes)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := sys.TotalStats()
+	if st.Invalidations == 0 {
+		t.Error("expected an invalidation fallback when the diff history is exceeded")
+	}
+}
+
+func TestProtocolString(t *testing.T) {
+	if WriteInvalidate.String() != "write-invalidate" || WriteUpdate.String() != "write-update" {
+		t.Error("protocol names wrong")
+	}
+	if Protocol(9).String() == "" {
+		t.Error("unknown protocol empty")
+	}
+}
+
+// TestWavefrontResultsUnchangedUnderWriteUpdate: the coherence protocol
+// must never change results, only costs.
+func TestWavefrontResultsUnchangedUnderWriteUpdate(t *testing.T) {
+	cfg := cluster.Zero()
+	for _, proto := range []Protocol{WriteInvalidate, WriteUpdate} {
+		sys, err := NewSystem(4, cfg, Options{Protocol: proto})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := sys.Alloc(3*cfg.PageSize, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = sys.Run(func(n *Node) error {
+			for round := 0; round < 5; round++ {
+				off := (n.ID()*5 + round) * 16
+				if err := n.WriteAt(r, off, []byte{byte(n.ID()), byte(round)}); err != nil {
+					return err
+				}
+				if err := n.Barrier(); err != nil {
+					return err
+				}
+				// Everyone verifies everyone's writes so far.
+				var b [2]byte
+				for id := 0; id < 4; id++ {
+					if err := n.ReadAt(r, (id*5+round)*16, b[:]); err != nil {
+						return err
+					}
+					if b[0] != byte(id) || b[1] != byte(round) {
+						return fmt.Errorf("%s: node %d round %d sees %v from node %d",
+							proto, n.ID(), round, b, id)
+					}
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,52 @@
+package dsm
+
+import "fmt"
+
+// Stats counts protocol events, for tests and reporting. All counters are
+// per-node; System.TotalStats sums them.
+type Stats struct {
+	PageFetches   int64 // remote pages fetched from their home
+	Twins         int64 // twins created (first write to a remote page)
+	DiffsSent     int64 // diffs propagated to home nodes
+	DiffBytes     int64 // total wire size of those diffs
+	Invalidations int64 // cached pages dropped due to write notices
+	Evictions     int64 // cache replacements
+	MsgsSent      int64 // protocol messages sent
+	BytesMoved    int64 // total bytes in protocol messages
+	LockAcquires  int64
+	LockReleases  int64
+	Barriers      int64
+	CVSignals     int64
+	CVWaits       int64
+	// Updates counts cached pages patched in place by the write-update
+	// protocol.
+	Updates int64
+	// Migrations counts home migrations (system-wide; filled by
+	// System.TotalStats).
+	Migrations int64
+}
+
+func (s *Stats) add(o Stats) {
+	s.PageFetches += o.PageFetches
+	s.Twins += o.Twins
+	s.DiffsSent += o.DiffsSent
+	s.DiffBytes += o.DiffBytes
+	s.Invalidations += o.Invalidations
+	s.Evictions += o.Evictions
+	s.MsgsSent += o.MsgsSent
+	s.BytesMoved += o.BytesMoved
+	s.LockAcquires += o.LockAcquires
+	s.LockReleases += o.LockReleases
+	s.Barriers += o.Barriers
+	s.CVSignals += o.CVSignals
+	s.CVWaits += o.CVWaits
+	s.Updates += o.Updates
+}
+
+// String gives a one-line summary.
+func (s Stats) String() string {
+	return fmt.Sprintf("fetches=%d twins=%d diffs=%d diffB=%d inval=%d evict=%d msgs=%d bytes=%d locks=%d/%d barriers=%d cv=%d/%d",
+		s.PageFetches, s.Twins, s.DiffsSent, s.DiffBytes, s.Invalidations,
+		s.Evictions, s.MsgsSent, s.BytesMoved, s.LockAcquires, s.LockReleases,
+		s.Barriers, s.CVSignals, s.CVWaits)
+}

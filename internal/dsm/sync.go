@@ -1,0 +1,349 @@
+package dsm
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"genomedsm/internal/cluster"
+)
+
+// lockVar is one JIAJIA lock. Each lock is assigned to a manager node; the
+// ACQ/REL protocol of §3.1 runs against it, with write notices
+// piggy-backed on the grant message.
+type lockVar struct {
+	manager int
+
+	mu      sync.Mutex
+	held    bool
+	freeAt  float64 // virtual time the lock last became free at the manager
+	queue   []*lockWaiter
+	notices map[int]uint64 // cumulative write notices associated with the lock
+}
+
+type lockWaiter struct {
+	reqArrive float64
+	ch        chan lockGrant
+}
+
+type lockGrant struct {
+	departAt float64
+	notices  map[int]uint64
+}
+
+func newLockVar(manager int) *lockVar {
+	return &lockVar{manager: manager, notices: make(map[int]uint64)}
+}
+
+func copyNotices(src map[int]uint64) map[int]uint64 {
+	out := make(map[int]uint64, len(src))
+	for k, v := range src {
+		out[k] = v
+	}
+	return out
+}
+
+func mergeNotices(dst, src map[int]uint64) {
+	for k, v := range src {
+		if v > dst[k] {
+			dst[k] = v
+		}
+	}
+}
+
+func (s *System) lock(id int) (*lockVar, error) {
+	if id < 0 || id >= len(s.locks) {
+		return nil, fmt.Errorf("dsm: lock %d out of range (have %d)", id, len(s.locks))
+	}
+	return s.locks[id], nil
+}
+
+// Acquire obtains lock id. On an acquire the node sends an ACQ message to
+// the lock manager; the grant carries all write notices associated with
+// the lock, and the acquirer invalidates every cached page they prove
+// stale (§3.1).
+func (n *Node) Acquire(id int) error {
+	lv, err := n.sys.lock(id)
+	if err != nil {
+		return err
+	}
+	// Yield before deciding contention: node goroutines run on however
+	// few host CPUs exist, so a hot node could re-acquire an "uncontended"
+	// lock forever while starved peers never get to enqueue. After the
+	// yield, peers' requests are queued and the release path's
+	// virtual-time grant ordering treats everyone fairly.
+	runtime.Gosched()
+	cfg := n.sys.cfg
+	reqArrive := n.clock.Now() + cfg.Net.MessageCost(msgHeaderBytes)
+	n.stats.MsgsSent++
+	n.stats.BytesMoved += msgHeaderBytes
+	n.stats.LockAcquires++
+
+	lv.mu.Lock()
+	var grant lockGrant
+	if !lv.held {
+		lv.held = true
+		departAt := reqArrive
+		if lv.freeAt > departAt {
+			departAt = lv.freeAt
+		}
+		grant = lockGrant{departAt: departAt + cfg.ManagerService, notices: copyNotices(lv.notices)}
+		lv.mu.Unlock()
+	} else {
+		w := &lockWaiter{reqArrive: reqArrive, ch: make(chan lockGrant, 1)}
+		lv.queue = append(lv.queue, w)
+		lv.mu.Unlock()
+		grant = <-w.ch
+	}
+	resumeAt := grant.departAt + cfg.Net.MessageCost(msgHeaderBytes+len(grant.notices)*noticeBytes)
+	n.clock.AdvanceTo(resumeAt, cluster.LockCV)
+	n.trace(TraceAcquire, -1, id, fmt.Sprintf("%d notices", len(grant.notices)))
+	n.applyNotices(grant.notices)
+	return nil
+}
+
+// Release releases lock id. The releaser first sends all modifications
+// made inside the critical section to the home nodes (diffs) and then a
+// REL message with the write notices to the lock manager, which passes the
+// lock to the next queued acquirer if any.
+func (n *Node) Release(id int) error {
+	lv, err := n.sys.lock(id)
+	if err != nil {
+		return err
+	}
+	cfg := n.sys.cfg
+	notices := n.flushAll()
+	relSize := msgHeaderBytes + len(notices)*noticeBytes
+	relArrive := n.clock.Now() + cfg.Net.MessageCost(relSize)
+	// The one-way REL costs the releaser only its message processing.
+	n.clock.Advance(cfg.Net.PerMessageCPU, cluster.LockCV)
+	n.stats.MsgsSent++
+	n.stats.BytesMoved += int64(relSize)
+	n.stats.LockReleases++
+
+	n.trace(TraceRelease, -1, id, fmt.Sprintf("%d notices", len(notices)))
+	lv.mu.Lock()
+	defer lv.mu.Unlock()
+	if !lv.held {
+		return fmt.Errorf("dsm: node %d released lock %d that is not held", n.id, id)
+	}
+	mergeNotices(lv.notices, notices)
+	if len(lv.queue) > 0 {
+		// Grant to the waiter whose request arrived first in *virtual*
+		// time (stable on ties, so equal-time requests stay FIFO). Real
+		// goroutine scheduling is decoupled from the simulated clock;
+		// granting by real arrival order would hand the lock to whichever
+		// goroutine the Go scheduler ran first and skew contended
+		// workloads toward one node.
+		best := 0
+		for i := 1; i < len(lv.queue); i++ {
+			if lv.queue[i].reqArrive < lv.queue[best].reqArrive {
+				best = i
+			}
+		}
+		w := lv.queue[best]
+		lv.queue = append(lv.queue[:best], lv.queue[best+1:]...)
+		departAt := relArrive
+		if w.reqArrive > departAt {
+			departAt = w.reqArrive
+		}
+		w.ch <- lockGrant{departAt: departAt + cfg.ManagerService, notices: copyNotices(lv.notices)}
+	} else {
+		lv.held = false
+		lv.freeAt = relArrive + cfg.ManagerService
+	}
+	return nil
+}
+
+// WithLock runs body inside acquire/release of lock id.
+func (n *Node) WithLock(id int, body func() error) error {
+	if err := n.Acquire(id); err != nil {
+		return err
+	}
+	if err := body(); err != nil {
+		n.Release(id) //nolint:errcheck // body error takes precedence
+		return err
+	}
+	return n.Release(id)
+}
+
+// barrierVar implements the Fig.-6 barrier: arriving nodes flush diffs,
+// send BARR with their write notices to the owner; when everyone has
+// arrived the owner broadcasts BARRGRANT with the union of the notices and
+// the nodes invalidate accordingly.
+type barrierVar struct {
+	owner int
+	total int
+
+	mu        sync.Mutex
+	arrived   int
+	maxArrive float64
+	notices   map[int]uint64
+	waiters   []chan barrierGrant
+}
+
+type barrierGrant struct {
+	departAt float64
+	notices  map[int]uint64
+	migrated []int // pages whose home moved (home-migration option)
+}
+
+func newBarrierVar(owner, total int) *barrierVar {
+	return &barrierVar{owner: owner, total: total, notices: make(map[int]uint64)}
+}
+
+// Barrier synchronizes all nodes (jia_barrier).
+func (n *Node) Barrier() error {
+	bv := n.sys.barrier
+	cfg := n.sys.cfg
+	notices := n.flushAll()
+	barrSize := msgHeaderBytes + len(notices)*noticeBytes
+	arrive := n.clock.Now() + cfg.Net.MessageCost(barrSize)
+	n.stats.MsgsSent++
+	n.stats.BytesMoved += int64(barrSize)
+	n.stats.Barriers++
+
+	bv.mu.Lock()
+	mergeNotices(bv.notices, notices)
+	if arrive > bv.maxArrive {
+		bv.maxArrive = arrive
+	}
+	bv.arrived++
+	var grant barrierGrant
+	if bv.arrived == bv.total {
+		grant = barrierGrant{
+			departAt: bv.maxArrive + cfg.ManagerService,
+			notices:  bv.notices,
+			migrated: n.sys.migrateHomes(),
+		}
+		for _, ch := range bv.waiters {
+			ch <- grant
+		}
+		bv.waiters = nil
+		bv.arrived = 0
+		bv.maxArrive = 0
+		bv.notices = make(map[int]uint64) // Fig. 6: the owner clears write notices
+		bv.mu.Unlock()
+	} else {
+		ch := make(chan barrierGrant, 1)
+		bv.waiters = append(bv.waiters, ch)
+		bv.mu.Unlock()
+		grant = <-ch
+	}
+	resumeAt := grant.departAt + cfg.Net.MessageCost(msgHeaderBytes+len(grant.notices)*noticeBytes)
+	n.clock.AdvanceTo(resumeAt, cluster.Barrier)
+	n.trace(TraceBarrier, -1, -1, fmt.Sprintf("%d notices", len(grant.notices)))
+	n.applyNotices(grant.notices)
+	// If a page migrated its home to this node, the master is now local;
+	// drop the redundant (and potentially shadow-stale) cached copy.
+	for _, pid := range grant.migrated {
+		if n.sys.page(pid).home == n.id {
+			delete(n.cache, pid)
+			n.trace(TraceMigration, pid, -1, "home is now local")
+		}
+	}
+	return nil
+}
+
+// condVar implements jia_setcv / jia_waitcv. Signals are sticky (a set
+// before any wait is remembered), making the producer/consumer handoff of
+// §4.2 race-free; each signal wakes exactly one waiter, FIFO. Consistency
+// actions mirror JIAJIA's: a setcv behaves like a release (diffs are
+// flushed home and write notices attach to the condition variable) and a
+// waitcv behaves like an acquire (the received notices invalidate stale
+// copies) — this is what lets the wavefront pass border cells through
+// shared memory with a signal per cell.
+type condVar struct {
+	manager int
+
+	mu      sync.Mutex
+	pending []cvSignal // unconsumed signals, FIFO
+	waiters []chan cvSignal
+	notices map[int]uint64 // cumulative write notices attached to the cv
+}
+
+type cvSignal struct {
+	arrive  float64
+	notices map[int]uint64
+}
+
+func newCondVar(manager int) *condVar {
+	return &condVar{manager: manager, notices: make(map[int]uint64)}
+}
+
+func (s *System) cv(id int) (*condVar, error) {
+	if id < 0 || id >= len(s.cvs) {
+		return nil, fmt.Errorf("dsm: condition variable %d out of range (have %d)", id, len(s.cvs))
+	}
+	return s.cvs[id], nil
+}
+
+// Setcv signals condition variable id (jia_setcv). Like a release, it
+// first propagates the signaller's modifications to the home nodes and
+// attaches the resulting write notices to the condition variable.
+func (n *Node) Setcv(id int) error {
+	cv, err := n.sys.cv(id)
+	if err != nil {
+		return err
+	}
+	cfg := n.sys.cfg
+	notices := n.flushAll()
+	sigSize := msgHeaderBytes + len(notices)*noticeBytes
+	arrive := n.clock.Now() + cfg.Net.MessageCost(sigSize)
+	n.clock.Advance(cfg.Net.PerMessageCPU, cluster.LockCV)
+	n.stats.MsgsSent++
+	n.stats.BytesMoved += int64(sigSize)
+	n.stats.CVSignals++
+
+	n.trace(TraceSetcv, -1, id, "")
+	cv.mu.Lock()
+	defer cv.mu.Unlock()
+	mergeNotices(cv.notices, notices)
+	sig := cvSignal{arrive: arrive, notices: copyNotices(cv.notices)}
+	if len(cv.waiters) > 0 {
+		ch := cv.waiters[0]
+		cv.waiters = cv.waiters[1:]
+		ch <- sig
+		return nil
+	}
+	cv.pending = append(cv.pending, sig)
+	return nil
+}
+
+// Waitcv blocks until the condition variable is signalled (jia_waitcv).
+// Like an acquire, the wake-up carries the write notices attached to the
+// condition variable and invalidates stale cached copies.
+func (n *Node) Waitcv(id int) error {
+	cv, err := n.sys.cv(id)
+	if err != nil {
+		return err
+	}
+	cfg := n.sys.cfg
+	// WAIT registration message to the manager.
+	regArrive := n.clock.Now() + cfg.Net.MessageCost(msgHeaderBytes)
+	n.stats.MsgsSent++
+	n.stats.BytesMoved += msgHeaderBytes
+	n.stats.CVWaits++
+
+	cv.mu.Lock()
+	var sig cvSignal
+	if len(cv.pending) > 0 {
+		sig = cv.pending[0]
+		cv.pending = cv.pending[1:]
+		cv.mu.Unlock()
+	} else {
+		ch := make(chan cvSignal, 1)
+		cv.waiters = append(cv.waiters, ch)
+		cv.mu.Unlock()
+		sig = <-ch
+	}
+	departAt := sig.arrive
+	if regArrive > departAt {
+		departAt = regArrive
+	}
+	resumeAt := departAt + cfg.ManagerService + cfg.Net.MessageCost(msgHeaderBytes+len(sig.notices)*noticeBytes)
+	n.clock.AdvanceTo(resumeAt, cluster.LockCV)
+	n.trace(TraceWaitcv, -1, id, "")
+	n.applyNotices(sig.notices)
+	return nil
+}

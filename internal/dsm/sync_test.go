@@ -1,0 +1,177 @@
+package dsm
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"genomedsm/internal/cluster"
+)
+
+// queueLen inspects a lock's waiter-queue length (test-only; same
+// package).
+func queueLen(sys *System, lock int) int {
+	lv := sys.locks[lock]
+	lv.mu.Lock()
+	defer lv.mu.Unlock()
+	return len(lv.queue)
+}
+
+// TestLockGrantsAreFIFO: waiters receive the lock in arrival order. Node
+// 0 holds the lock while nodes 1..N−1 enqueue strictly in id order (each
+// waits until the previous one is visibly queued); the grant order after
+// the release must match.
+func TestLockGrantsAreFIFO(t *testing.T) {
+	const nprocs = 6
+	sys := newTestSystem(t, nprocs, Options{})
+	var order []int
+	var mu sync.Mutex
+	held := make(chan struct{})
+	err := sys.Run(func(n *Node) error {
+		if n.ID() == 0 {
+			if err := n.Acquire(0); err != nil {
+				return err
+			}
+			close(held)
+			for queueLen(sys, 0) < nprocs-1 {
+			}
+			return n.Release(0)
+		}
+		<-held
+		// Enqueue in id order: wait until the id−1 previous waiters are
+		// visibly queued.
+		for queueLen(sys, 0) < n.ID()-1 {
+		}
+		if err := n.Acquire(0); err != nil {
+			return err
+		}
+		mu.Lock()
+		order = append(order, n.ID())
+		mu.Unlock()
+		return n.Release(0)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != nprocs-1 {
+		t.Fatalf("recorded %d grants", len(order))
+	}
+	for i := range order {
+		if order[i] != i+1 {
+			t.Fatalf("grants out of FIFO order: %v", order)
+		}
+	}
+}
+
+// TestIndependentLocksDoNotSerializeTime: two nodes using different locks
+// must not wait on each other's critical sections (virtual-time check).
+func TestIndependentLocksDoNotSerializeTime(t *testing.T) {
+	cfg := cluster.Zero()
+	cfg.CellTime = 1e-6
+	sys, err := NewSystem(2, cfg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = sys.Run(func(n *Node) error {
+		lock := n.ID() // node 0 uses lock 0, node 1 uses lock 1
+		for i := 0; i < 10; i++ {
+			if err := n.Acquire(lock); err != nil {
+				return err
+			}
+			n.Compute(1000) // 1 ms inside the critical section
+			if err := n.Release(lock); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		b := sys.Node(i).Clock().Breakdown()
+		if b.Cat[cluster.LockCV] > 1e-4 {
+			t.Errorf("node %d waited %.6fs on an uncontended lock", i, b.Cat[cluster.LockCV])
+		}
+		if b.Total < 10e-3 {
+			t.Errorf("node %d total %.6fs, want >= 10ms of compute", i, b.Total)
+		}
+	}
+}
+
+// TestCVEachSignalWakesOneWaiter: N pending signals satisfy exactly N
+// waits, no more.
+func TestCVEachSignalWakesOneWaiter(t *testing.T) {
+	const nprocs = 4
+	sys := newTestSystem(t, nprocs, Options{})
+	err := sys.Run(func(n *Node) error {
+		if n.ID() == 0 {
+			// Three signals for three waiters.
+			for i := 0; i < nprocs-1; i++ {
+				if err := n.Setcv(0); err != nil {
+					return err
+				}
+			}
+			return n.Barrier()
+		}
+		if err := n.Waitcv(0); err != nil {
+			return err
+		}
+		return n.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := sys.TotalStats()
+	if st.CVSignals != nprocs-1 || st.CVWaits != nprocs-1 {
+		t.Errorf("signals %d waits %d", st.CVSignals, st.CVWaits)
+	}
+}
+
+// TestBarrierAcrossRuns: barrier state resets correctly between SPMD
+// phases on the same system.
+func TestBarrierAcrossRuns(t *testing.T) {
+	sys := newTestSystem(t, 3, Options{})
+	for phase := 0; phase < 4; phase++ {
+		err := sys.Run(func(n *Node) error {
+			if err := n.Barrier(); err != nil {
+				return err
+			}
+			return n.Barrier()
+		})
+		if err != nil {
+			t.Fatalf("phase %d: %v", phase, err)
+		}
+	}
+	if st := sys.TotalStats(); st.Barriers != 3*2*4 {
+		t.Errorf("barrier count %d, want 24", st.Barriers)
+	}
+}
+
+// TestSequencesWithNThroughTheDSMPipeline: N bases must flow through the
+// typed accessors and kernels without tripping validation.
+func TestSequencesWithNThroughTheDSMPipeline(t *testing.T) {
+	sys := newTestSystem(t, 2, Options{})
+	r, _ := sys.AllocAt(4096, 0)
+	err := sys.Run(func(n *Node) error {
+		if n.ID() == 0 {
+			if err := n.WriteAt(r, 0, []byte("ACGTN")); err != nil {
+				return err
+			}
+		}
+		if err := n.Barrier(); err != nil {
+			return err
+		}
+		buf := make([]byte, 5)
+		if err := n.ReadAt(r, 0, buf); err != nil {
+			return err
+		}
+		if string(buf) != "ACGTN" {
+			return fmt.Errorf("read %q", buf)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

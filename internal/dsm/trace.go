@@ -1,0 +1,129 @@
+package dsm
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// TraceEvent is one protocol action, as it would appear in a JIAJIA debug
+// log.
+type TraceEvent struct {
+	Node  int     // acting node
+	VTime float64 // the node's virtual time after the action
+	Kind  TraceKind
+	Page  int // page id, or -1
+	Sync  int // lock / cv id, or -1
+	Note  string
+}
+
+// TraceKind classifies trace events.
+type TraceKind string
+
+// Trace event kinds.
+const (
+	TraceFetch     TraceKind = "GETP"    // remote page fetched from home
+	TraceDiff      TraceKind = "DIFF"    // diff propagated to the home
+	TraceInval     TraceKind = "INVAL"   // cached copy invalidated
+	TraceUpdate    TraceKind = "UPDATE"  // cached copy patched (write-update)
+	TraceEvict     TraceKind = "EVICT"   // cache replacement
+	TraceAcquire   TraceKind = "ACQ"     // lock acquired
+	TraceRelease   TraceKind = "REL"     // lock released
+	TraceBarrier   TraceKind = "BARR"    // barrier passed
+	TraceSetcv     TraceKind = "SETCV"   // condition variable signalled
+	TraceWaitcv    TraceKind = "WAITCV"  // condition variable wait satisfied
+	TraceMigration TraceKind = "MIGRATE" // page home migrated
+)
+
+// String renders the event as one log line.
+func (e TraceEvent) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "[%9.6f] n%d %-7s", e.VTime, e.Node, e.Kind)
+	if e.Page >= 0 {
+		fmt.Fprintf(&sb, " page=%d", e.Page)
+	}
+	if e.Sync >= 0 {
+		fmt.Fprintf(&sb, " sync=%d", e.Sync)
+	}
+	if e.Note != "" {
+		fmt.Fprintf(&sb, " %s", e.Note)
+	}
+	return sb.String()
+}
+
+// Tracer receives protocol events. Implementations must be safe for
+// concurrent use by all nodes.
+type Tracer interface {
+	Trace(ev TraceEvent)
+}
+
+// RingTracer retains the last Cap events.
+type RingTracer struct {
+	Cap int
+
+	mu     sync.Mutex
+	events []TraceEvent
+	next   int
+	total  int64
+}
+
+// NewRingTracer returns a tracer retaining up to capacity events (a
+// generous default when capacity <= 0).
+func NewRingTracer(capacity int) *RingTracer {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	return &RingTracer{Cap: capacity}
+}
+
+// Trace implements Tracer.
+func (r *RingTracer) Trace(ev TraceEvent) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.events) < r.Cap {
+		r.events = append(r.events, ev)
+	} else {
+		r.events[r.next] = ev
+		r.next = (r.next + 1) % r.Cap
+	}
+	r.total++
+}
+
+// Total returns the number of events ever traced (including overwritten
+// ones).
+func (r *RingTracer) Total() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Events returns the retained events in arrival order.
+func (r *RingTracer) Events() []TraceEvent {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]TraceEvent, 0, len(r.events))
+	out = append(out, r.events[r.next:]...)
+	out = append(out, r.events[:r.next]...)
+	return out
+}
+
+// Dump renders the retained events, one per line.
+func (r *RingTracer) Dump() string {
+	var sb strings.Builder
+	for _, ev := range r.Events() {
+		sb.WriteString(ev.String())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// trace emits an event when tracing is configured.
+func (n *Node) trace(kind TraceKind, page, sync int, note string) {
+	if n.sys.opts.Tracer == nil {
+		return
+	}
+	n.sys.opts.Tracer.Trace(TraceEvent{
+		Node: n.id, VTime: n.clock.Now(), Kind: kind,
+		Page: page, Sync: sync, Note: note,
+	})
+}

@@ -1,0 +1,116 @@
+package dsm
+
+import (
+	"strings"
+	"testing"
+
+	"genomedsm/internal/cluster"
+)
+
+func TestTracerRecordsProtocolFlow(t *testing.T) {
+	tracer := NewRingTracer(256)
+	sys, err := NewSystem(2, cluster.Zero(), Options{Tracer: tracer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, _ := sys.AllocAt(4096, 0)
+	err = sys.Run(func(n *Node) error {
+		if n.ID() == 0 {
+			if err := n.WithLock(0, func() error { return n.WriteAt(r, 0, []byte{1}) }); err != nil {
+				return err
+			}
+			if err := n.Setcv(0); err != nil {
+				return err
+			}
+		} else {
+			if err := n.Waitcv(0); err != nil {
+				return err
+			}
+			if err := n.Acquire(0); err != nil {
+				return err
+			}
+			var b [1]byte
+			if err := n.ReadAt(r, 0, b[:]); err != nil {
+				return err
+			}
+			if err := n.Release(0); err != nil {
+				return err
+			}
+		}
+		return n.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := tracer.Events()
+	kinds := map[TraceKind]int{}
+	for _, ev := range events {
+		kinds[ev.Kind]++
+	}
+	for _, want := range []TraceKind{TraceAcquire, TraceRelease, TraceSetcv,
+		TraceWaitcv, TraceFetch, TraceBarrier} {
+		if kinds[want] == 0 {
+			t.Errorf("no %s event traced; kinds: %v", want, kinds)
+		}
+	}
+	dump := tracer.Dump()
+	for _, want := range []string{"ACQ", "GETP", "BARR", "n0", "n1"} {
+		if !strings.Contains(dump, want) {
+			t.Errorf("dump missing %q", want)
+		}
+	}
+	if tracer.Total() != int64(len(events)) {
+		t.Errorf("total %d, retained %d; nothing should be dropped here", tracer.Total(), len(events))
+	}
+}
+
+func TestRingTracerWraps(t *testing.T) {
+	tracer := NewRingTracer(4)
+	for i := 0; i < 10; i++ {
+		tracer.Trace(TraceEvent{Node: i, Kind: TraceFetch, Page: i, Sync: -1})
+	}
+	events := tracer.Events()
+	if len(events) != 4 {
+		t.Fatalf("retained %d, want 4", len(events))
+	}
+	for i, ev := range events {
+		if ev.Node != 6+i {
+			t.Errorf("event %d from node %d, want %d (oldest retained)", i, ev.Node, 6+i)
+		}
+	}
+	if tracer.Total() != 10 {
+		t.Errorf("total %d", tracer.Total())
+	}
+	if NewRingTracer(0).Cap <= 0 {
+		t.Error("default capacity not applied")
+	}
+}
+
+func TestTraceEventString(t *testing.T) {
+	ev := TraceEvent{Node: 3, VTime: 1.25, Kind: TraceDiff, Page: 7, Sync: -1, Note: "96B -> v4"}
+	s := ev.String()
+	for _, want := range []string{"n3", "DIFF", "page=7", "96B"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("event string %q missing %q", s, want)
+		}
+	}
+	if strings.Contains(s, "sync=") {
+		t.Errorf("negative sync id rendered: %q", s)
+	}
+}
+
+func TestNoTracerNoOverhead(t *testing.T) {
+	// Without a tracer the hot path must not panic or allocate events.
+	sys, err := NewSystem(1, cluster.Zero(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, _ := sys.AllocAt(4096, 0)
+	err = sys.Run(func(n *Node) error {
+		n.trace(TraceFetch, 0, -1, "ignored")
+		return n.WriteAt(r, 0, []byte{1})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,45 @@
+package dsm
+
+import "encoding/binary"
+
+// Typed accessors over shared regions. All values are little-endian; a
+// region used through these helpers is a flat array of int32/int64 cells,
+// which is how the alignment strategies lay out border rows, passage
+// bands and result matrices.
+
+// ReadInt32s fills out with the int32 values stored at byte offset off.
+func (n *Node) ReadInt32s(r Region, off int, out []int32) error {
+	buf := make([]byte, 4*len(out))
+	if err := n.ReadAt(r, off, buf); err != nil {
+		return err
+	}
+	for i := range out {
+		out[i] = int32(binary.LittleEndian.Uint32(buf[4*i:]))
+	}
+	return nil
+}
+
+// WriteInt32s stores vals at byte offset off.
+func (n *Node) WriteInt32s(r Region, off int, vals []int32) error {
+	buf := make([]byte, 4*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint32(buf[4*i:], uint32(v))
+	}
+	return n.WriteAt(r, off, buf)
+}
+
+// ReadInt64 reads one int64 at byte offset off.
+func (n *Node) ReadInt64(r Region, off int) (int64, error) {
+	var buf [8]byte
+	if err := n.ReadAt(r, off, buf[:]); err != nil {
+		return 0, err
+	}
+	return int64(binary.LittleEndian.Uint64(buf[:])), nil
+}
+
+// WriteInt64 stores v at byte offset off.
+func (n *Node) WriteInt64(r Region, off int, v int64) error {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(v))
+	return n.WriteAt(r, off, buf[:])
+}

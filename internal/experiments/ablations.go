@@ -1,0 +1,144 @@
+package experiments
+
+import (
+	"fmt"
+
+	"genomedsm/internal/bio"
+	"genomedsm/internal/cluster"
+	"genomedsm/internal/dsm"
+	"genomedsm/internal/phase2"
+	"genomedsm/internal/stats"
+	"genomedsm/internal/wavefront"
+)
+
+// Ablations quantifies the design choices the paper discusses but does
+// not measure: the cost of the DSM abstraction against raw message
+// passing, the write-invalidate/write-update protocol choice, home
+// migration, and a heterogeneous cluster (the paper's future work).
+func (c *Ctx) Ablations() error {
+	s, t, err := c.pair(50000)
+	if err != nil {
+		return err
+	}
+	cc := cluster.Calibrated2005()
+	bc := wavefront.MultiplierConfig(5, 5, 8)
+
+	tbl := stats.NewTable(
+		fmt.Sprintf("Ablations — blocked strategy, 8 processors, 50K (scaled 1/%d)", c.Scale),
+		"variant", "simulated time", "protocol bytes", "notes")
+
+	dsmRes, err := wavefront.RunBlocked(8, cc, s, t, scoring, heuristicParams, bc)
+	if err != nil {
+		return err
+	}
+	tbl.AddRowRaw("DSM (paper's design)", stats.FormatSeconds(dsmRes.Makespan),
+		stats.FormatCount(dsmRes.Stats.BytesMoved), "write-invalidate, Fig. 6 barrier")
+
+	mpRes, err := wavefront.RunBlockedMP(8, cc, s, t, scoring, heuristicParams, bc)
+	if err != nil {
+		return err
+	}
+	tbl.AddRowRaw("message passing", stats.FormatSeconds(mpRes.Makespan),
+		stats.FormatCount(mpRes.Stats.BytesMoved),
+		fmt.Sprintf("DSM overhead ×%.2f", dsmRes.Makespan/mpRes.Makespan))
+
+	hetero := cc
+	hetero.NodeSpeeds = []float64{1, 1, 1, 1, 0.5, 1, 1, 1}
+	hetRes, err := wavefront.RunBlocked(8, hetero, s, t, scoring, heuristicParams, bc)
+	if err != nil {
+		return err
+	}
+	tbl.AddRowRaw("one half-speed node", stats.FormatSeconds(hetRes.Makespan),
+		stats.FormatCount(hetRes.Stats.BytesMoved),
+		fmt.Sprintf("slowdown ×%.2f (future-work heterogeneity)", hetRes.Makespan/dsmRes.Makespan))
+
+	c.printf("%s", tbl.Render())
+
+	// Coherence-protocol micro-ablation on a producer/consumer pattern.
+	pc := func(protocol dsm.Protocol) (float64, dsm.Stats, error) {
+		sys, err := dsm.NewSystem(2, cc, dsm.Options{Protocol: protocol})
+		if err != nil {
+			return 0, dsm.Stats{}, err
+		}
+		r, err := sys.AllocAt(cc.PageSize, 0)
+		if err != nil {
+			return 0, dsm.Stats{}, err
+		}
+		err = sys.Run(func(n *dsm.Node) error {
+			for e := 0; e < 32; e++ {
+				if n.ID() == 0 {
+					if err := n.WithLock(0, func() error { return n.WriteAt(r, 5, []byte{byte(e)}) }); err != nil {
+						return err
+					}
+					if err := n.Setcv(0); err != nil {
+						return err
+					}
+					if err := n.Waitcv(1); err != nil {
+						return err
+					}
+				} else {
+					if err := n.Waitcv(0); err != nil {
+						return err
+					}
+					var b [1]byte
+					if err := n.WithLock(0, func() error { return n.ReadAt(r, 5, b[:]) }); err != nil {
+						return err
+					}
+					if err := n.Setcv(1); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		})
+		return sys.Makespan(), sys.TotalStats(), err
+	}
+	tbl2 := stats.NewTable("Coherence-protocol ablation — 32-round producer/consumer on one hot page",
+		"protocol", "simulated time", "page fetches", "patches", "bytes")
+	for _, protocol := range []dsm.Protocol{dsm.WriteInvalidate, dsm.WriteUpdate} {
+		mk, st, err := pc(protocol)
+		if err != nil {
+			return err
+		}
+		tbl2.AddRowRaw(protocol.String(), stats.FormatSeconds(mk),
+			fmt.Sprintf("%d", st.PageFetches), fmt.Sprintf("%d", st.Updates),
+			stats.FormatCount(st.BytesMoved))
+	}
+	c.printf("\n%s", tbl2.Render())
+
+	// Phase-2 work-distribution ablation: §4.4's lock-free scattered
+	// mapping vs a lock-protected shared queue.
+	g := bio.NewGenerator(c.Seed + 44)
+	nJobs := 1000 / c.Scale
+	if nJobs < 8 {
+		nJobs = 8
+	}
+	pairP2, err := g.HomologousPair(700*nJobs, bio.HomologyModel{
+		Regions: nJobs, RegionLen: 253, RegionJit: 60,
+		Divergence: bio.MutationModel{SubstitutionRate: 0.05},
+	})
+	if err != nil {
+		return err
+	}
+	jobs := make([]phase2.Job, len(pairP2.Regions))
+	for i, r := range pairP2.Regions {
+		jobs[i] = phase2.Job{SBegin: r.SBegin, SEnd: r.SEnd, TBegin: r.TBegin, TEnd: r.TEnd}
+	}
+	tbl3 := stats.NewTable(
+		fmt.Sprintf("Phase-2 distribution ablation — %d subsequence pairs, 8 processors", len(jobs)),
+		"distribution", "simulated time", "lock acquires")
+	scat, err := phase2.Run(8, cc, pairP2.S, pairP2.T, scoring, jobs)
+	if err != nil {
+		return err
+	}
+	tbl3.AddRowRaw("scattered mapping (§4.4)", stats.FormatSeconds(scat.Makespan),
+		fmt.Sprintf("%d", scat.Stats.LockAcquires))
+	lq, err := phase2.RunLockQueue(8, cc, pairP2.S, pairP2.T, scoring, jobs)
+	if err != nil {
+		return err
+	}
+	tbl3.AddRowRaw("lock-protected shared queue", stats.FormatSeconds(lq.Makespan),
+		fmt.Sprintf("%d", lq.Stats.LockAcquires))
+	c.printf("\n%s", tbl3.Render())
+	return nil
+}

@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// quickCtx runs experiments at micro scale with trimmed grids.
+func quickCtx(buf *bytes.Buffer) *Ctx {
+	ctx := New(buf, 100)
+	ctx.Quick = true
+	return ctx
+}
+
+func TestNamesAllRunnable(t *testing.T) {
+	for _, name := range Names() {
+		var buf bytes.Buffer
+		if err := quickCtx(&buf).Run(name); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if buf.Len() == 0 {
+			t.Errorf("%s produced no output", name)
+		}
+	}
+}
+
+func TestRunAll(t *testing.T) {
+	var buf bytes.Buffer
+	if err := quickCtx(&buf).Run("all"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Table 1", "Fig. 9", "Fig. 10", "Table 2",
+		"Table 3", "Table 4", "Fig. 13", "Fig. 14", "Fig. 15", "Fig. 16",
+		"Fig. 18a", "Fig. 18b", "Fig. 19", "Fig. 20", "Section 6"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("combined output missing %q", want)
+		}
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := quickCtx(&buf).Run("fig99"); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestScaleClamp(t *testing.T) {
+	ctx := New(&bytes.Buffer{}, 0)
+	if ctx.Scale != 1 {
+		t.Errorf("scale %d, want clamp to 1", ctx.Scale)
+	}
+	if n := ctx.scaled(50); n != 128 {
+		t.Errorf("tiny scaled size %d, want floor 128", n)
+	}
+}
+
+// TestTable3ShapeAtModerateScale asserts the Table 3 qualitative claim at
+// a scale where block compute still dominates per-block sync: any
+// blocking beats 1×1, substantially.
+func TestTable3ShapeAtModerateScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("moderate-scale experiment")
+	}
+	var buf bytes.Buffer
+	ctx := New(&buf, 25)
+	if err := ctx.Run("table3"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "2×2") || strings.Contains(out, "gain vs 1×1   paper\n1×1") {
+		t.Logf("output:\n%s", out)
+	}
+	// The 1×1 row must be the slowest configuration: every other row
+	// shows a positive gain.
+	lines := strings.Split(out, "\n")
+	for _, l := range lines {
+		if strings.HasPrefix(l, "2×2") || strings.HasPrefix(l, "3×3") {
+			if strings.Contains(l, "-") && strings.Contains(l, "-%") {
+				t.Errorf("blocking slower than 1×1: %s", l)
+			}
+		}
+	}
+}

@@ -1,0 +1,231 @@
+// Package heuristics implements the candidate-alignment heuristics of
+// Martins et al. used by the paper's first two parallel strategies (§4.1):
+// a linear-space Smith–Waterman scan whose cells carry, besides the
+// current score, the bookkeeping needed to report local alignments without
+// a traceback — initial and final coordinates, maximal and minimal score,
+// gap/match/mismatch counters and an open-candidate flag.
+//
+// The cell-transition function (Kernel.Step) is shared verbatim by the
+// sequential scan and by both parallel strategies, which is what makes the
+// "parallel result == sequential result" invariant hold exactly.
+package heuristics
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"genomedsm/internal/bio"
+)
+
+// Params are the user parameters of the heuristic (§4.1).
+type Params struct {
+	// Open is the minimum rise of the current score above the running
+	// minimum for a candidate alignment to open ("a minimum value for
+	// opening this alignment as a candidate alignment").
+	Open int
+	// Close is the drop below the running maximum that closes a candidate
+	// ("a value for closing an alignment").
+	Close int
+	// MinScore filters the queue: only candidates whose score is at least
+	// MinScore are recorded ("whose scores are above the threshold").
+	MinScore int
+}
+
+// DefaultParams gives a usable configuration for DNA under the paper's
+// +1/−1/−2 scheme.
+func DefaultParams() Params { return Params{Open: 10, Close: 10, MinScore: 20} }
+
+// Validate rejects non-positive thresholds.
+func (p Params) Validate() error {
+	if p.Open <= 0 || p.Close <= 0 || p.MinScore <= 0 {
+		return fmt.Errorf("heuristics: parameters must be positive, got %+v", p)
+	}
+	return nil
+}
+
+// Cell is the per-entry state of the heuristic scan. All fields are int32
+// so a Cell has a fixed wire encoding (CellBytes) — border cells travel
+// through DSM pages in the parallel strategies.
+type Cell struct {
+	Score      int32 // current similarity value (zero-clamped)
+	Flag       int32 // 1 while a candidate alignment is open
+	BeginI     int32 // initial coordinates (set when the candidate opens)
+	BeginJ     int32
+	PeakI      int32 // coordinates of the maximal score (candidate end)
+	PeakJ      int32
+	Max        int32 // maximal score since the candidate opened
+	Min        int32 // minimal score since the last close
+	MinAtOpen  int32 // Min captured when the candidate opened
+	Gaps       int32 // counters; per §4.1 they are never reset
+	Matches    int32
+	Mismatches int32
+}
+
+// CellBytes is the fixed encoded size of a Cell.
+const CellBytes = 12 * 4
+
+// Encode writes the cell into buf (little-endian), which must hold at
+// least CellBytes.
+func (c *Cell) Encode(buf []byte) {
+	_ = buf[CellBytes-1]
+	fields := [...]int32{c.Score, c.Flag, c.BeginI, c.BeginJ, c.PeakI, c.PeakJ,
+		c.Max, c.Min, c.MinAtOpen, c.Gaps, c.Matches, c.Mismatches}
+	for i, f := range fields {
+		binary.LittleEndian.PutUint32(buf[i*4:], uint32(f))
+	}
+}
+
+// DecodeCell reads a Cell previously written by Encode.
+func DecodeCell(buf []byte) Cell {
+	_ = buf[CellBytes-1]
+	get := func(i int) int32 { return int32(binary.LittleEndian.Uint32(buf[i*4:])) }
+	return Cell{
+		Score: get(0), Flag: get(1), BeginI: get(2), BeginJ: get(3),
+		PeakI: get(4), PeakJ: get(5), Max: get(6), Min: get(7),
+		MinAtOpen: get(8), Gaps: get(9), Matches: get(10), Mismatches: get(11),
+	}
+}
+
+// priority is the tie-break expression of §4.1: gaps are penalized while
+// matches and mismatches are rewarded.
+func (c *Cell) priority() int32 { return 2*c.Matches + 2*c.Mismatches + c.Gaps }
+
+// Candidate is one entry of the alignment queue: the coordinates of a
+// similar region and its heuristic score.
+type Candidate struct {
+	SBegin, SEnd int
+	TBegin, TEnd int
+	Score        int
+}
+
+// Size is the larger of the two subsequence extents; the queue is sorted
+// by it.
+func (c Candidate) Size() int {
+	s := c.SEnd - c.SBegin + 1
+	t := c.TEnd - c.TBegin + 1
+	if t > s {
+		return t
+	}
+	return s
+}
+
+// Kernel computes heuristic cells for one sequence pair. It is stateless
+// apart from the inputs, so the same Kernel may be used concurrently by
+// several goroutines.
+type Kernel struct {
+	S, T    bio.Sequence
+	Scoring bio.Scoring
+	Params  Params
+}
+
+// NewKernel validates the inputs and builds a Kernel.
+func NewKernel(s, t bio.Sequence, sc bio.Scoring, p Params) (*Kernel, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &Kernel{S: s, T: t, Scoring: sc, Params: p}, nil
+}
+
+// Step computes the cell at (i, j) (1-based) from its three predecessors,
+// applying the full §4.1 heuristic: origin selection with the counter
+// tie-break and the horizontal→vertical→diagonal preference, counter
+// updates, min/max tracking, candidate open/close. A candidate that closes
+// at this cell with score ≥ MinScore is passed to emit (which may be nil).
+func (k *Kernel) Step(diag, west, north *Cell, i, j int, emit func(Candidate)) Cell {
+	sub := int32(k.Scoring.Pair(k.S[i-1], k.T[j-1]))
+	gap := int32(k.Scoring.Gap)
+	dv := diag.Score + sub
+	wv := west.Score + gap
+	nv := north.Score + gap
+
+	best := dv
+	if wv > best {
+		best = wv
+	}
+	if nv > best {
+		best = nv
+	}
+	if best <= 0 {
+		// The path dies: fresh state. Any open candidate on the chosen
+		// predecessor already closed on the way down (the score crosses
+		// Max−Close before reaching zero whenever Max ≥ Close).
+		return Cell{}
+	}
+
+	// Origin selection: among the predecessors attaining the maximum, the
+	// greater 2·matches+2·mismatches+gaps wins; if still equal, preference
+	// is horizontal, then vertical, then diagonal (§4.1).
+	var origin *Cell
+	var fromDiag bool
+	consider := func(c *Cell, v int32, isDiag bool) {
+		if v != best {
+			return
+		}
+		if origin == nil || c.priority() > origin.priority() {
+			origin, fromDiag = c, isDiag
+		}
+	}
+	consider(west, wv, false)
+	consider(north, nv, false)
+	consider(diag, dv, true)
+
+	cell := *origin
+	cell.Score = best
+	if fromDiag {
+		if sub > 0 {
+			cell.Matches++
+		} else {
+			cell.Mismatches++
+		}
+	} else {
+		cell.Gaps++
+	}
+
+	if cell.Score < cell.Min {
+		cell.Min = cell.Score
+	}
+	if cell.Flag == 0 {
+		if cell.Score >= cell.Min+int32(k.Params.Open) {
+			cell.Flag = 1
+			cell.BeginI, cell.BeginJ = int32(i), int32(j)
+			cell.PeakI, cell.PeakJ = int32(i), int32(j)
+			cell.Max = cell.Score
+			cell.MinAtOpen = cell.Min
+		}
+		return cell
+	}
+	if cell.Score > cell.Max {
+		cell.Max = cell.Score
+		cell.PeakI, cell.PeakJ = int32(i), int32(j)
+	}
+	if cell.Score <= cell.Max-int32(k.Params.Close) {
+		k.close(&cell, emit)
+	}
+	return cell
+}
+
+// close finalizes the open candidate held by cell, emitting it when it
+// clears the MinScore threshold, and resets the hysteresis floor.
+func (k *Kernel) close(cell *Cell, emit func(Candidate)) {
+	if score := int(cell.Max - cell.MinAtOpen); score >= k.Params.MinScore && emit != nil {
+		emit(Candidate{
+			SBegin: int(cell.BeginI), SEnd: int(cell.PeakI),
+			TBegin: int(cell.BeginJ), TEnd: int(cell.PeakJ),
+			Score: score,
+		})
+	}
+	cell.Flag = 0
+	cell.Min = cell.Score
+}
+
+// Flush emits the candidate still open in cell, if any. The scans call it
+// for cells on the last row and last column, whose state has no successors
+// to close it.
+func (k *Kernel) Flush(cell *Cell, emit func(Candidate)) {
+	if cell.Flag != 0 {
+		k.close(cell, emit)
+	}
+}

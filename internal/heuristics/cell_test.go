@@ -1,0 +1,238 @@
+package heuristics
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"genomedsm/internal/bio"
+)
+
+var sc = bio.DefaultScoring()
+
+func TestParamsValidate(t *testing.T) {
+	if err := DefaultParams().Validate(); err != nil {
+		t.Errorf("default params invalid: %v", err)
+	}
+	for _, p := range []Params{{0, 1, 1}, {1, 0, 1}, {1, 1, 0}, {-1, 1, 1}} {
+		if err := p.Validate(); err == nil {
+			t.Errorf("Validate(%+v) accepted invalid params", p)
+		}
+	}
+}
+
+func TestCellEncodeDecodeRoundTrip(t *testing.T) {
+	f := func(score, flag, bi, bj, pi, pj, mx, mn, mao, g, m, mm int32) bool {
+		c := Cell{score, flag, bi, bj, pi, pj, mx, mn, mao, g, m, mm}
+		buf := make([]byte, CellBytes)
+		c.Encode(buf)
+		return DecodeCell(buf) == c
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCellEncodePanicsOnShortBuffer(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Encode on short buffer did not panic")
+		}
+	}()
+	c := Cell{}
+	c.Encode(make([]byte, CellBytes-1))
+}
+
+func TestNewKernelValidation(t *testing.T) {
+	s := bio.MustSequence("ACGT")
+	if _, err := NewKernel(s, s, bio.Scoring{}, DefaultParams()); err == nil {
+		t.Error("invalid scoring accepted")
+	}
+	if _, err := NewKernel(s, s, sc, Params{}); err == nil {
+		t.Error("invalid params accepted")
+	}
+}
+
+func TestStepScoreMatchesPlainSW(t *testing.T) {
+	// The heuristic cell's Score field must follow the plain zero-clamped
+	// Smith–Waterman recurrence regardless of the candidate bookkeeping.
+	g := bio.NewGenerator(71)
+	s := g.Random(60)
+	tt := g.MutatedCopy(s, bio.DefaultMutationModel())
+	k, err := NewKernel(s, tt, sc, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, n := s.Len(), tt.Len()
+	prev := make([]Cell, n+1)
+	cur := make([]Cell, n+1)
+	swPrev := make([]int, n+1)
+	swCur := make([]int, n+1)
+	for i := 1; i <= m; i++ {
+		for j := 1; j <= n; j++ {
+			cur[j] = k.Step(&prev[j-1], &cur[j-1], &prev[j], i, j, nil)
+			v := swPrev[j-1] + sc.Pair(s[i-1], tt[j-1])
+			if w := swCur[j-1] + sc.Gap; w > v {
+				v = w
+			}
+			if no := swPrev[j] + sc.Gap; no > v {
+				v = no
+			}
+			if v < 0 {
+				v = 0
+			}
+			swCur[j] = v
+			if int(cur[j].Score) != v {
+				t.Fatalf("cell (%d,%d): heuristic score %d, SW score %d", i, j, cur[j].Score, v)
+			}
+		}
+		prev, cur = cur, prev
+		swPrev, swCur = swCur, swPrev
+	}
+}
+
+func TestStepTieBreakPrefersHorizontal(t *testing.T) {
+	s := bio.MustSequence("AC")
+	tt := bio.MustSequence("AC")
+	k, err := NewKernel(s, tt, sc, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Construct predecessors with identical resulting value and identical
+	// priority: the horizontal (west) origin must win.
+	west := Cell{Score: 5, Matches: 2, Gaps: 1}                // wv = 3
+	north := Cell{Score: 5, Matches: 2, Gaps: 1}               // nv = 3
+	diag := Cell{Score: 4, Matches: 2, Mismatches: 0, Gaps: 1} // dv = 4±... use mismatching bases
+	// Use position (1,2): s[0]='A', t[1]='C' mismatch, so dv = 4-1 = 3.
+	got := k.Step(&diag, &west, &north, 1, 2, nil)
+	if got.Score != 3 {
+		t.Fatalf("score %d, want 3", got.Score)
+	}
+	// West origin increments Gaps (2), keeps Matches 2.
+	if got.Gaps != 2 || got.Matches != 2 || got.Mismatches != 0 {
+		t.Errorf("origin not horizontal: %+v", got)
+	}
+}
+
+func TestStepTieBreakPrefersHigherPriority(t *testing.T) {
+	s := bio.MustSequence("AC")
+	tt := bio.MustSequence("AC")
+	k, _ := NewKernel(s, tt, sc, DefaultParams())
+	west := Cell{Score: 5, Gaps: 1}     // priority 1, wv = 3
+	north := Cell{Score: 5, Matches: 3} // priority 6, nv = 3
+	diag := Cell{Score: 4}              // dv = 3 at mismatch position
+	got := k.Step(&diag, &west, &north, 1, 2, nil)
+	// North origin (priority 6) wins; gap increment applies.
+	if got.Matches != 3 || got.Gaps != 1 {
+		t.Errorf("expected north origin, got %+v", got)
+	}
+}
+
+func TestStepDiagonalCounters(t *testing.T) {
+	s := bio.MustSequence("AA")
+	tt := bio.MustSequence("AC")
+	k, _ := NewKernel(s, tt, sc, DefaultParams())
+	diag := Cell{Score: 10, Matches: 1}
+	weak := Cell{Score: 0}
+	// Match position (1,1): diag wins with 11, Matches increments.
+	got := k.Step(&diag, &weak, &weak, 1, 1, nil)
+	if got.Score != 11 || got.Matches != 2 || got.Mismatches != 0 {
+		t.Errorf("match step: %+v", got)
+	}
+	// Mismatch position (1,2): diag 9, Mismatches increments.
+	got = k.Step(&diag, &weak, &weak, 1, 2, nil)
+	if got.Score != 9 || got.Mismatches != 1 {
+		t.Errorf("mismatch step: %+v", got)
+	}
+}
+
+func TestStepZeroResetsState(t *testing.T) {
+	s := bio.MustSequence("AA")
+	tt := bio.MustSequence("CC")
+	k, _ := NewKernel(s, tt, sc, DefaultParams())
+	rich := Cell{Score: 1, Flag: 1, Max: 30, Matches: 9}
+	got := k.Step(&rich, &rich, &rich, 1, 1, nil)
+	if !reflect.DeepEqual(got, Cell{}) {
+		t.Errorf("dead path did not reset state: %+v", got)
+	}
+}
+
+func TestOpenCloseLifecycle(t *testing.T) {
+	// Drive a single path: scores rise by matches, opening a candidate,
+	// then fall by gaps until it closes. Use a 1-row scan over equal and
+	// then disjoint bases.
+	s := bio.MustSequence("AAAAAAAAAAAA")
+	tt := bio.MustSequence("AAAAAACCCCCC")
+	p := Params{Open: 3, Close: 3, MinScore: 3}
+	k, err := NewKernel(s, tt, sc, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []Candidate
+	emit := func(c Candidate) { got = append(got, c) }
+	// Walk the diagonal only: cell (i,i) from cell (i-1,i-1).
+	cell := Cell{}
+	empty := Cell{}
+	for i := 1; i <= 12; i++ {
+		cell = k.Step(&cell, &empty, &empty, i, i, emit)
+	}
+	if len(got) != 1 {
+		t.Fatalf("emitted %d candidates, want 1: %+v", len(got), got)
+	}
+	c := got[0]
+	// Scores along the diagonal: 1..6 then 5,4,3 (mismatches). Open fires
+	// at score 3 (cell 3), peak at 6 (cell 6), close at 6-3=3 (cell 9).
+	if c.SBegin != 3 || c.SEnd != 6 || c.TBegin != 3 || c.TEnd != 6 {
+		t.Errorf("candidate coordinates %+v", c)
+	}
+	if c.Score != 6 {
+		t.Errorf("candidate score %d, want 6 (max 6 − min-at-open 0)", c.Score)
+	}
+	if cell.Flag != 0 {
+		t.Error("cell still open after close")
+	}
+	if cell.Min != cell.Score {
+		t.Errorf("hysteresis floor not reset: min %d score %d", cell.Min, cell.Score)
+	}
+}
+
+func TestFlushEmitsOpenCandidate(t *testing.T) {
+	s := bio.MustSequence("AAAA")
+	p := Params{Open: 2, Close: 2, MinScore: 2}
+	k, err := NewKernel(s, s, sc, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell := Cell{}
+	empty := Cell{}
+	for i := 1; i <= 4; i++ {
+		cell = k.Step(&cell, &empty, &empty, i, i, nil)
+	}
+	if cell.Flag != 1 {
+		t.Fatal("candidate should be open at the end of the diagonal")
+	}
+	var got []Candidate
+	k.Flush(&cell, func(c Candidate) { got = append(got, c) })
+	if len(got) != 1 {
+		t.Fatalf("flush emitted %d, want 1", len(got))
+	}
+	if got[0].Score != 4 || got[0].SEnd != 4 {
+		t.Errorf("flushed candidate %+v", got[0])
+	}
+	var again []Candidate
+	k.Flush(&cell, func(c Candidate) { again = append(again, c) })
+	if len(again) != 0 {
+		t.Error("second flush re-emitted a closed candidate")
+	}
+}
+
+func TestCandidateSize(t *testing.T) {
+	c := Candidate{SBegin: 1, SEnd: 10, TBegin: 5, TEnd: 20}
+	if c.Size() != 16 {
+		t.Errorf("size %d, want 16", c.Size())
+	}
+	c = Candidate{SBegin: 1, SEnd: 30, TBegin: 5, TEnd: 20}
+	if c.Size() != 30 {
+		t.Errorf("size %d, want 30", c.Size())
+	}
+}

@@ -1,0 +1,68 @@
+package heuristics
+
+import "sort"
+
+// Queue accumulates candidate alignments during a scan. At the end of the
+// algorithm it is sorted by subsequence size and repeated alignments are
+// removed (§4.1). The zero value is ready to use.
+type Queue struct {
+	items []Candidate
+}
+
+// Add appends a candidate.
+func (q *Queue) Add(c Candidate) { q.items = append(q.items, c) }
+
+// AddAll appends every candidate of other.
+func (q *Queue) AddAll(other *Queue) { q.items = append(q.items, other.items...) }
+
+// Len returns the number of stored candidates (including duplicates until
+// Finalize is called).
+func (q *Queue) Len() int { return len(q.items) }
+
+// Finalize sorts the queue by decreasing subsequence size (ties broken by
+// coordinates so the order is total and deterministic) and removes
+// repeated alignments: exact duplicates, and shorter restatements of a
+// candidate that share its initial coordinates — the candidate state is
+// replicated across a cone of cells during the scan, so the same
+// alignment typically closes several times with slightly different final
+// coordinates; only the largest survives. It returns the resulting slice;
+// the queue itself holds the finalized content afterwards.
+func (q *Queue) Finalize() []Candidate {
+	sort.Slice(q.items, func(a, b int) bool {
+		x, y := q.items[a], q.items[b]
+		if x.Size() != y.Size() {
+			return x.Size() > y.Size()
+		}
+		if x.SBegin != y.SBegin {
+			return x.SBegin < y.SBegin
+		}
+		if x.TBegin != y.TBegin {
+			return x.TBegin < y.TBegin
+		}
+		if x.SEnd != y.SEnd {
+			return x.SEnd < y.SEnd
+		}
+		if x.TEnd != y.TEnd {
+			return x.TEnd < y.TEnd
+		}
+		return x.Score > y.Score
+	})
+	out := q.items[:0]
+	seenBegin := make(map[[2]int]bool, len(q.items))
+	for i, c := range q.items {
+		if i > 0 && c == q.items[i-1] {
+			continue
+		}
+		begin := [2]int{c.SBegin, c.TBegin}
+		if seenBegin[begin] {
+			continue // a larger candidate with the same origin was kept
+		}
+		seenBegin[begin] = true
+		out = append(out, c)
+	}
+	q.items = out
+	return out
+}
+
+// Items returns the current contents without finalizing.
+func (q *Queue) Items() []Candidate { return q.items }

@@ -1,0 +1,39 @@
+package heuristics
+
+import (
+	"genomedsm/internal/bio"
+)
+
+// Scan runs the complete sequential heuristic algorithm of §4.1 over s
+// (rows) and t (columns) using two linear arrays of Cells, and returns
+// the finalized candidate queue. It is the serial baseline of the paper's
+// Tables 1 and 4 and the reference result both parallel strategies must
+// reproduce exactly.
+func Scan(s, t bio.Sequence, sc bio.Scoring, p Params) ([]Candidate, error) {
+	k, err := NewKernel(s, t, sc, p)
+	if err != nil {
+		return nil, err
+	}
+	var q Queue
+	emit := q.Add
+	m, n := s.Len(), t.Len()
+	prev := make([]Cell, n+1) // reading row (row i−1)
+	cur := make([]Cell, n+1)  // writing row (row i)
+	for i := 1; i <= m; i++ {
+		cur[0] = Cell{}
+		for j := 1; j <= n; j++ {
+			cur[j] = k.Step(&prev[j-1], &cur[j-1], &prev[j], i, j, emit)
+		}
+		if i == m {
+			// Cells of the last row have no successors below; flush their
+			// open candidates. (Candidates still open elsewhere never get
+			// another chance to close — as in the paper, they are simply
+			// not reported.)
+			for j := 1; j <= n; j++ {
+				k.Flush(&cur[j], emit)
+			}
+		}
+		prev, cur = cur, prev
+	}
+	return q.Finalize(), nil
+}

@@ -1,0 +1,221 @@
+package heuristics
+
+import (
+	"reflect"
+	"testing"
+
+	"genomedsm/internal/bio"
+)
+
+func TestScanFindsPlantedRegions(t *testing.T) {
+	g := bio.NewGenerator(73)
+	pair, err := g.HomologousPair(3000, bio.HomologyModel{
+		Regions: 6, RegionLen: 200, RegionJit: 40,
+		Divergence: bio.MutationModel{SubstitutionRate: 0.04},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands, err := Scan(pair.S, pair.T, sc, Params{Open: 15, Close: 15, MinScore: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) == 0 {
+		t.Fatal("no candidates found despite planted regions")
+	}
+	// Every planted region must be covered by at least one candidate.
+	for _, r := range pair.Regions {
+		found := false
+		for _, c := range cands {
+			if c.SBegin <= r.SEnd && r.SBegin <= c.SEnd && c.TBegin <= r.TEnd && r.TBegin <= c.TEnd {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("planted region %+v not covered by any candidate", r)
+		}
+	}
+	// Candidates must carry sane coordinates.
+	for _, c := range cands {
+		if c.SBegin < 1 || c.SEnd > pair.S.Len() || c.TBegin < 1 || c.TEnd > pair.T.Len() {
+			t.Errorf("candidate out of bounds: %+v", c)
+		}
+		if c.SBegin > c.SEnd || c.TBegin > c.TEnd {
+			t.Errorf("candidate inverted: %+v", c)
+		}
+		if c.Score < 50 {
+			t.Errorf("candidate below MinScore: %+v", c)
+		}
+	}
+}
+
+func TestScanNoSimilarityFindsNothing(t *testing.T) {
+	// Two unrelated random sequences of modest length should not produce
+	// high-scoring candidates.
+	g := bio.NewGenerator(79)
+	s := g.Random(1500)
+	tt := g.Random(1500)
+	cands, err := Scan(s, tt, sc, Params{Open: 15, Close: 15, MinScore: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) != 0 {
+		t.Errorf("found %d candidates in unrelated noise: %+v", len(cands), cands)
+	}
+}
+
+func TestScanIsDeterministic(t *testing.T) {
+	g := bio.NewGenerator(83)
+	pair, err := g.HomologousPair(2000, bio.DefaultHomologyModel(2000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Params{Open: 10, Close: 10, MinScore: 30}
+	a, err := Scan(pair.S, pair.T, sc, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Scan(pair.S, pair.T, sc, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("two identical scans disagreed")
+	}
+}
+
+func TestScanEmptyInputs(t *testing.T) {
+	cands, err := Scan(nil, bio.MustSequence("ACGT"), sc, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) != 0 {
+		t.Errorf("scan of empty s found %d candidates", len(cands))
+	}
+	cands, err = Scan(bio.MustSequence("ACGT"), nil, sc, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) != 0 {
+		t.Errorf("scan of empty t found %d candidates", len(cands))
+	}
+}
+
+func TestScanRejectsBadInput(t *testing.T) {
+	s := bio.MustSequence("ACGT")
+	if _, err := Scan(s, s, bio.Scoring{}, DefaultParams()); err == nil {
+		t.Error("invalid scoring accepted")
+	}
+	if _, err := Scan(s, s, sc, Params{}); err == nil {
+		t.Error("invalid params accepted")
+	}
+}
+
+func TestQueueFinalizeSortsAndDedupes(t *testing.T) {
+	var q Queue
+	small := Candidate{SBegin: 1, SEnd: 5, TBegin: 1, TEnd: 5, Score: 5}
+	big := Candidate{SBegin: 10, SEnd: 40, TBegin: 10, TEnd: 40, Score: 20}
+	q.Add(small)
+	q.Add(big)
+	q.Add(small) // duplicate
+	got := q.Finalize()
+	if len(got) != 2 {
+		t.Fatalf("finalize kept %d, want 2", len(got))
+	}
+	if got[0] != big || got[1] != small {
+		t.Errorf("finalize order wrong: %+v", got)
+	}
+	if q.Len() != 2 {
+		t.Errorf("queue length after finalize %d", q.Len())
+	}
+}
+
+func TestQueueAddAll(t *testing.T) {
+	var a, b Queue
+	a.Add(Candidate{SBegin: 1, SEnd: 2, TBegin: 1, TEnd: 2, Score: 1})
+	b.Add(Candidate{SBegin: 3, SEnd: 4, TBegin: 3, TEnd: 4, Score: 2})
+	a.AddAll(&b)
+	if a.Len() != 2 {
+		t.Errorf("AddAll: len %d, want 2", a.Len())
+	}
+	if len(a.Items()) != 2 {
+		t.Errorf("Items: %d", len(a.Items()))
+	}
+}
+
+// TestScanCandidateIsGenuinelySimilar cross-checks the heuristic against
+// the exact algorithm: the region reported by a candidate must contain a
+// true local alignment with score comparable to the candidate's claim.
+func TestScanCandidateIsGenuinelySimilar(t *testing.T) {
+	g := bio.NewGenerator(89)
+	motif := g.Random(120)
+	s := concat(g.Random(300), motif, g.Random(300))
+	tt := concat(g.Random(200), g.MutatedCopy(motif, bio.MutationModel{SubstitutionRate: 0.03}), g.Random(400))
+	cands, err := Scan(s, tt, sc, Params{Open: 15, Close: 15, MinScore: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) == 0 {
+		t.Fatal("no candidates")
+	}
+	best := cands[0]
+	// Exact similarity of the reported subsequences (with a margin around
+	// them, since heuristic coordinates are approximate).
+	margin := 30
+	sb, se := clamp(best.SBegin-margin, 1, s.Len()), clamp(best.SEnd+margin, 1, s.Len())
+	tb, te := clamp(best.TBegin-margin, 1, tt.Len()), clamp(best.TEnd+margin, 1, tt.Len())
+	sim, err := exactSim(s.Sub(sb, se), tt.Sub(tb, te))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim < best.Score*7/10 {
+		t.Errorf("candidate claims %d but exact similarity of its region is %d", best.Score, sim)
+	}
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// exactSim is a tiny local-alignment scorer used for cross-checking (kept
+// here to avoid an import cycle with internal/align).
+func exactSim(s, t bio.Sequence) (int, error) {
+	prev := make([]int, t.Len()+1)
+	cur := make([]int, t.Len()+1)
+	best := 0
+	for i := 1; i <= s.Len(); i++ {
+		for j := 1; j <= t.Len(); j++ {
+			v := prev[j-1] + sc.Pair(s[i-1], t[j-1])
+			if w := cur[j-1] + sc.Gap; w > v {
+				v = w
+			}
+			if n := prev[j] + sc.Gap; n > v {
+				v = n
+			}
+			if v < 0 {
+				v = 0
+			}
+			cur[j] = v
+			if v > best {
+				best = v
+			}
+		}
+		prev, cur = cur, prev
+	}
+	return best, nil
+}
+
+func concat(parts ...bio.Sequence) bio.Sequence {
+	var out bio.Sequence
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out
+}

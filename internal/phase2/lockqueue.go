@@ -1,0 +1,160 @@
+package phase2
+
+import (
+	"fmt"
+
+	"genomedsm/internal/align"
+	"genomedsm/internal/bio"
+	"genomedsm/internal/cluster"
+	"genomedsm/internal/dsm"
+)
+
+// RunLockQueue is the synchronization-based alternative that §4.4's
+// scattered mapping was designed to avoid: nodes obtain work by popping
+// the next index from a shared cursor under a lock ("no synchronization is
+// needed to obtain work from the shared queue" — this variant measures
+// what that synchronization would have cost). Results are identical; only
+// the distribution mechanism differs. Dynamic popping balances load
+// better on skewed job sizes, at the price of one lock round-trip per
+// job — the classic centralized-queue trade-off.
+func RunLockQueue(nprocs int, cc cluster.Config, s, t bio.Sequence, sc bio.Scoring, jobs []Job) (*Result, error) {
+	if nprocs < 1 {
+		return nil, fmt.Errorf("phase2: nprocs %d", nprocs)
+	}
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	for i, j := range jobs {
+		if j.SBegin < 1 || j.SEnd > s.Len() || j.TBegin < 1 || j.TEnd > t.Len() ||
+			j.SBegin > j.SEnd || j.TBegin > j.TEnd {
+			return nil, fmt.Errorf("phase2: job %d out of range: %+v", i, j)
+		}
+	}
+	if len(jobs) == 0 {
+		return &Result{}, nil
+	}
+	maxOps := 0
+	for _, j := range jobs {
+		if ops := (j.SEnd - j.SBegin + 1) + (j.TEnd - j.TBegin + 1); ops > maxOps {
+			maxOps = ops
+		}
+	}
+	slotBytes := slotHeaderBytes + maxOps
+
+	sys, err := dsm.NewSystem(nprocs, cc, dsm.Options{Locks: 2})
+	if err != nil {
+		return nil, err
+	}
+	jobsRegion, err := sys.AllocAt(len(jobs)*jobBytes, 0)
+	if err != nil {
+		return nil, err
+	}
+	// The shared cursor lives on node 0; the queue lock protects it.
+	cursorRegion, err := sys.AllocAt(8, 0)
+	if err != nil {
+		return nil, err
+	}
+	resultRegion, err := sys.Alloc(len(jobs)*slotBytes, 0)
+	if err != nil {
+		return nil, err
+	}
+	const queueLock = 0
+
+	res := &Result{Alignments: make([]*align.Alignment, len(jobs))}
+	err = sys.Run(func(node *dsm.Node) error {
+		id := node.ID()
+		if id == 0 {
+			for i, j := range jobs {
+				enc := []int32{int32(j.SBegin), int32(j.SEnd), int32(j.TBegin), int32(j.TEnd)}
+				if err := node.WriteInt32s(jobsRegion, i*jobBytes, enc); err != nil {
+					return err
+				}
+			}
+		}
+		if err := node.Barrier(); err != nil {
+			return err
+		}
+
+		buf := make([]int32, 4)
+		slot := make([]byte, slotBytes)
+		for {
+			// Pop the next job index under the queue lock.
+			var idx int64
+			if err := node.WithLock(queueLock, func() error {
+				v, err := node.ReadInt64(cursorRegion, 0)
+				if err != nil {
+					return err
+				}
+				idx = v
+				return node.WriteInt64(cursorRegion, 0, v+1)
+			}); err != nil {
+				return err
+			}
+			if idx >= int64(len(jobs)) {
+				break
+			}
+			i := int(idx)
+			if err := node.ReadInt32s(jobsRegion, i*jobBytes, buf); err != nil {
+				return err
+			}
+			job := Job{int(buf[0]), int(buf[1]), int(buf[2]), int(buf[3])}
+			sub := s.Sub(job.SBegin, job.SEnd)
+			tub := t.Sub(job.TBegin, job.TEnd)
+			al, err := align.Global(sub, tub, sc)
+			if err != nil {
+				return err
+			}
+			node.Compute(int64(sub.Len()) * int64(tub.Len()))
+			al.SBegin += job.SBegin - 1
+			al.SEnd += job.SBegin - 1
+			al.TBegin += job.TBegin - 1
+			al.TEnd += job.TBegin - 1
+			hdr := []int32{int32(al.SBegin), int32(al.SEnd), int32(al.TBegin), int32(al.TEnd),
+				int32(al.Score), int32(len(al.Ops))}
+			if err := node.WriteInt32s(resultRegion, i*slotBytes, hdr); err != nil {
+				return err
+			}
+			for k, op := range al.Ops {
+				slot[k] = byte(op)
+			}
+			if err := node.WriteAt(resultRegion, i*slotBytes+slotHeaderBytes, slot[:len(al.Ops)]); err != nil {
+				return err
+			}
+		}
+		if err := node.Barrier(); err != nil {
+			return err
+		}
+
+		if id == 0 {
+			hdr := make([]int32, 6)
+			ops := make([]byte, maxOps)
+			for i := range jobs {
+				if err := node.ReadInt32s(resultRegion, i*slotBytes, hdr); err != nil {
+					return err
+				}
+				opsLen := int(hdr[5])
+				if err := node.ReadAt(resultRegion, i*slotBytes+slotHeaderBytes, ops[:opsLen]); err != nil {
+					return err
+				}
+				al := &align.Alignment{
+					SBegin: int(hdr[0]), SEnd: int(hdr[1]),
+					TBegin: int(hdr[2]), TEnd: int(hdr[3]),
+					Score: int(hdr[4]),
+					Ops:   make([]align.Op, opsLen),
+				}
+				for k := 0; k < opsLen; k++ {
+					al.Ops[k] = align.Op(ops[k])
+				}
+				res.Alignments[i] = al
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Makespan = sys.Makespan()
+	res.Breakdowns = sys.Breakdowns()
+	res.Stats = sys.TotalStats()
+	return res, nil
+}

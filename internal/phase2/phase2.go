@@ -1,0 +1,233 @@
+// Package phase2 implements the paper's second phase (§4.4): retrieving
+// the actual alignments of the similar regions found by phase 1. For each
+// region, the global alignment algorithm of Needleman–Wunsch is executed
+// on the delimited subsequences. Work is distributed by the scattered
+// mapping scheme: the alignment queue is treated as a vector sorted by
+// subsequence size, and processor Pi handles positions i, i+P, i+2P, …,
+// which balances load and eliminates the need for locks and condition
+// variables entirely — results land in a shared vector using the same
+// scattered positions.
+package phase2
+
+import (
+	"fmt"
+
+	"genomedsm/internal/align"
+	"genomedsm/internal/bio"
+	"genomedsm/internal/cluster"
+	"genomedsm/internal/dsm"
+	"genomedsm/internal/heuristics"
+)
+
+// Job is one similar region to align globally (1-based inclusive
+// coordinates into the phase-1 sequences).
+type Job struct {
+	SBegin, SEnd int
+	TBegin, TEnd int
+}
+
+// JobsFromCandidates converts a finalized phase-1 queue into jobs,
+// preserving its size-sorted order (the order scattered mapping relies on
+// for load balance).
+func JobsFromCandidates(cands []heuristics.Candidate) []Job {
+	jobs := make([]Job, len(cands))
+	for i, c := range cands {
+		jobs[i] = Job{SBegin: c.SBegin, SEnd: c.SEnd, TBegin: c.TBegin, TEnd: c.TEnd}
+	}
+	return jobs
+}
+
+// Result of a phase-2 run.
+type Result struct {
+	// Alignments is index-aligned with the input jobs; every alignment
+	// carries global (phase-1) coordinates.
+	Alignments []*align.Alignment
+	Makespan   float64
+	Breakdowns []cluster.Breakdown
+	Stats      dsm.Stats
+}
+
+const jobBytes = 16 // 4 × int32
+
+// slotHeaderBytes is the fixed part of one result slot:
+// SBegin, SEnd, TBegin, TEnd, Score, OpsLen.
+const slotHeaderBytes = 24
+
+// RunOptions tunes phase 2 beyond the paper's defaults.
+type RunOptions struct {
+	// LinearSpaceThreshold switches regions whose full Needleman–Wunsch
+	// matrix would exceed this many cells to Hirschberg's linear-space
+	// algorithm (Section 6 points to [9] for exactly this situation).
+	// Zero keeps the full-matrix algorithm for every region.
+	LinearSpaceThreshold int
+}
+
+// Run executes phase 2 over the given jobs on nprocs simulated nodes.
+func Run(nprocs int, cc cluster.Config, s, t bio.Sequence, sc bio.Scoring, jobs []Job) (*Result, error) {
+	return RunWithOptions(nprocs, cc, s, t, sc, jobs, RunOptions{})
+}
+
+// RunWithOptions is Run with explicit options.
+func RunWithOptions(nprocs int, cc cluster.Config, s, t bio.Sequence, sc bio.Scoring, jobs []Job, opts RunOptions) (*Result, error) {
+	if nprocs < 1 {
+		return nil, fmt.Errorf("phase2: nprocs %d", nprocs)
+	}
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	for i, j := range jobs {
+		if j.SBegin < 1 || j.SEnd > s.Len() || j.TBegin < 1 || j.TEnd > t.Len() ||
+			j.SBegin > j.SEnd || j.TBegin > j.TEnd {
+			return nil, fmt.Errorf("phase2: job %d out of range: %+v", i, j)
+		}
+	}
+	if len(jobs) == 0 {
+		return &Result{}, nil
+	}
+
+	// Result slots are sized for the largest job: a global alignment of
+	// an a×b region has at most a+b columns.
+	maxOps := 0
+	for _, j := range jobs {
+		if ops := (j.SEnd - j.SBegin + 1) + (j.TEnd - j.TBegin + 1); ops > maxOps {
+			maxOps = ops
+		}
+	}
+	slotBytes := slotHeaderBytes + maxOps
+
+	sys, err := dsm.NewSystem(nprocs, cc, dsm.Options{Locks: 2})
+	if err != nil {
+		return nil, err
+	}
+	jobsRegion, err := sys.AllocAt(len(jobs)*jobBytes, 0)
+	if err != nil {
+		return nil, err
+	}
+	// The shared result vector: scattered writes mean disjoint slots, so
+	// pages rotate across nodes to spread homes.
+	resultRegion, err := sys.Alloc(len(jobs)*slotBytes, 0)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{Alignments: make([]*align.Alignment, len(jobs))}
+	err = sys.Run(func(node *dsm.Node) error {
+		id := node.ID()
+		// Node 0 publishes the queue before the opening barrier.
+		if id == 0 {
+			for i, j := range jobs {
+				enc := []int32{int32(j.SBegin), int32(j.SEnd), int32(j.TBegin), int32(j.TEnd)}
+				if err := node.WriteInt32s(jobsRegion, i*jobBytes, enc); err != nil {
+					return err
+				}
+			}
+		}
+		if err := node.Barrier(); err != nil {
+			return err
+		}
+
+		// Scattered mapping: positions id, id+P, id+2P, … — no locks.
+		buf := make([]int32, 4)
+		slot := make([]byte, slotBytes)
+		for i := id; i < len(jobs); i += nprocs {
+			if err := node.ReadInt32s(jobsRegion, i*jobBytes, buf); err != nil {
+				return err
+			}
+			job := Job{int(buf[0]), int(buf[1]), int(buf[2]), int(buf[3])}
+			sub := s.Sub(job.SBegin, job.SEnd)
+			tub := t.Sub(job.TBegin, job.TEnd)
+			cells := int64(sub.Len()) * int64(tub.Len())
+			var al *align.Alignment
+			var err error
+			if opts.LinearSpaceThreshold > 0 && cells > int64(opts.LinearSpaceThreshold) {
+				// Hirschberg: linear space at roughly double the time.
+				al, err = align.GlobalLinear(sub, tub, sc)
+				cells *= 2
+			} else {
+				al, err = align.Global(sub, tub, sc)
+			}
+			if err != nil {
+				return err
+			}
+			node.Compute(cells)
+			// Remap to global coordinates.
+			al.SBegin += job.SBegin - 1
+			al.SEnd += job.SBegin - 1
+			al.TBegin += job.TBegin - 1
+			al.TEnd += job.TBegin - 1
+			if len(al.Ops) > maxOps {
+				return fmt.Errorf("phase2: job %d alignment has %d ops, slot holds %d", i, len(al.Ops), maxOps)
+			}
+			hdr := []int32{int32(al.SBegin), int32(al.SEnd), int32(al.TBegin), int32(al.TEnd),
+				int32(al.Score), int32(len(al.Ops))}
+			if err := node.WriteInt32s(resultRegion, i*slotBytes, hdr); err != nil {
+				return err
+			}
+			for k, op := range al.Ops {
+				slot[k] = byte(op)
+			}
+			if err := node.WriteAt(resultRegion, i*slotBytes+slotHeaderBytes, slot[:len(al.Ops)]); err != nil {
+				return err
+			}
+		}
+		if err := node.Barrier(); err != nil {
+			return err
+		}
+
+		// Node 0 collects the shared vector.
+		if id == 0 {
+			hdr := make([]int32, 6)
+			ops := make([]byte, maxOps)
+			for i := range jobs {
+				if err := node.ReadInt32s(resultRegion, i*slotBytes, hdr); err != nil {
+					return err
+				}
+				opsLen := int(hdr[5])
+				if err := node.ReadAt(resultRegion, i*slotBytes+slotHeaderBytes, ops[:opsLen]); err != nil {
+					return err
+				}
+				al := &align.Alignment{
+					SBegin: int(hdr[0]), SEnd: int(hdr[1]),
+					TBegin: int(hdr[2]), TEnd: int(hdr[3]),
+					Score: int(hdr[4]),
+					Ops:   make([]align.Op, opsLen),
+				}
+				for k := 0; k < opsLen; k++ {
+					al.Ops[k] = align.Op(ops[k])
+				}
+				res.Alignments[i] = al
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Makespan = sys.Makespan()
+	res.Breakdowns = sys.Breakdowns()
+	res.Stats = sys.TotalStats()
+	return res, nil
+}
+
+// Sequential computes the same alignments serially (the 1-processor
+// baseline of Fig. 15) without any DSM machinery; used for verification
+// and speed-up baselines.
+func Sequential(s, t bio.Sequence, sc bio.Scoring, jobs []Job) ([]*align.Alignment, error) {
+	out := make([]*align.Alignment, len(jobs))
+	for i, job := range jobs {
+		if job.SBegin < 1 || job.SEnd > s.Len() || job.TBegin < 1 || job.TEnd > t.Len() ||
+			job.SBegin > job.SEnd || job.TBegin > job.TEnd {
+			return nil, fmt.Errorf("phase2: job %d out of range: %+v", i, job)
+		}
+		al, err := align.Global(s.Sub(job.SBegin, job.SEnd), t.Sub(job.TBegin, job.TEnd), sc)
+		if err != nil {
+			return nil, err
+		}
+		al.SBegin += job.SBegin - 1
+		al.SEnd += job.SBegin - 1
+		al.TBegin += job.TBegin - 1
+		al.TEnd += job.TBegin - 1
+		out[i] = al
+	}
+	return out, nil
+}

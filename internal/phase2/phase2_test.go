@@ -1,0 +1,207 @@
+package phase2
+
+import (
+	"testing"
+
+	"genomedsm/internal/bio"
+	"genomedsm/internal/cluster"
+	"genomedsm/internal/heuristics"
+)
+
+var sc = bio.DefaultScoring()
+
+// makeJobs builds a pair of sequences with planted regions and the job
+// list covering them.
+func makeJobs(t *testing.T, seed int64, n, regions int) (bio.Sequence, bio.Sequence, []Job) {
+	t.Helper()
+	g := bio.NewGenerator(seed)
+	pair, err := g.HomologousPair(n, bio.HomologyModel{
+		Regions: regions, RegionLen: 120, RegionJit: 60,
+		Divergence: bio.MutationModel{SubstitutionRate: 0.05, InsertionRate: 0.003, DeletionRate: 0.003},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := make([]Job, len(pair.Regions))
+	for i, r := range pair.Regions {
+		jobs[i] = Job{SBegin: r.SBegin, SEnd: r.SEnd, TBegin: r.TBegin, TEnd: r.TEnd}
+	}
+	return pair.S, pair.T, jobs
+}
+
+func TestParallelMatchesSequential(t *testing.T) {
+	s, tt, jobs := makeJobs(t, 311, 4000, 12)
+	want, err := Sequential(s, tt, sc, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, nprocs := range []int{1, 2, 3, 8} {
+		res, err := Run(nprocs, cluster.Zero(), s, tt, sc, jobs)
+		if err != nil {
+			t.Fatalf("nprocs=%d: %v", nprocs, err)
+		}
+		if len(res.Alignments) != len(want) {
+			t.Fatalf("nprocs=%d: %d alignments, want %d", nprocs, len(res.Alignments), len(want))
+		}
+		for i := range want {
+			got := res.Alignments[i]
+			if got == nil {
+				t.Fatalf("nprocs=%d: alignment %d missing", nprocs, i)
+			}
+			if got.Score != want[i].Score || got.SBegin != want[i].SBegin ||
+				got.SEnd != want[i].SEnd || got.TBegin != want[i].TBegin || got.TEnd != want[i].TEnd {
+				t.Errorf("nprocs=%d job %d: got %+v, want %+v", nprocs, i, got, want[i])
+			}
+			if len(got.Ops) != len(want[i].Ops) {
+				t.Errorf("nprocs=%d job %d: ops length %d vs %d", nprocs, i, len(got.Ops), len(want[i].Ops))
+			}
+			if err := got.Validate(s, tt, sc); err != nil {
+				t.Errorf("nprocs=%d job %d: %v", nprocs, i, err)
+			}
+		}
+	}
+}
+
+func TestNoLocksUsed(t *testing.T) {
+	// §4.4: "no locks or condition variables are used".
+	s, tt, jobs := makeJobs(t, 313, 2000, 6)
+	res, err := Run(4, cluster.Zero(), s, tt, sc, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.LockAcquires != 0 || res.Stats.CVSignals != 0 || res.Stats.CVWaits != 0 {
+		t.Errorf("scattered mapping used synchronization: %s", res.Stats.String())
+	}
+	if res.Stats.Barriers == 0 {
+		t.Error("expected the opening/closing barriers")
+	}
+}
+
+func TestScatteredSpeedup(t *testing.T) {
+	// Fig. 15: very good speed-ups, roughly independent of the queue
+	// size; e.g. 7.57 for 1000 pairs on 8 processors.
+	s, tt, jobs := makeJobs(t, 317, 20000, 120)
+	cc := cluster.Calibrated2005()
+	t1, err := Run(1, cc, s, tt, sc, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t8, err := Run(8, cc, s, tt, sc, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := cluster.Speedup(t1.Makespan, t8.Makespan)
+	if sp < 5 || sp > 8 {
+		t.Errorf("8-processor speedup %.2f, Fig. 15 reports 5.3–7.6", sp)
+	}
+}
+
+// TestLinearSpaceOptionMatchesFullMatrix: Hirschberg-backed phase 2 must
+// produce alignments with the same scores and coordinates (an optimal
+// alignment may differ in ops where co-optimal paths exist, but the
+// score is unique).
+func TestLinearSpaceOptionMatchesFullMatrix(t *testing.T) {
+	s, tt, jobs := makeJobs(t, 347, 3000, 8)
+	full, err := Run(2, cluster.Zero(), s, tt, sc, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lin, err := RunWithOptions(2, cluster.Zero(), s, tt, sc, jobs,
+		RunOptions{LinearSpaceThreshold: 1}) // force Hirschberg everywhere
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range jobs {
+		f, l := full.Alignments[i], lin.Alignments[i]
+		if f.Score != l.Score {
+			t.Errorf("job %d: scores %d vs %d", i, f.Score, l.Score)
+		}
+		if err := l.Validate(s, tt, sc); err != nil {
+			t.Errorf("job %d: %v", i, err)
+		}
+	}
+	// The time model charges Hirschberg double the cells.
+	if lin.Makespan <= full.Makespan {
+		t.Skip("zero-cost model; timing not comparable") // cluster.Zero has no cell cost
+	}
+}
+
+func TestJobsFromCandidates(t *testing.T) {
+	cands := []heuristics.Candidate{
+		{SBegin: 1, SEnd: 50, TBegin: 3, TEnd: 52, Score: 40},
+		{SBegin: 100, SEnd: 120, TBegin: 200, TEnd: 220, Score: 15},
+	}
+	jobs := JobsFromCandidates(cands)
+	if len(jobs) != 2 {
+		t.Fatalf("%d jobs", len(jobs))
+	}
+	if jobs[0] != (Job{1, 50, 3, 52}) || jobs[1] != (Job{100, 120, 200, 220}) {
+		t.Errorf("jobs: %+v", jobs)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	s := bio.MustSequence("ACGTACGT")
+	if _, err := Run(0, cluster.Zero(), s, s, sc, nil); err == nil {
+		t.Error("nprocs=0 accepted")
+	}
+	if _, err := Run(1, cluster.Zero(), s, s, bio.Scoring{}, nil); err == nil {
+		t.Error("invalid scoring accepted")
+	}
+	if _, err := Run(1, cluster.Zero(), s, s, sc, []Job{{0, 4, 1, 4}}); err == nil {
+		t.Error("out-of-range job accepted")
+	}
+	if _, err := Sequential(s, s, sc, []Job{{5, 2, 1, 4}}); err == nil {
+		t.Error("inverted job accepted by Sequential")
+	}
+	res, err := Run(2, cluster.Zero(), s, s, sc, nil)
+	if err != nil || len(res.Alignments) != 0 {
+		t.Errorf("empty job list: %v %v", res, err)
+	}
+}
+
+// TestAlignmentsRecoverPlantedRegions checks end-to-end quality: phase-2
+// alignments over planted regions must be high-identity.
+func TestAlignmentsRecoverPlantedRegions(t *testing.T) {
+	s, tt, jobs := makeJobs(t, 331, 3000, 8)
+	res, err := Run(4, cluster.Zero(), s, tt, sc, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, al := range res.Alignments {
+		if al.Identity() < 0.80 {
+			t.Errorf("job %d: identity %.2f below planted similarity", i, al.Identity())
+		}
+	}
+}
+
+// TestFig16ReportFormat smoke-tests the report rendering used by Fig. 16.
+func TestFig16ReportFormat(t *testing.T) {
+	s, tt, jobs := makeJobs(t, 337, 1000, 2)
+	als, err := Sequential(s, tt, sc, jobs[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := als[0].RenderReport(s, tt, 32)
+	if rep == "" {
+		t.Fatal("empty report")
+	}
+	for _, want := range []string{"initial_x:", "final_x:", "similarity:", "align_s:", "align_t:"} {
+		if !contains(rep, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (s == sub || len(sub) == 0 || indexOf(s, sub) >= 0)
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}

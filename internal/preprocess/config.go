@@ -1,0 +1,287 @@
+// Package preprocess implements the paper's third strategy (§5): the
+// exact Smith–Waterman recurrence, without candidate heuristics, run over
+// bands of rows on the DSM cluster. Instead of tracking alignments, each
+// node keeps a scoreboard — the result matrix — counting cells whose score
+// exceeds a threshold, and saves selected columns to disk for later exact
+// re-processing. Columns are processed in chunks through a shared passage
+// band to limit locking.
+package preprocess
+
+import (
+	"fmt"
+
+	"genomedsm/internal/bio"
+)
+
+// IOMode selects how saved columns reach the disk (§5).
+type IOMode int
+
+// The three I/O modes of §5.
+const (
+	// IONone disables storing entirely ("used only to determine the
+	// effect of I/O in general").
+	IONone IOMode = iota
+	// IOImmediate writes each column with a blocking operation as soon as
+	// it is ready.
+	IOImmediate
+	// IODeferred keeps the columns in memory until the whole matrix has
+	// been calculated, then sends the data to disk.
+	IODeferred
+)
+
+func (m IOMode) String() string {
+	switch m {
+	case IONone:
+		return "none"
+	case IOImmediate:
+		return "immediate"
+	case IODeferred:
+		return "deferred"
+	default:
+		return fmt.Sprintf("iomode(%d)", int(m))
+	}
+}
+
+// BandScheme selects how band heights are chosen (§5).
+type BandScheme int
+
+// The three band-size schemes of §5.
+const (
+	// BandFixed uses the configured band size for every band (the last
+	// band absorbs the remainder). Fixed blocking "produces better output
+	// files since the columns are saved according to the band size".
+	BandFixed BandScheme = iota
+	// BandEqual gives every node one band of equal height.
+	BandEqual
+	// BandBalanced adjusts the band size so that all nodes process the
+	// same number of bands of equal size while staying close to the
+	// designated band size (the bsize_up/bsize_down equations).
+	BandBalanced
+)
+
+func (s BandScheme) String() string {
+	switch s {
+	case BandFixed:
+		return "fixed"
+	case BandEqual:
+		return "equal"
+	case BandBalanced:
+		return "balanced"
+	default:
+		return fmt.Sprintf("bandscheme(%d)", int(s))
+	}
+}
+
+// ChunkGrowth selects how chunk sizes evolve across a band (§5: "the size
+// of the chunks can be set to a fixed value or grow in arithmetic or
+// geometric projections"). Small chunks at the beginning let downstream
+// processors start earlier.
+type ChunkGrowth int
+
+// Chunk growth methods.
+const (
+	GrowthFixed ChunkGrowth = iota
+	GrowthArithmetic
+	GrowthGeometric
+)
+
+func (g ChunkGrowth) String() string {
+	switch g {
+	case GrowthFixed:
+		return "fixed"
+	case GrowthArithmetic:
+		return "arithmetic"
+	case GrowthGeometric:
+		return "geometric"
+	default:
+		return fmt.Sprintf("chunkgrowth(%d)", int(g))
+	}
+}
+
+// Config carries the behaviour parameters listed in §5: band height,
+// chunk size and growth method, save interleave, result-matrix interleave
+// and I/O mode.
+type Config struct {
+	BandScheme BandScheme
+	// BandSize is the designated band height in rows (BandFixed and
+	// BandBalanced).
+	BandSize int
+	// ChunkSize is the (initial) number of columns per chunk.
+	ChunkSize int
+	// ChunkGrowth is the growth method; GrowthStep is the arithmetic
+	// increment or the geometric numerator (size *= 1+GrowthStep/8 per
+	// chunk would be overly exotic — geometric doubles every GrowthStep
+	// chunks, arithmetic adds GrowthStep columns per chunk).
+	ChunkGrowth ChunkGrowth
+	GrowthStep  int
+	// SaveInterleave ip: column i is saved iff i ≠ 0 and i mod ip == 0.
+	// Zero disables column saving.
+	SaveInterleave int
+	// ResultInterleave ip: result-matrix cell (band, j) accumulates the
+	// hits of all columns c with floor(c/ip) == j.
+	ResultInterleave int
+	// Threshold is the hit threshold: a cell scores a hit when its value
+	// is >= Threshold.
+	Threshold int
+	// IOMode selects none/immediate/deferred I/O for saved columns.
+	IOMode IOMode
+}
+
+// DefaultConfig mirrors the paper's common test setup: 1K blocking on all
+// three blocking parameters, threshold tuned for DNA, deferred I/O off.
+func DefaultConfig() Config {
+	return Config{
+		BandScheme:       BandBalanced,
+		BandSize:         1024,
+		ChunkSize:        1024,
+		ChunkGrowth:      GrowthFixed,
+		SaveInterleave:   1024,
+		ResultInterleave: 1024,
+		Threshold:        25,
+		IOMode:           IONone,
+	}
+}
+
+// Validate rejects inconsistent configurations for a run over sequences of
+// the given lengths.
+func (c Config) Validate(m, n int) error {
+	if c.BandSize < 1 && c.BandScheme != BandEqual {
+		return fmt.Errorf("preprocess: band size %d", c.BandSize)
+	}
+	if c.ChunkSize < 1 {
+		return fmt.Errorf("preprocess: chunk size %d", c.ChunkSize)
+	}
+	if c.ChunkGrowth != GrowthFixed && c.GrowthStep < 1 {
+		return fmt.Errorf("preprocess: growth step %d for %s growth", c.GrowthStep, c.ChunkGrowth)
+	}
+	if c.SaveInterleave < 0 {
+		return fmt.Errorf("preprocess: save interleave %d", c.SaveInterleave)
+	}
+	if c.ResultInterleave < 1 {
+		return fmt.Errorf("preprocess: result interleave %d", c.ResultInterleave)
+	}
+	if c.Threshold < 1 {
+		return fmt.Errorf("preprocess: threshold %d", c.Threshold)
+	}
+	if m < 1 || n < 1 {
+		return fmt.Errorf("preprocess: empty input %dx%d", m, n)
+	}
+	return nil
+}
+
+// Band is one horizontal band of rows, 1-based inclusive.
+type Band struct {
+	Index  int
+	R0, R1 int
+	Owner  int
+}
+
+// Rows returns the band height.
+func (b Band) Rows() int { return b.R1 - b.R0 + 1 }
+
+// PlanBands computes the band layout for m rows over nprocs nodes using
+// the configured scheme. Bands are assigned round-robin.
+func (c Config) PlanBands(m, nprocs int) ([]Band, error) {
+	if err := c.Validate(m, 1); err != nil {
+		return nil, err
+	}
+	var heights []int
+	switch c.BandScheme {
+	case BandEqual:
+		// One band per node, as equal as possible.
+		for p := 0; p < nprocs; p++ {
+			h := (p+1)*m/nprocs - p*m/nprocs
+			if h > 0 {
+				heights = append(heights, h)
+			}
+		}
+	case BandFixed:
+		for left := m; left > 0; {
+			h := c.BandSize
+			if h > left {
+				h = left
+			}
+			heights = append(heights, h)
+			left -= h
+		}
+	case BandBalanced:
+		// The §5 equations: make every node process the same number of
+		// bands of (nearly) the designated size.
+		bsize := c.BandSize
+		if bsize > m {
+			bsize = m
+		}
+		bandsProc := ceilDiv(ceilDiv(m, bsize), nprocs)
+		bsizeDown := ceilDiv(m, bandsProc*nprocs)
+		var bsizeUp int
+		if bandsProc > 1 {
+			bsizeUp = ceilDiv(m, (bandsProc-1)*nprocs)
+		} else {
+			bsizeUp = m // a single band per node at most
+			if bsizeUp > bsize*2 {
+				bsizeUp = bsizeDown // cannot stretch that far
+			}
+		}
+		newSize := bsizeDown
+		if abs(bsizeUp-bsize) < abs(bsizeDown-bsize) && bsizeUp >= 1 {
+			newSize = bsizeUp
+		}
+		if newSize < 1 {
+			newSize = 1
+		}
+		for left := m; left > 0; {
+			h := newSize
+			if h > left {
+				h = left
+			}
+			heights = append(heights, h)
+			left -= h
+		}
+	default:
+		return nil, fmt.Errorf("preprocess: unknown band scheme %d", c.BandScheme)
+	}
+	bands := make([]Band, len(heights))
+	r := 1
+	for i, h := range heights {
+		bands[i] = Band{Index: i, R0: r, R1: r + h - 1, Owner: i % nprocs}
+		r += h
+	}
+	return bands, nil
+}
+
+// PlanChunks splits n columns into chunks per the growth method.
+func (c Config) PlanChunks(n int) [][2]int {
+	var out [][2]int
+	size := c.ChunkSize
+	chunkIdx := 0
+	for c0 := 1; c0 <= n; {
+		c1 := c0 + size - 1
+		if c1 > n {
+			c1 = n
+		}
+		out = append(out, [2]int{c0, c1})
+		c0 = c1 + 1
+		chunkIdx++
+		switch c.ChunkGrowth {
+		case GrowthArithmetic:
+			size += c.GrowthStep
+		case GrowthGeometric:
+			if chunkIdx%c.GrowthStep == 0 {
+				size *= 2
+			}
+		}
+	}
+	return out
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// scoringCheck revalidates the scoring scheme for this package's kernels.
+func scoringCheck(sc bio.Scoring) error { return sc.Validate() }

@@ -1,0 +1,438 @@
+package preprocess
+
+import (
+	"testing"
+
+	"genomedsm/internal/align"
+	"genomedsm/internal/bio"
+	"genomedsm/internal/cluster"
+)
+
+var sc = bio.DefaultScoring()
+
+func testPair(t *testing.T, seed int64, n int) (bio.Sequence, bio.Sequence) {
+	t.Helper()
+	g := bio.NewGenerator(seed)
+	pair, err := g.HomologousPair(n, bio.HomologyModel{
+		Regions: n / 250, RegionLen: 120, RegionJit: 40,
+		Divergence: bio.MutationModel{SubstitutionRate: 0.05},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pair.S, pair.T
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(100, 100); err != nil {
+		t.Errorf("default config invalid: %v", err)
+	}
+	bad := []Config{
+		{BandScheme: BandFixed, BandSize: 0, ChunkSize: 1, ResultInterleave: 1, Threshold: 1},
+		{BandScheme: BandFixed, BandSize: 1, ChunkSize: 0, ResultInterleave: 1, Threshold: 1},
+		{BandScheme: BandFixed, BandSize: 1, ChunkSize: 1, ResultInterleave: 0, Threshold: 1},
+		{BandScheme: BandFixed, BandSize: 1, ChunkSize: 1, ResultInterleave: 1, Threshold: 0},
+		{BandScheme: BandFixed, BandSize: 1, ChunkSize: 1, ResultInterleave: 1, Threshold: 1, SaveInterleave: -1},
+		{BandScheme: BandFixed, BandSize: 1, ChunkSize: 1, ResultInterleave: 1, Threshold: 1, ChunkGrowth: GrowthArithmetic},
+	}
+	for i, c := range bad {
+		if err := c.Validate(10, 10); err == nil {
+			t.Errorf("bad config %d accepted: %+v", i, c)
+		}
+	}
+}
+
+func TestPlanBandsSchemes(t *testing.T) {
+	check := func(bands []Band, m int) {
+		t.Helper()
+		if bands[0].R0 != 1 || bands[len(bands)-1].R1 != m {
+			t.Fatalf("bands do not cover [1,%d]: %+v", m, bands)
+		}
+		for i := 1; i < len(bands); i++ {
+			if bands[i].R0 != bands[i-1].R1+1 {
+				t.Fatalf("bands overlap or gap at %d: %+v", i, bands)
+			}
+			if bands[i].Owner != i%4 {
+				t.Fatalf("band %d owner %d, want round-robin", i, bands[i].Owner)
+			}
+		}
+	}
+	cfg := Config{BandScheme: BandEqual, BandSize: 1, ChunkSize: 8, ResultInterleave: 8, Threshold: 5}
+	bands, err := cfg.PlanBands(1000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bands) != 4 {
+		t.Errorf("equal scheme: %d bands, want 4", len(bands))
+	}
+	check(bands, 1000)
+	for _, b := range bands {
+		if b.Rows() != 250 {
+			t.Errorf("equal band height %d, want 250", b.Rows())
+		}
+	}
+
+	cfg.BandScheme = BandFixed
+	cfg.BandSize = 300
+	bands, err = cfg.PlanBands(1000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bands) != 4 || bands[3].Rows() != 100 {
+		t.Errorf("fixed scheme: %+v", bands)
+	}
+	check(bands, 1000)
+
+	cfg.BandScheme = BandBalanced
+	bands, err = cfg.PlanBands(1000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check(bands, 1000)
+	// Balanced: every node should get the same number of bands.
+	perNode := make(map[int]int)
+	for _, b := range bands {
+		perNode[b.Owner]++
+	}
+	for p := 0; p < 4; p++ {
+		if perNode[p] != perNode[0] {
+			t.Errorf("balanced scheme gave node %d %d bands vs node 0's %d", p, perNode[p], perNode[0])
+		}
+	}
+}
+
+func TestPlanChunksGrowth(t *testing.T) {
+	cfg := Config{BandScheme: BandFixed, BandSize: 10, ChunkSize: 10, ResultInterleave: 10, Threshold: 5}
+	chunks := cfg.PlanChunks(100)
+	if len(chunks) != 10 {
+		t.Errorf("fixed growth: %d chunks", len(chunks))
+	}
+	cover(t, chunks, 100)
+
+	cfg.ChunkGrowth = GrowthArithmetic
+	cfg.GrowthStep = 10
+	chunks = cfg.PlanChunks(100) // 10,20,30,40 → 4 chunks
+	if len(chunks) != 4 {
+		t.Errorf("arithmetic growth: %d chunks: %v", len(chunks), chunks)
+	}
+	cover(t, chunks, 100)
+
+	cfg.ChunkGrowth = GrowthGeometric
+	cfg.GrowthStep = 1
+	chunks = cfg.PlanChunks(100) // 10,20,40,30 → 4 chunks
+	cover(t, chunks, 100)
+	if len(chunks) != 4 {
+		t.Errorf("geometric growth: %d chunks: %v", len(chunks), chunks)
+	}
+}
+
+func cover(t *testing.T, chunks [][2]int, n int) {
+	t.Helper()
+	next := 1
+	for _, c := range chunks {
+		if c[0] != next || c[1] < c[0] {
+			t.Fatalf("chunk %v out of order (expected start %d)", c, next)
+		}
+		next = c[1] + 1
+	}
+	if next != n+1 {
+		t.Fatalf("chunks cover up to %d, want %d", next-1, n)
+	}
+}
+
+// TestExactScoresAcrossBands is the core correctness check: the banded
+// distributed computation must reproduce the exact sequential hit counts,
+// best score and best-score position for every processor count and band
+// scheme.
+func TestExactScoresAcrossBands(t *testing.T) {
+	s, tt := testPair(t, 211, 600)
+	const threshold = 20
+	ref, err := align.Scan(s, tt, sc, align.ScanOptions{HitThreshold: threshold})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Hits == 0 {
+		t.Fatal("reference scan found no hits; weak test input")
+	}
+	for _, nprocs := range []int{1, 2, 4, 8} {
+		for _, scheme := range []BandScheme{BandFixed, BandEqual, BandBalanced} {
+			cfg := Config{
+				BandScheme: scheme, BandSize: 150,
+				ChunkSize: 100, ResultInterleave: 64, Threshold: threshold,
+				IOMode: IONone,
+			}
+			res, err := Run(nprocs, cluster.Zero(), s, tt, sc, cfg, nil)
+			if err != nil {
+				t.Fatalf("nprocs=%d %s: %v", nprocs, scheme, err)
+			}
+			if res.TotalHits != ref.Hits {
+				t.Errorf("nprocs=%d %s: hits %d, want %d", nprocs, scheme, res.TotalHits, ref.Hits)
+			}
+			if res.BestScore != ref.BestScore {
+				t.Errorf("nprocs=%d %s: best %d, want %d", nprocs, scheme, res.BestScore, ref.BestScore)
+			}
+			if res.BestI != ref.BestI || res.BestJ != ref.BestJ {
+				t.Errorf("nprocs=%d %s: best at (%d,%d), want (%d,%d)",
+					nprocs, scheme, res.BestI, res.BestJ, ref.BestI, ref.BestJ)
+			}
+		}
+	}
+}
+
+// TestChunkGrowthMethodsStayExact runs the full distributed computation
+// with growing chunks: exactness must not depend on the chunk schedule.
+func TestChunkGrowthMethodsStayExact(t *testing.T) {
+	s, tt := testPair(t, 241, 500)
+	const threshold = 20
+	ref, err := align.Scan(s, tt, sc, align.ScanOptions{HitThreshold: threshold})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, growth := range []struct {
+		g    ChunkGrowth
+		step int
+	}{{GrowthFixed, 0}, {GrowthArithmetic, 40}, {GrowthGeometric, 2}} {
+		cfg := Config{
+			BandScheme: BandFixed, BandSize: 120,
+			ChunkSize: 50, ChunkGrowth: growth.g, GrowthStep: growth.step,
+			ResultInterleave: 100, Threshold: threshold,
+		}
+		res, err := Run(3, cluster.Zero(), s, tt, sc, cfg, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", growth.g, err)
+		}
+		if res.TotalHits != ref.Hits || res.BestScore != ref.BestScore {
+			t.Errorf("%s growth: hits %d best %d, want %d/%d",
+				growth.g, res.TotalHits, res.BestScore, ref.Hits, ref.BestScore)
+		}
+	}
+}
+
+// TestResultMatrixMatchesBruteForce recomputes the per-cell hit counts
+// from the full matrix and compares every result-matrix entry.
+func TestResultMatrixMatchesBruteForce(t *testing.T) {
+	s, tt := testPair(t, 223, 300)
+	const threshold = 15
+	cfg := Config{
+		BandScheme: BandFixed, BandSize: 64,
+		ChunkSize: 50, ResultInterleave: 32, Threshold: threshold,
+	}
+	res, err := Run(3, cluster.Zero(), s, tt, sc, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := align.NewSWMatrix(s, tt, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([][]int64, len(res.Bands))
+	rowWidth := tt.Len()/cfg.ResultInterleave + 1
+	for b, band := range res.Bands {
+		want[b] = make([]int64, rowWidth)
+		for i := band.R0; i <= band.R1; i++ {
+			for j := 1; j <= tt.Len(); j++ {
+				if m.Score(i, j) >= threshold {
+					want[b][j/cfg.ResultInterleave]++
+				}
+			}
+		}
+	}
+	for b := range want {
+		for g := range want[b] {
+			if res.ResultMatrix[b][g] != want[b][g] {
+				t.Errorf("R[%d][%d] = %d, want %d", b, g, res.ResultMatrix[b][g], want[b][g])
+			}
+		}
+	}
+}
+
+// TestSavedColumnsMatchDirectComputation verifies the save-interleave
+// output against align.ColumnScan.
+func TestSavedColumnsMatchDirectComputation(t *testing.T) {
+	s, tt := testPair(t, 227, 300)
+	sink := NewMemSink()
+	cfg := Config{
+		BandScheme: BandFixed, BandSize: 100,
+		ChunkSize: 64, ResultInterleave: 64, Threshold: 15,
+		SaveInterleave: 50, IOMode: IOImmediate,
+	}
+	res, err := Run(2, cluster.Zero(), s, tt, sc, cfg, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCols := tt.Len() / cfg.SaveInterleave * len(res.Bands)
+	if res.ColumnsSaved != wantCols {
+		t.Errorf("saved %d column segments, want %d", res.ColumnsSaved, wantCols)
+	}
+	if res.BorderRowsSaved != len(res.Bands)-1 {
+		t.Errorf("saved %d border rows, want %d", res.BorderRowsSaved, len(res.Bands)-1)
+	}
+	// Compare every saved segment against the exact column values.
+	cols := make(map[int][]int32)
+	err = align.ColumnScan(s, tt, sc, func(j int, col []int32) {
+		if j != 0 && j%cfg.SaveInterleave == 0 {
+			cp := make([]int32, len(col))
+			copy(cp, col)
+			cols[j] = cp
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for key, seg := range sink.Columns {
+		band, col := key[0], key[1]
+		r0 := sink.Starts[key]
+		full := cols[col]
+		if full == nil {
+			t.Fatalf("unexpected saved column %d", col)
+		}
+		for x, v := range seg {
+			if full[r0+x] != v {
+				t.Errorf("band %d col %d row %d: saved %d, exact %d", band, col, r0+x, v, full[r0+x])
+			}
+		}
+	}
+	// Border rows must equal the exact row values too.
+	for key, row := range sink.Border {
+		band := key[0]
+		r := res.Bands[band].R1
+		for j := 1; j <= tt.Len(); j++ {
+			wantV := int32(0)
+			if full, ok := cols[j]; ok {
+				wantV = full[r]
+			} else {
+				continue // only interleaved columns were captured above
+			}
+			if row[j-1] != wantV {
+				t.Errorf("border row band %d col %d: %d, want %d", band, j, row[j-1], wantV)
+			}
+		}
+	}
+}
+
+func TestIOModesCostOrdering(t *testing.T) {
+	s, tt := testPair(t, 229, 400)
+	cc := cluster.Calibrated2005()
+	base := Config{
+		BandScheme: BandFixed, BandSize: 100,
+		ChunkSize: 100, ResultInterleave: 100, Threshold: 20,
+		SaveInterleave: 20,
+	}
+	run := func(mode IOMode) *Result {
+		cfg := base
+		cfg.IOMode = mode
+		var sink ColumnSink
+		if mode != IONone {
+			sink = &DiscardSink{}
+		}
+		res, err := Run(4, cc, s, tt, sc, cfg, sink)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	none := run(IONone)
+	imm := run(IOImmediate)
+	def := run(IODeferred)
+	// Fig. 20: saving at these frequencies has little effect, and deferred
+	// gives nearly no benefit over immediate.
+	if imm.Makespan < none.Makespan {
+		t.Errorf("immediate I/O (%.3f) cheaper than no I/O (%.3f)", imm.Makespan, none.Makespan)
+	}
+	if imm.Makespan > none.Makespan*1.5 {
+		t.Errorf("immediate I/O cost blew up: %.3f vs %.3f", imm.Makespan, none.Makespan)
+	}
+	ratio := def.Makespan / imm.Makespan
+	if ratio < 0.7 || ratio > 1.3 {
+		t.Errorf("deferred/immediate ratio %.2f, paper found them nearly equal", ratio)
+	}
+	// Deferred charges its I/O in the term phase.
+	if def.TermTime <= imm.TermTime {
+		t.Errorf("deferred term %.4f not larger than immediate term %.4f", def.TermTime, imm.TermTime)
+	}
+	if none.ColumnsSaved != 0 || imm.ColumnsSaved == 0 || def.ColumnsSaved != imm.ColumnsSaved {
+		t.Errorf("saved column counts: none=%d imm=%d def=%d", none.ColumnsSaved, imm.ColumnsSaved, def.ColumnsSaved)
+	}
+}
+
+func TestPreprocessSpeedup(t *testing.T) {
+	s, tt := testPair(t, 233, 1500)
+	cc := cluster.Calibrated2005()
+	cfg := Config{
+		BandScheme: BandBalanced, BandSize: 100,
+		ChunkSize: 150, ResultInterleave: 150, Threshold: 20,
+	}
+	t1, err := Run(1, cc, s, tt, sc, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t8, err := Run(8, cc, s, tt, sc, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := cluster.Speedup(t1.CoreTime, t8.CoreTime)
+	// Fig. 18: speed-ups roughly 75% of linear.
+	if sp < 4 || sp > 8 {
+		t.Errorf("8-node speedup %.2f, expected within (4,8)", sp)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	s, tt := testPair(t, 239, 100)
+	if _, err := Run(0, cluster.Zero(), s, tt, sc, DefaultConfig(), nil); err == nil {
+		t.Error("nprocs=0 accepted")
+	}
+	if _, err := Run(1, cluster.Zero(), nil, tt, sc, DefaultConfig(), nil); err == nil {
+		t.Error("empty input accepted")
+	}
+	cfg := DefaultConfig()
+	cfg.IOMode = IOImmediate
+	cfg.SaveInterleave = 10
+	if _, err := Run(1, cluster.Zero(), s, tt, sc, cfg, nil); err == nil {
+		t.Error("saving without sink accepted")
+	}
+	if _, err := Run(1, cluster.Zero(), s, tt, bio.Scoring{}, DefaultConfig(), nil); err == nil {
+		t.Error("invalid scoring accepted")
+	}
+}
+
+func TestInterestingBlocks(t *testing.T) {
+	res := &Result{ResultMatrix: [][]int64{{0, 5, 0}, {9, 0, 2}}}
+	got := InterestingBlocks(res, 5)
+	if len(got) != 2 || got[0] != [2]int{0, 1} || got[1] != [2]int{1, 0} {
+		t.Errorf("interesting blocks: %v", got)
+	}
+	if n := len(InterestingBlocks(res, 100)); n != 0 {
+		t.Errorf("threshold 100 found %d blocks", n)
+	}
+}
+
+func TestDirSinkRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	sink, err := NewDirSink(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := []int32{3, 1, 4, 1, 5}
+	if err := sink.WriteColumn(2, 100, 201, vals); err != nil {
+		t.Fatal(err)
+	}
+	r0, got, err := ReadSavedColumn(dir, 2, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r0 != 201 || len(got) != len(vals) {
+		t.Fatalf("round trip: r0=%d len=%d", r0, len(got))
+	}
+	for i := range vals {
+		if got[i] != vals[i] {
+			t.Errorf("value %d: %d != %d", i, got[i], vals[i])
+		}
+	}
+	if err := sink.WriteBorderRow(1, 50, vals); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReadSavedColumn(dir, 9, 9); err == nil {
+		t.Error("missing column read succeeded")
+	}
+}

@@ -1,0 +1,303 @@
+package preprocess
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"genomedsm/internal/align"
+	"genomedsm/internal/bio"
+)
+
+// Store provides read access to the data a pre-process run saved — the
+// interface the paper's "later processing" consumes: "knowing interesting
+// areas of the matrix and having the boundary columns and rows allow one
+// to reprocess these limited areas so as to retrieve the local
+// alignments" (§5).
+type Store interface {
+	// SavedColumn returns the values of a saved column segment for the
+	// band (rows r0..r0+len-1), or ok=false when that column was not
+	// saved.
+	SavedColumn(band, col int) (r0 int, values []int32, ok bool, err error)
+	// BorderRow returns the band's bottom border row (all n columns), or
+	// ok=false when it was not saved.
+	BorderRow(band int) (values []int32, ok bool, err error)
+}
+
+// SavedColumn implements Store for MemSink.
+func (s *MemSink) SavedColumn(band, col int) (int, []int32, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.Columns[[2]int{band, col}]
+	if !ok {
+		return 0, nil, false, nil
+	}
+	return s.Starts[[2]int{band, col}], v, true, nil
+}
+
+// BorderRow implements Store for MemSink.
+func (s *MemSink) BorderRow(band int) ([]int32, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for key, v := range s.Border {
+		if key[0] == band {
+			return v, true, nil
+		}
+	}
+	return nil, false, nil
+}
+
+// SavedColumn implements Store for DirSink.
+func (s *DirSink) SavedColumn(band, col int) (int, []int32, bool, error) {
+	r0, values, err := ReadSavedColumn(s.Dir, band, col)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, nil, false, nil
+		}
+		return 0, nil, false, err
+	}
+	return r0, values, true, nil
+}
+
+// BorderRow implements Store for DirSink.
+func (s *DirSink) BorderRow(band int) ([]int32, bool, error) {
+	matches, err := filepath.Glob(filepath.Join(s.Dir, fmt.Sprintf("band%04d_row*.sw", band)))
+	if err != nil || len(matches) == 0 {
+		return nil, false, err
+	}
+	buf, err := os.ReadFile(matches[0])
+	if err != nil {
+		return nil, false, err
+	}
+	if len(buf) < 4 || len(buf)%4 != 0 {
+		return nil, false, fmt.Errorf("preprocess: corrupt border file %s", matches[0])
+	}
+	values := make([]int32, len(buf)/4-1)
+	for i := range values {
+		values[i] = int32(uint32(buf[4+4*i]) | uint32(buf[5+4*i])<<8 |
+			uint32(buf[6+4*i])<<16 | uint32(buf[7+4*i])<<24)
+	}
+	return values, true, nil
+}
+
+// BlockScores is the exact recomputation of one result-matrix block.
+type BlockScores struct {
+	Band   Band
+	C0, C1 int // recomputed column range (1-based inclusive)
+	// Hits recounts the cells >= threshold inside the requested group's
+	// columns (not the warm-up columns before C0Group).
+	C0Group, C1Group int
+	Hits             int64
+	// Best cell inside the group columns.
+	BestScore    int
+	BestI, BestJ int
+	// Endpoints are candidate alignment ends inside the group (score >=
+	// threshold, no successor within the block improves on them); feed
+	// them to align.ReverseRetrieve to obtain the actual alignments.
+	Endpoints []align.Endpoint
+}
+
+// ReprocessBlock exactly recomputes the scores of result-matrix block
+// (bandIdx, group) from saved data: the band's top border row (saved by
+// the band above) and the nearest saved column to the left of the group
+// (or the zero column). The recomputed values equal the full-matrix
+// values because the boundary data is exact.
+func ReprocessBlock(s, t bio.Sequence, sc bio.Scoring, res *Result, store Store, bandIdx, group int, cfg Config) (*BlockScores, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	if bandIdx < 0 || bandIdx >= len(res.Bands) {
+		return nil, fmt.Errorf("preprocess: band %d out of range", bandIdx)
+	}
+	n := t.Len()
+	band := res.Bands[bandIdx]
+	g0 := group * cfg.ResultInterleave
+	if g0 < 1 {
+		g0 = 1
+	}
+	g1 := (group+1)*cfg.ResultInterleave - 1
+	if g1 > n {
+		g1 = n
+	}
+	if g0 > n || g1 < g0 {
+		return nil, fmt.Errorf("preprocess: group %d outside the matrix", group)
+	}
+
+	// Left boundary: the nearest saved column at or left of g0−1.
+	h := band.Rows()
+	prevCol := make([]int32, h+1)
+	startCol := 0
+	if cfg.SaveInterleave > 0 {
+		for c := (g0 - 1) / cfg.SaveInterleave * cfg.SaveInterleave; c > 0; c -= cfg.SaveInterleave {
+			r0, vals, ok, err := store.SavedColumn(bandIdx, c)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				if r0 != band.R0 || len(vals) != h {
+					return nil, fmt.Errorf("preprocess: saved column %d has rows %d+%d, band needs %d+%d",
+						c, r0, len(vals), band.R0, h)
+				}
+				copy(prevCol[1:], vals)
+				startCol = c
+				break
+			}
+		}
+	}
+
+	// Top border row: the band above saved its bottom row.
+	var top []int32
+	if bandIdx > 0 {
+		row, ok, err := store.BorderRow(bandIdx - 1)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return nil, fmt.Errorf("preprocess: border row of band %d was not saved; cannot reprocess", bandIdx-1)
+		}
+		if len(row) != n {
+			return nil, fmt.Errorf("preprocess: border row of band %d has %d columns, want %d", bandIdx-1, len(row), n)
+		}
+		top = row
+	}
+	topVal := func(j int) int32 {
+		if top == nil {
+			return 0
+		}
+		return top[j-1]
+	}
+	// The saved left column also needs its row-(R0−1) value, which lives
+	// in the top border row (or is zero for band 0 / column 0).
+	if startCol > 0 {
+		prevCol[0] = topVal(startCol)
+	}
+
+	out := &BlockScores{Band: band, C0: startCol + 1, C1: g1, C0Group: g0, C1Group: g1}
+	col := make([]int32, h+1)
+	// Track the columns inside the group so endpoint detection can check
+	// east/south-east successors; one look-ahead column past the group
+	// edge resolves the endpoints of the group's last column (otherwise
+	// every threshold cell on the edge would count as an endpoint).
+	var groupCols [][]int32
+	lookahead := g1
+	if lookahead < n {
+		lookahead++
+	}
+	for j := startCol + 1; j <= lookahead; j++ {
+		tj := t[j-1]
+		col[0] = topVal(j)
+		for x := 1; x <= h; x++ {
+			i := band.R0 + x - 1
+			v := int(prevCol[x-1]) + sc.Pair(s[i-1], tj)
+			if w := int(prevCol[x]) + sc.Gap; w > v {
+				v = w
+			}
+			if no := int(col[x-1]) + sc.Gap; no > v {
+				v = no
+			}
+			if v < 0 {
+				v = 0
+			}
+			col[x] = int32(v)
+			if j >= g0 && j <= g1 {
+				if v >= cfg.Threshold {
+					out.Hits++
+				}
+				if v > out.BestScore {
+					out.BestScore, out.BestI, out.BestJ = v, i, j
+				}
+			}
+		}
+		if j >= g0 {
+			cp := make([]int32, h+1)
+			copy(cp, col)
+			groupCols = append(groupCols, cp)
+		}
+		prevCol, col = col, prevCol
+	}
+
+	// Endpoint detection inside the group: value >= threshold and no
+	// successor (east, south, south-east) matches or beats it.
+	for k, c := range groupCols {
+		j := g0 + k
+		if j > g1 {
+			break // the look-ahead column only serves as a successor
+		}
+		var east []int32
+		if k+1 < len(groupCols) {
+			east = groupCols[k+1]
+		}
+		lastMatrixRow := band.R1 == s.Len()
+		for x := 1; x <= h; x++ {
+			v := c[x]
+			if int(v) < cfg.Threshold {
+				continue
+			}
+			if x == h && !lastMatrixRow {
+				// The band's bottom row has successors in the next band;
+				// alignments continuing there are that band's blocks'
+				// business.
+				continue
+			}
+			if x < h && c[x+1] >= v {
+				continue
+			}
+			if east != nil && (east[x] >= v || (x < h && east[x+1] >= v)) {
+				continue
+			}
+			out.Endpoints = append(out.Endpoints, align.Endpoint{I: band.R0 + x - 1, J: j, Score: int(v)})
+		}
+	}
+	// Best first: later retrieval skips endpoints already covered by a
+	// retrieved alignment, so strong alignments should come first.
+	sort.Slice(out.Endpoints, func(a, b int) bool {
+		x, y := out.Endpoints[a], out.Endpoints[b]
+		if x.Score != y.Score {
+			return x.Score > y.Score
+		}
+		if x.I != y.I {
+			return x.I < y.I
+		}
+		return x.J < y.J
+	})
+	// Non-maximum suppression: a strong alignment ending at (I, J) casts
+	// a cone of weaker threshold-crossing ridge ends around it; an
+	// endpoint within a kept endpoint's score-radius is a restatement of
+	// the same similar region, not a distinct alignment.
+	var kept []align.Endpoint
+	for _, e := range out.Endpoints {
+		shadowed := false
+		for _, k := range kept {
+			if iabs32(e.I-k.I) <= k.Score && iabs32(e.J-k.J) <= k.Score {
+				shadowed = true
+				break
+			}
+		}
+		if !shadowed {
+			kept = append(kept, e)
+		}
+	}
+	out.Endpoints = kept
+	return out, nil
+}
+
+func iabs32(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// RetrieveFromBlock composes the full "later processing" pipeline of §5:
+// reprocess the block from saved data, then rebuild the actual alignments
+// at its endpoints with the Section 6 reverse method over the original
+// sequences.
+func RetrieveFromBlock(s, t bio.Sequence, sc bio.Scoring, res *Result, store Store, bandIdx, group int, cfg Config) ([]*align.Alignment, error) {
+	bs, err := ReprocessBlock(s, t, sc, res, store, bandIdx, group, cfg)
+	if err != nil {
+		return nil, err
+	}
+	als, _, err := align.RetrieveAll(s, t, sc, bs.Endpoints)
+	return als, err
+}

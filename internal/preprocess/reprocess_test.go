@@ -1,0 +1,140 @@
+package preprocess
+
+import (
+	"testing"
+
+	"genomedsm/internal/align"
+	"genomedsm/internal/bio"
+	"genomedsm/internal/cluster"
+)
+
+// reprocessSetup runs a saving pre-process pass and returns everything the
+// later-processing pipeline needs.
+func reprocessSetup(t *testing.T, sink ColumnSink) (bio.Sequence, bio.Sequence, Config, *Result) {
+	t.Helper()
+	g := bio.NewGenerator(503)
+	pair, err := g.HomologousPair(1200, bio.HomologyModel{
+		Regions: 4, RegionLen: 150, RegionJit: 30,
+		Divergence: bio.MutationModel{SubstitutionRate: 0.04},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		BandScheme: BandFixed, BandSize: 300,
+		ChunkSize: 200, ResultInterleave: 150,
+		SaveInterleave: 200, Threshold: 40,
+		IOMode: IOImmediate,
+	}
+	res, err := Run(2, cluster.Zero(), pair.S, pair.T, sc, cfg, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pair.S, pair.T, cfg, res
+}
+
+func TestReprocessBlockMatchesFullMatrix(t *testing.T) {
+	sink := NewMemSink()
+	s, tt, cfg, res := reprocessSetup(t, sink)
+	m, err := align.NewSWMatrix(s, tt, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocks := InterestingBlocks(res, 1)
+	if len(blocks) == 0 {
+		t.Fatal("no interesting blocks")
+	}
+	for _, blk := range blocks {
+		bs, err := ReprocessBlock(s, tt, sc, res, sink, blk[0], blk[1], cfg)
+		if err != nil {
+			t.Fatalf("block %v: %v", blk, err)
+		}
+		if bs.Hits != res.ResultMatrix[blk[0]][blk[1]] {
+			t.Errorf("block %v: recomputed hits %d, scoreboard says %d",
+				blk, bs.Hits, res.ResultMatrix[blk[0]][blk[1]])
+		}
+		// The block's best cell must carry the true full-matrix value.
+		if got := m.Score(bs.BestI, bs.BestJ); got != bs.BestScore {
+			t.Errorf("block %v: best %d at (%d,%d), matrix has %d",
+				blk, bs.BestScore, bs.BestI, bs.BestJ, got)
+		}
+		// Every endpoint's score must be exact too.
+		for _, ep := range bs.Endpoints {
+			if got := m.Score(ep.I, ep.J); got != ep.Score {
+				t.Errorf("block %v endpoint (%d,%d): %d, matrix %d", blk, ep.I, ep.J, ep.Score, got)
+			}
+		}
+	}
+}
+
+func TestRetrieveFromBlock(t *testing.T) {
+	sink := NewMemSink()
+	s, tt, cfg, res := reprocessSetup(t, sink)
+	// Pick the block holding the global best cell.
+	bandIdx := -1
+	for i, b := range res.Bands {
+		if res.BestI >= b.R0 && res.BestI <= b.R1 {
+			bandIdx = i
+		}
+	}
+	group := res.BestJ / cfg.ResultInterleave
+	als, err := RetrieveFromBlock(s, tt, sc, res, sink, bandIdx, group, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(als) == 0 {
+		t.Fatal("no alignments retrieved from the best block")
+	}
+	foundBest := false
+	for i, al := range als {
+		if err := al.Validate(s, tt, sc); err != nil {
+			t.Errorf("alignment %d: %v", i, err)
+		}
+		if al.Score >= res.BestScore {
+			foundBest = true
+		}
+	}
+	if !foundBest {
+		t.Errorf("best-score alignment (%d) not among the %d retrieved", res.BestScore, len(als))
+	}
+}
+
+func TestReprocessFromDirSink(t *testing.T) {
+	dir := t.TempDir()
+	sink, err := NewDirSink(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, tt, cfg, res := reprocessSetup(t, sink)
+	blocks := InterestingBlocks(res, 1)
+	if len(blocks) == 0 {
+		t.Fatal("no interesting blocks")
+	}
+	blk := blocks[0]
+	bs, err := ReprocessBlock(s, tt, sc, res, sink, blk[0], blk[1], cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bs.Hits != res.ResultMatrix[blk[0]][blk[1]] {
+		t.Errorf("dir-sink reprocess hits %d, scoreboard %d", bs.Hits, res.ResultMatrix[blk[0]][blk[1]])
+	}
+}
+
+func TestReprocessErrors(t *testing.T) {
+	sink := NewMemSink()
+	s, tt, cfg, res := reprocessSetup(t, sink)
+	if _, err := ReprocessBlock(s, tt, sc, res, sink, 99, 0, cfg); err == nil {
+		t.Error("out-of-range band accepted")
+	}
+	if _, err := ReprocessBlock(s, tt, sc, res, sink, 0, 9999, cfg); err == nil {
+		t.Error("out-of-range group accepted")
+	}
+	if _, err := ReprocessBlock(s, tt, bio.Scoring{}, res, sink, 0, 0, cfg); err == nil {
+		t.Error("invalid scoring accepted")
+	}
+	// A run without saved border rows cannot reprocess bands > 0.
+	empty := NewMemSink()
+	if _, err := ReprocessBlock(s, tt, sc, res, empty, 1, 0, cfg); err == nil {
+		t.Error("missing border row not reported")
+	}
+}

@@ -1,0 +1,77 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tbl := NewTable("Table X", "size", "serial", "8 proc")
+	tbl.AddRow("50K", 3461.0, 1107.02)
+	tbl.AddRow("15K", 296.0, 181.29)
+	out := tbl.Render()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "Table X") {
+		t.Errorf("missing title: %q", lines[0])
+	}
+	if !strings.Contains(out, "3461s") {
+		t.Errorf("seconds not formatted: %s", out)
+	}
+	// Columns must align: header and rows share the first column width.
+	if !strings.Contains(lines[1], "size") || !strings.Contains(lines[2], "----") {
+		t.Errorf("header/separator wrong:\n%s", out)
+	}
+}
+
+func TestFormatSeconds(t *testing.T) {
+	cases := map[float64]string{
+		0:      "0",
+		12e-6:  "12.0µs",
+		3.5e-3: "3.50ms",
+		1.25:   "1.25s",
+		3461:   "3461s",
+		175295: "175295s",
+	}
+	for in, want := range cases {
+		if got := FormatSeconds(in); got != want {
+			t.Errorf("FormatSeconds(%g) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestFormatCount(t *testing.T) {
+	cases := map[int64]string{
+		7:          "7",
+		999:        "999",
+		1000:       "1,000",
+		2500000000: "2,500,000,000",
+	}
+	for in, want := range cases {
+		if got := FormatCount(in); got != want {
+			t.Errorf("FormatCount(%d) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestRenderSeries(t *testing.T) {
+	out := RenderSeries("Fig 9", "procs", []Series{
+		{Label: "15K", Points: []Point{{2, 1.05}, {4, 1.46}, {8, 1.63}}},
+		{Label: "400K", Points: []Point{{2, 1.24}, {4, 2.41}, {8, 4.59}}},
+	})
+	for _, want := range []string{"Fig 9", "procs", "15K", "400K", "1.05", "4.59"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("series output missing %q:\n%s", want, out)
+		}
+	}
+	// Missing points render as '-'.
+	out = RenderSeries("f", "x", []Series{
+		{Label: "a", Points: []Point{{1, 1}}},
+		{Label: "b", Points: []Point{{2, 2}}},
+	})
+	if !strings.Contains(out, "-") {
+		t.Errorf("missing point not dashed:\n%s", out)
+	}
+}

@@ -1,0 +1,111 @@
+// Package viz renders the similar-region dot plot of Fig. 14: each local
+// alignment found in phase 1 is drawn as a diagonal segment in the
+// (s, t) plane, visualizing where the two genomes are similar. Output is
+// ASCII (terminal) or SVG (with zoomable coordinates).
+package viz
+
+import (
+	"fmt"
+	"strings"
+
+	"genomedsm/internal/heuristics"
+)
+
+// DotPlot is a plot specification.
+type DotPlot struct {
+	SLen, TLen int // sequence extents (x: s, y: t)
+	Regions    []heuristics.Candidate
+}
+
+// ASCII renders the plot on a width×height character grid. Alignments are
+// drawn as '*' runs along their diagonals; the frame carries coordinate
+// ticks.
+func (p *DotPlot) ASCII(width, height int) string {
+	if width < 8 {
+		width = 8
+	}
+	if height < 8 {
+		height = 8
+	}
+	if p.SLen < 1 || p.TLen < 1 {
+		return "(empty plot)\n"
+	}
+	grid := make([][]byte, height)
+	for y := range grid {
+		grid[y] = []byte(strings.Repeat(" ", width))
+	}
+	sx := func(s int) int { return clamp((s-1)*width/p.SLen, 0, width-1) }
+	ty := func(t int) int { return clamp((t-1)*height/p.TLen, 0, height-1) }
+	for _, r := range p.Regions {
+		x0, x1 := sx(r.SBegin), sx(r.SEnd)
+		y0, y1 := ty(r.TBegin), ty(r.TEnd)
+		steps := maxInt(maxInt(x1-x0, y1-y0), 1)
+		for k := 0; k <= steps; k++ {
+			x := x0 + (x1-x0)*k/steps
+			y := y0 + (y1-y0)*k/steps
+			grid[y][x] = '*'
+		}
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "t\\s 1..%d (x) vs 1..%d (y), %d regions\n", p.SLen, p.TLen, len(p.Regions))
+	sb.WriteString("+" + strings.Repeat("-", width) + "+\n")
+	for y := 0; y < height; y++ {
+		sb.WriteString("|")
+		sb.Write(grid[y])
+		sb.WriteString("|\n")
+	}
+	sb.WriteString("+" + strings.Repeat("-", width) + "+\n")
+	return sb.String()
+}
+
+// SVG renders the plot as a standalone SVG document of the given pixel
+// size. Each region is a line segment; stroke width grows with score.
+func (p *DotPlot) SVG(width, height int) string {
+	if width < 64 {
+		width = 64
+	}
+	if height < 64 {
+		height = 64
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`,
+		width, height, width, height)
+	sb.WriteString("\n")
+	fmt.Fprintf(&sb, `<rect width="%d" height="%d" fill="white" stroke="black"/>`, width, height)
+	sb.WriteString("\n")
+	if p.SLen > 0 && p.TLen > 0 {
+		for _, r := range p.Regions {
+			x0 := float64(r.SBegin-1) * float64(width) / float64(p.SLen)
+			x1 := float64(r.SEnd) * float64(width) / float64(p.SLen)
+			y0 := float64(r.TBegin-1) * float64(height) / float64(p.TLen)
+			y1 := float64(r.TEnd) * float64(height) / float64(p.TLen)
+			w := 1.0
+			if r.Score > 100 {
+				w = 2.0
+			}
+			fmt.Fprintf(&sb,
+				`<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="black" stroke-width="%.1f"><title>s[%d..%d] t[%d..%d] score %d</title></line>`,
+				x0, y0, x1, y1, w, r.SBegin, r.SEnd, r.TBegin, r.TEnd, r.Score)
+			sb.WriteString("\n")
+		}
+	}
+	sb.WriteString("</svg>\n")
+	return sb.String()
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,79 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"genomedsm/internal/heuristics"
+)
+
+func plot() *DotPlot {
+	return &DotPlot{
+		SLen: 1000, TLen: 1000,
+		Regions: []heuristics.Candidate{
+			{SBegin: 100, SEnd: 300, TBegin: 100, TEnd: 300, Score: 150},
+			{SBegin: 700, SEnd: 900, TBegin: 200, TEnd: 400, Score: 80},
+		},
+	}
+}
+
+func TestASCII(t *testing.T) {
+	out := plot().ASCII(40, 20)
+	if !strings.Contains(out, "*") {
+		t.Error("no points plotted")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 23 { // header + top frame + 20 rows + bottom frame
+		t.Errorf("got %d lines", len(lines))
+	}
+	for _, l := range lines[1:] {
+		if len(l) != 42 {
+			t.Errorf("unaligned frame line %q", l)
+		}
+	}
+	if !strings.Contains(lines[0], "2 regions") {
+		t.Errorf("header: %q", lines[0])
+	}
+}
+
+func TestASCIIEmptyAndTiny(t *testing.T) {
+	empty := &DotPlot{}
+	if out := empty.ASCII(40, 20); !strings.Contains(out, "empty") {
+		t.Errorf("empty plot: %q", out)
+	}
+	// Tiny dimensions are clamped.
+	out := plot().ASCII(1, 1)
+	if !strings.Contains(out, "*") {
+		t.Error("clamped plot lost points")
+	}
+}
+
+func TestSVG(t *testing.T) {
+	out := plot().SVG(400, 400)
+	if !strings.HasPrefix(out, "<svg") || !strings.HasSuffix(strings.TrimSpace(out), "</svg>") {
+		t.Error("not an SVG document")
+	}
+	if got := strings.Count(out, "<line"); got != 2 {
+		t.Errorf("%d lines drawn, want 2", got)
+	}
+	if !strings.Contains(out, "score 150") {
+		t.Error("tooltip titles missing")
+	}
+	if !strings.Contains(out, `stroke-width="2.0"`) {
+		t.Error("high-score region not thickened")
+	}
+}
+
+func TestDiagonalOrientation(t *testing.T) {
+	// A main-diagonal region must produce '*' near the top-left and
+	// bottom-right, not an anti-diagonal.
+	p := &DotPlot{SLen: 100, TLen: 100, Regions: []heuristics.Candidate{
+		{SBegin: 1, SEnd: 100, TBegin: 1, TEnd: 100, Score: 50},
+	}}
+	out := p.ASCII(10, 10)
+	lines := strings.Split(out, "\n")
+	body := lines[2 : 2+10]
+	if body[0][1] != '*' || body[9][10] != '*' {
+		t.Errorf("diagonal not drawn corner to corner:\n%s", out)
+	}
+}

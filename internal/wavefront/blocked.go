@@ -1,0 +1,211 @@
+package wavefront
+
+import (
+	"fmt"
+
+	"genomedsm/internal/bio"
+	"genomedsm/internal/cluster"
+	"genomedsm/internal/dsm"
+	"genomedsm/internal/heuristics"
+)
+
+// BlockConfig controls strategy 2's decomposition: the similarity matrix
+// is divided into Bands (sets of rows, assigned to processors round-robin)
+// and each band into Blocks (sets of columns). The horizontal block-row
+// crossing a band boundary is the unit of communication (Fig. 11).
+type BlockConfig struct {
+	Bands  int
+	Blocks int
+}
+
+// MultiplierConfig builds the paper's blocking-multiplier notation: an
+// a×b multiplier for P processors divides the matrix into b·P bands, each
+// containing a·P blocks ("a 3 × 5 blocking multiplier for 8 processors
+// divides the matrix into 40 bands (5 × 8), each one containing 24 blocks
+// (3 × 8)", §4.3.1).
+func MultiplierConfig(a, b, nprocs int) BlockConfig {
+	return BlockConfig{Bands: b * nprocs, Blocks: a * nprocs}
+}
+
+// Validate checks the configuration against the matrix dimensions.
+func (bc BlockConfig) Validate(m, n int) error {
+	if bc.Bands < 1 || bc.Blocks < 1 {
+		return fmt.Errorf("wavefront: need at least 1 band and 1 block, got %d×%d", bc.Bands, bc.Blocks)
+	}
+	if bc.Bands > m {
+		return fmt.Errorf("wavefront: %d bands for %d rows", bc.Bands, m)
+	}
+	if bc.Blocks > n {
+		return fmt.Errorf("wavefront: %d blocks for %d columns", bc.Blocks, n)
+	}
+	return nil
+}
+
+// RunBlocked executes strategy 2 (§4.3): bands are assigned round-robin
+// (processor p owns bands p, p+P, …); each processor processes its bands
+// in order, block by block, waiting for the bottom block-row of the band
+// above before computing a block and passing its own bottom block-row to
+// the band below when done.
+//
+// Each band boundary owns a full shared border row (written segment by
+// segment as blocks complete, as the paper's horizontal double lines in
+// Fig. 11 suggest): a bounded per-boundary buffer can deadlock the
+// pipeline, because the producer of band b+1 may fill it while its
+// consumer is still helping drain boundary b.
+func RunBlocked(nprocs int, cfg cluster.Config, s, t bio.Sequence, sc bio.Scoring, p heuristics.Params, bc BlockConfig) (*Result, error) {
+	m, n := s.Len(), t.Len()
+	if nprocs < 1 {
+		return nil, fmt.Errorf("wavefront: nprocs %d", nprocs)
+	}
+	if m == 0 || n == 0 {
+		return &Result{}, nil
+	}
+	if err := bc.Validate(m, n); err != nil {
+		return nil, err
+	}
+	kern, err := heuristics.NewKernel(s, t, sc, p)
+	if err != nil {
+		return nil, err
+	}
+	sys, err := dsm.NewSystem(nprocs, cfg, dsm.Options{
+		CondVars: bc.Bands + 2,
+		Locks:    4,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// One full border row per band boundary, homed at the producer (the
+	// owner of the upper band). Segment for block k lives at column
+	// offset (c0−1)·CellBytes.
+	slots := make([]dsm.Region, bc.Bands-1)
+	for b := range slots {
+		if slots[b], err = sys.AllocAt(n*heuristics.CellBytes, b%nprocs); err != nil {
+			return nil, err
+		}
+	}
+	results, err := sys.AllocAt(8+defaultMaxCandidates*candidateBytes, 0)
+	if err != nil {
+		return nil, err
+	}
+	// dataCV(b) is signalled once per completed block segment of boundary
+	// b; the consumer waits once per block, in order (signals are sticky
+	// and FIFO).
+	dataCV := func(b int) int { return b }
+
+	bandRows := func(b int) (int, int) { return b*m/bc.Bands + 1, (b + 1) * m / bc.Bands }
+	blockCols := func(k int) (int, int) { return k*n/bc.Blocks + 1, (k + 1) * n / bc.Blocks }
+	maxBlockWidth := 0
+	for k := 0; k < bc.Blocks; k++ {
+		c0, c1 := blockCols(k)
+		if w := c1 - c0 + 1; w > maxBlockWidth {
+			maxBlockWidth = w
+		}
+	}
+
+	var out *Result
+	err = sys.Run(func(node *dsm.Node) error {
+		if err := node.Barrier(); err != nil {
+			return err
+		}
+		id := node.ID()
+		var q heuristics.Queue
+		emit := q.Add
+		buf := make([]byte, maxBlockWidth*heuristics.CellBytes)
+
+		// The owner of the last band accumulates row m's cells so they can
+		// be flushed left-to-right after the whole row exists — exactly
+		// when the sequential scan flushes them. Flushing per tile would
+		// mutate state that still flows east into the next tile.
+		var lastRow []heuristics.Cell
+
+		for band := id; band < bc.Bands; band += nprocs {
+			r0, r1 := bandRows(band)
+			height := r1 - r0 + 1
+			// rightCol[x] is the cell at (r0+x, c0−1): the previous
+			// block's right column. Starts as the zero column.
+			rightCol := make([]heuristics.Cell, height)
+			// corner is the cell at (r0−1, c0−1).
+			var corner heuristics.Cell
+			prev := make([]heuristics.Cell, maxBlockWidth+1)
+			cur := make([]heuristics.Cell, maxBlockWidth+1)
+
+			for blk := 0; blk < bc.Blocks; blk++ {
+				c0, c1 := blockCols(blk)
+				width := c1 - c0 + 1
+				// Top block-row of this tile: from the band above via the
+				// boundary row, or the zero row for band 0.
+				top := make([]heuristics.Cell, width)
+				if band > 0 {
+					if err := node.Waitcv(dataCV(band - 1)); err != nil {
+						return err
+					}
+					if err := node.ReadAt(slots[band-1], (c0-1)*heuristics.CellBytes, buf[:width*heuristics.CellBytes]); err != nil {
+						return err
+					}
+					for x := 0; x < width; x++ {
+						top[x] = heuristics.DecodeCell(buf[x*heuristics.CellBytes:])
+					}
+				}
+
+				// Compute the tile row by row.
+				prev[0] = corner
+				copy(prev[1:], top)
+				for x := 0; x < height; x++ {
+					r := r0 + x
+					cur[0] = rightCol[x]
+					for y := 1; y <= width; y++ {
+						cur[y] = kern.Step(&prev[y-1], &cur[y-1], &prev[y], r, c0+y-1, emit)
+					}
+					if r == m {
+						if lastRow == nil {
+							lastRow = make([]heuristics.Cell, n)
+						}
+						copy(lastRow[c0-1:], cur[1:width+1])
+					}
+					rightCol[x] = cur[width] // becomes the left column of the next tile
+					prev, cur = cur, prev
+				}
+				node.Compute(int64(height) * int64(width))
+				// After the swap, prev holds the tile's bottom row.
+				corner = top[width-1] // (r0−1, c1) for the next tile
+				if band < bc.Bands-1 {
+					for y := 1; y <= width; y++ {
+						prev[y].Encode(buf[(y-1)*heuristics.CellBytes:])
+					}
+					if err := node.WriteAt(slots[band], (c0-1)*heuristics.CellBytes, buf[:width*heuristics.CellBytes]); err != nil {
+						return err
+					}
+					if err := node.Setcv(dataCV(band)); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		for x := range lastRow {
+			kern.Flush(&lastRow[x], emit)
+		}
+
+		if err := publishCandidates(node, results, q.Items()); err != nil {
+			return err
+		}
+		if err := node.Barrier(); err != nil {
+			return err
+		}
+		if id == 0 {
+			cands, err := collectCandidates(node, results)
+			if err != nil {
+				return err
+			}
+			out = &Result{Candidates: cands}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out.Makespan = sys.Makespan()
+	out.Breakdowns = sys.Breakdowns()
+	out.Stats = sys.TotalStats()
+	return out, nil
+}

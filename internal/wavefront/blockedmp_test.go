@@ -1,0 +1,75 @@
+package wavefront
+
+import (
+	"reflect"
+	"testing"
+
+	"genomedsm/internal/cluster"
+	"genomedsm/internal/heuristics"
+)
+
+func TestBlockedMPMatchesSequential(t *testing.T) {
+	s, tt := testPair(t, 151, 900)
+	want, err := heuristics.Scan(s, tt, sc, testParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, nprocs := range []int{1, 2, 4, 8} {
+		res, err := RunBlockedMP(nprocs, cluster.Zero(), s, tt, sc, testParams,
+			BlockConfig{Bands: 12, Blocks: 10})
+		if err != nil {
+			t.Fatalf("nprocs=%d: %v", nprocs, err)
+		}
+		if !reflect.DeepEqual(res.Candidates, want) {
+			t.Errorf("nprocs=%d: MP candidates differ from sequential", nprocs)
+		}
+	}
+}
+
+func TestBlockedMPValidation(t *testing.T) {
+	s, tt := testPair(t, 157, 200)
+	if _, err := RunBlockedMP(0, cluster.Zero(), s, tt, sc, testParams, BlockConfig{Bands: 2, Blocks: 2}); err == nil {
+		t.Error("nprocs=0 accepted")
+	}
+	if _, err := RunBlockedMP(2, cluster.Zero(), s, tt, sc, testParams, BlockConfig{}); err == nil {
+		t.Error("empty block config accepted")
+	}
+	res, err := RunBlockedMP(2, cluster.Zero(), nil, tt, sc, testParams, BlockConfig{Bands: 2, Blocks: 2})
+	if err != nil || len(res.Candidates) != 0 {
+		t.Errorf("empty input: %v %v", res, err)
+	}
+}
+
+// TestDSMOverheadAblation quantifies the DSM abstraction's cost: on the
+// same network model, the message-passing variant must be at least as
+// fast as the DSM variant (it skips page faults, diffs and notices), but
+// within a small factor — the paper's argument that DSM's programmability
+// comes at an acceptable price.
+func TestDSMOverheadAblation(t *testing.T) {
+	s, tt := testPair(t, 163, 1500)
+	cfg := cluster.Calibrated2005()
+	bc := MultiplierConfig(5, 5, 8)
+	dsmRes, err := RunBlocked(8, cfg, s, tt, sc, testParams, bc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mpRes, err := RunBlockedMP(8, cfg, s, tt, sc, testParams, bc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(dsmRes.Candidates, mpRes.Candidates) {
+		t.Error("DSM and MP variants disagree on candidates")
+	}
+	if mpRes.Makespan > dsmRes.Makespan {
+		t.Errorf("MP (%.3fs) slower than DSM (%.3fs)", mpRes.Makespan, dsmRes.Makespan)
+	}
+	if dsmRes.Makespan > 3*mpRes.Makespan {
+		t.Errorf("DSM overhead factor %.2f looks implausible (> 3×)",
+			dsmRes.Makespan/mpRes.Makespan)
+	}
+	// The DSM run moves more protocol bytes (pages + diffs + notices).
+	if dsmRes.Stats.BytesMoved <= mpRes.Stats.BytesMoved {
+		t.Errorf("DSM moved %d bytes, MP %d; expected DSM > MP",
+			dsmRes.Stats.BytesMoved, mpRes.Stats.BytesMoved)
+	}
+}

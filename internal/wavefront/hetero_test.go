@@ -1,0 +1,69 @@
+package wavefront
+
+import (
+	"reflect"
+	"testing"
+
+	"genomedsm/internal/cluster"
+)
+
+// TestHeterogeneousClusterSlowsToTheWeakestNode models the paper's
+// future-work scenario: one half-speed workstation in the cluster. With
+// static band assignment the whole pipeline slows toward the weakest
+// node, while results stay identical.
+func TestHeterogeneousClusterSlowsToTheWeakestNode(t *testing.T) {
+	s, tt := testPair(t, 167, 1200)
+	bc := MultiplierConfig(4, 4, 4)
+
+	homo := cluster.Calibrated2005()
+	hres, err := RunBlocked(4, homo, s, tt, sc, testParams, bc)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	hetero := cluster.Calibrated2005()
+	hetero.NodeSpeeds = []float64{1, 1, 0.5, 1} // node 2 is half speed
+	xres, err := RunBlocked(4, hetero, s, tt, sc, testParams, bc)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(hres.Candidates, xres.Candidates) {
+		t.Error("heterogeneity changed the results")
+	}
+	if xres.Makespan <= hres.Makespan {
+		t.Errorf("half-speed node did not slow the run: %.3f vs %.3f", xres.Makespan, hres.Makespan)
+	}
+	// The slowdown is bounded by the weakest node's 2× factor.
+	if xres.Makespan > 2.2*hres.Makespan {
+		t.Errorf("slowdown %.2f× exceeds the weakest node's 2×", xres.Makespan/hres.Makespan)
+	}
+	// The slow node's compute time roughly doubles.
+	slow := xres.Breakdowns[2].Cat[cluster.Compute]
+	fast := hres.Breakdowns[2].Cat[cluster.Compute]
+	if slow < 1.8*fast || slow > 2.2*fast {
+		t.Errorf("slow node compute %.3f, homogeneous %.3f; want ≈2×", slow, fast)
+	}
+}
+
+func TestNodeSpeedsValidation(t *testing.T) {
+	cfg := cluster.Calibrated2005()
+	cfg.NodeSpeeds = []float64{1, 0}
+	if err := cfg.Validate(); err == nil {
+		t.Error("zero node speed accepted")
+	}
+	cfg.NodeSpeeds = []float64{1, -1}
+	if err := cfg.Validate(); err == nil {
+		t.Error("negative node speed accepted")
+	}
+	cfg.NodeSpeeds = []float64{2, 1}
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("valid speeds rejected: %v", err)
+	}
+	if got := cfg.CellTimeFor(0); got != cfg.CellTime/2 {
+		t.Errorf("CellTimeFor(0) = %g", got)
+	}
+	if got := cfg.CellTimeFor(5); got != cfg.CellTime {
+		t.Errorf("CellTimeFor beyond table = %g, want base", got)
+	}
+}

@@ -1,0 +1,144 @@
+package wavefront
+
+import (
+	"fmt"
+
+	"genomedsm/internal/bio"
+	"genomedsm/internal/cluster"
+	"genomedsm/internal/dsm"
+	"genomedsm/internal/heuristics"
+)
+
+// RunNoBlock executes strategy 1 (§4.2): each of nprocs processors is
+// assigned N/P columns; every processor works on two rows (a writing row
+// and a reading row); each value of the border column is passed
+// individually to the next processor through shared memory, synchronized
+// with condition variables. Barriers are used only at the beginning and
+// the end of the computation.
+func RunNoBlock(nprocs int, cfg cluster.Config, s, t bio.Sequence, sc bio.Scoring, p heuristics.Params) (*Result, error) {
+	m, n := s.Len(), t.Len()
+	if nprocs < 1 {
+		return nil, fmt.Errorf("wavefront: nprocs %d", nprocs)
+	}
+	if n < nprocs {
+		return nil, fmt.Errorf("wavefront: %d columns cannot be split over %d processors", n, nprocs)
+	}
+	if m == 0 {
+		return &Result{}, nil
+	}
+	kern, err := heuristics.NewKernel(s, t, sc, p)
+	if err != nil {
+		return nil, err
+	}
+	sys, err := dsm.NewSystem(nprocs, cfg, dsm.Options{
+		CondVars: 2*nprocs + 2,
+		Locks:    4,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Shared memory: one border-cell slot per processor boundary (homed at
+	// the producer) and the gathered result vector (homed at node 0).
+	borders := make([]dsm.Region, nprocs-1)
+	for b := range borders {
+		if borders[b], err = sys.AllocAt(heuristics.CellBytes, b); err != nil {
+			return nil, err
+		}
+	}
+	results, err := sys.AllocAt(8+defaultMaxCandidates*candidateBytes, 0)
+	if err != nil {
+		return nil, err
+	}
+
+	// Condition variables: dataCV[b] signals "border value of boundary b
+	// written"; ackCV[b] signals "value read, the slot may be reused".
+	dataCV := func(b int) int { return 2 * b }
+	ackCV := func(b int) int { return 2*b + 1 }
+
+	var out *Result
+	err = sys.Run(func(node *dsm.Node) error {
+		if err := node.Barrier(); err != nil {
+			return err
+		}
+		id := node.ID()
+		lo, hi := stripe(id, nprocs, n)
+		width := hi - lo + 1
+		var q heuristics.Queue
+		emit := q.Add
+
+		// Two rows of state for the stripe, plus the left border column:
+		// prev[x]/cur[x] hold columns lo-1+x (x=0 is the border cell
+		// received from the left neighbour; zero column for processor 0).
+		prev := make([]heuristics.Cell, width+1)
+		cur := make([]heuristics.Cell, width+1)
+		buf := make([]byte, heuristics.CellBytes)
+
+		for i := 1; i <= m; i++ {
+			if id > 0 {
+				// Wait for the left neighbour's border value of this row,
+				// read it, and acknowledge so the slot can be reused.
+				if err := node.Waitcv(dataCV(id - 1)); err != nil {
+					return err
+				}
+				if err := node.ReadAt(borders[id-1], 0, buf); err != nil {
+					return err
+				}
+				cur[0] = heuristics.DecodeCell(buf)
+				if err := node.Setcv(ackCV(id - 1)); err != nil {
+					return err
+				}
+			} else {
+				cur[0] = heuristics.Cell{}
+			}
+			for x := 1; x <= width; x++ {
+				cur[x] = kern.Step(&prev[x-1], &cur[x-1], &prev[x], i, lo+x-1, emit)
+			}
+			node.Compute(int64(width))
+			if id < nprocs-1 {
+				if i > 1 {
+					// Ensure the previous border value was consumed before
+					// overwriting the slot.
+					if err := node.Waitcv(ackCV(id)); err != nil {
+						return err
+					}
+				}
+				cur[width].Encode(buf)
+				if err := node.WriteAt(borders[id], 0, buf); err != nil {
+					return err
+				}
+				if err := node.Setcv(dataCV(id)); err != nil {
+					return err
+				}
+			}
+			if i == m {
+				for x := 1; x <= width; x++ {
+					kern.Flush(&cur[x], emit)
+				}
+			}
+			prev, cur = cur, prev
+		}
+
+		if err := publishCandidates(node, results, q.Items()); err != nil {
+			return err
+		}
+		if err := node.Barrier(); err != nil {
+			return err
+		}
+		if id == 0 {
+			cands, err := collectCandidates(node, results)
+			if err != nil {
+				return err
+			}
+			out = &Result{Candidates: cands}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out.Makespan = sys.Makespan()
+	out.Breakdowns = sys.Breakdowns()
+	out.Stats = sys.TotalStats()
+	return out, nil
+}

@@ -1,0 +1,76 @@
+package wavefront
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"genomedsm/internal/bio"
+	"genomedsm/internal/cluster"
+	"genomedsm/internal/heuristics"
+)
+
+// TestParallelEqualsSequentialProperty randomizes everything at once —
+// input pair, heuristic parameters, processor count and decomposition —
+// and checks the central §4 invariant: both parallel strategies (and the
+// message-passing ablation) produce exactly the sequential queue.
+func TestParallelEqualsSequentialProperty(t *testing.T) {
+	f := func(seed int64, openRaw, closeRaw, minRaw, procRaw, bandRaw, blockRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 200 + rng.Intn(400)
+		g := bio.NewGenerator(seed)
+		pair, err := g.HomologousPair(n, bio.HomologyModel{
+			Regions: 1 + rng.Intn(3), RegionLen: 60, RegionJit: 20,
+			Divergence: bio.MutationModel{SubstitutionRate: 0.05},
+		})
+		if err != nil {
+			return false
+		}
+		p := heuristics.Params{
+			Open:     3 + int(openRaw%20),
+			Close:    3 + int(closeRaw%20),
+			MinScore: 5 + int(minRaw%40),
+		}
+		want, err := heuristics.Scan(pair.S, pair.T, sc, p)
+		if err != nil {
+			return false
+		}
+		procs := 1 + int(procRaw%8)
+		bc := BlockConfig{
+			Bands:  1 + int(bandRaw)%(n/8),
+			Blocks: 1 + int(blockRaw)%(n/8),
+		}
+		blocked, err := RunBlocked(procs, cluster.Zero(), pair.S, pair.T, sc, p, bc)
+		if err != nil {
+			return false
+		}
+		if !reflect.DeepEqual(blocked.Candidates, want) {
+			return false
+		}
+		mp, err := RunBlockedMP(procs, cluster.Zero(), pair.S, pair.T, sc, p, bc)
+		if err != nil {
+			return false
+		}
+		if !reflect.DeepEqual(mp.Candidates, want) {
+			return false
+		}
+		if procs <= n { // strategy 1 needs at least one column per node
+			noblock, err := RunNoBlock(procs, cluster.Zero(), pair.S, pair.T, sc, p)
+			if err != nil {
+				return false
+			}
+			if !reflect.DeepEqual(noblock.Candidates, want) {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 12}
+	if testing.Short() {
+		cfg.MaxCount = 4
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,106 @@
+// Package wavefront implements the paper's first two parallel strategies
+// for the heuristic local-alignment scan on the DSM cluster:
+//
+//   - Strategy 1 (§4.2, RunNoBlock): work is assigned on a column basis —
+//     each processor owns a stripe of columns and two rows of state; every
+//     border-column cell is passed individually to the right neighbour
+//     through shared memory, synchronized with condition variables.
+//   - Strategy 2 (§4.3, RunBlocked): the matrix is divided into bands
+//     (sets of rows, assigned round-robin) subdivided into blocks; a whole
+//     block-row is passed per synchronization, governed by a blocking
+//     multiplier (Table 3).
+//
+// Both strategies run the identical cell kernel (heuristics.Kernel.Step)
+// as the sequential scan, so their finalized candidate queues are equal to
+// the sequential one by construction — a property the tests enforce.
+package wavefront
+
+import (
+	"fmt"
+
+	"genomedsm/internal/cluster"
+	"genomedsm/internal/dsm"
+	"genomedsm/internal/heuristics"
+)
+
+// Result is the outcome of a parallel scan.
+type Result struct {
+	Candidates []heuristics.Candidate
+	// Makespan is the simulated parallel execution time (max node time).
+	Makespan float64
+	// Breakdowns holds each node's virtual-time accounting (Fig. 10).
+	Breakdowns []cluster.Breakdown
+	// Stats aggregates DSM protocol counters.
+	Stats dsm.Stats
+}
+
+// candidateBytes is the wire size of one candidate in the shared result
+// vector (5 × int32).
+const candidateBytes = 20
+
+// defaultMaxCandidates bounds the shared result vector.
+const defaultMaxCandidates = 1 << 16
+
+// gatherLock is the lock protecting the shared result vector.
+const gatherLock = 0
+
+// encodeCandidate stores c as 5 int32s.
+func encodeCandidate(c heuristics.Candidate) []int32 {
+	return []int32{int32(c.SBegin), int32(c.SEnd), int32(c.TBegin), int32(c.TEnd), int32(c.Score)}
+}
+
+func decodeCandidate(v []int32) heuristics.Candidate {
+	return heuristics.Candidate{
+		SBegin: int(v[0]), SEnd: int(v[1]),
+		TBegin: int(v[2]), TEnd: int(v[3]),
+		Score: int(v[4]),
+	}
+}
+
+// publishCandidates appends the node's local queue to the shared result
+// vector under the gather lock, as the final collection phase of both
+// strategies ("these alignments are then gathered", §4.3).
+func publishCandidates(n *dsm.Node, results dsm.Region, local []heuristics.Candidate) error {
+	return n.WithLock(gatherLock, func() error {
+		count, err := n.ReadInt64(results, 0)
+		if err != nil {
+			return err
+		}
+		capacity := (results.Size() - 8) / candidateBytes
+		if int(count)+len(local) > capacity {
+			return fmt.Errorf("wavefront: result vector overflow (%d + %d > %d); raise MaxCandidates",
+				count, len(local), capacity)
+		}
+		for i, c := range local {
+			off := 8 + (int(count)+i)*candidateBytes
+			if err := n.WriteInt32s(results, off, encodeCandidate(c)); err != nil {
+				return err
+			}
+		}
+		return n.WriteInt64(results, 0, count+int64(len(local)))
+	})
+}
+
+// collectCandidates reads the shared result vector (from node 0) and
+// finalizes the queue.
+func collectCandidates(n *dsm.Node, results dsm.Region) ([]heuristics.Candidate, error) {
+	count, err := n.ReadInt64(results, 0)
+	if err != nil {
+		return nil, err
+	}
+	var q heuristics.Queue
+	buf := make([]int32, 5)
+	for i := 0; i < int(count); i++ {
+		if err := n.ReadInt32s(results, 8+i*candidateBytes, buf); err != nil {
+			return nil, err
+		}
+		q.Add(decodeCandidate(buf))
+	}
+	return q.Finalize(), nil
+}
+
+// stripe returns the 1-based inclusive column range of processor p out of
+// nprocs over n columns.
+func stripe(p, nprocs, n int) (lo, hi int) {
+	return p*n/nprocs + 1, (p + 1) * n / nprocs
+}

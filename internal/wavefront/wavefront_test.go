@@ -1,0 +1,215 @@
+package wavefront
+
+import (
+	"reflect"
+	"testing"
+
+	"genomedsm/internal/bio"
+	"genomedsm/internal/cluster"
+	"genomedsm/internal/heuristics"
+)
+
+var sc = bio.DefaultScoring()
+
+func testPair(t *testing.T, seed int64, n int) (bio.Sequence, bio.Sequence) {
+	t.Helper()
+	g := bio.NewGenerator(seed)
+	pair, err := g.HomologousPair(n, bio.HomologyModel{
+		Regions: n / 300, RegionLen: 150, RegionJit: 50,
+		Divergence: bio.MutationModel{SubstitutionRate: 0.05},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pair.S, pair.T
+}
+
+var testParams = heuristics.Params{Open: 12, Close: 12, MinScore: 30}
+
+// TestNoBlockMatchesSequential is the paper's central correctness claim
+// for strategy 1: the parallel scan must produce exactly the sequential
+// candidate queue, for every processor count.
+func TestNoBlockMatchesSequential(t *testing.T) {
+	s, tt := testPair(t, 101, 900)
+	want, err := heuristics.Scan(s, tt, sc, testParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) == 0 {
+		t.Fatal("sequential scan found nothing; test input too weak")
+	}
+	for _, nprocs := range []int{1, 2, 3, 4, 8} {
+		res, err := RunNoBlock(nprocs, cluster.Zero(), s, tt, sc, testParams)
+		if err != nil {
+			t.Fatalf("nprocs=%d: %v", nprocs, err)
+		}
+		if !reflect.DeepEqual(res.Candidates, want) {
+			t.Errorf("nprocs=%d: parallel candidates differ from sequential\nparallel: %v\nsequential: %v",
+				nprocs, res.Candidates, want)
+		}
+	}
+}
+
+// TestBlockedMatchesSequential is the same claim for strategy 2, across
+// several blocking configurations.
+func TestBlockedMatchesSequential(t *testing.T) {
+	s, tt := testPair(t, 103, 900)
+	want, err := heuristics.Scan(s, tt, sc, testParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) == 0 {
+		t.Fatal("sequential scan found nothing; test input too weak")
+	}
+	cases := []struct {
+		nprocs int
+		bc     BlockConfig
+	}{
+		{1, BlockConfig{Bands: 1, Blocks: 1}},
+		{1, BlockConfig{Bands: 7, Blocks: 5}},
+		{2, MultiplierConfig(2, 2, 2)},
+		{3, BlockConfig{Bands: 9, Blocks: 6}},
+		{4, MultiplierConfig(1, 1, 4)},
+		{4, MultiplierConfig(5, 5, 4)},
+		{8, MultiplierConfig(3, 5, 8)},
+	}
+	for _, c := range cases {
+		res, err := RunBlocked(c.nprocs, cluster.Zero(), s, tt, sc, testParams, c.bc)
+		if err != nil {
+			t.Fatalf("nprocs=%d %+v: %v", c.nprocs, c.bc, err)
+		}
+		if !reflect.DeepEqual(res.Candidates, want) {
+			t.Errorf("nprocs=%d %+v: parallel candidates differ from sequential (%d vs %d)",
+				c.nprocs, c.bc, len(res.Candidates), len(want))
+		}
+	}
+}
+
+func TestNoBlockValidation(t *testing.T) {
+	s, tt := testPair(t, 107, 200)
+	if _, err := RunNoBlock(0, cluster.Zero(), s, tt, sc, testParams); err == nil {
+		t.Error("nprocs=0 accepted")
+	}
+	if _, err := RunNoBlock(300, cluster.Zero(), s, tt, sc, testParams); err == nil {
+		t.Error("more processors than columns accepted")
+	}
+	if _, err := RunNoBlock(2, cluster.Zero(), s, tt, sc, heuristics.Params{}); err == nil {
+		t.Error("invalid params accepted")
+	}
+	res, err := RunNoBlock(2, cluster.Zero(), nil, tt, sc, testParams)
+	if err != nil || len(res.Candidates) != 0 {
+		t.Errorf("empty s: %v %v", res, err)
+	}
+}
+
+func TestBlockedValidation(t *testing.T) {
+	s, tt := testPair(t, 109, 200)
+	if _, err := RunBlocked(2, cluster.Zero(), s, tt, sc, testParams, BlockConfig{Bands: 0, Blocks: 1}); err == nil {
+		t.Error("zero bands accepted")
+	}
+	if _, err := RunBlocked(2, cluster.Zero(), s, tt, sc, testParams, BlockConfig{Bands: 500, Blocks: 2}); err == nil {
+		t.Error("more bands than rows accepted")
+	}
+	if _, err := RunBlocked(2, cluster.Zero(), s, tt, sc, testParams, BlockConfig{Bands: 2, Blocks: 500}); err == nil {
+		t.Error("more blocks than columns accepted")
+	}
+}
+
+func TestMultiplierConfig(t *testing.T) {
+	bc := MultiplierConfig(3, 5, 8)
+	if bc.Bands != 40 || bc.Blocks != 24 {
+		t.Errorf("3×5 multiplier for 8 procs: %+v, paper says 40 bands × 24 blocks", bc)
+	}
+}
+
+// TestBlockedFasterThanNoBlock verifies the headline of §4.3/Fig. 13
+// under the calibrated cost model: with an adequate blocking factor the
+// blocked strategy beats per-cell handoff by a large margin.
+func TestBlockedFasterThanNoBlock(t *testing.T) {
+	s, tt := testPair(t, 113, 1200)
+	cfg := cluster.Calibrated2005()
+	noBlock, err := RunNoBlock(4, cfg, s, tt, sc, testParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocked, err := RunBlocked(4, cfg, s, tt, sc, testParams, MultiplierConfig(5, 5, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if blocked.Makespan >= noBlock.Makespan {
+		t.Errorf("blocked %.3fs not faster than no-block %.3fs", blocked.Makespan, noBlock.Makespan)
+	}
+	if blocked.Stats.CVSignals >= noBlock.Stats.CVSignals {
+		t.Errorf("blocked sent %d signals, no-block %d; blocking should reduce synchronization",
+			blocked.Stats.CVSignals, noBlock.Stats.CVSignals)
+	}
+}
+
+// TestSpeedupGrowsWithSize reproduces the Fig. 9 trend: larger inputs give
+// better speed-ups because the parallel part dominates synchronization.
+func TestSpeedupGrowsWithSize(t *testing.T) {
+	cfg := cluster.Calibrated2005()
+	speedup := func(n int) float64 {
+		s, tt := testPair(t, 127, n)
+		serial, err := RunBlocked(1, cfg, s, tt, sc, testParams, BlockConfig{Bands: 1, Blocks: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := RunBlocked(4, cfg, s, tt, sc, testParams, MultiplierConfig(5, 5, 4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cluster.Speedup(serial.Makespan, par.Makespan)
+	}
+	small := speedup(400)
+	large := speedup(2000)
+	if large <= small {
+		t.Errorf("speedup did not grow with size: %d->%.2f vs %d->%.2f", 400, small, 2000, large)
+	}
+	if large < 2.0 {
+		t.Errorf("4-processor speedup on the large input is %.2f, want >= 2", large)
+	}
+}
+
+// TestCostModelDoesNotChangeResults: the virtual-time model must be
+// purely observational — identical candidates under zero-cost and
+// calibrated configurations.
+func TestCostModelDoesNotChangeResults(t *testing.T) {
+	s, tt := testPair(t, 139, 800)
+	free, err := RunBlocked(4, cluster.Zero(), s, tt, sc, testParams, MultiplierConfig(3, 3, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	paid, err := RunBlocked(4, cluster.Calibrated2005(), s, tt, sc, testParams, MultiplierConfig(3, 3, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(free.Candidates, paid.Candidates) {
+		t.Error("cost model changed the computed candidates")
+	}
+	if paid.Makespan <= free.Makespan {
+		t.Errorf("calibrated model (%.3f) not slower than free model (%.3f)", paid.Makespan, free.Makespan)
+	}
+}
+
+func TestBreakdownCategoriesPopulated(t *testing.T) {
+	s, tt := testPair(t, 131, 600)
+	cfg := cluster.Calibrated2005()
+	res, err := RunNoBlock(2, cfg, s, tt, sc, testParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged := cluster.Merge(res.Breakdowns)
+	if merged.Cat[cluster.Compute] == 0 {
+		t.Error("no compute time recorded")
+	}
+	if merged.Cat[cluster.LockCV] == 0 {
+		t.Error("no lock+cv time recorded despite per-cell handoff")
+	}
+	if merged.Cat[cluster.Barrier] == 0 {
+		t.Error("no barrier time recorded")
+	}
+	if res.Makespan <= 0 {
+		t.Error("zero makespan")
+	}
+}
