@@ -58,9 +58,23 @@ func benchPair(n int) (bio.Sequence, bio.Sequence) {
 	return s, g.MutatedCopy(s, bio.DefaultMutationModel())
 }
 
+// reportCells reports throughput in DP cells per second, the unit the
+// benchdiff regression harness tracks. cells is the number of matrix
+// cells computed per benchmark iteration. (SetBytes with the same count
+// also makes MB/s read as Mcells/s, kept for go-test familiarity.)
+func reportCells(b *testing.B, cells int64) {
+	b.Helper()
+	b.SetBytes(cells)
+	b.Cleanup(func() {
+		if s := b.Elapsed().Seconds(); s > 0 {
+			b.ReportMetric(float64(cells)*float64(b.N)/s, "cells/s")
+		}
+	})
+}
+
 func BenchmarkKernelExactScan(b *testing.B) {
 	s, t := benchPair(1000)
-	b.SetBytes(int64(s.Len()) * int64(t.Len()))
+	reportCells(b, int64(s.Len())*int64(t.Len()))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := align.Scan(s, t, bio.DefaultScoring(), align.ScanOptions{}); err != nil {
@@ -71,7 +85,7 @@ func BenchmarkKernelExactScan(b *testing.B) {
 
 func BenchmarkKernelHeuristicScan(b *testing.B) {
 	s, t := benchPair(1000)
-	b.SetBytes(int64(s.Len()) * int64(t.Len()))
+	reportCells(b, int64(s.Len())*int64(t.Len()))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := heuristics.Scan(s, t, bio.DefaultScoring(),
@@ -81,9 +95,59 @@ func BenchmarkKernelHeuristicScan(b *testing.B) {
 	}
 }
 
+func BenchmarkKernelColumnScan(b *testing.B) {
+	s, t := benchPair(1000)
+	reportCells(b, int64(s.Len())*int64(t.Len()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := align.ColumnScan(s, t, bio.DefaultScoring(), nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKernelGotoh(b *testing.B) {
+	s, t := benchPair(500)
+	sc := align.AffineScoring{Match: 1, Mismatch: -1, GapOpen: -3, GapExtend: -1}
+	reportCells(b, int64(s.Len())*int64(t.Len()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := align.BestLocalAffine(s, t, sc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkKernelStepRow times the row kernel alone — two resident rows,
+// no queue, no allocation — isolating the per-cell transition cost from
+// Scan's setup and candidate handling.
+func BenchmarkKernelStepRow(b *testing.B) {
+	s, t := benchPair(1000)
+	kern, err := heuristics.NewKernel(s, t, bio.DefaultScoring(),
+		heuristics.Params{Open: 12, Close: 12, MinScore: 30})
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, n := s.Len(), t.Len()
+	prev := make([]heuristics.Cell, n+1)
+	cur := make([]heuristics.Cell, n+1)
+	reportCells(b, int64(m)*int64(n))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for x := range prev {
+			prev[x] = heuristics.Cell{}
+		}
+		for r := 1; r <= m; r++ {
+			cur[0] = heuristics.Cell{}
+			kern.StepRow(prev, cur, r, 1, nil)
+			prev, cur = cur, prev
+		}
+	}
+}
+
 func BenchmarkKernelFullMatrix(b *testing.B) {
 	s, t := benchPair(500)
-	b.SetBytes(int64(s.Len()) * int64(t.Len()))
+	reportCells(b, int64(s.Len())*int64(t.Len()))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := align.BestLocal(s, t, bio.DefaultScoring()); err != nil {
@@ -99,6 +163,7 @@ func BenchmarkKernelReverseRetrieve(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	reportCells(b, int64(s.Len())*int64(t.Len()))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := align.ReverseRetrieve(s, t, sc, r.BestI, r.BestJ, r.BestScore); err != nil {

@@ -1,0 +1,107 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `
+goos: linux
+goarch: amd64
+pkg: genomedsm
+BenchmarkKernelExactScan-4     	     433	   2772724 ns/op	 364.62 MB/s	 364624052 cells/s
+BenchmarkKernelExactScan-4     	     409	   2849246 ns/op	 354.83 MB/s	 354830000 cells/s
+BenchmarkKernelHeuristicScan-4 	     100	  11532556 ns/op	  87.66 MB/s	  87660000 cells/s
+PASS
+ok  	genomedsm	12.3s
+`
+
+func TestParseBench(t *testing.T) {
+	snap, err := parseBench(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap) != 2 {
+		t.Fatalf("got %d benchmarks, want 2: %v", len(snap), snap)
+	}
+	exact, ok := snap["KernelExactScan"]
+	if !ok {
+		t.Fatalf("KernelExactScan missing (prefix/suffix not stripped?): %v", snap)
+	}
+	// Best-of across the two runs: max throughput, min ns/op.
+	if got := exact["cells/s"]; got != 364624052 {
+		t.Errorf("cells/s = %v, want best-of 364624052", got)
+	}
+	if got := exact["MB/s"]; got != 364.62 {
+		t.Errorf("MB/s = %v, want 364.62", got)
+	}
+	if got := exact["ns/op"]; got != 2772724 {
+		t.Errorf("ns/op = %v, want best-of (min) 2772724", got)
+	}
+}
+
+func TestThroughputFallback(t *testing.T) {
+	v, unit, ok := throughput(Metrics{"cells/s": 5, "MB/s": 4, "ns/op": 2})
+	if !ok || unit != "cells/s" || v != 5 {
+		t.Errorf("preferred metric: got %v %s %v", v, unit, ok)
+	}
+	v, unit, ok = throughput(Metrics{"MB/s": 4, "ns/op": 2})
+	if !ok || unit != "MB/s" || v != 4 {
+		t.Errorf("MB/s fallback: got %v %s %v", v, unit, ok)
+	}
+	v, unit, ok = throughput(Metrics{"ns/op": 2})
+	if !ok || unit != "op/ns" || v != 0.5 {
+		t.Errorf("ns/op fallback: got %v %s %v", v, unit, ok)
+	}
+	if _, _, ok = throughput(Metrics{}); ok {
+		t.Error("empty metrics should report no throughput")
+	}
+}
+
+func TestCommonThroughput(t *testing.T) {
+	// A baseline recorded before cells/s existed must compare via MB/s.
+	av, bv, unit, ok := commonThroughput(
+		Metrics{"MB/s": 66, "ns/op": 15e6},
+		Metrics{"cells/s": 95e6, "MB/s": 95, "ns/op": 10e6})
+	if !ok || unit != "MB/s" || av != 66 || bv != 95 {
+		t.Errorf("got %v %v %s %v, want 66 95 MB/s true", av, bv, unit, ok)
+	}
+	// ns/op-only snapshots compare inverted.
+	av, bv, unit, ok = commonThroughput(Metrics{"ns/op": 4}, Metrics{"ns/op": 2})
+	if !ok || unit != "op/ns" || av != 0.25 || bv != 0.5 {
+		t.Errorf("got %v %v %s %v, want 0.25 0.5 op/ns true", av, bv, unit, ok)
+	}
+	if _, _, _, ok = commonThroughput(Metrics{"MB/s": 1}, Metrics{"cells/s": 1}); ok {
+		t.Error("disjoint units should not compare")
+	}
+}
+
+func TestCheck(t *testing.T) {
+	base := Snapshot{
+		"A": Metrics{"cells/s": 100},
+		"B": Metrics{"cells/s": 100},
+	}
+	cur := Snapshot{
+		"A": Metrics{"cells/s": 95},  // -5%: within 10% tolerance
+		"B": Metrics{"cells/s": 80},  // -20%: regression
+		"C": Metrics{"cells/s": 123}, // no baseline: reported, not failed
+	}
+	lines, regressions := check(base, cur, 0.10)
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines, want 3:\n%s", len(lines), strings.Join(lines, "\n"))
+	}
+	if len(regressions) != 1 || regressions[0] != "B" {
+		t.Errorf("regressions = %v, want [B]", regressions)
+	}
+}
+
+func TestCheckRoundTrip(t *testing.T) {
+	snap, err := parseBench(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Identical output against itself: never a regression.
+	if _, regressions := check(snap, snap, 0.10); len(regressions) != 0 {
+		t.Errorf("self-check regressed: %v", regressions)
+	}
+}

@@ -58,7 +58,7 @@ func (a *Alignment) Validate(s, t bio.Sequence, sc bio.Scoring) error {
 				return fmt.Errorf("align: ops overrun coordinates")
 			}
 			want := OpMismatch
-			if s[si-1] == t[tj-1] && s[si-1] != 'N' {
+			if bio.Matches(s[si-1], t[tj-1]) {
 				want = OpMatch
 			}
 			if op != want {

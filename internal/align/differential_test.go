@@ -1,0 +1,275 @@
+package align
+
+import (
+	"testing"
+
+	"genomedsm/internal/bio"
+)
+
+// This file holds the reference implementations the profile-based kernels
+// are tested against: straightforward per-cell dynamic programming that
+// calls Scoring.Pair for every cell, the way the kernels were written
+// before the query profile. The differential tests require bit-identical
+// results on random, homologous, 'N'-containing and empty inputs.
+
+// refScan is the per-cell reference for Scan.
+func refScan(s, t bio.Sequence, sc bio.Scoring, opt ScanOptions) *ScanResult {
+	m, n := s.Len(), t.Len()
+	res := &ScanResult{}
+	if m == 0 || n == 0 {
+		return res
+	}
+	h := make([][]int, m+1)
+	for i := range h {
+		h[i] = make([]int, n+1)
+	}
+	for i := 1; i <= m; i++ {
+		for j := 1; j <= n; j++ {
+			v := h[i-1][j-1] + sc.Pair(s[i-1], t[j-1])
+			if w := h[i][j-1] + sc.Gap; w > v {
+				v = w
+			}
+			if w := h[i-1][j] + sc.Gap; w > v {
+				v = w
+			}
+			if v < 0 {
+				v = 0
+			}
+			h[i][j] = v
+			if v > res.BestScore {
+				res.BestScore, res.BestI, res.BestJ = v, i, j
+			}
+			if opt.HitThreshold > 0 && v >= opt.HitThreshold {
+				res.Hits++
+			}
+			res.Cells++
+		}
+	}
+	if opt.EndpointMinScore > 0 {
+		at := func(i, j int) int {
+			if i > m || j > n {
+				return 0
+			}
+			return h[i][j]
+		}
+		for i := 1; i <= m; i++ {
+			for j := 1; j <= n; j++ {
+				v := h[i][j]
+				if v < opt.EndpointMinScore {
+					continue
+				}
+				if v > at(i, j+1) && v > at(i+1, j) && v > at(i+1, j+1) {
+					res.Endpoints = append(res.Endpoints, Endpoint{I: i, J: j, Score: v})
+				}
+			}
+		}
+	}
+	return res
+}
+
+// refAffineBest is the per-cell reference for BestLocalAffine's score:
+// Gotoh's three-layer recurrence with Pair called per cell.
+func refAffineBest(s, t bio.Sequence, a AffineScoring) int {
+	m, n := s.Len(), t.Len()
+	neg := -1 << 30
+	H := make([][]int, m+1)
+	E := make([][]int, m+1)
+	F := make([][]int, m+1)
+	for i := range H {
+		H[i], E[i], F[i] = make([]int, n+1), make([]int, n+1), make([]int, n+1)
+		for j := range E[i] {
+			E[i][j], F[i][j] = neg, neg
+		}
+	}
+	best := 0
+	for i := 1; i <= m; i++ {
+		for j := 1; j <= n; j++ {
+			e := E[i][j-1] + a.GapExtend
+			if w := H[i][j-1] + a.GapOpen + a.GapExtend; w > e {
+				e = w
+			}
+			f := F[i-1][j] + a.GapExtend
+			if w := H[i-1][j] + a.GapOpen + a.GapExtend; w > f {
+				f = w
+			}
+			v := H[i-1][j-1] + int(a.pair(s[i-1], t[j-1]))
+			if e > v {
+				v = e
+			}
+			if f > v {
+				v = f
+			}
+			if v < 0 {
+				v = 0
+			}
+			E[i][j], F[i][j], H[i][j] = e, f, v
+			if v > best {
+				best = v
+			}
+		}
+	}
+	return best
+}
+
+// diffInputs is the shared set of input classes every differential test
+// runs over.
+func diffInputs(t *testing.T) []struct {
+	name string
+	s, t bio.Sequence
+} {
+	t.Helper()
+	g := bio.NewGenerator(31)
+	s := g.Random(90)
+	hom := g.MutatedCopy(s, bio.DefaultMutationModel())
+	return []struct {
+		name string
+		s, t bio.Sequence
+	}{
+		{"random", g.Random(70), g.Random(85)},
+		{"homologous", s, hom},
+		{"identical", s, s},
+		{"with-N", bio.Sequence("ACGTNNACGTACGNTACGTNNNACGT"), bio.Sequence("ACNTACGTNACGTNNACGTACGTACG")},
+		{"all-N", bio.Sequence("NNNNNN"), bio.Sequence("NNNN")},
+		{"empty-s", bio.Sequence(""), g.Random(20)},
+		{"empty-t", g.Random(20), bio.Sequence("")},
+		{"both-empty", bio.Sequence(""), bio.Sequence("")},
+	}
+}
+
+func TestScanMatchesReference(t *testing.T) {
+	opts := []ScanOptions{
+		{},
+		{HitThreshold: 5},
+		{EndpointMinScore: 8},
+		{HitThreshold: 3, EndpointMinScore: 6},
+	}
+	for _, in := range diffInputs(t) {
+		for _, opt := range opts {
+			got, err := Scan(in.s, in.t, sc, opt)
+			if err != nil {
+				t.Fatalf("%s %+v: %v", in.name, opt, err)
+			}
+			want := refScan(in.s, in.t, sc, opt)
+			if got.BestScore != want.BestScore || got.BestI != want.BestI || got.BestJ != want.BestJ {
+				t.Errorf("%s %+v: best (%d,%d)=%d, reference (%d,%d)=%d", in.name, opt,
+					got.BestI, got.BestJ, got.BestScore, want.BestI, want.BestJ, want.BestScore)
+			}
+			if got.Hits != want.Hits || got.Cells != want.Cells {
+				t.Errorf("%s %+v: hits/cells %d/%d, reference %d/%d", in.name, opt,
+					got.Hits, got.Cells, want.Hits, want.Cells)
+			}
+			if len(got.Endpoints) != len(want.Endpoints) {
+				t.Errorf("%s %+v: %d endpoints, reference %d", in.name, opt,
+					len(got.Endpoints), len(want.Endpoints))
+				continue
+			}
+			for i := range got.Endpoints {
+				if got.Endpoints[i] != want.Endpoints[i] {
+					t.Errorf("%s %+v: endpoint %d: %+v != %+v", in.name, opt,
+						i, got.Endpoints[i], want.Endpoints[i])
+				}
+			}
+		}
+	}
+}
+
+func TestColumnScanMatchesReference(t *testing.T) {
+	for _, in := range diffInputs(t) {
+		m := in.s.Len()
+		// Reference columns from the full reference matrix.
+		h := make([][]int, m+1)
+		for i := range h {
+			h[i] = make([]int, in.t.Len()+1)
+		}
+		for i := 1; i <= m; i++ {
+			for j := 1; j <= in.t.Len(); j++ {
+				v := h[i-1][j-1] + sc.Pair(in.s[i-1], in.t[j-1])
+				if w := h[i][j-1] + sc.Gap; w > v {
+					v = w
+				}
+				if w := h[i-1][j] + sc.Gap; w > v {
+					v = w
+				}
+				if v < 0 {
+					v = 0
+				}
+				h[i][j] = v
+			}
+		}
+		err := ColumnScan(in.s, in.t, sc, func(j int, col []int32) {
+			if len(col) != m+1 {
+				t.Fatalf("%s: column %d has %d entries, want %d", in.name, j, len(col), m+1)
+			}
+			for i := 0; i <= m; i++ {
+				if int(col[i]) != h[i][j] {
+					t.Errorf("%s: A[%d][%d] = %d, reference %d", in.name, i, j, col[i], h[i][j])
+				}
+			}
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", in.name, err)
+		}
+	}
+}
+
+func TestAffineMatchesReference(t *testing.T) {
+	a := AffineScoring{Match: 1, Mismatch: -1, GapOpen: -3, GapExtend: -1}
+	for _, in := range diffInputs(t) {
+		al, err := BestLocalAffine(in.s, in.t, a)
+		if err != nil {
+			t.Fatalf("%s: %v", in.name, err)
+		}
+		if want := refAffineBest(in.s, in.t, a); al.Score != want {
+			t.Errorf("%s: affine best %d, reference %d", in.name, al.Score, want)
+		}
+	}
+}
+
+func TestFullMatrixMatchesReference(t *testing.T) {
+	for _, in := range diffInputs(t) {
+		mtx, err := NewSWMatrix(in.s, in.t, sc)
+		if err != nil {
+			t.Fatalf("%s: %v", in.name, err)
+		}
+		_, _, got := mtx.MaxCell()
+		if want := refScan(in.s, in.t, sc, ScanOptions{}).BestScore; got != want {
+			t.Errorf("%s: matrix best %d, reference %d", in.name, got, want)
+		}
+	}
+}
+
+// FuzzScanDifferential holds the profile-based Scan bit-identical to the
+// per-cell reference on arbitrary inputs over the 'N'-extended alphabet.
+func FuzzScanDifferential(f *testing.F) {
+	f.Add([]byte("acgtacgt"), []byte("tgcacgta"), 0, 0)
+	f.Add([]byte{4, 4, 4}, []byte{0, 4, 1}, 3, 5)
+	f.Add([]byte{}, []byte{1, 2}, 1, 1)
+	f.Fuzz(func(t *testing.T, rawS, rawT []byte, thr, eps int) {
+		mk := func(raw []byte) bio.Sequence {
+			if len(raw) > 96 {
+				raw = raw[:96]
+			}
+			s := make(bio.Sequence, len(raw))
+			for i, b := range raw {
+				s[i] = "ACGTN"[int(b)%5]
+			}
+			return s
+		}
+		s, tt := mk(rawS), mk(rawT)
+		opt := ScanOptions{HitThreshold: thr % 32, EndpointMinScore: eps % 32}
+		got, err := Scan(s, tt, sc, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := refScan(s, tt, sc, opt)
+		if got.BestScore != want.BestScore || got.BestI != want.BestI || got.BestJ != want.BestJ ||
+			got.Hits != want.Hits || len(got.Endpoints) != len(want.Endpoints) {
+			t.Fatalf("scan %+v, reference %+v", got, want)
+		}
+		for i := range got.Endpoints {
+			if got.Endpoints[i] != want.Endpoints[i] {
+				t.Fatalf("endpoint %d: %+v != %+v", i, got.Endpoints[i], want.Endpoints[i])
+			}
+		}
+	})
+}

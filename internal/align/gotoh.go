@@ -31,10 +31,7 @@ func (a AffineScoring) Linear() bio.Scoring {
 }
 
 func (a AffineScoring) pair(x, y byte) int32 {
-	if x == y && x != 'N' {
-		return int32(a.Match)
-	}
-	return int32(a.Mismatch)
+	return int32(bio.Substitution(x, y, a.Match, a.Mismatch))
 }
 
 // gotoh matrix layers.
@@ -64,32 +61,22 @@ func BestLocalAffine(s, t bio.Sequence, sc AffineScoring) (*Alignment, error) {
 	}
 	open := int32(sc.GapOpen)
 	ext := int32(sc.GapExtend)
+	prof := bio.NewSubstProfile(t, sc.Match, sc.Mismatch)
 	bestI, bestJ, bestV := 0, 0, int32(0)
 	for i := 1; i <= m; i++ {
 		row := i * cols
 		prev := row - cols
 		e[row], f[row] = negInf, negInf
+		sub := prof.Row(s[i-1])
 		for j := 1; j <= n; j++ {
-			ev := e[row+j-1] + ext
-			if hv := h[row+j-1] + open + ext; hv > ev {
-				ev = hv
-			}
+			ev := bio.Max32(e[row+j-1]+ext, h[row+j-1]+open+ext)
 			e[row+j] = ev
-			fv := f[prev+j] + ext
-			if hv := h[prev+j] + open + ext; hv > fv {
-				fv = hv
-			}
+			fv := bio.Max32(f[prev+j]+ext, h[prev+j]+open+ext)
 			f[row+j] = fv
-			hv := h[prev+j-1] + sc.pair(s[i-1], t[j-1])
-			if ev > hv {
-				hv = ev
-			}
-			if fv > hv {
-				hv = fv
-			}
-			if hv < 0 {
-				hv = 0
-			}
+			hv := h[prev+j-1] + sub[j-1]
+			hv = bio.Max32(hv, ev)
+			hv = bio.Max32(hv, fv)
+			hv = bio.Clamp0(hv)
 			h[row+j] = hv
 			if hv > bestV {
 				bestV, bestI, bestJ = hv, i, j
@@ -117,7 +104,7 @@ func BestLocalAffine(s, t bio.Sequence, sc AffineScoring) (*Alignment, error) {
 			case v == f[row+j]:
 				layer = layerF
 			default:
-				if s[i-1] == t[j-1] && s[i-1] != 'N' {
+				if bio.Matches(s[i-1], t[j-1]) {
 					rev = append(rev, OpMatch)
 				} else {
 					rev = append(rev, OpMismatch)

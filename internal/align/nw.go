@@ -34,7 +34,8 @@ func GlobalScore(s, t bio.Sequence, sc bio.Scoring) (int, error) {
 
 // nwLastRow computes the last row of the NW matrix for s vs t using two
 // linear arrays. It is the building block of Hirschberg's divide and
-// conquer.
+// conquer. Like the local kernels it reads precomputed profile rows:
+// the global recurrence is the local one without the zero clamp.
 func nwLastRow(s, t bio.Sequence, sc bio.Scoring) ([]int32, error) {
 	m, n := s.Len(), t.Len()
 	prev := make([]int32, n+1)
@@ -42,18 +43,20 @@ func nwLastRow(s, t bio.Sequence, sc bio.Scoring) ([]int32, error) {
 	for j := 1; j <= n; j++ {
 		prev[j] = int32(j * sc.Gap)
 	}
+	prof := bio.NewProfile(t, sc)
+	gap := int32(sc.Gap)
 	for i := 1; i <= m; i++ {
-		cur[0] = int32(i * sc.Gap)
-		si := s[i-1]
+		cur[0] = int32(i) * gap
+		sub := prof.Row(s[i-1])
+		d := prev[0]
+		w := cur[0]
 		for j := 1; j <= n; j++ {
-			v := int(prev[j-1]) + sc.Pair(si, t[j-1])
-			if w := int(cur[j-1]) + sc.Gap; w > v {
-				v = w
-			}
-			if no := int(prev[j]) + sc.Gap; no > v {
-				v = no
-			}
-			cur[j] = int32(v)
+			v := d + sub[j-1]
+			v = bio.Max32(v, w+gap)
+			d = prev[j]
+			v = bio.Max32(v, d+gap)
+			cur[j] = v
+			w = v
 		}
 		prev, cur = cur, prev
 	}

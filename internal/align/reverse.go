@@ -50,6 +50,10 @@ func ReverseRetrieve(s, t bio.Sequence, sc bio.Scoring, endI, endJ, k int) (*Ali
 	srevAt := func(p int) byte { return s[endI-p] }
 	trevAt := func(q int) byte { return t[endJ-q] }
 	pmax, qmax := endI, endJ
+	// Query profile over the reversed prefix of t: sub[p][q-1] is the
+	// substitution score of srev[p] against trev[q], one int32 load per
+	// cell in the hot loop below.
+	prof := bio.NewProfile(bio.Sequence(t[:endJ]).Reverse(), sc)
 
 	// Sparse row storage: row p keeps values and arrows for the active
 	// column window [lo, hi]. A cell is active when its value is positive
@@ -89,7 +93,7 @@ func ReverseRetrieve(s, t bio.Sequence, sc bio.Scoring, endI, endJ, k int) (*Ali
 			break
 		}
 		cur := row{lo: lo, hi: lo - 1}
-		sp := srevAt(p)
+		sub := prof.Row(srevAt(p))
 		rowAlive := false
 		// Columns [lo, prev.hi+1] can receive diagonal or north arrows
 		// from the previous row; beyond that only west chains (runs of
@@ -100,7 +104,7 @@ func ReverseRetrieve(s, t bio.Sequence, sc bio.Scoring, endI, endJ, k int) (*Ali
 			var v int32
 			var arrows byte
 			if dv, ok := get(prev, q-1); ok {
-				if cand := dv + int32(sc.Pair(sp, trevAt(q))); cand > 0 {
+				if cand := dv + sub[q-1]; cand > 0 {
 					v, arrows = cand, ArrowDiag
 				}
 			}
@@ -186,7 +190,7 @@ func ReverseRetrieve(s, t bio.Sequence, sc bio.Scoring, endI, endJ, k int) (*Ali
 		}
 		switch {
 		case arrows&ArrowDiag != 0:
-			if srevAt(p) == trevAt(q) && srevAt(p) != 'N' {
+			if bio.Matches(srevAt(p), trevAt(q)) {
 				revOps = append(revOps, OpMatch)
 			} else {
 				revOps = append(revOps, OpMismatch)
@@ -225,6 +229,8 @@ func reverseRetrieveDense(s, t bio.Sequence, sc bio.Scoring, endI, endJ, k int, 
 	srevAt := func(p int) byte { return s[endI-p] }
 	trevAt := func(q int) byte { return t[endJ-q] }
 	pmax, qmax := endI, endJ
+	prof := bio.NewProfile(bio.Sequence(t[:endJ]).Reverse(), sc)
+	gap := int32(sc.Gap)
 	vals := [][]int32{make([]int32, qmax+1)}
 	arrs := [][]byte{make([]byte, qmax+1)}
 	bestP, bestQ := -1, -1
@@ -236,14 +242,14 @@ func reverseRetrieveDense(s, t bio.Sequence, sc bio.Scoring, endI, endJ, k int, 
 		pv := vals[p-1]
 		cv := make([]int32, qmax+1)
 		ca := make([]byte, qmax+1)
-		sp := srevAt(p)
+		sub := prof.Row(srevAt(p))
 		for q := 1; q <= qmax; q++ {
-			v := pv[q-1] + int32(sc.Pair(sp, trevAt(q)))
+			v := pv[q-1] + sub[q-1]
 			arrows := ArrowDiag
-			if w := cv[q-1] + int32(sc.Gap); w > v {
+			if w := cv[q-1] + gap; w > v {
 				v, arrows = w, ArrowWest
 			}
-			if n := pv[q] + int32(sc.Gap); n > v {
+			if n := pv[q] + gap; n > v {
 				v, arrows = n, ArrowNorth
 			}
 			if v <= 0 {
@@ -267,7 +273,7 @@ func reverseRetrieveDense(s, t bio.Sequence, sc bio.Scoring, endI, endJ, k int, 
 	for p > 0 && q > 0 && arrs[p][q] != 0 {
 		switch arrs[p][q] {
 		case ArrowDiag:
-			if srevAt(p) == trevAt(q) && srevAt(p) != 'N' {
+			if bio.Matches(srevAt(p), trevAt(q)) {
 				revOps = append(revOps, OpMatch)
 			} else {
 				revOps = append(revOps, OpMismatch)

@@ -74,20 +74,17 @@ func newMatrix(s, t bio.Sequence, sc bio.Scoring, local bool) (*Matrix, error) {
 			a.arrows[j] = ArrowWest
 		}
 	}
+	prof := bio.NewProfile(t, sc)
+	gap := int32(sc.Gap)
 	for i := 1; i <= m; i++ {
 		row := i * a.cols
 		prev := row - a.cols
+		sub := prof.Row(s[i-1])
 		for j := 1; j <= n; j++ {
-			diag := int(a.score[prev+j-1]) + sc.Pair(s[i-1], t[j-1])
-			west := int(a.score[row+j-1]) + sc.Gap
-			north := int(a.score[prev+j]) + sc.Gap
-			best := diag
-			if west > best {
-				best = west
-			}
-			if north > best {
-				best = north
-			}
+			diag := a.score[prev+j-1] + sub[j-1]
+			west := a.score[row+j-1] + gap
+			north := a.score[prev+j] + gap
+			best := bio.Max32(diag, bio.Max32(west, north))
 			var arrows byte
 			if local && best <= 0 {
 				best = 0
@@ -103,7 +100,7 @@ func newMatrix(s, t bio.Sequence, sc bio.Scoring, local bool) (*Matrix, error) {
 					arrows |= ArrowNorth
 				}
 			}
-			a.score[row+j] = int32(best)
+			a.score[row+j] = best
 			a.arrows[row+j] = arrows
 		}
 	}
@@ -150,7 +147,7 @@ func (a *Matrix) Traceback(i, j int) *Alignment {
 		}
 		switch {
 		case arrows&ArrowDiag != 0:
-			if a.S[i-1] == a.T[j-1] && a.S[i-1] != 'N' {
+			if bio.Matches(a.S[i-1], a.T[j-1]) {
 				rev = append(rev, OpMatch)
 			} else {
 				rev = append(rev, OpMismatch)

@@ -34,11 +34,45 @@ type ScanResult struct {
 	Cells        int64 // interior cells computed (= |s|·|t|)
 }
 
+// swRow advances one row of the zero-clamped local recurrence:
+//
+//	cur[j] = max(0, prev[j-1]+sub[j-1], cur[j-1]+gap, prev[j]+gap)
+//
+// for j = 1..len(sub), where sub is the precomputed profile row of the
+// current residue. cur[0] must already hold the row's left border. It
+// returns the row maximum and its column (0 when the row is all zero).
+// The loop is the shared exact inner kernel: one int32 load per cell for
+// the substitution score and conditional-move maxes, no per-cell calls
+// or byte branches.
+func swRow(prev, cur, sub []int32, gap int32) (best int32, bestJ int) {
+	n := len(sub)
+	d := prev[0]    // prev[j-1], carried across iterations
+	w := cur[0]     // cur[j-1], carried across iterations
+	prev = prev[1:] // prev[j] is now prev[j-1] after reslice
+	out := cur[1:]  // out[j-1] is cur[j]
+	_ = prev[n-1]   // bounds hints for the loop body
+	_ = out[n-1]
+	for j := 0; j < n; j++ {
+		v := d + sub[j]
+		v = bio.Max32(v, w+gap)
+		d = prev[j]
+		v = bio.Max32(v, d+gap)
+		v = bio.Clamp0(v)
+		out[j] = v
+		w = v
+		if v > best {
+			best, bestJ = v, j+1
+		}
+	}
+	return best, bestJ
+}
+
 // Scan runs the Smith–Waterman recurrence over s and t using two linear
 // arrays (§4.1's space reduction, without the candidate heuristics, which
 // live in the heuristics package). It is the first step of Section 6's
 // Algorithm 1: detect where alignments of interest end, in O(min-row)
-// space.
+// space. The inner loop reads precomputed profile rows (bio.Profile), so
+// the per-cell cost is pure int32 arithmetic.
 func Scan(s, t bio.Sequence, sc bio.Scoring, opt ScanOptions) (*ScanResult, error) {
 	if err := sc.Validate(); err != nil {
 		return nil, err
@@ -48,8 +82,15 @@ func Scan(s, t bio.Sequence, sc bio.Scoring, opt ScanOptions) (*ScanResult, erro
 	if m == 0 || n == 0 {
 		return res, nil
 	}
+	prof := bio.NewProfile(t, sc)
+	gap := int32(sc.Gap)
 	prev := make([]int32, n+1)
 	cur := make([]int32, n+1)
+	// The HitThreshold and endpoint features are paid for per row, not per
+	// cell: the kernel row runs unconditionally and the optional passes run
+	// over the finished row only when enabled.
+	countHits := opt.HitThreshold > 0
+	thr := int32(opt.HitThreshold)
 	// next is needed only for endpoint detection (a cell is an endpoint
 	// when none of its successors east/south/south-east improves on it);
 	// we detect endpoints for row i-1 once row i is complete.
@@ -78,26 +119,19 @@ func Scan(s, t bio.Sequence, sc bio.Scoring, opt ScanOptions) (*ScanResult, erro
 			}
 		}
 	}
+	var best int32
 	for i := 1; i <= m; i++ {
-		si := s[i-1]
 		cur[0] = 0
-		for j := 1; j <= n; j++ {
-			v := int(prev[j-1]) + sc.Pair(si, t[j-1])
-			if w := int(cur[j-1]) + sc.Gap; w > v {
-				v = w
-			}
-			if no := int(prev[j]) + sc.Gap; no > v {
-				v = no
-			}
-			if v < 0 {
-				v = 0
-			}
-			cur[j] = int32(v)
-			if v > res.BestScore {
-				res.BestScore, res.BestI, res.BestJ = v, i, j
-			}
-			if opt.HitThreshold > 0 && v >= opt.HitThreshold {
-				res.Hits++
+		rowBest, rowJ := swRow(prev, cur, prof.Row(s[i-1]), gap)
+		if rowBest > best {
+			best = rowBest
+			res.BestScore, res.BestI, res.BestJ = int(rowBest), i, rowJ
+		}
+		if countHits {
+			for j := 1; j <= n; j++ {
+				if cur[j] >= thr {
+					res.Hits++
+				}
 			}
 		}
 		res.Cells += int64(n)
@@ -112,9 +146,11 @@ func Scan(s, t bio.Sequence, sc bio.Scoring, opt ScanOptions) (*ScanResult, erro
 	}
 	if collect {
 		// The last row has no successors; every qualifying cell that beats
-		// its east neighbour is an endpoint.
-		zero := make([]int32, n+1)
-		flushEndpoints(pendIdx, pendRow, zero)
+		// its east neighbour is an endpoint. cur (the retired write buffer)
+		// is cleared in place and reused as the all-zero successor row
+		// instead of allocating a fresh one.
+		clear(cur)
+		flushEndpoints(pendIdx, pendRow, cur)
 	}
 	return res, nil
 }
@@ -132,32 +168,26 @@ func Sim(s, t bio.Sequence, sc bio.Scoring) (int, error) {
 // and hands each finished column to visit (which must not retain the
 // slice). It is the column-oriented kernel the pre-process strategy (§5)
 // distributes over bands; kept here so tests can compare the distributed
-// runs against a trusted sequential implementation.
+// runs against a trusted sequential implementation. It shares the swRow
+// profile kernel with Scan, with the roles of s and t swapped: the
+// profile is built over s and one profile row per column character is
+// consumed.
 func ColumnScan(s, t bio.Sequence, sc bio.Scoring, visit func(j int, col []int32)) error {
 	if err := sc.Validate(); err != nil {
 		return err
 	}
 	m, n := s.Len(), t.Len()
+	prof := bio.NewProfile(s, sc)
+	gap := int32(sc.Gap)
 	prev := make([]int32, m+1)
 	cur := make([]int32, m+1)
 	if visit != nil {
 		visit(0, prev)
 	}
 	for j := 1; j <= n; j++ {
-		tj := t[j-1]
 		cur[0] = 0
-		for i := 1; i <= m; i++ {
-			v := int(prev[i-1]) + sc.Pair(s[i-1], tj)
-			if w := int(prev[i]) + sc.Gap; w > v {
-				v = w
-			}
-			if no := int(cur[i-1]) + sc.Gap; no > v {
-				v = no
-			}
-			if v < 0 {
-				v = 0
-			}
-			cur[i] = int32(v)
+		if m > 0 {
+			swRow(prev, cur, prof.Row(t[j-1]), gap)
 		}
 		if visit != nil {
 			visit(j, cur)

@@ -1,0 +1,78 @@
+package bio
+
+import "testing"
+
+// TestProfileMatchesSubstitution checks the profile against the scalar
+// rule for every possible residue byte, including 'N', lower case and
+// bytes far outside the alphabet.
+func TestProfileMatchesSubstitution(t *testing.T) {
+	seq := MustSequence("ACGTNNACGTAN")
+	sc := DefaultScoring()
+	p := NewProfile(seq, sc)
+	if p.Len() != seq.Len() {
+		t.Fatalf("profile length %d, want %d", p.Len(), seq.Len())
+	}
+	for a := 0; a < 256; a++ {
+		row := p.Row(byte(a))
+		if len(row) != seq.Len() {
+			t.Fatalf("Row(%q) length %d, want %d", byte(a), len(row), seq.Len())
+		}
+		for j, b := range seq {
+			want := int32(Substitution(byte(a), b, sc.Match, sc.Mismatch))
+			if row[j] != want {
+				t.Fatalf("Row(%q)[%d] (vs %q) = %d, want %d", byte(a), j, b, row[j], want)
+			}
+		}
+	}
+}
+
+// TestSubstitutionWildcard pins the 'N' rule: N never matches, not even
+// itself, and Pair agrees with Substitution.
+func TestSubstitutionWildcard(t *testing.T) {
+	sc := DefaultScoring()
+	cases := []struct {
+		a, b byte
+		want int
+	}{
+		{'A', 'A', sc.Match},
+		{'T', 'T', sc.Match},
+		{'A', 'C', sc.Mismatch},
+		{'N', 'N', sc.Mismatch},
+		{'N', 'A', sc.Mismatch},
+		{'A', 'N', sc.Mismatch},
+		{'x', 'x', sc.Mismatch}, // outside the alphabet: never a match
+	}
+	for _, c := range cases {
+		if got := Substitution(c.a, c.b, sc.Match, sc.Mismatch); got != c.want {
+			t.Errorf("Substitution(%q,%q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+		if got := sc.Pair(c.a, c.b); got != c.want {
+			t.Errorf("Pair(%q,%q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestProfileEmpty(t *testing.T) {
+	p := NewProfile(nil, DefaultScoring())
+	if p.Len() != 0 {
+		t.Fatalf("empty profile length %d", p.Len())
+	}
+	if row := p.Row('A'); len(row) != 0 {
+		t.Fatalf("empty profile row length %d", len(row))
+	}
+}
+
+func TestMax32Clamp0(t *testing.T) {
+	if got := Max32(3, -5); got != 3 {
+		t.Errorf("Max32(3,-5) = %d", got)
+	}
+	if got := Max32(-5, 3); got != 3 {
+		t.Errorf("Max32(-5,3) = %d", got)
+	}
+	if got := Clamp0(-7); got != 0 {
+		t.Errorf("Clamp0(-7) = %d", got)
+	}
+	if got := Clamp0(7); got != 7 {
+		t.Errorf("Clamp0(7) = %d", got)
+	}
+}

@@ -33,10 +33,33 @@ func (sc Scoring) Validate() error {
 	return nil
 }
 
-// Pair returns the substitution score for aligning bases a and b.
-func (sc Scoring) Pair(a, b byte) int {
-	if a == b && a != 'N' {
-		return sc.Match
+// Substitution is the single substitution rule shared by Scoring.Pair,
+// the affine aligner and the query profiles (NewProfile /
+// NewSubstProfile): two residues score match if and only if they are the
+// same known base (A, C, G or T). The 'N' wildcard — and any byte
+// outside the DNA alphabet — never matches anything, including itself:
+// an unknown base gives no evidence of similarity, so rewarding N/N
+// columns would let runs of unknowns masquerade as conserved regions.
+//
+// Every kernel must implement exactly this rule. The hot loops read it
+// from a precomputed Profile row; Pair is the scalar reference form used
+// by tracebacks, validators and tests.
+func Substitution(a, b byte, match, mismatch int) int {
+	if a == b && baseCode[a] != codeUnknown {
+		return match
 	}
-	return sc.Mismatch
+	return mismatch
+}
+
+// Pair returns the substitution score for aligning bases a and b; see
+// Substitution for the rule.
+func (sc Scoring) Pair(a, b byte) int {
+	return Substitution(a, b, sc.Match, sc.Mismatch)
+}
+
+// Matches reports whether aligning a and b counts as a match under the
+// Substitution rule. Tracebacks use it to classify diagonal steps so
+// they agree exactly with the scores the kernels assigned.
+func Matches(a, b byte) bool {
+	return a == b && baseCode[a] != codeUnknown
 }

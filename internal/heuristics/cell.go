@@ -110,15 +110,23 @@ func (c Candidate) Size() int {
 }
 
 // Kernel computes heuristic cells for one sequence pair. It is stateless
-// apart from the inputs, so the same Kernel may be used concurrently by
-// several goroutines.
+// apart from the inputs (the profile and thresholds are derived once in
+// NewKernel and read-only afterwards), so the same Kernel may be used
+// concurrently by several goroutines.
 type Kernel struct {
 	S, T    bio.Sequence
 	Scoring bio.Scoring
 	Params  Params
+
+	prof     *bio.Profile // query profile over T, built once per comparison
+	gap      int32        // Scoring.Gap
+	openThr  int32        // Params.Open
+	closeThr int32        // Params.Close
 }
 
-// NewKernel validates the inputs and builds a Kernel.
+// NewKernel validates the inputs and builds a Kernel, precomputing the
+// query profile over t so the per-cell transition reads substitution
+// scores as int32 loads instead of calling Scoring.Pair.
 func NewKernel(s, t bio.Sequence, sc bio.Scoring, p Params) (*Kernel, error) {
 	if err := sc.Validate(); err != nil {
 		return nil, err
@@ -126,7 +134,12 @@ func NewKernel(s, t bio.Sequence, sc bio.Scoring, p Params) (*Kernel, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	return &Kernel{S: s, T: t, Scoring: sc, Params: p}, nil
+	return &Kernel{
+		S: s, T: t, Scoring: sc, Params: p,
+		prof:    bio.NewProfile(t, sc),
+		gap:     int32(sc.Gap),
+		openThr: int32(p.Open), closeThr: int32(p.Close),
+	}, nil
 }
 
 // Step computes the cell at (i, j) (1-based) from its three predecessors,
@@ -134,77 +147,80 @@ func NewKernel(s, t bio.Sequence, sc bio.Scoring, p Params) (*Kernel, error) {
 // tie-break and the horizontal→vertical→diagonal preference, counter
 // updates, min/max tracking, candidate open/close. A candidate that closes
 // at this cell with score ≥ MinScore is passed to emit (which may be nil).
+//
+// Step is the per-cell reference form; the scans and wavefront strategies
+// go through StepRow, which advances a whole row with the same transition
+// (bit-exact, see the differential tests in steprow_test.go).
 func (k *Kernel) Step(diag, west, north *Cell, i, j int, emit func(Candidate)) Cell {
-	sub := int32(k.Scoring.Pair(k.S[i-1], k.T[j-1]))
-	gap := int32(k.Scoring.Gap)
+	sub := k.prof.Row(k.S[i-1])[j-1]
 	dv := diag.Score + sub
-	wv := west.Score + gap
-	nv := north.Score + gap
-
-	best := dv
-	if wv > best {
-		best = wv
-	}
-	if nv > best {
-		best = nv
-	}
+	wv := west.Score + k.gap
+	nv := north.Score + k.gap
+	best := bio.Max32(dv, bio.Max32(wv, nv))
 	if best <= 0 {
 		// The path dies: fresh state. Any open candidate on the chosen
 		// predecessor already closed on the way down (the score crosses
 		// Max−Close before reaching zero whenever Max ≥ Close).
 		return Cell{}
 	}
+	var cell Cell
+	k.liveStep(&cell, diag, west, north, dv, wv, nv, best, sub, int32(i), int32(j), emit)
+	return cell
+}
 
+// liveStep writes into dst the transition for a cell whose score best is
+// positive, given the three candidate values dv/wv/nv (diag/west/north)
+// already computed. It is the single implementation of the live branch of
+// the §4.1 transition, shared by Step and StepRow. dst must not alias
+// diag, west or north.
+func (k *Kernel) liveStep(dst, diag, west, north *Cell, dv, wv, nv, best, sub int32, i, j int32, emit func(Candidate)) {
 	// Origin selection: among the predecessors attaining the maximum, the
 	// greater 2·matches+2·mismatches+gaps wins; if still equal, preference
 	// is horizontal, then vertical, then diagonal (§4.1).
 	var origin *Cell
 	var fromDiag bool
-	consider := func(c *Cell, v int32, isDiag bool) {
-		if v != best {
-			return
-		}
-		if origin == nil || c.priority() > origin.priority() {
-			origin, fromDiag = c, isDiag
-		}
+	if wv == best {
+		origin = west
 	}
-	consider(west, wv, false)
-	consider(north, nv, false)
-	consider(diag, dv, true)
+	if nv == best && (origin == nil || north.priority() > origin.priority()) {
+		origin = north
+	}
+	if dv == best && (origin == nil || diag.priority() > origin.priority()) {
+		origin, fromDiag = diag, true
+	}
 
-	cell := *origin
-	cell.Score = best
+	*dst = *origin
+	dst.Score = best
 	if fromDiag {
 		if sub > 0 {
-			cell.Matches++
+			dst.Matches++
 		} else {
-			cell.Mismatches++
+			dst.Mismatches++
 		}
 	} else {
-		cell.Gaps++
+		dst.Gaps++
 	}
 
-	if cell.Score < cell.Min {
-		cell.Min = cell.Score
+	if dst.Score < dst.Min {
+		dst.Min = dst.Score
 	}
-	if cell.Flag == 0 {
-		if cell.Score >= cell.Min+int32(k.Params.Open) {
-			cell.Flag = 1
-			cell.BeginI, cell.BeginJ = int32(i), int32(j)
-			cell.PeakI, cell.PeakJ = int32(i), int32(j)
-			cell.Max = cell.Score
-			cell.MinAtOpen = cell.Min
+	if dst.Flag == 0 {
+		if dst.Score >= dst.Min+k.openThr {
+			dst.Flag = 1
+			dst.BeginI, dst.BeginJ = i, j
+			dst.PeakI, dst.PeakJ = i, j
+			dst.Max = dst.Score
+			dst.MinAtOpen = dst.Min
 		}
-		return cell
+		return
 	}
-	if cell.Score > cell.Max {
-		cell.Max = cell.Score
-		cell.PeakI, cell.PeakJ = int32(i), int32(j)
+	if dst.Score > dst.Max {
+		dst.Max = dst.Score
+		dst.PeakI, dst.PeakJ = i, j
 	}
-	if cell.Score <= cell.Max-int32(k.Params.Close) {
-		k.close(&cell, emit)
+	if dst.Score <= dst.Max-k.closeThr {
+		k.close(dst, emit)
 	}
-	return cell
 }
 
 // close finalizes the open candidate held by cell, emitting it when it

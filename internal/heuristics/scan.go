@@ -21,9 +21,7 @@ func Scan(s, t bio.Sequence, sc bio.Scoring, p Params) ([]Candidate, error) {
 	cur := make([]Cell, n+1)  // writing row (row i)
 	for i := 1; i <= m; i++ {
 		cur[0] = Cell{}
-		for j := 1; j <= n; j++ {
-			cur[j] = k.Step(&prev[j-1], &cur[j-1], &prev[j], i, j, emit)
-		}
+		k.StepRow(prev, cur, i, 1, emit)
 		if i == m {
 			// Cells of the last row have no successors below; flush their
 			// open candidates. (Candidates still open elsewhere never get

@@ -1,0 +1,132 @@
+package heuristics
+
+import "genomedsm/internal/bio"
+
+// StepRow advances one whole row of the §4.1 heuristic recurrence: it
+// computes cur[x] for x = 1..len(cur)-1, where cur[x] is the cell at
+// matrix position (i, j0+x-1), prev holds the corresponding cells of row
+// i-1, and cur[0] / prev[0] hold the left border column (the cell at
+// column j0-1). prev and cur must have equal length and must not alias.
+//
+// The transition per cell is exactly Step's — the scans and both
+// wavefront strategies use StepRow, and the "parallel == sequential"
+// invariant rests on every path computing bit-identical cells; the
+// differential and fuzz tests in steprow_test.go hold the two
+// implementations together. The row form is faster because the
+// substitution scores come from one precomputed profile-row slice, the
+// predecessor scores are carried in registers instead of re-loaded from
+// the 48-byte cells, dead cells (score ≤ 0, the common case on diverged
+// inputs) take a short path, and the live transition is inlined rather
+// than paying a per-cell function call.
+func (k *Kernel) StepRow(prev, cur []Cell, i, j0 int, emit func(Candidate)) {
+	width := len(cur) - 1
+	if width <= 0 {
+		return
+	}
+	sub := k.prof.Row(k.S[i-1])[j0-1 : j0-1+width]
+	gap := k.gap
+	// Thresholds as loop locals: k escapes (close may call emit), so the
+	// compiler will not hoist loads through k itself.
+	openThr, closeThr := k.openThr, k.closeThr
+	minScore := k.Params.MinScore
+	ii := int32(i)
+	jj := int32(j0 - 1)   // column index, carried instead of recomputed
+	prev = prev[:width+1] // bounds hint: prev[x] and prev[x-1] need no checks
+	ds := prev[0].Score   // diag score: prev[x-1].Score, carried
+	ws := cur[0].Score    // west score: cur[x-1].Score, carried
+	for x := 1; x <= width; x++ {
+		jj++
+		north := &prev[x]
+		ns := north.Score
+		sv := sub[x-1]
+		dv := ds + sv
+		wv := ws + gap
+		nv := ns + gap
+		best := bio.Max32(dv, bio.Max32(wv, nv))
+		ds = ns
+		if best <= 0 {
+			cur[x] = Cell{}
+			ws = 0
+			continue
+		}
+		ws = best
+
+		// Origin selection, counter update, min/max tracking and candidate
+		// open/close — the live branch of Step's transition, inlined.
+		// Order and tie-breaks must stay identical to liveStep.
+		diag := &prev[x-1]
+		var origin *Cell
+		diagBit := int32(0) // 1 when the diagonal predecessor was chosen
+		if dv > wv && dv > nv {
+			// Strict diagonal winner — the common case on live paths (a
+			// match extends the diagonal past both gap moves): no tie is
+			// possible, so the priority loads are skipped entirely.
+			origin, diagBit = diag, 1
+		} else {
+			west := &cur[x-1]
+			if wv == best {
+				origin = west
+			}
+			if nv == best && (origin == nil || north.priority() > origin.priority()) {
+				origin = north
+			}
+			if dv == best && (origin == nil || diag.priority() > origin.priority()) {
+				origin, diagBit = diag, 1
+			}
+		}
+
+		// Mutate a local copy so the updates stay in registers; cur[x]
+		// receives one single 48-byte store at the end. The counter and
+		// min/max updates are written branch-free (conditional moves):
+		// whether a diagonal step is a match is data-dependent per cell
+		// and would mispredict constantly as a branch.
+		tmp := *origin
+		tmp.Score = best
+		posBit := int32(0) // 1 when the substitution score rewards a match
+		if sv > 0 {
+			posBit = 1
+		}
+		tmp.Matches += diagBit & posBit
+		tmp.Mismatches += diagBit &^ posBit
+		tmp.Gaps += 1 - diagBit
+		tmp.Min = bio.Min32(tmp.Min, best)
+
+		if tmp.Flag == 0 {
+			if best >= tmp.Min+openThr {
+				tmp.Flag = 1
+				tmp.BeginI, tmp.BeginJ = ii, jj
+				tmp.PeakI, tmp.PeakJ = ii, jj
+				tmp.Max = best
+				tmp.MinAtOpen = tmp.Min
+			}
+			cur[x] = tmp
+			continue
+		}
+		pi, pj := tmp.PeakI, tmp.PeakJ
+		if best > tmp.Max {
+			pi = ii
+		}
+		if best > tmp.Max {
+			pj = jj
+		}
+		tmp.PeakI, tmp.PeakJ = pi, pj
+		tmp.Max = bio.Max32(tmp.Max, best)
+		if best <= tmp.Max-closeThr {
+			// close, inlined field-by-field so tmp is never address-taken
+			// (an escaping &tmp would force every update above through the
+			// stack). Same effect as k.close: emit when the candidate
+			// clears MinScore, drop the flag, reset the hysteresis floor
+			// to the current score (== best here).
+			if score := int(tmp.Max - tmp.MinAtOpen); score >= minScore && emit != nil {
+				emit(Candidate{
+					SBegin: int(tmp.BeginI), SEnd: int(tmp.PeakI),
+					TBegin: int(tmp.BeginJ), TEnd: int(tmp.PeakJ),
+					Score: score,
+				})
+			}
+			tmp.Flag = 0
+			tmp.Min = best
+		}
+		cur[x] = tmp
+	}
+}

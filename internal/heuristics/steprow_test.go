@@ -1,0 +1,173 @@
+package heuristics
+
+import (
+	"testing"
+
+	"genomedsm/internal/bio"
+)
+
+// stepRowRef advances one row with the per-cell reference transition
+// (Kernel.Step), mirroring StepRow's contract exactly. The differential
+// tests below hold the two implementations bit-identical; this is the
+// ground the "parallel == sequential" invariant stands on, because the
+// wavefront strategies call StepRow on arbitrary row fragments.
+func stepRowRef(k *Kernel, prev, cur []Cell, i, j0 int, emit func(Candidate)) {
+	for x := 1; x < len(cur); x++ {
+		cur[x] = k.Step(&prev[x-1], &cur[x-1], &prev[x], i, j0+x-1, emit)
+	}
+}
+
+// diffPair runs a whole matrix through StepRow and through stepRowRef and
+// requires every cell of every row and every emitted candidate to be
+// identical.
+func diffPair(t *testing.T, name string, s, tt bio.Sequence, sc bio.Scoring, p Params) {
+	t.Helper()
+	k, err := NewKernel(s, tt, sc, p)
+	if err != nil {
+		t.Fatalf("%s: NewKernel: %v", name, err)
+	}
+	m, n := s.Len(), tt.Len()
+	prevA := make([]Cell, n+1)
+	curA := make([]Cell, n+1)
+	prevB := make([]Cell, n+1)
+	curB := make([]Cell, n+1)
+	var candA, candB []Candidate
+	emitA := func(c Candidate) { candA = append(candA, c) }
+	emitB := func(c Candidate) { candB = append(candB, c) }
+	for i := 1; i <= m; i++ {
+		curA[0], curB[0] = Cell{}, Cell{}
+		k.StepRow(prevA, curA, i, 1, emitA)
+		stepRowRef(k, prevB, curB, i, 1, emitB)
+		for j := 0; j <= n; j++ {
+			if curA[j] != curB[j] {
+				t.Fatalf("%s: row %d col %d: StepRow %+v != Step %+v", name, i, j, curA[j], curB[j])
+			}
+		}
+		prevA, curA = curA, prevA
+		prevB, curB = curB, prevB
+	}
+	if len(candA) != len(candB) {
+		t.Fatalf("%s: %d candidates from StepRow, %d from Step", name, len(candA), len(candB))
+	}
+	for i := range candA {
+		if candA[i] != candB[i] {
+			t.Fatalf("%s: candidate %d: %+v != %+v", name, i, candA[i], candB[i])
+		}
+	}
+}
+
+func TestStepRowMatchesStep(t *testing.T) {
+	sc := bio.DefaultScoring()
+	p := Params{Open: 6, Close: 6, MinScore: 8}
+	g := bio.NewGenerator(7)
+
+	t.Run("random", func(t *testing.T) {
+		s := g.Random(120)
+		u := g.Random(140)
+		diffPair(t, "random", s, u, sc, p)
+	})
+	t.Run("homologous", func(t *testing.T) {
+		s := g.Random(150)
+		u := g.MutatedCopy(s, bio.DefaultMutationModel())
+		diffPair(t, "homologous", s, u, sc, p)
+	})
+	t.Run("identical", func(t *testing.T) {
+		s := g.Random(100)
+		diffPair(t, "identical", s, s, sc, p)
+	})
+	t.Run("with-N", func(t *testing.T) {
+		s := bio.Sequence("ACGTNNACGTACGTNACGTACGTNNNACGTACGTACGTNACGT")
+		u := bio.Sequence("ACGTACNTACGTACGTNACGTANGTACGTCCNNACGTACGTAC")
+		diffPair(t, "with-N", s, u, sc, p)
+	})
+	t.Run("all-N", func(t *testing.T) {
+		s := bio.Sequence("NNNNNNNNNN")
+		u := bio.Sequence("NNNNNNNNNNNN")
+		diffPair(t, "all-N", s, u, sc, p)
+	})
+	t.Run("tight-thresholds", func(t *testing.T) {
+		// Open/Close of 1 exercises the open and close branches on nearly
+		// every live cell, including immediate close-after-open.
+		s := g.Random(80)
+		u := g.MutatedCopy(s, bio.DefaultMutationModel())
+		diffPair(t, "tight", s, u, sc, Params{Open: 1, Close: 1, MinScore: 1})
+	})
+}
+
+// TestStepRowFragments drives StepRow with j0 > 1 and short widths — the
+// shapes the blocked wavefront uses — against the per-cell reference over
+// the same fragment, with non-zero border cells flowing in.
+func TestStepRowFragments(t *testing.T) {
+	sc := bio.DefaultScoring()
+	p := Params{Open: 4, Close: 4, MinScore: 5}
+	g := bio.NewGenerator(21)
+	s := g.Random(60)
+	u := g.MutatedCopy(s, bio.DefaultMutationModel())
+	k, err := NewKernel(s, u, sc, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, n := s.Len(), u.Len()
+
+	// Full rows computed once with the reference; fragments must match
+	// them wherever they land.
+	rows := make([][]Cell, m+1)
+	rows[0] = make([]Cell, n+1)
+	for i := 1; i <= m; i++ {
+		rows[i] = make([]Cell, n+1)
+		stepRowRef(k, rows[i-1], rows[i], i, 1, nil)
+	}
+
+	for _, frag := range []struct{ i, j0, w int }{
+		{1, 1, 1}, {5, 7, 13}, {17, n / 2, n/2 + 1}, {m, n - 3, 4}, {9, 1, n},
+	} {
+		prev := make([]Cell, frag.w+1)
+		cur := make([]Cell, frag.w+1)
+		copy(prev, rows[frag.i-1][frag.j0-1:frag.j0+frag.w])
+		cur[0] = rows[frag.i][frag.j0-1]
+		k.StepRow(prev, cur, frag.i, frag.j0, nil)
+		for x := 1; x <= frag.w; x++ {
+			want := rows[frag.i][frag.j0+x-1]
+			if cur[x] != want {
+				t.Errorf("fragment i=%d j0=%d w=%d: col %d: %+v != %+v",
+					frag.i, frag.j0, frag.w, frag.j0+x-1, cur[x], want)
+			}
+		}
+	}
+}
+
+// TestStepRowEmptyRow checks the degenerate widths StepRow must tolerate.
+func TestStepRowEmptyRow(t *testing.T) {
+	sc := bio.DefaultScoring()
+	k, err := NewKernel(bio.Sequence("ACGT"), bio.Sequence("ACGT"), sc, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// width 0: one border slot only — must be a no-op, no panic.
+	k.StepRow(make([]Cell, 1), make([]Cell, 1), 1, 1, nil)
+	// empty slices must also be a no-op.
+	k.StepRow(nil, nil, 1, 1, nil)
+}
+
+func FuzzStepRowMatchesStep(f *testing.F) {
+	f.Add("ACGTACGTACGT", "ACGTACGTAGGT", uint8(6), uint8(6))
+	f.Add("AAAAAAAA", "AAAAAAAA", uint8(1), uint8(1))
+	f.Add("ACGTN", "NACGT", uint8(3), uint8(2))
+	f.Fuzz(func(t *testing.T, rawS, rawT string, open, clos uint8) {
+		if len(rawS) == 0 || len(rawT) == 0 || len(rawS) > 200 || len(rawT) > 200 {
+			t.Skip()
+		}
+		// Map arbitrary bytes onto the alphabet including 'N' so the
+		// wildcard row is exercised.
+		const alpha = "ACGTN"
+		mk := func(raw string) bio.Sequence {
+			b := make([]byte, len(raw))
+			for i := 0; i < len(raw); i++ {
+				b[i] = alpha[int(raw[i])%len(alpha)]
+			}
+			return bio.Sequence(b)
+		}
+		p := Params{Open: 1 + int(open%16), Close: 1 + int(clos%16), MinScore: 4}
+		diffPair(t, "fuzz", mk(rawS), mk(rawT), bio.DefaultScoring(), p)
+	})
+}

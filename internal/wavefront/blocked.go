@@ -154,9 +154,7 @@ func RunBlocked(nprocs int, cfg cluster.Config, s, t bio.Sequence, sc bio.Scorin
 				for x := 0; x < height; x++ {
 					r := r0 + x
 					cur[0] = rightCol[x]
-					for y := 1; y <= width; y++ {
-						cur[y] = kern.Step(&prev[y-1], &cur[y-1], &prev[y], r, c0+y-1, emit)
-					}
+					kern.StepRow(prev[:width+1], cur[:width+1], r, c0, emit)
 					if r == m {
 						if lastRow == nil {
 							lastRow = make([]heuristics.Cell, n)

@@ -91,9 +91,7 @@ func RunNoBlock(nprocs int, cfg cluster.Config, s, t bio.Sequence, sc bio.Scorin
 			} else {
 				cur[0] = heuristics.Cell{}
 			}
-			for x := 1; x <= width; x++ {
-				cur[x] = kern.Step(&prev[x-1], &cur[x-1], &prev[x], i, lo+x-1, emit)
-			}
+			kern.StepRow(prev, cur, i, lo, emit)
 			node.Compute(int64(width))
 			if id < nprocs-1 {
 				if i > 1 {

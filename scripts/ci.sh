@@ -1,0 +1,47 @@
+#!/bin/sh
+# ci.sh — the repo's full verification pipeline:
+#
+#   1. go vet, build, and the test suite under the race detector
+#   2. a 1-iteration smoke run of every kernel benchmark
+#   3. the kernel benchmarks for real, gated by cmd/benchdiff against
+#      the committed BENCH_kernels.json baseline
+#
+# The benchmark gate fails the build when any kernel loses more than
+# BENCHDIFF_TOL (default 10%) cells/sec against the "baseline" snapshot
+# in BENCH_kernels.json. "baseline" is the gate anchor, recorded
+# conservatively (a slow phase of the dev machine) so one-sided
+# scheduler noise doesn't trip the gate; the "seed"/"current" snapshots
+# document this repo's before/after kernel rewrite and are compared
+# with `benchdiff -diff seed current`, not gated on. After an
+# intentional perf change, re-record with:
+#
+#   go test -run '^$' -bench Kernel -count 5 . | go run ./cmd/benchdiff -snapshot baseline
+#
+# On shared/noisy machines set BENCHDIFF_TOL higher, increase
+# BENCH_COUNT so best-of has more samples, or set SKIP_BENCHDIFF=1 to
+# run only the functional checks.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== go vet"
+go vet ./...
+
+echo "== go build"
+go build ./...
+
+echo "== go test -race"
+go test -race ./...
+
+echo "== benchmark smoke (1 iteration)"
+go test -run '^$' -bench Kernel -benchtime 1x .
+
+if [ "${SKIP_BENCHDIFF:-0}" = "1" ]; then
+    echo "== benchdiff gate skipped (SKIP_BENCHDIFF=1)"
+    exit 0
+fi
+
+count="${BENCH_COUNT:-5}"
+tol="${BENCHDIFF_TOL:-0.10}"
+echo "== benchmark regression gate (count=$count, tol=$tol)"
+go test -run '^$' -bench Kernel -benchtime 1s -count "$count" . |
+    go run ./cmd/benchdiff -check -baseline baseline -tol "$tol"
