@@ -1,6 +1,7 @@
 package genomedsm
 
 import (
+	"fmt"
 	"io"
 	"testing"
 
@@ -8,6 +9,8 @@ import (
 	"genomedsm/internal/bio"
 	"genomedsm/internal/experiments"
 	"genomedsm/internal/heuristics"
+	"genomedsm/internal/search"
+	"genomedsm/internal/swar"
 )
 
 // benchCtx returns an experiment context sized for the Go benchmark
@@ -61,9 +64,12 @@ func benchPair(n int) (bio.Sequence, bio.Sequence) {
 // reportCells reports throughput in DP cells per second, the unit the
 // benchdiff regression harness tracks. cells is the number of matrix
 // cells computed per benchmark iteration. (SetBytes with the same count
-// also makes MB/s read as Mcells/s, kept for go-test familiarity.)
+// also makes MB/s read as Mcells/s, kept for go-test familiarity.) It
+// also turns on the allocs/op column, which pins the buffer-reuse work
+// in the kernels and the wavefront strategies.
 func reportCells(b *testing.B, cells int64) {
 	b.Helper()
+	b.ReportAllocs()
 	b.SetBytes(cells)
 	b.Cleanup(func() {
 		if s := b.Elapsed().Seconds(); s > 0 {
@@ -145,6 +151,71 @@ func BenchmarkKernelStepRow(b *testing.B) {
 	}
 }
 
+// benchBatch returns a query plus count same-length random targets for
+// the inter-sequence kernels: random data keeps every int8 lane far from
+// the saturation cap, so the benchmark times the pure packed path.
+func benchBatch(n, count int) (bio.Sequence, []bio.Sequence) {
+	g := bio.NewGenerator(77)
+	q := g.Random(n)
+	targets := make([]bio.Sequence, count)
+	for i := range targets {
+		targets[i] = g.Random(n)
+	}
+	return q, targets
+}
+
+// BenchmarkKernelSWARScan times the 8-lane int8 inter-sequence kernel on
+// a full lane group: 8 pairwise comparisons per pass, 8 DP cells per
+// packed word. The acceptance bar for this kernel is ≥ 2× the scalar
+// KernelExactScan cells/s.
+func BenchmarkKernelSWARScan(b *testing.B) {
+	q, targets := benchBatch(1000, 8)
+	var al swar.Aligner
+	sc := bio.DefaultScoring()
+	reportCells(b, int64(len(targets))*int64(q.Len())*int64(q.Len()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := al.Scan8(q, targets, sc); !ok {
+			b.Fatal("Scan8 rejected default scoring")
+		}
+	}
+}
+
+// BenchmarkKernelSWARScan16 times the 4-lane int16 fallback kernel.
+func BenchmarkKernelSWARScan16(b *testing.B) {
+	q, targets := benchBatch(1000, 4)
+	var al swar.Aligner
+	sc := bio.DefaultScoring()
+	reportCells(b, int64(len(targets))*int64(q.Len())*int64(q.Len()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := al.Scan16(q, targets, sc); !ok {
+			b.Fatal("Scan16 rejected default scoring")
+		}
+	}
+}
+
+// BenchmarkSearchDatabase times the full multicore database scan: lane
+// batching, the worker pool over all host cores, and the top-K merge.
+func BenchmarkSearchDatabase(b *testing.B) {
+	g := bio.NewGenerator(88)
+	q := g.Random(1000)
+	var db []bio.Record
+	cells := int64(0)
+	for i := 0; i < 64; i++ {
+		t := g.Random(500 + i*17%1000)
+		db = append(db, bio.Record{ID: fmt.Sprintf("r%d", i), Seq: t})
+		cells += int64(q.Len()) * int64(t.Len())
+	}
+	reportCells(b, cells)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := search.Run(q, db, search.Options{NoEndpoints: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkKernelFullMatrix(b *testing.B) {
 	s, t := benchPair(500)
 	reportCells(b, int64(s.Len())*int64(t.Len()))
@@ -178,6 +249,7 @@ func BenchmarkCompareBlocked8(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := Compare(pair.S, pair.T, Options{

@@ -128,13 +128,16 @@ func commonThroughput(a, b Metrics) (av, bv float64, unit string, ok bool) {
 	return 0, 0, "", false
 }
 
-// check compares cur against base and returns one line per shared
-// benchmark plus the list of regressions beyond tol.
+// check compares cur against base and returns one line per benchmark
+// plus the list of regressions beyond tol. Benchmarks present in only
+// one snapshot are reported as added or removed but are never
+// regressions: a snapshot taken before a benchmark existed must not
+// fail the gate, and neither must retiring one.
 func check(base, cur Snapshot, tol float64) (lines []string, regressions []string) {
 	for _, name := range sortedKeys(cur) {
 		bm, ok := base[name]
 		if !ok {
-			lines = append(lines, fmt.Sprintf("%-30s (no baseline)", name))
+			lines = append(lines, fmt.Sprintf("%-30s (added: no baseline yet)", name))
 			continue
 		}
 		bv, cv, unit, ok := commonThroughput(bm, cur[name])
@@ -149,6 +152,11 @@ func check(base, cur Snapshot, tol float64) (lines []string, regressions []strin
 		}
 		lines = append(lines, fmt.Sprintf("%-30s %12.4g -> %12.4g %-8s %6.2fx  %s",
 			name, bv, cv, unit, ratio, status))
+	}
+	for _, name := range sortedKeys(base) {
+		if _, ok := cur[name]; !ok {
+			lines = append(lines, fmt.Sprintf("%-30s (removed: only in baseline)", name))
+		}
 	}
 	return lines, regressions
 }

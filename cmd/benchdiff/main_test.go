@@ -80,18 +80,32 @@ func TestCheck(t *testing.T) {
 	base := Snapshot{
 		"A": Metrics{"cells/s": 100},
 		"B": Metrics{"cells/s": 100},
+		"D": Metrics{"cells/s": 100},
 	}
 	cur := Snapshot{
 		"A": Metrics{"cells/s": 95},  // -5%: within 10% tolerance
 		"B": Metrics{"cells/s": 80},  // -20%: regression
-		"C": Metrics{"cells/s": 123}, // no baseline: reported, not failed
+		"C": Metrics{"cells/s": 123}, // added: reported, not failed
+		// D retired: reported as removed, not failed.
 	}
 	lines, regressions := check(base, cur, 0.10)
-	if len(lines) != 3 {
-		t.Fatalf("got %d lines, want 3:\n%s", len(lines), strings.Join(lines, "\n"))
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines, want 4:\n%s", len(lines), strings.Join(lines, "\n"))
 	}
 	if len(regressions) != 1 || regressions[0] != "B" {
 		t.Errorf("regressions = %v, want [B]", regressions)
+	}
+	var added, removed bool
+	for _, l := range lines {
+		if strings.HasPrefix(l, "C") && strings.Contains(l, "added") {
+			added = true
+		}
+		if strings.HasPrefix(l, "D") && strings.Contains(l, "removed") {
+			removed = true
+		}
+	}
+	if !added || !removed {
+		t.Errorf("added/removed lines missing:\n%s", strings.Join(lines, "\n"))
 	}
 }
 

@@ -7,6 +7,12 @@
 //
 //	genomedsm -n 20000 -procs 8 -strategy block -phase2
 //	genomedsm -s a.fa -t b.fa -strategy preprocess -procs 4
+//
+// The search subcommand instead scans a whole sequence database with
+// the SWAR-vectorized multicore kernels and reports the top-K hits:
+//
+//	genomedsm search -q query.fa -db db.fa -k 10
+//	genomedsm search -n 2000 -db-size 500 -json
 package main
 
 import (
@@ -22,6 +28,13 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "search" {
+		if err := searchCmd(os.Args[2:], os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "genomedsm search:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	var (
 		strategy = flag.String("strategy", "block", "strategy: heuristic | block | preprocess")
 		procs    = flag.Int("procs", 8, "number of simulated cluster nodes")

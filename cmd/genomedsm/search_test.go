@@ -1,0 +1,115 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"genomedsm/internal/bio"
+)
+
+func TestSearchCmdSynthetic(t *testing.T) {
+	var buf bytes.Buffer
+	err := searchCmd([]string{"-n", "400", "-db-size", "40", "-db-len", "300", "-k", "5"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "searched 40 records") {
+		t.Errorf("missing scan summary:\n%s", out)
+	}
+	// The synthetic database plants homologs of the query, so the top hit
+	// must be one of them, with its alignment span retrieved.
+	if !strings.Contains(out, "hom") || !strings.Contains(out, "..") {
+		t.Errorf("no planted homolog hit with spans in output:\n%s", out)
+	}
+	if !strings.Contains(out, "Mcells/s") {
+		t.Errorf("missing throughput line:\n%s", out)
+	}
+}
+
+func TestSearchCmdJSON(t *testing.T) {
+	var buf bytes.Buffer
+	err := searchCmd([]string{"-n", "300", "-db-size", "32", "-k", "4", "-json"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep searchJSON
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if rep.QueryLen != 300 || rep.Records != 32 {
+		t.Errorf("report header: %+v", rep)
+	}
+	if len(rep.Hits) == 0 || len(rep.Hits) > 4 {
+		t.Fatalf("got %d hits, want 1..4", len(rep.Hits))
+	}
+	for i := 1; i < len(rep.Hits); i++ {
+		if rep.Hits[i].Score > rep.Hits[i-1].Score {
+			t.Errorf("hits not sorted by score: %+v", rep.Hits)
+		}
+	}
+	if rep.Hits[0].QBegin < 1 || rep.Hits[0].TBegin < 1 {
+		t.Errorf("top hit missing alignment span: %+v", rep.Hits[0])
+	}
+	if rep.Cells <= 0 || rep.PaddedCells < rep.Cells {
+		t.Errorf("cell accounting: cells=%d padded=%d", rep.Cells, rep.PaddedCells)
+	}
+}
+
+func TestSearchCmdFASTA(t *testing.T) {
+	dir := t.TempDir()
+	g := bio.NewGenerator(7)
+	q := g.Random(500)
+	qPath := filepath.Join(dir, "q.fa")
+	dbPath := filepath.Join(dir, "db.fa")
+	if err := bio.WriteFASTAFile(qPath, bio.Record{ID: "query", Seq: q}); err != nil {
+		t.Fatal(err)
+	}
+	recs := []bio.Record{
+		{ID: "self", Seq: q.Clone()}, // identity hit: must rank first, score 500
+		{ID: "noise1", Seq: g.Random(400)},
+		{ID: "noise2", Seq: g.Random(600)},
+	}
+	if err := bio.WriteFASTAFile(dbPath, recs...); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	err := searchCmd([]string{"-q", qPath, "-db", dbPath, "-k", "2", "-json"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep searchJSON
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	// The identity record saturates the int8 lanes (500 > 127), so this
+	// also exercises the widening fallback through the CLI path.
+	if len(rep.Hits) == 0 || rep.Hits[0].ID != "self" || rep.Hits[0].Score != 500 {
+		t.Fatalf("identity record not the top hit: %+v", rep.Hits)
+	}
+	if _, err := bio.ReadFASTAFile(filepath.Join(dir, "absent.fa")); err == nil {
+		t.Fatal("test precondition: absent file must not read")
+	}
+	if err := searchCmd([]string{"-q", filepath.Join(dir, "absent.fa"), "-db", dbPath}, &buf); err == nil {
+		t.Error("missing query file accepted")
+	}
+	if err := searchCmd([]string{"-q", qPath, "-db", filepath.Join(dir, "absent.fa")}, &buf); err == nil {
+		t.Error("missing database file accepted")
+	}
+}
+
+func TestSearchCmdBadFlags(t *testing.T) {
+	var buf bytes.Buffer
+	if err := searchCmd([]string{"-lanes", "7", "-n", "50", "-db-size", "4"}, &buf); err == nil {
+		t.Error("invalid lane width accepted")
+	}
+	if err := searchCmd([]string{"-match", "-1", "-n", "50", "-db-size", "4"}, &buf); err == nil {
+		t.Error("invalid scoring accepted")
+	}
+	if err := searchCmd([]string{"-bogus"}, &buf); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}

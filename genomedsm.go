@@ -31,6 +31,7 @@ import (
 	"genomedsm/internal/heuristics"
 	"genomedsm/internal/phase2"
 	"genomedsm/internal/preprocess"
+	"genomedsm/internal/search"
 	"genomedsm/internal/wavefront"
 )
 
@@ -65,6 +66,14 @@ type (
 	HomologyModel = bio.HomologyModel
 	// MutationModel controls synthetic divergence.
 	MutationModel = bio.MutationModel
+	// Record is one FASTA database record (ID + sequence).
+	Record = bio.Record
+	// SearchOptions configures a database scan (Search).
+	SearchOptions = search.Options
+	// SearchHit is one top-K hit of a database scan.
+	SearchHit = search.Hit
+	// SearchResult is the outcome of a database scan.
+	SearchResult = search.Result
 )
 
 // Re-exported constructors and helpers.
@@ -77,6 +86,8 @@ var (
 	DefaultScoring = bio.DefaultScoring
 	// DefaultHomologyModel scales the paper's similar-region density.
 	DefaultHomologyModel = bio.DefaultHomologyModel
+	// DefaultMutationModel is the default synthetic-divergence model.
+	DefaultMutationModel = bio.DefaultMutationModel
 	// ReadFASTAFile loads sequences from a FASTA file.
 	ReadFASTAFile = bio.ReadFASTAFile
 	// Calibrated2005 is the cost model of the paper's testbed.
@@ -262,6 +273,17 @@ func Preprocess(s, t Sequence, opts Options, sink ColumnSink) (*PreprocessResult
 		return nil, err
 	}
 	return preprocess.Run(o.Processors, *o.Cluster, s, t, *o.Scoring, *o.Preprocess, sink)
+}
+
+// Search scans a sequence database for the best local alignments of q:
+// records are scored by the inter-sequence SWAR kernels (8 int8 lanes
+// per machine word, widening per lane on overflow) over a worker pool
+// of host cores, and the top-K hits come back with exact scores and
+// alignment spans. Unlike Compare, which models the paper's 2005
+// cluster in virtual time, Search uses the real hardware for
+// throughput — the database-search workload of DSA and SWAPHI.
+func Search(q Sequence, db []Record, opt SearchOptions) (*SearchResult, error) {
+	return search.Run(q, db, opt)
 }
 
 // AffineScoring is the affine gap-penalty scheme for BestLocalAffine.

@@ -1,0 +1,332 @@
+// Package search implements a multicore Smith–Waterman database scan:
+// one query against every record of a FASTA database, scored by the
+// inter-sequence SWAR kernels of internal/swar and fanned out over a
+// worker pool of host cores. It is the repo's first use of real
+// parallel hardware for throughput — the cluster strategies elsewhere
+// model a 2005 testbed in virtual time, while this layer answers the
+// ROADMAP's "as fast as the hardware allows" for the database-search
+// workload that DSA and SWAPHI target.
+//
+// The pipeline: records are ordered by decreasing length and cut into
+// lane groups of 8 consecutive records, so the lanes of a group have
+// near-equal length and the padded cells wasted on short lanes are
+// minimized. Groups feed a shared work queue; each worker owns one
+// swar.Aligner (reused row buffers) and a bounded top-K heap. Per-worker
+// heaps merge into the global top K, and only those final hits pay for
+// scalar re-alignment (align.Scan end coordinates + align.ReverseRetrieve
+// start coordinates).
+package search
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"genomedsm/internal/align"
+	"genomedsm/internal/bio"
+	"genomedsm/internal/swar"
+)
+
+// Options configures a database scan. The zero value scans with the
+// paper's default scoring, top 10 hits and one worker per host core.
+type Options struct {
+	// Scoring is the column scoring scheme; zero means bio.DefaultScoring.
+	Scoring bio.Scoring
+	// TopK is the number of hits to keep (default 10).
+	TopK int
+	// Workers is the worker-pool size (default runtime.NumCPU()).
+	Workers int
+	// MinScore drops hits scoring below it; scores ≤ 0 are always dropped.
+	MinScore int
+	// Lanes selects the kernel: 0 or 8 for the int8 SWAR chain, 16 to
+	// start at the int16 kernel, 1 to force the scalar path (reference
+	// and benchmarking).
+	Lanes int
+	// NoEndpoints skips the scalar re-alignment of the final hits, for
+	// callers that only need scores.
+	NoEndpoints bool
+}
+
+// Hit is one database record in the top K.
+type Hit struct {
+	Index int    // record index in the database
+	ID    string // FASTA record ID
+	Score int    // exact best local-alignment score
+	// Alignment span of the best hit, 1-based inclusive, filled by the
+	// scalar re-alignment pass (zero when NoEndpoints is set).
+	QBegin, QEnd int // in the query
+	TBegin, TEnd int // in the target record
+}
+
+// Result is the outcome of a database scan.
+type Result struct {
+	Hits     []Hit
+	Searched int   // records scored
+	Cells    int64 // true DP cells: Σ |q|·|target|
+	// PaddedCells counts the cells the packed kernels actually computed
+	// (lane width × padded group length × |q|): the padding-waste metric
+	// that the length-sorted batching keeps close to Cells.
+	PaddedCells int64
+}
+
+// laneGroups orders record indices by decreasing sequence length and
+// cuts them into consecutive groups of lanes, so each group packs
+// near-equal lengths and short lanes waste little padding.
+func laneGroups(db []bio.Record, lanes int) [][]int {
+	order := make([]int, len(db))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		la, lb := len(db[order[a]].Seq), len(db[order[b]].Seq)
+		if la != lb {
+			return la > lb
+		}
+		return order[a] < order[b]
+	})
+	groups := make([][]int, 0, (len(order)+lanes-1)/lanes)
+	for lo := 0; lo < len(order); lo += lanes {
+		groups = append(groups, order[lo:min(lo+lanes, len(order))])
+	}
+	return groups
+}
+
+// topK is a bounded min-heap of hits ordered by (score, then lower
+// index wins ties), so the heap root is the weakest kept hit. A plain
+// slice heap keeps the merge deterministic regardless of worker
+// scheduling: every record that belongs to the global top K under the
+// same total order survives its worker's local top K.
+type topK struct {
+	k     int
+	items []Hit
+}
+
+// less orders a strictly below b: worse score first, higher index first
+// on ties.
+func (h *topK) less(a, b Hit) bool {
+	if a.Score != b.Score {
+		return a.Score < b.Score
+	}
+	return a.Index > b.Index
+}
+
+func (h *topK) push(it Hit) {
+	if h.k <= 0 {
+		return
+	}
+	if len(h.items) == h.k {
+		if h.less(it, h.items[0]) || it == h.items[0] {
+			return
+		}
+		h.items[0] = it
+		h.siftDown(0)
+		return
+	}
+	h.items = append(h.items, it)
+	// Sift up.
+	for i := len(h.items) - 1; i > 0; {
+		parent := (i - 1) / 2
+		if !h.less(h.items[i], h.items[parent]) {
+			break
+		}
+		h.items[i], h.items[parent] = h.items[parent], h.items[i]
+		i = parent
+	}
+}
+
+func (h *topK) siftDown(i int) {
+	n := len(h.items)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && h.less(h.items[l], h.items[smallest]) {
+			smallest = l
+		}
+		if r < n && h.less(h.items[r], h.items[smallest]) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		h.items[i], h.items[smallest] = h.items[smallest], h.items[i]
+		i = smallest
+	}
+}
+
+// Run scans the database for the best local alignments of q and returns
+// the top-K hits sorted by decreasing score (record index breaks ties).
+func Run(q bio.Sequence, db []bio.Record, opt Options) (*Result, error) {
+	sc := opt.Scoring
+	if sc == (bio.Scoring{}) {
+		sc = bio.DefaultScoring()
+	}
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	k := opt.TopK
+	if k <= 0 {
+		k = 10
+	}
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	lanes := bio.PackedLanes8
+	switch opt.Lanes {
+	case 0, 8:
+		// default int8 chain
+	case 16:
+		lanes = bio.PackedLanes16
+	case 1:
+		lanes = 1
+	default:
+		return nil, fmt.Errorf("search: lanes must be 8, 16 or 1, got %d", opt.Lanes)
+	}
+
+	groups := laneGroups(db, lanes)
+	if workers > len(groups) && len(groups) > 0 {
+		workers = len(groups)
+	}
+	work := make(chan []int)
+	heaps := make([]*topK, workers)
+	errs := make([]error, workers)
+	padded := make([]int64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var al swar.Aligner
+			heap := &topK{k: k}
+			heaps[w] = heap
+			targets := make([]bio.Sequence, 0, lanes)
+			for group := range work {
+				targets = targets[:0]
+				maxLen := 0
+				for _, idx := range group {
+					t := db[idx].Seq
+					targets = append(targets, t)
+					if len(t) > maxLen {
+						maxLen = len(t)
+					}
+				}
+				padded[w] += int64(lanes) * int64(maxLen) * int64(len(q))
+				scores, err := scoreGroup(&al, q, targets, sc, opt.Lanes)
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				for i, idx := range group {
+					if s := scores[i]; s > 0 && s >= opt.MinScore {
+						heap.push(Hit{Index: idx, ID: db[idx].ID, Score: s})
+					}
+				}
+			}
+		}(w)
+	}
+	for _, g := range groups {
+		work <- g
+	}
+	close(work)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	res := &Result{Searched: len(db)}
+	for _, rec := range db {
+		res.Cells += int64(len(q)) * int64(len(rec.Seq))
+	}
+	merged := &topK{k: k}
+	for _, h := range heaps {
+		if h == nil {
+			continue
+		}
+		for _, it := range h.items {
+			merged.push(it)
+		}
+	}
+	for _, p := range padded {
+		res.PaddedCells += p
+	}
+	res.Hits = merged.items
+	sort.Slice(res.Hits, func(a, b int) bool {
+		x, y := res.Hits[a], res.Hits[b]
+		if x.Score != y.Score {
+			return x.Score > y.Score
+		}
+		return x.Index < y.Index
+	})
+	if !opt.NoEndpoints {
+		if err := realign(q, db, sc, res.Hits); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// scoreGroup dispatches one lane group to the kernel selected by the
+// Lanes option. The default (0/8) uses the full int8→int16→scalar chain
+// of swar.Scores; 16 starts at int16 with scalar fallback; 1 is the
+// scalar reference path.
+func scoreGroup(al *swar.Aligner, q bio.Sequence, targets []bio.Sequence, sc bio.Scoring, lanesOpt int) ([]int, error) {
+	switch lanesOpt {
+	case 0, 8:
+		return al.Scores(q, targets, sc)
+	case 16:
+		out := make([]int, len(targets))
+		ls, ok := al.Scan16(q, targets, sc)
+		for i := range targets {
+			if !ok || ls.Saturated&(1<<uint(i)) != 0 {
+				r, err := align.Scan(q, targets[i], sc, align.ScanOptions{})
+				if err != nil {
+					return nil, err
+				}
+				out[i] = r.BestScore
+			} else {
+				out[i] = ls.Scores[i]
+			}
+		}
+		return out, nil
+	default: // scalar
+		out := make([]int, len(targets))
+		for i, t := range targets {
+			r, err := align.Scan(q, t, sc, align.ScanOptions{})
+			if err != nil {
+				return nil, err
+			}
+			out[i] = r.BestScore
+		}
+		return out, nil
+	}
+}
+
+// realign fills the alignment spans of the final hits with the scalar
+// kernels: align.Scan finds the end cell, align.ReverseRetrieve walks
+// back to the start. Only the K winners pay this cost, and the exact
+// scan doubles as a safety net: a score disagreeing with the packed
+// kernel is a kernel bug and is reported, never papered over.
+func realign(q bio.Sequence, db []bio.Record, sc bio.Scoring, hits []Hit) error {
+	for i := range hits {
+		h := &hits[i]
+		t := db[h.Index].Seq
+		r, err := align.Scan(q, t, sc, align.ScanOptions{})
+		if err != nil {
+			return err
+		}
+		if r.BestScore != h.Score {
+			return fmt.Errorf("search: packed score %d for %q disagrees with scalar %d",
+				h.Score, h.ID, r.BestScore)
+		}
+		al, _, err := align.ReverseRetrieve(q, t, sc, r.BestI, r.BestJ, r.BestScore)
+		if err != nil {
+			return err
+		}
+		h.QBegin, h.QEnd = al.SBegin, al.SEnd
+		h.TBegin, h.TEnd = al.TBegin, al.TEnd
+	}
+	return nil
+}

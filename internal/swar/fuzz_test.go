@@ -1,0 +1,61 @@
+package swar
+
+import (
+	"testing"
+
+	"genomedsm/internal/align"
+	"genomedsm/internal/bio"
+)
+
+// fuzzSeq maps arbitrary bytes to the DNA alphabet including 'N', so the
+// fuzzer exercises the wildcard rule alongside the four bases.
+func fuzzSeq(raw []byte, limit int) bio.Sequence {
+	if len(raw) > limit {
+		raw = raw[:limit]
+	}
+	s := make(bio.Sequence, len(raw))
+	for i, b := range raw {
+		s[i] = "ACGTN"[int(b)%5]
+	}
+	return s
+}
+
+// FuzzScoresVsScalar drives the full int8→int16→scalar chain against the
+// scalar align.Scan on arbitrary query/target bytes, splitting the
+// target material into lanes of fuzzer-chosen uneven lengths. cut1/cut2
+// and the repeat count shape the lane group so the fuzzer can construct
+// empty lanes, duplicate lanes and high-identity (saturating) lanes.
+func FuzzScoresVsScalar(f *testing.F) {
+	f.Add([]byte("acgtacgtacgt"), []byte("tacgtacg"), uint8(3), uint8(5), uint8(2))
+	f.Add([]byte{}, []byte{1, 2, 3, 4}, uint8(0), uint8(0), uint8(9))
+	f.Add([]byte("aaaaaaaaaaaaaaaa"), []byte("aaaaaaaaaaaaaaaa"), uint8(8), uint8(16), uint8(6))
+	f.Fuzz(func(t *testing.T, rawQ, rawT []byte, cut1, cut2, rep uint8) {
+		q := fuzzSeq(rawQ, 128)
+		pool := fuzzSeq(rawT, 160)
+		a, b := int(cut1)%(len(pool)+1), int(cut2)%(len(pool)+1)
+		if a > b {
+			a, b = b, a
+		}
+		targets := []bio.Sequence{pool[:a], pool[a:b], pool[b:]}
+		// Repeating the query as a lane forces identity scores — on long
+		// inputs these saturate int8 and exercise the fallback.
+		for i := 0; i < int(rep)%6; i++ {
+			targets = append(targets, q)
+		}
+		var al Aligner
+		got, err := al.Scores(q, targets, bio.DefaultScoring())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, tgt := range targets {
+			r, err := align.Scan(q, tgt, bio.DefaultScoring(), align.ScanOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got[i] != r.BestScore {
+				t.Fatalf("lane %d (|q|=%d |t|=%d): packed %d, scalar %d",
+					i, len(q), len(tgt), got[i], r.BestScore)
+			}
+		}
+	})
+}

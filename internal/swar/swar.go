@@ -1,0 +1,298 @@
+// Package swar implements inter-sequence vectorized Smith–Waterman in
+// pure Go via SWAR ("SIMD within a register"): one uint64 word carries
+// the running scores of 8 int8 lanes (or 4 int16 lanes), each lane
+// scanning a different target sequence against the same query. The
+// style follows the inter-sequence vectorization of DSA (Xu et al.,
+// arXiv:1701.01575) and SWAPHI (Liu & Schmidt, arXiv:1404.4152): because
+// every lane is an independent pairwise comparison, the DP recurrence
+// has no cross-lane dependencies and the scalar inner loop of
+// align.Scan lifts to packed words unchanged.
+//
+// # Guard-bit arithmetic
+//
+// Local-alignment scores are never negative, so lanes hold unsigned
+// magnitudes and the zero clamp max(0, ·) of the recurrence is the
+// floor of a clamped subtract. Keeping each lane's *top bit free as a
+// guard* (clean scores ≤ 127 per int8 lane, ≤ 32767 per int16 lane)
+// buys two things:
+//
+//   - The diagonal term needs no saturating add: with the profile split
+//     into non-negative match/mismatch magnitudes (bio.PackedProfile),
+//     v = clamp(d − minus) + plus is exact and a *plain* word add — per
+//     lane, exactly one of plus/minus is nonzero, lane sums stay below
+//     256, and carries never cross a lane boundary.
+//   - Subtracts of penalties p ≤ 127 use z = (x|hi) − p, which cannot
+//     borrow across lanes because every byte of x|hi is ≥ 128 > p; the
+//     guard bit of z doubles as the per-lane "did not underflow" flag
+//     that implements the zero clamp.
+//
+// A lane whose value sets the guard bit may be about to overflow, so
+// the kernel ORs every cell into a saturation accumulator; the first
+// excess value is still computed exactly (sums stay within the lane),
+// so a lane is either never flagged — and bit-exact against the scalar
+// kernel — or flagged and retried with the next wider layout:
+// int8 → int16 → the scalar align.Scan path. Wrapped garbage in a
+// flagged lane stays inside that lane (no operation carries or borrows
+// across lane boundaries for any input), so neighbours are unaffected.
+// The chain makes Scores bit-exact against align.Scan by construction.
+package swar
+
+import (
+	"genomedsm/internal/align"
+	"genomedsm/internal/bio"
+)
+
+// Guard-bit masks of the two packed widths: the per-lane top bits.
+const (
+	hi8  = 0x8080808080808080
+	hi16 = 0x8000800080008000
+)
+
+// SubClamp8 returns per byte max(0, x−y), the zero-clamped subtract of
+// the local recurrence, for penalty lanes y ≤ 127. The result lane is
+// exact when the x lane is clean (≤ 127) and always ≤ 127; no borrow
+// ever crosses a lane boundary, for any x.
+func SubClamp8(x, y uint64) uint64 {
+	z := (x | hi8) - y
+	m := ((z & hi8) >> 7) * 0xFF
+	return (z &^ hi8) & m
+}
+
+// MaxClamped8 returns the per-byte unsigned maximum for y lanes ≤ 127
+// and any x: a lane with the guard bit set always beats y, otherwise
+// the guard bit of (x|hi)−y decides. Exact for every x ≤ 255, y ≤ 127.
+func MaxClamped8(x, y uint64) uint64 {
+	z := (x | hi8) - y
+	m := (((x | z) & hi8) >> 7) * 0xFF
+	return (x & m) | (y &^ m)
+}
+
+// SubClamp16 and MaxClamped16 are the 4-lane uint16 variants, with the
+// penalty bound 32767.
+func SubClamp16(x, y uint64) uint64 {
+	z := (x | hi16) - y
+	m := ((z & hi16) >> 15) * 0xFFFF
+	return (z &^ hi16) & m
+}
+
+// MaxClamped16 is the 4-lane uint16 maximum for y lanes ≤ 32767.
+func MaxClamped16(x, y uint64) uint64 {
+	z := (x | hi16) - y
+	m := (((x | z) & hi16) >> 15) * 0xFFFF
+	return (x & m) | (y &^ m)
+}
+
+// row8 advances one packed row of the zero-clamped local recurrence for
+// all 8 lanes at once — the SWAR lift of align.swRow: per word,
+//
+//	cur[j] = max(clamp(prev[j-1] − minus[j]) + plus[j],
+//	             clamp(prev[j] − gap), clamp(cur[j-1] − gap))
+//
+// with the zero clamp implicit in the clamped subtracts. It folds the
+// row into the running guard-stripped per-lane maximum and ORs every
+// cell into the saturation accumulator sat; lanes that ever set their
+// guard bit in sat are unreliable and must be retried wider.
+func row8(prev, cur, plus, minus []uint64, gapV, best, sat uint64) (uint64, uint64) {
+	n := len(plus)
+	d := prev[0]   // diag carry: prev[j-1]
+	w := uint64(0) // left carry: cur[j-1]; the border column is all zero
+	pr := prev[1:]
+	out := cur[1:]
+	_ = pr[n-1] // bounds hints for the loop body
+	_ = out[n-1]
+	_ = minus[n-1]
+	for j := 0; j < n; j++ {
+		v := SubClamp8(d, minus[j]) + plus[j]
+		d = pr[j]
+		v = MaxClamped8(v, SubClamp8(d, gapV))
+		v = MaxClamped8(v, SubClamp8(w, gapV))
+		out[j] = v
+		w = v
+		sat |= v
+		best = MaxClamped8(best, v&^hi8)
+	}
+	return best, sat
+}
+
+// row16 is row8 for 4 uint16 lanes.
+func row16(prev, cur, plus, minus []uint64, gapV, best, sat uint64) (uint64, uint64) {
+	n := len(plus)
+	d := prev[0]
+	w := uint64(0)
+	pr := prev[1:]
+	out := cur[1:]
+	_ = pr[n-1]
+	_ = out[n-1]
+	_ = minus[n-1]
+	for j := 0; j < n; j++ {
+		v := SubClamp16(d, minus[j]) + plus[j]
+		d = pr[j]
+		v = MaxClamped16(v, SubClamp16(d, gapV))
+		v = MaxClamped16(v, SubClamp16(w, gapV))
+		out[j] = v
+		w = v
+		sat |= v
+		best = MaxClamped16(best, v&^hi16)
+	}
+	return best, sat
+}
+
+// LaneScores is the outcome of one packed scan.
+type LaneScores struct {
+	// Scores holds the per-lane best local-alignment score; only the
+	// first Lanes entries are meaningful, and a lane flagged in
+	// Saturated must not be trusted.
+	Scores [bio.PackedLanes8]int
+	// Saturated is the bitmask of lanes that ever set their guard bit:
+	// their true score may exceed the clean lane range.
+	Saturated uint8
+	// Lanes is the number of live lanes (= number of targets scanned).
+	Lanes int
+}
+
+// Aligner carries the reusable packed row buffers of one worker. The
+// zero value is ready to use; an Aligner must not be shared between
+// goroutines.
+type Aligner struct {
+	prev, cur []uint64
+}
+
+// rows returns the two row buffers of length words+1, with prev cleared
+// (the zero top border) — cur is fully overwritten row by row and its
+// border cell cur[0] is never read (the left carry starts at the
+// constant zero column instead).
+func (a *Aligner) rows(words int) ([]uint64, []uint64) {
+	if cap(a.prev) < words+1 {
+		a.prev = make([]uint64, words+1)
+		a.cur = make([]uint64, words+1)
+	}
+	a.prev = a.prev[:words+1]
+	a.cur = a.cur[:words+1]
+	clear(a.prev)
+	a.cur[0] = 0
+	return a.prev, a.cur
+}
+
+// scanPacked runs the packed recurrence of q against prof and returns
+// the folded guard-stripped per-lane maximum and the saturation word.
+func (a *Aligner) scanPacked(q bio.Sequence, prof *bio.PackedProfile, gap int) (best, sat uint64) {
+	words := prof.Words()
+	if words == 0 || len(q) == 0 {
+		return 0, 0
+	}
+	prev, cur := a.rows(words)
+	gapV := prof.Broadcast(gap)
+	wide := prof.Lanes() == bio.PackedLanes16
+	for i := 0; i < len(q); i++ {
+		c := q[i]
+		if wide {
+			best, sat = row16(prev, cur, prof.PlusRow(c), prof.MinusRow(c), gapV, best, sat)
+		} else {
+			best, sat = row8(prev, cur, prof.PlusRow(c), prof.MinusRow(c), gapV, best, sat)
+		}
+		prev, cur = cur, prev
+	}
+	a.prev, a.cur = prev, cur
+	return best, sat
+}
+
+// Scan8 scores q against up to 8 targets in int8 lanes. ok is false
+// when the scoring magnitudes do not fit the 7-bit clean lane range
+// (callers then use Scan16 or the scalar path); lanes that overflow it
+// are flagged Saturated in the result.
+func (a *Aligner) Scan8(q bio.Sequence, targets []bio.Sequence, sc bio.Scoring) (LaneScores, bool) {
+	if -sc.Gap > bio.PackedCap8 {
+		return LaneScores{}, false
+	}
+	prof := bio.NewPackedProfile8(targets, sc)
+	if prof == nil {
+		return LaneScores{}, false
+	}
+	return a.finish(q, prof, sc, len(targets)), true
+}
+
+// Scan16 scores q against up to 4 targets in int16 lanes.
+func (a *Aligner) Scan16(q bio.Sequence, targets []bio.Sequence, sc bio.Scoring) (LaneScores, bool) {
+	if -sc.Gap > bio.PackedCap16 {
+		return LaneScores{}, false
+	}
+	prof := bio.NewPackedProfile16(targets, sc)
+	if prof == nil {
+		return LaneScores{}, false
+	}
+	return a.finish(q, prof, sc, len(targets)), true
+}
+
+func (a *Aligner) finish(q bio.Sequence, prof *bio.PackedProfile, sc bio.Scoring, lanes int) LaneScores {
+	best, sat := a.scanPacked(q, prof, -sc.Gap)
+	res := LaneScores{Lanes: lanes}
+	guard := uint64(1) << (uint(prof.Shift()) - 1)
+	for l := 0; l < lanes; l++ {
+		res.Scores[l] = prof.Lane(best, l)
+		if prof.Lane(sat, l)&int(guard) != 0 {
+			res.Saturated |= 1 << uint(l)
+		}
+	}
+	return res
+}
+
+// Scores returns the exact best local-alignment score of q against
+// every target, bit-exact against align.Scan. Targets are scanned in
+// int8 lane groups of 8; lanes that overflow the 7-bit clean range (or
+// scoring schemes that do not fit it) are retried in int16 groups of 4,
+// and anything still overflowing falls back to the scalar kernel. The
+// Aligner's buffers are reused across calls, so a long-lived worker
+// allocates only per lane group (the packed profile).
+func (a *Aligner) Scores(q bio.Sequence, targets []bio.Sequence, sc bio.Scoring) ([]int, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	out := make([]int, len(targets))
+	var narrow []int // target indices needing the int16 retry
+	for lo := 0; lo < len(targets); lo += bio.PackedLanes8 {
+		hi := min(lo+bio.PackedLanes8, len(targets))
+		ls, ok := a.Scan8(q, targets[lo:hi], sc)
+		if !ok {
+			for i := lo; i < hi; i++ {
+				narrow = append(narrow, i)
+			}
+			continue
+		}
+		for l := 0; l < ls.Lanes; l++ {
+			if ls.Saturated&(1<<uint(l)) != 0 {
+				narrow = append(narrow, lo+l)
+			} else {
+				out[lo+l] = ls.Scores[l]
+			}
+		}
+	}
+	var scalar []int // target indices needing the exact scalar kernel
+	group := make([]bio.Sequence, 0, bio.PackedLanes16)
+	for lo := 0; lo < len(narrow); lo += bio.PackedLanes16 {
+		hi := min(lo+bio.PackedLanes16, len(narrow))
+		group = group[:0]
+		for _, idx := range narrow[lo:hi] {
+			group = append(group, targets[idx])
+		}
+		ls, ok := a.Scan16(q, group, sc)
+		if !ok {
+			scalar = append(scalar, narrow[lo:hi]...)
+			continue
+		}
+		for l := 0; l < ls.Lanes; l++ {
+			if ls.Saturated&(1<<uint(l)) != 0 {
+				scalar = append(scalar, narrow[lo+l])
+			} else {
+				out[narrow[lo+l]] = ls.Scores[l]
+			}
+		}
+	}
+	for _, idx := range scalar {
+		r, err := align.Scan(q, targets[idx], sc, align.ScanOptions{})
+		if err != nil {
+			return nil, err
+		}
+		out[idx] = r.BestScore
+	}
+	return out, nil
+}

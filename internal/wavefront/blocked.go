@@ -102,6 +102,13 @@ func RunBlocked(nprocs int, cfg cluster.Config, s, t bio.Sequence, sc bio.Scorin
 			maxBlockWidth = w
 		}
 	}
+	maxBandHeight := 0
+	for b := 0; b < bc.Bands; b++ {
+		r0, r1 := bandRows(b)
+		if h := r1 - r0 + 1; h > maxBandHeight {
+			maxBandHeight = h
+		}
+	}
 
 	var out *Result
 	err = sys.Run(func(node *dsm.Node) error {
@@ -112,6 +119,13 @@ func RunBlocked(nprocs int, cfg cluster.Config, s, t bio.Sequence, sc bio.Scorin
 		var q heuristics.Queue
 		emit := q.Add
 		buf := make([]byte, maxBlockWidth*heuristics.CellBytes)
+		// Row and column buffers are sized once per node for the largest
+		// band/block and resliced per tile; a band or tile boundary resets
+		// their contents, never their backing arrays.
+		rightColBuf := make([]heuristics.Cell, maxBandHeight)
+		prev := make([]heuristics.Cell, maxBlockWidth+1)
+		cur := make([]heuristics.Cell, maxBlockWidth+1)
+		top := make([]heuristics.Cell, maxBlockWidth)
 
 		// The owner of the last band accumulates row m's cells so they can
 		// be flushed left-to-right after the whole row exists — exactly
@@ -124,19 +138,20 @@ func RunBlocked(nprocs int, cfg cluster.Config, s, t bio.Sequence, sc bio.Scorin
 			height := r1 - r0 + 1
 			// rightCol[x] is the cell at (r0+x, c0−1): the previous
 			// block's right column. Starts as the zero column.
-			rightCol := make([]heuristics.Cell, height)
+			rightCol := rightColBuf[:height]
+			clear(rightCol)
 			// corner is the cell at (r0−1, c0−1).
 			var corner heuristics.Cell
-			prev := make([]heuristics.Cell, maxBlockWidth+1)
-			cur := make([]heuristics.Cell, maxBlockWidth+1)
 
 			for blk := 0; blk < bc.Blocks; blk++ {
 				c0, c1 := blockCols(blk)
 				width := c1 - c0 + 1
 				// Top block-row of this tile: from the band above via the
 				// boundary row, or the zero row for band 0.
-				top := make([]heuristics.Cell, width)
-				if band > 0 {
+				top := top[:width]
+				if band == 0 {
+					clear(top)
+				} else {
 					if err := node.Waitcv(dataCV(band - 1)); err != nil {
 						return err
 					}

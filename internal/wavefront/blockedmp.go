@@ -51,6 +51,14 @@ func RunBlockedMP(nprocs int, cfg cluster.Config, s, t bio.Sequence, sc bio.Scor
 
 	bandRows := func(b int) (int, int) { return b*m/bc.Bands + 1, (b + 1) * m / bc.Bands }
 	blockCols := func(k int) (int, int) { return k*n/bc.Blocks + 1, (k + 1) * n / bc.Blocks }
+	maxW := (n + bc.Blocks - 1) / bc.Blocks * 2
+	maxH := 0
+	for b := 0; b < bc.Bands; b++ {
+		r0, r1 := bandRows(b)
+		if h := r1 - r0 + 1; h > maxH {
+			maxH = h
+		}
+	}
 
 	clocks := make([]cluster.Clock, nprocs)
 	queues := make([]heuristics.Queue, nprocs)
@@ -65,6 +73,11 @@ func RunBlockedMP(nprocs int, cfg cluster.Config, s, t bio.Sequence, sc bio.Scor
 			clock := &clocks[id]
 			emit := queues[id].Add
 			var lastRow []heuristics.Cell
+			// Per-node row/column buffers, resliced per band and tile.
+			rightColBuf := make([]heuristics.Cell, maxH)
+			prev := make([]heuristics.Cell, maxW+1)
+			cur := make([]heuristics.Cell, maxW+1)
+			top := make([]heuristics.Cell, maxW)
 			msgs, bytes := int64(0), int64(0)
 			defer func() {
 				statsMu.Lock()
@@ -76,17 +89,17 @@ func RunBlockedMP(nprocs int, cfg cluster.Config, s, t bio.Sequence, sc bio.Scor
 			for band := id; band < bc.Bands; band += nprocs {
 				r0, r1 := bandRows(band)
 				height := r1 - r0 + 1
-				rightCol := make([]heuristics.Cell, height)
+				rightCol := rightColBuf[:height]
+				clear(rightCol)
 				var corner heuristics.Cell
-				maxW := (n + bc.Blocks - 1) / bc.Blocks * 2
-				prev := make([]heuristics.Cell, maxW+1)
-				cur := make([]heuristics.Cell, maxW+1)
 
 				for blk := 0; blk < bc.Blocks; blk++ {
 					c0, c1 := blockCols(blk)
 					width := c1 - c0 + 1
-					top := make([]heuristics.Cell, width)
-					if band > 0 {
+					top := top[:width]
+					if band == 0 {
+						clear(top)
+					} else {
 						msg := <-chans[band-1]
 						copy(top, msg.cells)
 						clock.AdvanceTo(msg.at+cfg.Net.MessageCost(width*heuristics.CellBytes), cluster.Comm)
@@ -109,6 +122,9 @@ func RunBlockedMP(nprocs int, cfg cluster.Config, s, t bio.Sequence, sc bio.Scor
 					clock.Advance(float64(height)*float64(width)*cfg.CellTime, cluster.Compute)
 					corner = top[width-1]
 					if band < bc.Bands-1 {
+						// This allocation must stay per send: ownership of the
+						// slice moves to the consumer with the message, while
+						// prev is reused for the next tile.
 						row := make([]heuristics.Cell, width)
 						copy(row, prev[1:width+1])
 						clock.Advance(cfg.Net.PerMessageCPU, cluster.Comm)

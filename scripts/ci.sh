@@ -2,9 +2,11 @@
 # ci.sh — the repo's full verification pipeline:
 #
 #   1. go vet, build, and the test suite under the race detector
-#   2. a 1-iteration smoke run of every kernel benchmark
-#   3. the kernel benchmarks for real, gated by cmd/benchdiff against
-#      the committed BENCH_kernels.json baseline
+#      (plus a doubled -race pass over the concurrency-heavy SWAR
+#      search packages)
+#   2. a 1-iteration smoke run of every kernel and search benchmark
+#   3. the kernel and search benchmarks for real, gated by
+#      cmd/benchdiff against the committed BENCH_kernels.json baseline
 #
 # The benchmark gate fails the build when any kernel loses more than
 # BENCHDIFF_TOL (default 10%) cells/sec against the "baseline" snapshot
@@ -15,7 +17,7 @@
 # with `benchdiff -diff seed current`, not gated on. After an
 # intentional perf change, re-record with:
 #
-#   go test -run '^$' -bench Kernel -count 5 . | go run ./cmd/benchdiff -snapshot baseline
+#   go test -run '^$' -bench 'Kernel|Search' -count 5 . | go run ./cmd/benchdiff -snapshot baseline
 #
 # On shared/noisy machines set BENCHDIFF_TOL higher, increase
 # BENCH_COUNT so best-of has more samples, or set SKIP_BENCHDIFF=1 to
@@ -32,8 +34,11 @@ go build ./...
 echo "== go test -race"
 go test -race ./...
 
+echo "== go test -race -count=2 (swar + search)"
+go test -race -count=2 ./internal/swar ./internal/search ./cmd/genomedsm
+
 echo "== benchmark smoke (1 iteration)"
-go test -run '^$' -bench Kernel -benchtime 1x .
+go test -run '^$' -bench 'Kernel|Search' -benchtime 1x .
 
 if [ "${SKIP_BENCHDIFF:-0}" = "1" ]; then
     echo "== benchdiff gate skipped (SKIP_BENCHDIFF=1)"
@@ -43,5 +48,5 @@ fi
 count="${BENCH_COUNT:-5}"
 tol="${BENCHDIFF_TOL:-0.10}"
 echo "== benchmark regression gate (count=$count, tol=$tol)"
-go test -run '^$' -bench Kernel -benchtime 1s -count "$count" . |
+go test -run '^$' -bench 'Kernel|Search' -benchtime 1s -count "$count" . |
     go run ./cmd/benchdiff -check -baseline baseline -tol "$tol"
