@@ -1,0 +1,145 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"genomedsm/internal/chaos"
+)
+
+// chaosCmd implements `genomedsm chaos`: the seeded fault-injection and
+// schedule-exploration sweep. Every strategy is run under N explored
+// schedules — permuted lock grants, barrier orders and eviction victims,
+// plus injected message delays and reordering — and its results are
+// checked bit-for-bit against the sequential baseline. A failing
+// interleaving prints its plan seed; `-replay` reruns exactly that
+// interleaving and dumps its protocol trace.
+func chaosCmd(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("genomedsm chaos", flag.ContinueOnError)
+	fs.SetOutput(w)
+	var (
+		seed      = fs.Int64("seed", 1, "master seed: derives the input pair and every schedule's fault plan")
+		schedules = fs.Int("schedules", 4, "schedules to explore per strategy")
+		strategy  = fs.String("strategy", "all", "strategy to check: noblock | blocked | blockedmp | preprocess | phase2 | all")
+		procs     = fs.Int("procs", 4, "simulated cluster size")
+		n         = fs.Int("len", 600, "generated sequence length")
+		cache     = fs.Int("cache", 4, "per-node page-cache slots (forces eviction traffic; -1 = strategy default)")
+		timeout   = fs.Duration("timeout", 60*time.Second, "per-run watchdog; an overrun is reported as a hang")
+		noFaults  = fs.Bool("no-faults", false, "disable message faults (schedule exploration only)")
+		replay    = fs.Int64("replay", 0, "replay one run with this plan seed (requires a single -strategy) and dump its trace")
+		traceTail = fs.Int("trace", 64, "protocol trace events to show for a divergence or replay")
+	)
+	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return nil
+		}
+		return err
+	}
+
+	var sts []chaos.Strategy
+	if *strategy == "all" || *strategy == "" {
+		sts = chaos.AllStrategies()
+	} else {
+		for _, name := range strings.Split(*strategy, ",") {
+			st, err := chaos.ParseStrategy(strings.TrimSpace(name))
+			if err != nil {
+				return err
+			}
+			sts = append(sts, st)
+		}
+	}
+	opt := chaos.Options{
+		Seed:      *seed,
+		Schedules: *schedules,
+		Nprocs:    *procs,
+		SeqLen:    *n,
+		CacheSlots: func() int {
+			if *cache < 0 {
+				return -1
+			}
+			return *cache
+		}(),
+		Timeout:   *timeout,
+		TraceTail: *traceTail,
+		UsePlanZero: func() bool {
+			return *noFaults
+		}(),
+	}
+	if *noFaults {
+		opt.Plan = chaos.PlanConfig{} // all-zero: schedule exploration only
+	}
+
+	if *replay != 0 {
+		if len(sts) != 1 {
+			return fmt.Errorf("-replay needs exactly one -strategy, got %d", len(sts))
+		}
+		return chaosReplay(w, sts[0], opt, *replay, *traceTail)
+	}
+
+	start := time.Now()
+	var divergences []*chaos.Divergence
+	runs := 0
+	for _, st := range sts {
+		stOpt := opt
+		stOpt.Strategies = []chaos.Strategy{st}
+		rep, err := chaos.CheckStrategies(stOpt)
+		if err != nil {
+			return fmt.Errorf("strategy %s: %w", st, err)
+		}
+		runs += rep.Runs
+		verdict := "bit-exact vs sequential"
+		if len(rep.Divergences) > 0 {
+			verdict = fmt.Sprintf("%d DIVERGENT", len(rep.Divergences))
+			divergences = append(divergences, rep.Divergences...)
+		}
+		fmt.Fprintf(w, "%-11s %d schedules: %s\n", st, rep.Runs, verdict)
+	}
+	fmt.Fprintf(w, "\nseed %d: %d runs, %d divergences (%.2fs wall)\n",
+		*seed, runs, len(divergences), time.Since(start).Seconds())
+	if len(divergences) > 0 {
+		for _, d := range divergences {
+			fmt.Fprintln(w, d.Error())
+			fmt.Fprintf(w, "  replay: genomedsm chaos -strategy %s -seed %d -replay %d\n",
+				d.Strategy, *seed, d.PlanSeed)
+		}
+		return fmt.Errorf("%d of %d runs diverged from the sequential baseline", len(divergences), runs)
+	}
+	return nil
+}
+
+// chaosReplay reruns a single interleaving byte-for-byte from its plan
+// seed and prints the comparable result plus the protocol trace tail.
+func chaosReplay(w io.Writer, st chaos.Strategy, opt chaos.Options, planSeed int64, tail int) error {
+	res, err := chaos.RunOne(st, opt, planSeed)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "replayed %s with plan seed %d: %d gate picks, %d trace events\n",
+		st, planSeed, res.Picks, len(res.Trace))
+	switch {
+	case res.Pre != nil:
+		fmt.Fprintf(w, "preprocess: %d hits, best %d at (%d,%d)\n",
+			res.Pre.TotalHits, res.Pre.BestScore, res.Pre.BestI, res.Pre.BestJ)
+	case res.Alignments != nil:
+		fmt.Fprintf(w, "phase2: %d alignments\n", len(res.Alignments))
+	default:
+		fmt.Fprintf(w, "wavefront: %d candidates\n", len(res.Candidates))
+	}
+	fmt.Fprintf(w, "dsm: %s\n", res.Stats.String())
+	if len(res.Trace) > 0 {
+		shown := res.Trace
+		if tail > 0 && len(shown) > tail {
+			fmt.Fprintf(w, "trace (last %d of %d events):\n", tail, len(shown))
+			shown = shown[len(shown)-tail:]
+		} else {
+			fmt.Fprintf(w, "trace (%d events):\n", len(shown))
+		}
+		for _, ev := range shown {
+			fmt.Fprintf(w, "  %s\n", ev.String())
+		}
+	}
+	return nil
+}

@@ -1,0 +1,51 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestChaosCmdSweep(t *testing.T) {
+	var buf bytes.Buffer
+	err := chaosCmd([]string{"-seed", "3", "-schedules", "2", "-len", "360", "-procs", "3"}, &buf)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, buf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{"noblock", "blocked", "blockedmp", "preprocess", "phase2",
+		"bit-exact vs sequential", "0 divergences"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in output:\n%s", want, out)
+		}
+	}
+}
+
+func TestChaosCmdReplayDeterministic(t *testing.T) {
+	run := func() string {
+		var buf bytes.Buffer
+		err := chaosCmd([]string{"-strategy", "noblock", "-seed", "3", "-len", "360",
+			"-procs", "3", "-replay", "12345", "-trace", "16"}, &buf)
+		if err != nil {
+			t.Fatalf("%v\n%s", err, buf.String())
+		}
+		return buf.String()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("replay output not deterministic:\n--- first\n%s\n--- second\n%s", a, b)
+	}
+	if !strings.Contains(a, "gate picks") || !strings.Contains(a, "trace") {
+		t.Errorf("replay output missing trace summary:\n%s", a)
+	}
+}
+
+func TestChaosCmdBadStrategy(t *testing.T) {
+	var buf bytes.Buffer
+	if err := chaosCmd([]string{"-strategy", "bogus"}, &buf); err == nil {
+		t.Fatal("expected error for unknown strategy")
+	}
+	if err := chaosCmd([]string{"-replay", "7"}, &buf); err == nil {
+		t.Fatal("expected error for -replay without a single -strategy")
+	}
+}

@@ -13,6 +13,13 @@
 //
 //	genomedsm search -q query.fa -db db.fa -k 10
 //	genomedsm search -n 2000 -db-size 500 -json
+//
+// The chaos subcommand runs the seeded fault-injection and schedule
+// sweep, checking every strategy bit-for-bit against the sequential
+// baseline and replaying any failing interleaving from its plan seed:
+//
+//	genomedsm chaos -seed 7 -schedules 8
+//	genomedsm chaos -strategy phase2 -seed 7 -replay 1234567
 package main
 
 import (
@@ -31,6 +38,13 @@ func main() {
 	if len(os.Args) > 1 && os.Args[1] == "search" {
 		if err := searchCmd(os.Args[2:], os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "genomedsm search:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "chaos" {
+		if err := chaosCmd(os.Args[2:], os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "genomedsm chaos:", err)
 			os.Exit(1)
 		}
 		return

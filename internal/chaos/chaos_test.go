@@ -1,0 +1,249 @@
+package chaos
+
+import (
+	"sync"
+	"testing"
+
+	"genomedsm/internal/cluster"
+)
+
+// TestPlanDelayDeterministic pins the replay contract at the plan level:
+// two plans from the same seed answer the same delay sequence, and the
+// answers a node sees depend only on its own call sequence — not on how
+// other nodes' calls interleave.
+func TestPlanDelayDeterministic(t *testing.T) {
+	cfg := DefaultPlanConfig()
+	a := NewPlan(42, 4, cfg)
+	b := NewPlan(42, 4, cfg)
+	// Warm b's other nodes first: node 2's answers must not shift.
+	for i := 0; i < 10; i++ {
+		b.Delay(cluster.MsgDiff, 0)
+		b.Delay(cluster.MsgPageFetch, 1)
+	}
+	for i := 0; i < 50; i++ {
+		for class := cluster.MsgClass(0); class < cluster.NumMsgClasses; class++ {
+			da := a.Delay(class, 2)
+			db := b.Delay(class, 2)
+			if da != db {
+				t.Fatalf("call %d class %v: plan answers diverged: %g vs %g", i, class, da, db)
+			}
+			if da < 0 {
+				t.Fatalf("negative delay %g", da)
+			}
+			spec := cfg.Delays[class]
+			if da < spec.Base || da > spec.Base+spec.Jitter {
+				t.Fatalf("delay %g outside [%g, %g]", da, spec.Base, spec.Base+spec.Jitter)
+			}
+		}
+	}
+	other := NewPlan(43, 4, cfg)
+	same := true
+	for i := 0; i < 10; i++ {
+		if a.Delay(cluster.MsgDiff, 0) != other.Delay(cluster.MsgDiff, 0) {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical delay sequences")
+	}
+}
+
+// TestPlanZeroSpecSilent: a class with no configured delay answers 0.
+func TestPlanZeroSpecSilent(t *testing.T) {
+	p := NewPlan(7, 2, PlanConfig{})
+	for i := 0; i < 5; i++ {
+		if d := p.Delay(cluster.MsgNotice, 1); d != 0 {
+			t.Fatalf("unconfigured class delayed by %g", d)
+		}
+	}
+	if perm := p.Permute(cluster.MsgDiff, 0, 8); perm != nil {
+		t.Fatalf("window 0 still permuted: %v", perm)
+	}
+}
+
+// TestPermuteBounded: every permutation is valid and displaces no element
+// further than the reorder window.
+func TestPermuteBounded(t *testing.T) {
+	for _, window := range []int{1, 2, 3, 7} {
+		cfg := PlanConfig{ReorderWindow: window}
+		p := NewPlan(11, 3, cfg)
+		for _, k := range []int{2, 3, 5, 16, 33} {
+			for trial := 0; trial < 20; trial++ {
+				perm := p.Permute(cluster.MsgNotice, 1, k)
+				if perm == nil {
+					continue // identity is always legal
+				}
+				seen := make([]bool, k)
+				for pos, v := range perm {
+					if v < 0 || v >= k || seen[v] {
+						t.Fatalf("window=%d k=%d: not a permutation: %v", window, k, perm)
+					}
+					seen[v] = true
+					if d := pos - v; d > window || d < -window {
+						t.Fatalf("window=%d k=%d: element %d displaced %d positions: %v",
+							window, k, v, d, perm)
+					}
+				}
+			}
+		}
+		if p.Permute(cluster.MsgNotice, 0, 1) != nil {
+			t.Error("k=1 should not permute")
+		}
+	}
+}
+
+// TestSchedulePicksInRange: every schedule-control answer is usable as an
+// index.
+func TestSchedulePicksInRange(t *testing.T) {
+	p := NewPlan(5, 4, DefaultPlanConfig())
+	for i := 0; i < 100; i++ {
+		if g := p.PickLockGrant(i%3, 5); g < 0 || g >= 5 {
+			t.Fatalf("lock grant pick %d out of range", g)
+		}
+		if v := p.PickEvictVictim(i%4, []int{10, 20, 30}); v < 0 || v >= 3 {
+			t.Fatalf("evict pick %d out of range", v)
+		}
+		perm := p.PickBarrierOrder(4)
+		if !validOrder(perm, 4) {
+			t.Fatalf("barrier order invalid: %v", perm)
+		}
+	}
+	if p.PickLockGrant(0, 1) != 0 || p.PickEvictVictim(0, []int{9}) != 0 {
+		t.Error("single-candidate picks must return 0")
+	}
+	if p.PickBarrierOrder(1) != nil {
+		t.Error("k=1 barrier order should be identity")
+	}
+}
+
+func validOrder(perm []int, k int) bool {
+	if perm == nil {
+		return true
+	}
+	if len(perm) != k {
+		return false
+	}
+	seen := make([]bool, k)
+	for _, v := range perm {
+		if v < 0 || v >= k || seen[v] {
+			return false
+		}
+		seen[v] = true
+	}
+	return true
+}
+
+// TestPlanSeedSpread: derived per-run seeds differ across strategies and
+// schedules.
+func TestPlanSeedSpread(t *testing.T) {
+	seen := map[int64]bool{}
+	for st := Strategy(0); st < NumStrategies; st++ {
+		for sched := 0; sched < 8; sched++ {
+			s := PlanSeed(99, st, sched)
+			if seen[s] {
+				t.Fatalf("duplicate plan seed %d at %v/%d", s, st, sched)
+			}
+			seen[s] = true
+		}
+	}
+}
+
+// TestTokenGateSerializes: the gate must admit exactly one node at a time.
+// The shared counter is unsynchronized on purpose — under -race this test
+// doubles as a mutual-exclusion proof.
+func TestTokenGateSerializes(t *testing.T) {
+	const n, steps = 6, 200
+	g := NewTokenGate(n, 1)
+	counter := 0
+	var wg sync.WaitGroup
+	for id := 0; id < n; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			g.Register(id)
+			defer g.Done(id)
+			for i := 0; i < steps; i++ {
+				counter++
+				g.Yield(id)
+			}
+		}(id)
+	}
+	wg.Wait()
+	if counter != n*steps {
+		t.Fatalf("lost increments: %d != %d", counter, n*steps)
+	}
+	if g.Picks() == 0 {
+		t.Fatal("gate made no scheduling decisions")
+	}
+}
+
+// TestTokenGateReuse: once every node is done the gate resets, so a
+// second SPMD round over the same gate works.
+func TestTokenGateReuse(t *testing.T) {
+	const n = 3
+	g := NewTokenGate(n, 2)
+	for round := 0; round < 2; round++ {
+		var wg sync.WaitGroup
+		for id := 0; id < n; id++ {
+			wg.Add(1)
+			go func(id int) {
+				defer wg.Done()
+				g.Register(id)
+				defer g.Done(id)
+				g.Yield(id)
+			}(id)
+		}
+		wg.Wait()
+	}
+}
+
+// TestTokenGateWakePanics: waking a node that is not parked is a harness
+// bug and must fail loudly.
+func TestTokenGateWakePanics(t *testing.T) {
+	g := NewTokenGate(2, 3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Wake on a non-parked node did not panic")
+		}
+	}()
+	g.Wake(1)
+}
+
+// TestTokenGateParkWake: a parked node resumes only after a running node
+// wakes it, and the handoff is race-free.
+func TestTokenGateParkWake(t *testing.T) {
+	g := NewTokenGate(2, 4)
+	ch := make(chan int) // unbuffered, like a grant channel
+	got := 0
+	// queued mimics protocol state: written while holding the token just
+	// before parking, so the granter (which can only run after the park
+	// released the token) always observes it — the same enqueue-then-park
+	// ordering the DSM lock queue relies on.
+	queued := false
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { // waiter
+		defer wg.Done()
+		g.Register(0)
+		defer g.Done(0)
+		queued = true
+		g.Park(0)
+		got = <-ch
+		g.Unpark(0)
+	}()
+	go func() { // granter
+		defer wg.Done()
+		g.Register(1)
+		defer g.Done(1)
+		for !queued {
+			g.Yield(1)
+		}
+		g.Wake(0)
+		ch <- 7
+		g.Yield(1)
+	}()
+	wg.Wait()
+	if got != 7 {
+		t.Fatalf("grant value %d", got)
+	}
+}

@@ -1,0 +1,79 @@
+package chaos
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"genomedsm/internal/cluster"
+)
+
+// FuzzFaultPlan throws arbitrary delay, jitter and reorder parameters at
+// the oracle and asserts the invariant the whole harness exists to
+// defend: no legal fault plan may change a strategy's result, and every
+// run terminates. The corpus stays cheap (one schedule, the non-blocked
+// wavefront, a small cluster) so the fuzzer spends its budget on plan
+// parameters, not on the DP kernel.
+func FuzzFaultPlan(f *testing.F) {
+	f.Add(int64(1), 1e-4, 4e-4, 1e-4, 4e-4, 5e-5, 2e-4, 3)
+	f.Add(int64(2), 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0)
+	f.Add(int64(3), 5e-3, 0.0, 0.0, 1e-2, 0.0, 0.0, 17)
+	f.Add(int64(-9), -1.0, 1e6, 1e-9, -5.0, 2e-4, 1e-7, -4)
+	f.Fuzz(func(t *testing.T, seed int64,
+		fetchBase, fetchJit, diffBase, diffJit, noticeBase, noticeJit float64,
+		window int) {
+		var plan PlanConfig
+		plan.Delays[cluster.MsgPageFetch] = clampSpec(fetchBase, fetchJit)
+		plan.Delays[cluster.MsgDiff] = clampSpec(diffBase, diffJit)
+		plan.Delays[cluster.MsgNotice] = clampSpec(noticeBase, noticeJit)
+		if window < 0 {
+			window = 0
+		}
+		if window > 64 {
+			window = 64
+		}
+		plan.ReorderWindow = window
+
+		opt := Options{
+			Seed: seed, Schedules: 1, Nprocs: 3, SeqLen: 240,
+			Strategies: []Strategy{StrategyNoBlock},
+			Plan:       plan, UsePlanZero: true, // honour an all-zero plan as-is
+			Timeout: fuzzTimeout(),
+		}
+		rep, err := CheckStrategies(opt)
+		if errors.Is(err, ErrWeakInput) {
+			t.Skip("generated pair has no candidates; nothing to compare")
+		}
+		if err != nil {
+			t.Fatalf("oracle setup failed: %v", err)
+		}
+		if err := rep.Err(); err != nil {
+			t.Fatalf("fault plan changed the result: %v", err)
+		}
+	})
+}
+
+// clampSpec keeps fuzzed delays non-negative and finite, and small enough
+// that the simulated virtual times stay in a sane range (delays only
+// shift the clock; huge values just waste fuzz budget).
+func clampSpec(base, jitter float64) DelaySpec {
+	sane := func(v float64) float64 {
+		if v != v || v < 0 { // NaN or negative
+			return 0
+		}
+		if v > 1.0 {
+			return 1.0
+		}
+		return v
+	}
+	return DelaySpec{Base: sane(base), Jitter: sane(jitter)}
+}
+
+// fuzzTimeout bounds each fuzz case; -short (as the CI chaos stage runs
+// it) tightens the budget further so a hang is caught quickly.
+func fuzzTimeout() time.Duration {
+	if testing.Short() {
+		return 20 * time.Second
+	}
+	return 60 * time.Second
+}

@@ -1,0 +1,224 @@
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+)
+
+// nodeState is one node's position in the gate's scheduling cycle.
+type nodeState int
+
+const (
+	// stateNone: not registered (or reset between SPMD rounds).
+	stateNone nodeState = iota
+	// stateReady: runnable, waiting to be handed the token.
+	stateReady
+	// stateRunning: holds the token.
+	stateRunning
+	// stateParked: blocked on a protocol channel receive.
+	stateParked
+	// stateWaking: a running node announced this node's grant is in
+	// flight; the node has not yet observed it.
+	stateWaking
+	// stateDone: the node's SPMD body returned.
+	stateDone
+)
+
+func (s nodeState) String() string {
+	switch s {
+	case stateNone:
+		return "none"
+	case stateReady:
+		return "ready"
+	case stateRunning:
+		return "running"
+	case stateParked:
+		return "parked"
+	case stateWaking:
+		return "waking"
+	case stateDone:
+		return "done"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// TokenGate is a cluster.Gate that serializes the node goroutines of a
+// dsm.System behind a single execution token, choosing the next runnable
+// node with a seeded PRNG. Because at most one node executes protocol
+// code at a time, and because a grant in flight (announced via Wake) is
+// always allowed to land before the next pick, the set of candidates at
+// every scheduling point is a function of protocol state alone — never of
+// the Go scheduler. Two runs from the same seed therefore make identical
+// picks and explore the identical interleaving, which is what makes a
+// chaos failure replayable.
+//
+// The gate resets itself when every registered node is Done, so one gate
+// can serve a strategy that calls System.Run more than once.
+type TokenGate struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	rng  *rand.Rand
+
+	n          int
+	state      []nodeState
+	current    int // token holder, or -1
+	waking     int // grants announced but not yet landed
+	registered int
+	done       int
+	picks      int64 // scheduling decisions taken, for diagnostics
+	stuck      bool  // deadlock already reported
+}
+
+// NewTokenGate builds a gate for n nodes making seeded scheduling picks.
+func NewTokenGate(n int, seed int64) *TokenGate {
+	g := &TokenGate{
+		n:       n,
+		state:   make([]nodeState, n),
+		current: -1,
+		rng:     rand.New(rand.NewSource(seed)),
+	}
+	g.cond = sync.NewCond(&g.mu)
+	return g
+}
+
+// Picks returns the number of scheduling decisions taken so far.
+func (g *TokenGate) Picks() int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.picks
+}
+
+// Register implements cluster.Gate.
+func (g *TokenGate) Register(node int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.state[node] = stateReady
+	g.registered++
+	g.schedule()
+	g.await(node)
+}
+
+// Yield implements cluster.Gate.
+func (g *TokenGate) Yield(node int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.state[node] = stateReady
+	g.current = -1
+	g.schedule()
+	g.await(node)
+}
+
+// Park implements cluster.Gate. Unlike Yield it returns immediately: the
+// caller is about to block on its grant channel instead.
+func (g *TokenGate) Park(node int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.state[node] = stateParked
+	g.current = -1
+	g.schedule()
+}
+
+// Wake implements cluster.Gate. It is called by the token holder before
+// it sends a parked node its grant; marking the node Waking keeps the
+// scheduler from picking a next node until the grant has landed (the
+// woken node calls Unpark), so the ready set never depends on how fast
+// the woken goroutine reacts.
+func (g *TokenGate) Wake(node int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.state[node] != stateParked {
+		// The protocol serializes enqueue-then-park behind the token, so
+		// a grant can only target a parked node; anything else is a
+		// harness bug worth failing loudly on.
+		panic(fmt.Sprintf("chaos: Wake(%d) in state %v", node, g.state[node]))
+	}
+	g.state[node] = stateWaking
+	g.waking++
+}
+
+// Unpark implements cluster.Gate: the parked node received its grant and
+// wants to run again.
+func (g *TokenGate) Unpark(node int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.state[node] == stateWaking {
+		g.waking--
+	}
+	g.state[node] = stateReady
+	g.schedule()
+	g.await(node)
+}
+
+// Done implements cluster.Gate.
+func (g *TokenGate) Done(node int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.state[node] = stateDone
+	g.done++
+	if g.current == node {
+		g.current = -1
+	}
+	if g.done == g.registered && g.waking == 0 {
+		// Round over: reset so the gate can serve another System.Run.
+		for i := range g.state {
+			g.state[i] = stateNone
+		}
+		g.registered, g.done, g.current = 0, 0, -1
+		return
+	}
+	g.schedule()
+}
+
+// await blocks until node holds the token. Called with g.mu held.
+func (g *TokenGate) await(node int) {
+	for g.current != node {
+		g.cond.Wait()
+	}
+	g.state[node] = stateRunning
+}
+
+// schedule hands the token to a seeded-random ready node when no node
+// holds it, every node has registered, and no grant is in flight. Called
+// with g.mu held.
+func (g *TokenGate) schedule() {
+	if g.current != -1 || g.waking > 0 || g.registered < g.n {
+		return
+	}
+	var ready []int
+	parked := 0
+	for i, s := range g.state {
+		switch s {
+		case stateReady:
+			ready = append(ready, i)
+		case stateParked:
+			parked++
+		}
+	}
+	if len(ready) == 0 {
+		if parked > 0 && g.done < g.registered && !g.stuck {
+			// Every live node is parked and nobody is left to grant:
+			// genuine protocol deadlock under this schedule.
+			g.stuck = true
+			panic("chaos: gate deadlock — " + g.dumpLocked())
+		}
+		return
+	}
+	g.current = ready[g.rng.Intn(len(ready))]
+	g.picks++
+	g.cond.Broadcast()
+}
+
+// dumpLocked renders the per-node states. Called with g.mu held.
+func (g *TokenGate) dumpLocked() string {
+	var sb strings.Builder
+	for i, s := range g.state {
+		if i > 0 {
+			sb.WriteString(" ")
+		}
+		fmt.Fprintf(&sb, "n%d=%v", i, s)
+	}
+	return sb.String()
+}

@@ -1,0 +1,529 @@
+package chaos
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"genomedsm/internal/align"
+	"genomedsm/internal/bio"
+	"genomedsm/internal/cluster"
+	"genomedsm/internal/dsm"
+	"genomedsm/internal/heuristics"
+	"genomedsm/internal/phase2"
+	"genomedsm/internal/preprocess"
+	"genomedsm/internal/wavefront"
+)
+
+// Strategy names one parallel strategy the oracle can put under chaos.
+type Strategy int
+
+// Strategies under test.
+const (
+	// StrategyNoBlock is the §4.2 non-blocked wavefront.
+	StrategyNoBlock Strategy = iota
+	// StrategyBlocked is the §4.3 blocked wavefront over shared memory.
+	StrategyBlocked
+	// StrategyBlockedMP is the blocked wavefront's message-passing
+	// ablation.
+	StrategyBlockedMP
+	// StrategyPreprocess is the §5 pre-processing strategy.
+	StrategyPreprocess
+	// StrategyPhase2 is phase 2 over the lock-protected shared work
+	// queue (the variant whose grant order chaos can permute).
+	StrategyPhase2
+	// NumStrategies bounds per-strategy tables.
+	NumStrategies
+)
+
+// String names the strategy as the CLI spells it.
+func (s Strategy) String() string {
+	switch s {
+	case StrategyNoBlock:
+		return "noblock"
+	case StrategyBlocked:
+		return "blocked"
+	case StrategyBlockedMP:
+		return "blockedmp"
+	case StrategyPreprocess:
+		return "preprocess"
+	case StrategyPhase2:
+		return "phase2"
+	default:
+		return fmt.Sprintf("strategy(%d)", int(s))
+	}
+}
+
+// ParseStrategy inverts String.
+func ParseStrategy(name string) (Strategy, error) {
+	for s := Strategy(0); s < NumStrategies; s++ {
+		if s.String() == name {
+			return s, nil
+		}
+	}
+	return 0, fmt.Errorf("chaos: unknown strategy %q (want one of %s)", name, strategyNames())
+}
+
+// AllStrategies lists every strategy the oracle covers.
+func AllStrategies() []Strategy {
+	out := make([]Strategy, NumStrategies)
+	for i := range out {
+		out[i] = Strategy(i)
+	}
+	return out
+}
+
+func strategyNames() string {
+	names := make([]string, NumStrategies)
+	for s := Strategy(0); s < NumStrategies; s++ {
+		names[s] = s.String()
+	}
+	return strings.Join(names, ", ")
+}
+
+// Options configures a CheckStrategies sweep.
+type Options struct {
+	// Seed is the master seed: it derives the generated input pair and,
+	// via PlanSeed, every schedule's fault plan and gate.
+	Seed int64
+	// Schedules is how many distinct schedules to explore per strategy
+	// (default 4).
+	Schedules int
+	// Strategies under test (default all).
+	Strategies []Strategy
+	// Nprocs is the simulated cluster size (default 4).
+	Nprocs int
+	// SeqLen is the generated sequence length (default 600).
+	SeqLen int
+	// Plan holds the fault parameters (default DefaultPlanConfig).
+	Plan PlanConfig
+	// UsePlanZero disables fault injection (schedule exploration only)
+	// when Plan is deliberately all-zero. Without this flag a zero Plan
+	// is replaced by DefaultPlanConfig.
+	UsePlanZero bool
+	// CacheSlots squeezes the per-node page cache to force eviction
+	// traffic (default 4; negative leaves the strategy's own setting).
+	CacheSlots int
+	// Timeout is the per-run watchdog (default 60s): a run exceeding it
+	// is reported as a hang divergence.
+	Timeout time.Duration
+	// TraceTail bounds the trace excerpt attached to a divergence
+	// (default 64 events).
+	TraceTail int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Schedules <= 0 {
+		o.Schedules = 4
+	}
+	if len(o.Strategies) == 0 {
+		o.Strategies = AllStrategies()
+	}
+	if o.Nprocs <= 0 {
+		o.Nprocs = 4
+	}
+	if o.SeqLen <= 0 {
+		o.SeqLen = 600
+	}
+	if (o.Plan == PlanConfig{}) && !o.UsePlanZero {
+		o.Plan = DefaultPlanConfig()
+	}
+	if o.CacheSlots == 0 {
+		o.CacheSlots = 4
+	} else if o.CacheSlots < 0 {
+		o.CacheSlots = 0
+	}
+	if o.Timeout <= 0 {
+		o.Timeout = 60 * time.Second
+	}
+	if o.TraceTail <= 0 {
+		o.TraceTail = 64
+	}
+	return o
+}
+
+// ErrHang marks a run that exceeded the watchdog timeout.
+var ErrHang = errors.New("chaos: run exceeded watchdog timeout (suspected deadlock or livelock)")
+
+// ErrWeakInput marks a generated input pair on which the sequential scan
+// finds no candidates, leaving nothing to differentially check.
+var ErrWeakInput = errors.New("chaos: sequential scan found no candidates; input too weak for a differential check")
+
+// Divergence describes one run whose result differed from the sequential
+// baseline (or hung, or errored). Everything needed to replay it is
+// included: rebuild the same Options and the PlanSeed reproduces the
+// identical interleaving.
+type Divergence struct {
+	Strategy Strategy
+	Schedule int
+	PlanSeed int64
+	Detail   string
+	Trace    string // tail of the protocol trace
+	Stats    dsm.Stats
+}
+
+// Error renders the divergence as a replayable failure report.
+func (d *Divergence) Error() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "chaos divergence: strategy=%s schedule=%d planSeed=%d\n  %s\n  stats: %s",
+		d.Strategy, d.Schedule, d.PlanSeed, d.Detail, d.Stats.String())
+	if d.Trace != "" {
+		fmt.Fprintf(&sb, "\n  trace tail:\n%s", indent(d.Trace, "    "))
+	}
+	return sb.String()
+}
+
+// Report is the outcome of a CheckStrategies sweep.
+type Report struct {
+	Runs        int
+	Divergences []*Divergence
+}
+
+// Err returns the first divergence as an error, or nil when every run was
+// bit-exact.
+func (r *Report) Err() error {
+	if len(r.Divergences) == 0 {
+		return nil
+	}
+	return r.Divergences[0]
+}
+
+// RunResult is one chaos run's comparable output plus its full protocol
+// trace (for replay comparison).
+type RunResult struct {
+	Strategy Strategy
+	// Candidates is set by the wavefront strategies.
+	Candidates []heuristics.Candidate
+	// Alignments is set by StrategyPhase2.
+	Alignments []*align.Alignment
+	// Pre is set by StrategyPreprocess.
+	Pre   *preprocess.Result
+	Stats dsm.Stats
+	// Trace is the complete protocol event log of the run.
+	Trace []dsm.TraceEvent
+	// Picks is the number of gate scheduling decisions taken.
+	Picks int64
+}
+
+// inputs are the deterministic test fixtures a sweep runs on.
+type inputs struct {
+	s, t   bio.Sequence
+	sc     bio.Scoring
+	params heuristics.Params
+	bc     wavefront.BlockConfig
+	jobs   []phase2.Job
+	ppCfg  preprocess.Config
+}
+
+// baselines are the sequential ground truths.
+type baselines struct {
+	cands  []heuristics.Candidate
+	aligns []*align.Alignment
+	pre    *preprocess.Result
+}
+
+// maxOracleJobs bounds the phase-2 job list so a sweep stays fast.
+const maxOracleJobs = 12
+
+func buildInputs(opt Options) (inputs, error) {
+	g := bio.NewGenerator(opt.Seed)
+	pair, err := g.HomologousPair(opt.SeqLen, bio.HomologyModel{
+		Regions: 2, RegionLen: opt.SeqLen / 6, RegionJit: opt.SeqLen / 12,
+		Divergence: bio.MutationModel{SubstitutionRate: 0.05},
+	})
+	if err != nil {
+		return inputs{}, fmt.Errorf("chaos: building input pair: %w", err)
+	}
+	in := inputs{
+		s:      pair.S,
+		t:      pair.T,
+		sc:     bio.DefaultScoring(),
+		params: heuristics.Params{Open: 12, Close: 12, MinScore: 30},
+		bc:     wavefront.MultiplierConfig(2, 2, opt.Nprocs),
+		// BandFixed keeps the band layout (and so the result matrix
+		// shape) independent of nprocs, making the 1-node baseline
+		// directly comparable.
+		ppCfg: preprocess.Config{
+			BandScheme: preprocess.BandFixed, BandSize: 64,
+			ChunkSize: 64, ChunkGrowth: preprocess.GrowthFixed,
+			ResultInterleave: 64, Threshold: 15, IOMode: preprocess.IONone,
+		},
+	}
+	if err := in.bc.Validate(in.s.Len(), in.t.Len()); err != nil {
+		return inputs{}, err
+	}
+	return in, nil
+}
+
+func buildBaselines(opt Options, in *inputs) (baselines, error) {
+	var base baselines
+	var err error
+	base.cands, err = heuristics.Scan(in.s, in.t, in.sc, in.params)
+	if err != nil {
+		return base, fmt.Errorf("chaos: sequential scan: %w", err)
+	}
+	if len(base.cands) == 0 {
+		return base, ErrWeakInput
+	}
+	in.jobs = phase2.JobsFromCandidates(base.cands)
+	if len(in.jobs) > maxOracleJobs {
+		in.jobs = in.jobs[:maxOracleJobs]
+	}
+	base.aligns, err = phase2.Sequential(in.s, in.t, in.sc, in.jobs)
+	if err != nil {
+		return base, fmt.Errorf("chaos: sequential phase 2: %w", err)
+	}
+	base.pre, err = preprocess.Run(1, cluster.Calibrated2005(), in.s, in.t, in.sc, in.ppCfg, nil)
+	if err != nil {
+		return base, fmt.Errorf("chaos: sequential preprocess: %w", err)
+	}
+	return base, nil
+}
+
+// runStrategy executes one strategy under the given hooks.
+func runStrategy(st Strategy, opt Options, in *inputs, hooks *cluster.Hooks) (*RunResult, error) {
+	cc := cluster.Calibrated2005()
+	cc.Hooks = hooks
+	out := &RunResult{Strategy: st}
+	switch st {
+	case StrategyNoBlock:
+		res, err := wavefront.RunNoBlock(opt.Nprocs, cc, in.s, in.t, in.sc, in.params)
+		if err != nil {
+			return nil, err
+		}
+		out.Candidates, out.Stats = res.Candidates, res.Stats
+	case StrategyBlocked:
+		res, err := wavefront.RunBlocked(opt.Nprocs, cc, in.s, in.t, in.sc, in.params, in.bc)
+		if err != nil {
+			return nil, err
+		}
+		out.Candidates, out.Stats = res.Candidates, res.Stats
+	case StrategyBlockedMP:
+		res, err := wavefront.RunBlockedMP(opt.Nprocs, cc, in.s, in.t, in.sc, in.params, in.bc)
+		if err != nil {
+			return nil, err
+		}
+		out.Candidates, out.Stats = res.Candidates, res.Stats
+	case StrategyPreprocess:
+		res, err := preprocess.Run(opt.Nprocs, cc, in.s, in.t, in.sc, in.ppCfg, nil)
+		if err != nil {
+			return nil, err
+		}
+		out.Pre, out.Stats = res, res.Stats
+	case StrategyPhase2:
+		res, err := phase2.RunLockQueue(opt.Nprocs, cc, in.s, in.t, in.sc, in.jobs)
+		if err != nil {
+			return nil, err
+		}
+		out.Alignments, out.Stats = res.Alignments, res.Stats
+	default:
+		return nil, fmt.Errorf("chaos: unknown strategy %d", int(st))
+	}
+	return out, nil
+}
+
+// RunOne executes a single strategy under the chaos plan derived from
+// planSeed, returning its comparable results and complete protocol trace.
+// Two calls with identical (opt, planSeed) produce identical results and
+// traces — the replayability contract the golden test pins down.
+func RunOne(st Strategy, opt Options, planSeed int64) (*RunResult, error) {
+	opt = opt.withDefaults()
+	in, err := buildInputs(opt)
+	if err != nil {
+		return nil, err
+	}
+	if st == StrategyPhase2 {
+		// Phase 2 needs the job list the baseline scan derives.
+		if _, err := buildBaselines(opt, &in); err != nil {
+			return nil, err
+		}
+	}
+	return runOne(st, opt, &in, planSeed)
+}
+
+func runOne(st Strategy, opt Options, in *inputs, planSeed int64) (*RunResult, error) {
+	plan := NewPlan(planSeed, opt.Nprocs, opt.Plan)
+	tracer := &dsm.ListTracer{}
+	hooks := plan.Hooks(tracer, opt.CacheSlots)
+	gate := hooks.Gate.(*TokenGate)
+
+	type outcome struct {
+		res *RunResult
+		err error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		res, err := runStrategy(st, opt, in, hooks)
+		ch <- outcome{res, err}
+	}()
+	select {
+	case o := <-ch:
+		if o.err != nil {
+			return nil, o.err
+		}
+		o.res.Trace = tracer.Events()
+		o.res.Picks = gate.Picks()
+		return o.res, nil
+	case <-time.After(opt.Timeout):
+		// The run's goroutines are left parked; the caller is expected to
+		// treat this as fatal for the schedule (and usually the process).
+		return &RunResult{Strategy: st, Stats: dsm.Stats{}, Trace: tracer.Events()}, ErrHang
+	}
+}
+
+// CheckStrategies is the differential oracle: for every requested
+// strategy it explores opt.Schedules seeded schedules — fault delays,
+// bounded reordering, permuted lock grants, barrier orders and eviction
+// victims, all serialized behind a TokenGate — and asserts the parallel
+// results are bit-exact against the sequential baselines (heuristics.Scan
+// for the wavefronts, phase2.Sequential for phase 2, and a 1-node run for
+// the pre-processing strategy). Every divergence carries the plan seed
+// that replays it.
+func CheckStrategies(opt Options) (*Report, error) {
+	opt = opt.withDefaults()
+	in, err := buildInputs(opt)
+	if err != nil {
+		return nil, err
+	}
+	base, err := buildBaselines(opt, &in)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{}
+	for _, st := range opt.Strategies {
+		if st < 0 || st >= NumStrategies {
+			return nil, fmt.Errorf("chaos: unknown strategy %d", int(st))
+		}
+		for sched := 0; sched < opt.Schedules; sched++ {
+			planSeed := PlanSeed(opt.Seed, st, sched)
+			rep.Runs++
+			res, err := runOne(st, opt, &in, planSeed)
+			if err != nil {
+				d := &Divergence{Strategy: st, Schedule: sched, PlanSeed: planSeed,
+					Detail: err.Error()}
+				if res != nil {
+					d.Trace = traceTail(res.Trace, opt.TraceTail)
+					d.Stats = res.Stats
+				}
+				rep.Divergences = append(rep.Divergences, d)
+				continue
+			}
+			if detail := compare(st, res, &base); detail != "" {
+				rep.Divergences = append(rep.Divergences, &Divergence{
+					Strategy: st, Schedule: sched, PlanSeed: planSeed,
+					Detail: detail,
+					Trace:  traceTail(res.Trace, opt.TraceTail),
+					Stats:  res.Stats,
+				})
+			}
+		}
+	}
+	return rep, nil
+}
+
+// compare checks one run against the baseline, returning "" when
+// bit-exact and a description of the first mismatch otherwise.
+func compare(st Strategy, res *RunResult, base *baselines) string {
+	switch st {
+	case StrategyNoBlock, StrategyBlocked, StrategyBlockedMP:
+		return compareCandidates(res.Candidates, base.cands)
+	case StrategyPhase2:
+		return compareAlignments(res.Alignments, base.aligns)
+	case StrategyPreprocess:
+		return comparePreprocess(res.Pre, base.pre)
+	default:
+		return fmt.Sprintf("no comparator for strategy %d", int(st))
+	}
+}
+
+func compareCandidates(got, want []heuristics.Candidate) string {
+	if len(got) != len(want) {
+		return fmt.Sprintf("candidate count %d, sequential found %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			return fmt.Sprintf("candidate %d: got %+v, sequential %+v", i, got[i], want[i])
+		}
+	}
+	return ""
+}
+
+func compareAlignments(got, want []*align.Alignment) string {
+	if len(got) != len(want) {
+		return fmt.Sprintf("alignment count %d, sequential produced %d", len(got), len(want))
+	}
+	for i := range want {
+		g, w := got[i], want[i]
+		if (g == nil) != (w == nil) {
+			return fmt.Sprintf("alignment %d: nil mismatch", i)
+		}
+		if g == nil {
+			continue
+		}
+		if g.SBegin != w.SBegin || g.SEnd != w.SEnd || g.TBegin != w.TBegin ||
+			g.TEnd != w.TEnd || g.Score != w.Score {
+			return fmt.Sprintf("alignment %d: got [%d,%d]x[%d,%d] score %d, sequential [%d,%d]x[%d,%d] score %d",
+				i, g.SBegin, g.SEnd, g.TBegin, g.TEnd, g.Score,
+				w.SBegin, w.SEnd, w.TBegin, w.TEnd, w.Score)
+		}
+		if !bytes.Equal(opsBytes(g.Ops), opsBytes(w.Ops)) {
+			return fmt.Sprintf("alignment %d: edit scripts differ", i)
+		}
+	}
+	return ""
+}
+
+func opsBytes(ops []align.Op) []byte {
+	out := make([]byte, len(ops))
+	for i, op := range ops {
+		out[i] = byte(op)
+	}
+	return out
+}
+
+func comparePreprocess(got, want *preprocess.Result) string {
+	if got == nil || want == nil {
+		return "missing preprocess result"
+	}
+	if got.TotalHits != want.TotalHits {
+		return fmt.Sprintf("total hits %d, sequential %d", got.TotalHits, want.TotalHits)
+	}
+	if got.BestScore != want.BestScore || got.BestI != want.BestI || got.BestJ != want.BestJ {
+		return fmt.Sprintf("best (%d at %d,%d), sequential (%d at %d,%d)",
+			got.BestScore, got.BestI, got.BestJ, want.BestScore, want.BestI, want.BestJ)
+	}
+	if len(got.ResultMatrix) != len(want.ResultMatrix) {
+		return fmt.Sprintf("result matrix has %d bands, sequential %d", len(got.ResultMatrix), len(want.ResultMatrix))
+	}
+	for b := range want.ResultMatrix {
+		if len(got.ResultMatrix[b]) != len(want.ResultMatrix[b]) {
+			return fmt.Sprintf("band %d has %d groups, sequential %d", b, len(got.ResultMatrix[b]), len(want.ResultMatrix[b]))
+		}
+		for g := range want.ResultMatrix[b] {
+			if got.ResultMatrix[b][g] != want.ResultMatrix[b][g] {
+				return fmt.Sprintf("result matrix [%d][%d] = %d, sequential %d",
+					b, g, got.ResultMatrix[b][g], want.ResultMatrix[b][g])
+			}
+		}
+	}
+	return ""
+}
+
+// traceTail renders the last max events of a trace.
+func traceTail(evs []dsm.TraceEvent, max int) string {
+	var lt dsm.ListTracer
+	for _, ev := range evs {
+		lt.Trace(ev)
+	}
+	return lt.DumpTail(max)
+}
+
+func indent(s, prefix string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	for i, l := range lines {
+		lines[i] = prefix + l
+	}
+	return strings.Join(lines, "\n")
+}

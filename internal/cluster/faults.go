@@ -1,0 +1,182 @@
+package cluster
+
+import "fmt"
+
+// This file defines the chaos-layer hooks: interfaces through which a
+// fault-injection and schedule-exploration harness (internal/chaos) can
+// perturb the DSM protocol without the alignment strategies knowing.
+// They ride on Config because the strategies pass a Config down to
+// dsm.NewSystem verbatim — no strategy signature has to change for a
+// run to become adversarial.
+//
+// All hooks are optional; a nil Hooks (or any nil member) leaves the
+// protocol on its default, deterministic-by-virtual-time behaviour.
+
+// MsgClass classifies DSM protocol messages for fault injection.
+type MsgClass int
+
+// Message classes the fault plan can target.
+const (
+	// MsgPageFetch is a GETP request and its page reply.
+	MsgPageFetch MsgClass = iota
+	// MsgDiff is a diff propagation to a page's home (including the
+	// border-row messages of the message-passing ablation).
+	MsgDiff
+	// MsgNotice is a write-notice delivery riding on a lock grant,
+	// barrier grant or condition-variable signal.
+	MsgNotice
+	// NumMsgClasses bounds per-class tables.
+	NumMsgClasses
+)
+
+// String names the message class.
+func (c MsgClass) String() string {
+	switch c {
+	case MsgPageFetch:
+		return "page-fetch"
+	case MsgDiff:
+		return "diff"
+	case MsgNotice:
+		return "notice"
+	default:
+		return fmt.Sprintf("msgclass(%d)", int(c))
+	}
+}
+
+// FaultPlan injects message faults. Implementations must be safe for
+// concurrent use by every node goroutine and, for replayability, must
+// answer deterministically given the sequence of calls each node makes
+// (the chaos package keys its answers on per-node, per-class message
+// counters so the answer never depends on cross-node call interleaving).
+type FaultPlan interface {
+	// Delay returns extra virtual seconds (>= 0) experienced by the
+	// node's next message of the given class — the per-class base delay
+	// plus jitter.
+	Delay(class MsgClass, node int) float64
+	// Permute returns the order in which a batch of k same-class
+	// deliveries from node (flushed diffs, applied write notices) is
+	// processed: a permutation of 0..k-1, or nil for identity. The
+	// displacement of each element is expected to stay within the
+	// plan's reorder bound.
+	Permute(class MsgClass, node, k int) []int
+}
+
+// ScheduleControl overrides the protocol's internal scheduling choices,
+// replacing its deterministic tie-breaks so a harness can explore
+// alternative legal interleavings. Every method receives candidates in
+// the protocol's default order; returned indices out of range fall back
+// to the default choice.
+type ScheduleControl interface {
+	// PickLockGrant chooses which of k queued waiters (ordered by
+	// virtual request-arrival time, the default grant order) receives a
+	// released lock.
+	PickLockGrant(lock, k int) int
+	// PickBarrierOrder returns the order (a permutation of 0..k-1 over
+	// arrival order, or nil for identity) in which the k parked nodes
+	// receive the barrier grant.
+	PickBarrierOrder(k int) []int
+	// PickEvictVictim chooses the cached page a node's replacement
+	// algorithm evicts, as an index into pages (ordered oldest-first,
+	// the default victim order).
+	PickEvictVictim(node int, pages []int) int
+}
+
+// Gate serializes node execution so one protocol interleaving is
+// explored deterministically and can be replayed from a seed. The dsm
+// layer calls Yield at every protocol operation and brackets blocking
+// channel receives with Park/Unpark; the granting side announces each
+// wake-up with Wake before sending, so the scheduler can wait for all
+// in-flight wake-ups to land before choosing the next runnable node —
+// that choice is then a function of protocol state only, never of the
+// Go scheduler.
+type Gate interface {
+	// Register blocks the freshly started node goroutine until every
+	// node has registered and this one is scheduled.
+	Register(node int)
+	// Yield offers a scheduling point; blocks until the node is
+	// scheduled again.
+	Yield(node int)
+	// Park announces that the node is about to block on a protocol
+	// channel receive; releases its scheduling slot.
+	Park(node int)
+	// Wake announces (from the currently scheduled node) that node has
+	// been or is about to be sent the value it is parked on.
+	Wake(node int)
+	// Unpark announces that the parked node received its value; blocks
+	// until the node is scheduled again.
+	Unpark(node int)
+	// Done announces that the node goroutine finished.
+	Done(node int)
+}
+
+// Hooks bundles the chaos-layer instrumentation carried by a Config.
+type Hooks struct {
+	Faults FaultPlan
+	Sched  ScheduleControl
+	Gate   Gate
+	// Observer, when non-nil, is offered to higher layers: the dsm
+	// layer installs it as its protocol Tracer when it implements that
+	// interface. Typed any so cluster needs no upward dependency.
+	Observer any
+	// CacheSlots, when positive, overrides the per-node remote-page
+	// cache capacity, letting a harness force replacement traffic.
+	CacheSlots int
+}
+
+// FaultDelay returns the injected extra delay for the node's next
+// message of the class, or 0 without a fault plan. Negative answers are
+// clamped: virtual time is monotonic.
+func (c Config) FaultDelay(class MsgClass, node int) float64 {
+	if c.Hooks == nil || c.Hooks.Faults == nil {
+		return 0
+	}
+	if d := c.Hooks.Faults.Delay(class, node); d > 0 {
+		return d
+	}
+	return 0
+}
+
+// FaultPermute returns the delivery order for a batch of k same-class
+// messages, or nil (identity) without a fault plan. A malformed answer
+// (wrong length or not a permutation) is discarded.
+func (c Config) FaultPermute(class MsgClass, node, k int) []int {
+	if c.Hooks == nil || c.Hooks.Faults == nil || k < 2 {
+		return nil
+	}
+	perm := c.Hooks.Faults.Permute(class, node, k)
+	if !validPerm(perm, k) {
+		return nil
+	}
+	return perm
+}
+
+// Sched returns the schedule-control hook, or nil.
+func (c Config) Sched() ScheduleControl {
+	if c.Hooks == nil {
+		return nil
+	}
+	return c.Hooks.Sched
+}
+
+// Gate returns the execution gate, or nil.
+func (c Config) Gate() Gate {
+	if c.Hooks == nil {
+		return nil
+	}
+	return c.Hooks.Gate
+}
+
+// validPerm reports whether perm is a permutation of 0..k-1.
+func validPerm(perm []int, k int) bool {
+	if len(perm) != k {
+		return false
+	}
+	var seen = make([]bool, k)
+	for _, v := range perm {
+		if v < 0 || v >= k || seen[v] {
+			return false
+		}
+		seen[v] = true
+	}
+	return true
+}

@@ -103,6 +103,10 @@ type Config struct {
 	// heterogeneous cluster of the paper's future work; empty means a
 	// homogeneous cluster.
 	NodeSpeeds []float64
+	// Hooks carries the optional chaos-layer instrumentation (fault
+	// injection, schedule control, deterministic execution gate); nil
+	// for normal runs. See faults.go.
+	Hooks *Hooks
 }
 
 // CellTimeFor returns the per-cell cost on the given node, honouring the

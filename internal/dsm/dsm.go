@@ -143,6 +143,20 @@ func NewSystem(nprocs int, cfg cluster.Config, opts Options) (*System, error) {
 	if opts.CacheSlots == 0 {
 		opts.CacheSlots = defaultCacheSlots
 	}
+	// The chaos hooks ride on the cluster config because the alignment
+	// strategies build their own Options; a harness can still squeeze
+	// the cache (forcing replacement traffic) and observe the protocol
+	// trace without a strategy-level plumbing change.
+	if h := cfg.Hooks; h != nil {
+		if h.CacheSlots > 0 {
+			opts.CacheSlots = h.CacheSlots
+		}
+		if opts.Tracer == nil {
+			if t, ok := h.Observer.(Tracer); ok {
+				opts.Tracer = t
+			}
+		}
+	}
 	if opts.CacheSlots < 1 {
 		return nil, fmt.Errorf("dsm: cache must hold at least one page, got %d", opts.CacheSlots)
 	}
@@ -258,14 +272,21 @@ func (s *System) page(id int) *page {
 // Run executes body SPMD-style on every node (body receives the node,
 // whose ID plays the role of JIAJIA's jiapid) and waits for all of them.
 // A panic in any node is recovered and returned as an error naming the
-// node.
+// node. Under an execution gate, each node registers before running and
+// announces completion, so the gate serializes the whole SPMD execution
+// deterministically.
 func (s *System) Run(body func(n *Node) error) error {
 	var wg sync.WaitGroup
 	errs := make([]error, s.nprocs)
+	gate := s.cfg.Gate()
 	for i := 0; i < s.nprocs; i++ {
 		wg.Add(1)
 		go func(n *Node) {
 			defer wg.Done()
+			if gate != nil {
+				gate.Register(n.id)
+				defer gate.Done(n.id)
+			}
 			defer func() {
 				if r := recover(); r != nil {
 					errs[n.id] = fmt.Errorf("dsm: node %d panicked: %v", n.id, r)
@@ -304,11 +325,12 @@ func (s *System) Makespan() float64 {
 	return best
 }
 
-// TotalStats aggregates protocol statistics across nodes.
+// TotalStats aggregates protocol statistics across nodes. Safe to call
+// while the system is running (counters are loaded atomically).
 func (s *System) TotalStats() Stats {
 	var out Stats
 	for _, n := range s.nodes {
-		out.add(n.stats)
+		out.add(n.stats.snapshot())
 	}
 	out.Migrations = s.migrations.Load()
 	return out

@@ -2,6 +2,7 @@ package dsm
 
 import (
 	"fmt"
+	"sort"
 
 	"genomedsm/internal/cluster"
 )
@@ -36,14 +37,21 @@ type Node struct {
 	// dirtyHome tracks pages homed here that this node wrote since its
 	// last release/barrier; they need write notices but no diffs.
 	dirtyHome map[int]bool
+	// pendingNotices holds write notices for diffs flushed outside a
+	// synchronization flush — cache evictions and invalidation-forced
+	// merges. The diff is already home, but its notice must still ride
+	// the next release/barrier or other nodes' stale copies would never
+	// learn about the writes.
+	pendingNotices map[int]uint64
 }
 
 func newNode(sys *System, id int) *Node {
 	return &Node{
-		sys:       sys,
-		id:        id,
-		cache:     make(map[int]*cachedPage),
-		dirtyHome: make(map[int]bool),
+		sys:            sys,
+		id:             id,
+		cache:          make(map[int]*cachedPage),
+		dirtyHome:      make(map[int]bool),
+		pendingNotices: make(map[int]uint64),
 	}
 }
 
@@ -60,8 +68,41 @@ func (n *Node) Clock() *cluster.Clock { return &n.clock }
 // Config returns the cluster cost model.
 func (n *Node) Config() cluster.Config { return n.sys.cfg }
 
-// Stats returns a copy of the node's protocol statistics.
-func (n *Node) Stats() Stats { return n.stats }
+// Stats returns a copy of the node's protocol statistics. Safe to call
+// from any goroutine, including while the node is running.
+func (n *Node) Stats() Stats { return n.stats.snapshot() }
+
+// Gate pass-throughs: no-ops without a configured execution gate. The
+// gate serializes node execution at protocol operations so the chaos
+// harness can replay one interleaving deterministically from a seed.
+
+// yield offers a scheduling point at the start of a protocol operation.
+func (n *Node) yield() {
+	if g := n.sys.cfg.Gate(); g != nil {
+		g.Yield(n.id)
+	}
+}
+
+// park announces that the node is about to block on a channel receive.
+func (n *Node) park() {
+	if g := n.sys.cfg.Gate(); g != nil {
+		g.Park(n.id)
+	}
+}
+
+// unpark announces the receive completed; blocks until scheduled again.
+func (n *Node) unpark() {
+	if g := n.sys.cfg.Gate(); g != nil {
+		g.Unpark(n.id)
+	}
+}
+
+// wake announces that waiter is about to be sent the value it parked on.
+func (n *Node) wake(waiter int) {
+	if g := n.sys.cfg.Gate(); g != nil {
+		g.Wake(waiter)
+	}
+}
 
 // Compute charges the virtual cost of the given number of
 // dynamic-programming cells to the node, honouring heterogeneous node
@@ -142,7 +183,7 @@ func (n *Node) WriteAt(r Region, off int, data []byte) error {
 		if cp.twin == nil {
 			cp.twin = make([]byte, len(cp.data))
 			copy(cp.twin, cp.data)
-			n.stats.Twins++
+			inc(&n.stats.Twins, 1)
 		}
 		copy(cp.data[pageOff:pageOff+count], data[bufOff:bufOff+count])
 		cp.dirty = true
@@ -157,6 +198,8 @@ func (n *Node) ensureCached(p *page) (*cachedPage, error) {
 	if cp, ok := n.cache[p.id]; ok {
 		return cp, nil
 	}
+	// A miss talks to the home node: a scheduling point for the gate.
+	n.yield()
 	if len(n.cache) >= n.sys.opts.CacheSlots {
 		if err := n.evictOne(); err != nil {
 			return nil, err
@@ -164,10 +207,11 @@ func (n *Node) ensureCached(p *page) (*cachedPage, error) {
 	}
 	// GETP request to the home; reply carries the page.
 	data, version := p.snapshot()
-	n.clock.Advance(n.sys.cfg.Net.RoundTrip(msgHeaderBytes, msgHeaderBytes+len(data)), cluster.Comm)
-	n.stats.PageFetches++
-	n.stats.MsgsSent += 2
-	n.stats.BytesMoved += int64(2*msgHeaderBytes + len(data))
+	n.clock.Advance(n.sys.cfg.Net.RoundTrip(msgHeaderBytes, msgHeaderBytes+len(data))+
+		n.sys.cfg.FaultDelay(cluster.MsgPageFetch, n.id), cluster.Comm)
+	inc(&n.stats.PageFetches, 1)
+	inc(&n.stats.MsgsSent, 2)
+	inc(&n.stats.BytesMoved, int64(2*msgHeaderBytes+len(data)))
 	cp := &cachedPage{data: data, version: version, seq: n.nextSeq}
 	n.nextSeq++
 	n.cache[p.id] = cp
@@ -175,24 +219,35 @@ func (n *Node) ensureCached(p *page) (*cachedPage, error) {
 	return cp, nil
 }
 
-// evictOne removes the oldest cached page, flushing its modifications home
-// first — JIAJIA's replacement algorithm.
+// evictOne runs the replacement algorithm: the victim is the oldest
+// cached page by default (JIAJIA's policy), or whichever candidate the
+// schedule-control hook picks; its modifications are flushed home first.
 func (n *Node) evictOne() error {
-	var victimID = -1
-	var victim *cachedPage
-	for id, cp := range n.cache {
-		if victim == nil || cp.seq < victim.seq {
-			victimID, victim = id, cp
-		}
-	}
-	if victim == nil {
+	if len(n.cache) == 0 {
 		return fmt.Errorf("dsm: node %d cache empty during eviction", n.id)
 	}
+	candidates := make([]int, 0, len(n.cache))
+	for id := range n.cache {
+		candidates = append(candidates, id)
+	}
+	// Oldest-first order (unique insertion seqs make this total), so the
+	// default pick and the hook's candidate list are both deterministic.
+	sort.Slice(candidates, func(a, b int) bool {
+		return n.cache[candidates[a]].seq < n.cache[candidates[b]].seq
+	})
+	pick := 0
+	if sched := n.sys.cfg.Sched(); sched != nil {
+		if i := sched.PickEvictVictim(n.id, candidates); i >= 0 && i < len(candidates) {
+			pick = i
+		}
+	}
+	victimID := candidates[pick]
+	victim := n.cache[victimID]
 	if victim.dirty {
-		n.flushPage(victimID, victim, nil)
+		n.flushPage(victimID, victim, n.pendingNotices)
 	}
 	delete(n.cache, victimID)
-	n.stats.Evictions++
+	inc(&n.stats.Evictions, 1)
 	n.trace(TraceEvict, victimID, -1, "")
 	return nil
 }
@@ -214,11 +269,12 @@ func (n *Node) flushPage(pid int, cp *cachedPage, notices map[int]uint64) {
 	// meanwhile, so the write notice for this very diff must be able to
 	// invalidate it — as JIAJIA does, where written pages fall back to
 	// invalid at the next synchronization unless the node is the home.
-	n.clock.Advance(n.sys.cfg.Net.RoundTrip(d.wireSize()+msgHeaderBytes, msgHeaderBytes), cluster.Comm)
-	n.stats.DiffsSent++
-	n.stats.DiffBytes += int64(d.wireSize())
-	n.stats.MsgsSent += 2
-	n.stats.BytesMoved += int64(d.wireSize() + 2*msgHeaderBytes)
+	n.clock.Advance(n.sys.cfg.Net.RoundTrip(d.wireSize()+msgHeaderBytes, msgHeaderBytes)+
+		n.sys.cfg.FaultDelay(cluster.MsgDiff, n.id), cluster.Comm)
+	inc(&n.stats.DiffsSent, 1)
+	inc(&n.stats.DiffBytes, int64(d.wireSize()))
+	inc(&n.stats.MsgsSent, 2)
+	inc(&n.stats.BytesMoved, int64(d.wireSize()+2*msgHeaderBytes))
 	n.trace(TraceDiff, pid, -1, fmt.Sprintf("%dB -> v%d", d.wireSize(), version))
 	if notices != nil {
 		notices[pid] = version
@@ -227,15 +283,41 @@ func (n *Node) flushPage(pid int, cp *cachedPage, notices map[int]uint64) {
 
 // flushAll generates diffs for every modified page (remote and home) and
 // returns the write notices, as both the lock release and the barrier
-// arrival do.
+// arrival do. Dirty pages flush in ascending page-id order — map order
+// would leak the runtime's hash seed into diff-arrival order at the
+// homes, wrecking seed replay — optionally re-permuted (bounded) by the
+// fault plan to explore alternative legal diff orderings.
 func (n *Node) flushAll() map[int]uint64 {
 	notices := make(map[int]uint64)
+	// Deliver notices orphaned by evictions and forced merges first; a
+	// fresher flush of the same page below simply overwrites the entry.
+	for pid, v := range n.pendingNotices {
+		notices[pid] = v
+		delete(n.pendingNotices, pid)
+	}
+	var dirty []int
 	for pid, cp := range n.cache {
 		if cp.dirty {
-			n.flushPage(pid, cp, notices)
+			dirty = append(dirty, pid)
 		}
 	}
+	sort.Ints(dirty)
+	if perm := n.sys.cfg.FaultPermute(cluster.MsgDiff, n.id, len(dirty)); perm != nil {
+		reordered := make([]int, len(dirty))
+		for i, j := range perm {
+			reordered[i] = dirty[j]
+		}
+		dirty = reordered
+	}
+	for _, pid := range dirty {
+		n.flushPage(pid, n.cache[pid], notices)
+	}
+	var home []int
 	for pid := range n.dirtyHome {
+		home = append(home, pid)
+	}
+	sort.Ints(home)
+	for _, pid := range home {
 		p := n.sys.page(pid)
 		p.mu.Lock()
 		notices[pid] = p.version
@@ -249,8 +331,30 @@ func (n *Node) flushAll() map[int]uint64 {
 // back in line: under write-invalidate they are dropped (refetched on the
 // next access); under write-update they are patched in place with the
 // home's retained diffs when the history reaches back far enough.
+// Notices apply in ascending page-id order (deterministic), optionally
+// re-permuted (bounded) by the fault plan, and the fault plan may charge
+// an extra per-class delivery delay for the batch.
 func (n *Node) applyNotices(notices map[int]uint64) {
-	for pid, version := range notices {
+	if len(notices) == 0 {
+		return
+	}
+	if d := n.sys.cfg.FaultDelay(cluster.MsgNotice, n.id); d > 0 {
+		n.clock.Advance(d, cluster.Comm)
+	}
+	pids := make([]int, 0, len(notices))
+	for pid := range notices {
+		pids = append(pids, pid)
+	}
+	sort.Ints(pids)
+	if perm := n.sys.cfg.FaultPermute(cluster.MsgNotice, n.id, len(pids)); perm != nil {
+		reordered := make([]int, len(pids))
+		for i, j := range perm {
+			reordered[i] = pids[j]
+		}
+		pids = reordered
+	}
+	for _, pid := range pids {
+		version := notices[pid]
 		cp, ok := n.cache[pid]
 		if !ok || cp.version >= version {
 			continue
@@ -264,10 +368,10 @@ func (n *Node) applyNotices(notices map[int]uint64) {
 			// Concurrent writer under a different lock: push our own
 			// modifications home before dropping the copy, so they are
 			// not lost (multiple-writer merge).
-			n.flushPage(pid, cp, nil)
+			n.flushPage(pid, cp, n.pendingNotices)
 		}
 		delete(n.cache, pid)
-		n.stats.Invalidations++
+		inc(&n.stats.Invalidations, 1)
 		n.trace(TraceInval, pid, -1, "")
 	}
 }
@@ -295,10 +399,10 @@ func (n *Node) patchPage(pid int, cp *cachedPage) bool {
 	}
 	if len(diffs) > 0 {
 		n.clock.Advance(n.sys.cfg.Net.RoundTrip(msgHeaderBytes, msgHeaderBytes+bytes), cluster.Comm)
-		n.stats.MsgsSent += 2
-		n.stats.BytesMoved += int64(2*msgHeaderBytes + bytes)
+		inc(&n.stats.MsgsSent, 2)
+		inc(&n.stats.BytesMoved, int64(2*msgHeaderBytes+bytes))
 	}
-	n.stats.Updates++
+	inc(&n.stats.Updates, 1)
 	n.trace(TraceUpdate, pid, -1, fmt.Sprintf("%d diffs", len(diffs)))
 	return true
 }

@@ -1,9 +1,18 @@
 package dsm
 
-import "fmt"
+import (
+	"fmt"
+	"sync/atomic"
+)
 
 // Stats counts protocol events, for tests and reporting. All counters are
 // per-node; System.TotalStats sums them.
+//
+// The live per-node instance is written by the node goroutine with atomic
+// adds and snapshotted with atomic loads (Node.Stats, System.TotalStats),
+// so observers may poll statistics while the protocol is running — e.g. a
+// monitoring loop dumping counters next to a live trace — without a data
+// race. Snapshots returned to callers are plain values.
 type Stats struct {
 	PageFetches   int64 // remote pages fetched from their home
 	Twins         int64 // twins created (first write to a remote page)
@@ -24,6 +33,32 @@ type Stats struct {
 	// Migrations counts home migrations (system-wide; filled by
 	// System.TotalStats).
 	Migrations int64
+}
+
+// inc atomically adds v to the counter, which must be a field of a live
+// per-node Stats.
+func inc(counter *int64, v int64) { atomic.AddInt64(counter, v) }
+
+// snapshot atomically loads every counter of a live Stats into a plain
+// value.
+func (s *Stats) snapshot() Stats {
+	return Stats{
+		PageFetches:   atomic.LoadInt64(&s.PageFetches),
+		Twins:         atomic.LoadInt64(&s.Twins),
+		DiffsSent:     atomic.LoadInt64(&s.DiffsSent),
+		DiffBytes:     atomic.LoadInt64(&s.DiffBytes),
+		Invalidations: atomic.LoadInt64(&s.Invalidations),
+		Evictions:     atomic.LoadInt64(&s.Evictions),
+		MsgsSent:      atomic.LoadInt64(&s.MsgsSent),
+		BytesMoved:    atomic.LoadInt64(&s.BytesMoved),
+		LockAcquires:  atomic.LoadInt64(&s.LockAcquires),
+		LockReleases:  atomic.LoadInt64(&s.LockReleases),
+		Barriers:      atomic.LoadInt64(&s.Barriers),
+		CVSignals:     atomic.LoadInt64(&s.CVSignals),
+		CVWaits:       atomic.LoadInt64(&s.CVWaits),
+		Updates:       atomic.LoadInt64(&s.Updates),
+		Migrations:    atomic.LoadInt64(&s.Migrations),
+	}
 }
 
 func (s *Stats) add(o Stats) {

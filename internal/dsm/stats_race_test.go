@@ -1,0 +1,89 @@
+package dsm
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"genomedsm/internal/cluster"
+)
+
+// TestStatsConcurrentPolling hammers Node.Stats and System.TotalStats
+// from monitor goroutines while the nodes generate protocol traffic.
+// Before the counters moved to atomic adds/loads this was a data race
+// (the monitoring use case the Stats doc promises); run under -race this
+// test is the regression guard.
+func TestStatsConcurrentPolling(t *testing.T) {
+	const nprocs = 4
+	sys, err := NewSystem(nprocs, cluster.Calibrated2005(), Options{CacheSlots: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	region, err := sys.Alloc(8*cluster.Calibrated2005().PageSize, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var stop atomic.Bool
+	var monitors sync.WaitGroup
+	for m := 0; m < 3; m++ {
+		monitors.Add(1)
+		go func(m int) {
+			defer monitors.Done()
+			for !stop.Load() {
+				_ = sys.TotalStats()
+				for i := 0; i < nprocs; i++ {
+					_ = sys.Node(i).Stats()
+				}
+			}
+		}(m)
+	}
+
+	err = sys.Run(func(n *Node) error {
+		buf := make([]byte, 64)
+		for iter := 0; iter < 40; iter++ {
+			if err := n.Acquire(0); err != nil {
+				return err
+			}
+			off := ((iter*nprocs + n.ID()) * 64) % (region.Size() - 64)
+			for i := range buf {
+				buf[i] = byte(iter + n.ID())
+			}
+			if err := n.WriteAt(region, off, buf); err != nil {
+				return err
+			}
+			if err := n.Release(0); err != nil {
+				return err
+			}
+			if err := n.ReadAt(region, (off+64)%(region.Size()-64), buf); err != nil {
+				return err
+			}
+			if iter%8 == 7 {
+				if err := n.Barrier(); err != nil {
+					return err
+				}
+			}
+		}
+		return n.Barrier()
+	})
+	stop.Store(true)
+	monitors.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	total := sys.TotalStats()
+	if total.LockAcquires == 0 || total.Barriers == 0 || total.PageFetches == 0 {
+		t.Fatalf("traffic not generated: %s", total.String())
+	}
+	// The aggregate must equal the sum of the per-node snapshots.
+	var sum Stats
+	for i := 0; i < nprocs; i++ {
+		s := sys.Node(i).Stats()
+		sum.add(s)
+	}
+	sum.Migrations = total.Migrations
+	if sum != total {
+		t.Fatalf("TotalStats %v != sum of node stats %v", total, sum)
+	}
+}

@@ -3,6 +3,7 @@ package dsm
 import (
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 
 	"genomedsm/internal/cluster"
@@ -22,6 +23,7 @@ type lockVar struct {
 }
 
 type lockWaiter struct {
+	node      int
 	reqArrive float64
 	ch        chan lockGrant
 }
@@ -67,6 +69,7 @@ func (n *Node) Acquire(id int) error {
 	if err != nil {
 		return err
 	}
+	n.yield()
 	// Yield before deciding contention: node goroutines run on however
 	// few host CPUs exist, so a hot node could re-acquire an "uncontended"
 	// lock forever while starved peers never get to enqueue. After the
@@ -75,9 +78,9 @@ func (n *Node) Acquire(id int) error {
 	runtime.Gosched()
 	cfg := n.sys.cfg
 	reqArrive := n.clock.Now() + cfg.Net.MessageCost(msgHeaderBytes)
-	n.stats.MsgsSent++
-	n.stats.BytesMoved += msgHeaderBytes
-	n.stats.LockAcquires++
+	inc(&n.stats.MsgsSent, 1)
+	inc(&n.stats.BytesMoved, msgHeaderBytes)
+	inc(&n.stats.LockAcquires, 1)
 
 	lv.mu.Lock()
 	var grant lockGrant
@@ -90,10 +93,12 @@ func (n *Node) Acquire(id int) error {
 		grant = lockGrant{departAt: departAt + cfg.ManagerService, notices: copyNotices(lv.notices)}
 		lv.mu.Unlock()
 	} else {
-		w := &lockWaiter{reqArrive: reqArrive, ch: make(chan lockGrant, 1)}
+		w := &lockWaiter{node: n.id, reqArrive: reqArrive, ch: make(chan lockGrant, 1)}
 		lv.queue = append(lv.queue, w)
 		lv.mu.Unlock()
+		n.park()
 		grant = <-w.ch
+		n.unpark()
 	}
 	resumeAt := grant.departAt + cfg.Net.MessageCost(msgHeaderBytes+len(grant.notices)*noticeBytes)
 	n.clock.AdvanceTo(resumeAt, cluster.LockCV)
@@ -111,15 +116,16 @@ func (n *Node) Release(id int) error {
 	if err != nil {
 		return err
 	}
+	n.yield()
 	cfg := n.sys.cfg
 	notices := n.flushAll()
 	relSize := msgHeaderBytes + len(notices)*noticeBytes
 	relArrive := n.clock.Now() + cfg.Net.MessageCost(relSize)
 	// The one-way REL costs the releaser only its message processing.
 	n.clock.Advance(cfg.Net.PerMessageCPU, cluster.LockCV)
-	n.stats.MsgsSent++
-	n.stats.BytesMoved += int64(relSize)
-	n.stats.LockReleases++
+	inc(&n.stats.MsgsSent, 1)
+	inc(&n.stats.BytesMoved, int64(relSize))
+	inc(&n.stats.LockReleases, 1)
 
 	n.trace(TraceRelease, -1, id, fmt.Sprintf("%d notices", len(notices)))
 	lv.mu.Lock()
@@ -134,11 +140,19 @@ func (n *Node) Release(id int) error {
 		// goroutine scheduling is decoupled from the simulated clock;
 		// granting by real arrival order would hand the lock to whichever
 		// goroutine the Go scheduler ran first and skew contended
-		// workloads toward one node.
-		best := 0
-		for i := 1; i < len(lv.queue); i++ {
-			if lv.queue[i].reqArrive < lv.queue[best].reqArrive {
-				best = i
+		// workloads toward one node. The schedule-control hook may pick
+		// any other queued waiter instead (grant-order permutation).
+		order := make([]int, len(lv.queue))
+		for i := range order {
+			order[i] = i
+		}
+		sort.SliceStable(order, func(a, b int) bool {
+			return lv.queue[order[a]].reqArrive < lv.queue[order[b]].reqArrive
+		})
+		best := order[0]
+		if sched := cfg.Sched(); sched != nil {
+			if k := sched.PickLockGrant(id, len(order)); k >= 0 && k < len(order) {
+				best = order[k]
 			}
 		}
 		w := lv.queue[best]
@@ -147,6 +161,7 @@ func (n *Node) Release(id int) error {
 		if w.reqArrive > departAt {
 			departAt = w.reqArrive
 		}
+		n.wake(w.node)
 		w.ch <- lockGrant{departAt: departAt + cfg.ManagerService, notices: copyNotices(lv.notices)}
 	} else {
 		lv.held = false
@@ -179,7 +194,12 @@ type barrierVar struct {
 	arrived   int
 	maxArrive float64
 	notices   map[int]uint64
-	waiters   []chan barrierGrant
+	waiters   []barrierWaiter
+}
+
+type barrierWaiter struct {
+	node int
+	ch   chan barrierGrant
 }
 
 type barrierGrant struct {
@@ -192,16 +212,33 @@ func newBarrierVar(owner, total int) *barrierVar {
 	return &barrierVar{owner: owner, total: total, notices: make(map[int]uint64)}
 }
 
+// validPermutation reports whether perm is a permutation of 0..k-1; a
+// malformed schedule-control answer falls back to the default order.
+func validPermutation(perm []int, k int) bool {
+	if len(perm) != k {
+		return false
+	}
+	seen := make([]bool, k)
+	for _, v := range perm {
+		if v < 0 || v >= k || seen[v] {
+			return false
+		}
+		seen[v] = true
+	}
+	return true
+}
+
 // Barrier synchronizes all nodes (jia_barrier).
 func (n *Node) Barrier() error {
 	bv := n.sys.barrier
 	cfg := n.sys.cfg
+	n.yield()
 	notices := n.flushAll()
 	barrSize := msgHeaderBytes + len(notices)*noticeBytes
 	arrive := n.clock.Now() + cfg.Net.MessageCost(barrSize)
-	n.stats.MsgsSent++
-	n.stats.BytesMoved += int64(barrSize)
-	n.stats.Barriers++
+	inc(&n.stats.MsgsSent, 1)
+	inc(&n.stats.BytesMoved, int64(barrSize))
+	inc(&n.stats.Barriers, 1)
 
 	bv.mu.Lock()
 	mergeNotices(bv.notices, notices)
@@ -211,13 +248,45 @@ func (n *Node) Barrier() error {
 	bv.arrived++
 	var grant barrierGrant
 	if bv.arrived == bv.total {
+		// The barrier closes every synchronization scope (Fig. 6 clears
+		// the write notices of all locks): notices parked at lock and
+		// condition-variable managers join the broadcast union, so a
+		// node that never re-acquired some lock still invalidates the
+		// pages its critical sections wrote. Without this, a cached copy
+		// whose writer last flushed under a lock survives the barrier
+		// stale — a divergence the chaos harness finds by permuting
+		// grant orders.
+		for _, lv := range n.sys.locks {
+			lv.mu.Lock()
+			mergeNotices(bv.notices, lv.notices)
+			lv.notices = make(map[int]uint64)
+			lv.mu.Unlock()
+		}
+		for _, cv := range n.sys.cvs {
+			cv.mu.Lock()
+			mergeNotices(bv.notices, cv.notices)
+			cv.notices = make(map[int]uint64)
+			cv.mu.Unlock()
+		}
 		grant = barrierGrant{
 			departAt: bv.maxArrive + cfg.ManagerService,
 			notices:  bv.notices,
 			migrated: n.sys.migrateHomes(),
 		}
-		for _, ch := range bv.waiters {
-			ch <- grant
+		// BARRGRANT broadcast: arrival order by default, or whatever
+		// release order the schedule-control hook explores.
+		order := make([]int, len(bv.waiters))
+		for i := range order {
+			order[i] = i
+		}
+		if sched := cfg.Sched(); sched != nil {
+			if perm := sched.PickBarrierOrder(len(order)); validPermutation(perm, len(order)) {
+				order = perm
+			}
+		}
+		for _, i := range order {
+			n.wake(bv.waiters[i].node)
+			bv.waiters[i].ch <- grant
 		}
 		bv.waiters = nil
 		bv.arrived = 0
@@ -226,9 +295,11 @@ func (n *Node) Barrier() error {
 		bv.mu.Unlock()
 	} else {
 		ch := make(chan barrierGrant, 1)
-		bv.waiters = append(bv.waiters, ch)
+		bv.waiters = append(bv.waiters, barrierWaiter{node: n.id, ch: ch})
 		bv.mu.Unlock()
+		n.park()
 		grant = <-ch
+		n.unpark()
 	}
 	resumeAt := grant.departAt + cfg.Net.MessageCost(msgHeaderBytes+len(grant.notices)*noticeBytes)
 	n.clock.AdvanceTo(resumeAt, cluster.Barrier)
@@ -258,8 +329,18 @@ type condVar struct {
 
 	mu      sync.Mutex
 	pending []cvSignal // unconsumed signals, FIFO
-	waiters []chan cvSignal
+	waiters []cvWaiter
 	notices map[int]uint64 // cumulative write notices attached to the cv
+}
+
+// cvWaiter is one parked jia_waitcv caller. Signal consumption stays
+// strictly FIFO — unlike lock grants and barrier releases it is not a
+// schedule-control degree of freedom, because each signal's notices
+// cover only the releases up to its send and handing an early signal to
+// a late waiter would legally deliver stale memory.
+type cvWaiter struct {
+	node int
+	ch   chan cvSignal
 }
 
 type cvSignal struct {
@@ -286,14 +367,15 @@ func (n *Node) Setcv(id int) error {
 	if err != nil {
 		return err
 	}
+	n.yield()
 	cfg := n.sys.cfg
 	notices := n.flushAll()
 	sigSize := msgHeaderBytes + len(notices)*noticeBytes
 	arrive := n.clock.Now() + cfg.Net.MessageCost(sigSize)
 	n.clock.Advance(cfg.Net.PerMessageCPU, cluster.LockCV)
-	n.stats.MsgsSent++
-	n.stats.BytesMoved += int64(sigSize)
-	n.stats.CVSignals++
+	inc(&n.stats.MsgsSent, 1)
+	inc(&n.stats.BytesMoved, int64(sigSize))
+	inc(&n.stats.CVSignals, 1)
 
 	n.trace(TraceSetcv, -1, id, "")
 	cv.mu.Lock()
@@ -301,9 +383,10 @@ func (n *Node) Setcv(id int) error {
 	mergeNotices(cv.notices, notices)
 	sig := cvSignal{arrive: arrive, notices: copyNotices(cv.notices)}
 	if len(cv.waiters) > 0 {
-		ch := cv.waiters[0]
+		w := cv.waiters[0]
 		cv.waiters = cv.waiters[1:]
-		ch <- sig
+		n.wake(w.node)
+		w.ch <- sig
 		return nil
 	}
 	cv.pending = append(cv.pending, sig)
@@ -318,12 +401,13 @@ func (n *Node) Waitcv(id int) error {
 	if err != nil {
 		return err
 	}
+	n.yield()
 	cfg := n.sys.cfg
 	// WAIT registration message to the manager.
 	regArrive := n.clock.Now() + cfg.Net.MessageCost(msgHeaderBytes)
-	n.stats.MsgsSent++
-	n.stats.BytesMoved += msgHeaderBytes
-	n.stats.CVWaits++
+	inc(&n.stats.MsgsSent, 1)
+	inc(&n.stats.BytesMoved, msgHeaderBytes)
+	inc(&n.stats.CVWaits, 1)
 
 	cv.mu.Lock()
 	var sig cvSignal
@@ -333,9 +417,11 @@ func (n *Node) Waitcv(id int) error {
 		cv.mu.Unlock()
 	} else {
 		ch := make(chan cvSignal, 1)
-		cv.waiters = append(cv.waiters, ch)
+		cv.waiters = append(cv.waiters, cvWaiter{node: n.id, ch: ch})
 		cv.mu.Unlock()
+		n.park()
 		sig = <-ch
+		n.unpark()
 	}
 	departAt := sig.arrive
 	if regArrive > departAt {

@@ -117,6 +117,61 @@ func (r *RingTracer) Dump() string {
 	return sb.String()
 }
 
+// ListTracer retains every event, in arrival order. Unlike RingTracer it
+// never drops history, which is what seed-replay comparison needs: two
+// runs of the same chaos seed must produce identical full sequences, not
+// just identical tails.
+type ListTracer struct {
+	mu     sync.Mutex
+	events []TraceEvent
+}
+
+// Trace implements Tracer.
+func (l *ListTracer) Trace(ev TraceEvent) {
+	l.mu.Lock()
+	l.events = append(l.events, ev)
+	l.mu.Unlock()
+}
+
+// Events returns a copy of the retained events in arrival order.
+func (l *ListTracer) Events() []TraceEvent {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]TraceEvent, len(l.events))
+	copy(out, l.events)
+	return out
+}
+
+// Len returns the number of retained events.
+func (l *ListTracer) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.events)
+}
+
+// Reset clears the retained events (reused between runs of one plan).
+func (l *ListTracer) Reset() {
+	l.mu.Lock()
+	l.events = nil
+	l.mu.Unlock()
+}
+
+// DumpTail renders up to max trailing events, one per line, prefixed
+// with a truncation note when events were omitted.
+func (l *ListTracer) DumpTail(max int) string {
+	evs := l.Events()
+	var sb strings.Builder
+	if max > 0 && len(evs) > max {
+		fmt.Fprintf(&sb, "… %d earlier events omitted …\n", len(evs)-max)
+		evs = evs[len(evs)-max:]
+	}
+	for _, ev := range evs {
+		sb.WriteString(ev.String())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
 // trace emits an event when tracing is configured.
 func (n *Node) trace(kind TraceKind, page, sync int, note string) {
 	if n.sys.opts.Tracer == nil {

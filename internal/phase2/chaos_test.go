@@ -1,0 +1,80 @@
+// Chaos coverage for the lock-queue work distribution: an external test
+// package because internal/chaos itself imports phase2.
+package phase2_test
+
+import (
+	"testing"
+
+	"genomedsm/internal/bio"
+	"genomedsm/internal/chaos"
+	"genomedsm/internal/cluster"
+	"genomedsm/internal/phase2"
+)
+
+// TestLockQueuePermutedGrants runs the lock-queue phase-2 variant under
+// seeded chaos — permuted lock-grant order, injected notice/diff delays
+// and the serializing gate — and asserts the alignments stay identical to
+// the sequential baseline. The shared-cursor queue hands out jobs in
+// whatever order the lock grants arrive, so permuting grants is exactly
+// the adversary this code path needs.
+func TestLockQueuePermutedGrants(t *testing.T) {
+	g := bio.NewGenerator(31)
+	pair, err := g.HomologousPair(500, bio.HomologyModel{
+		Regions: 3, RegionLen: 90, RegionJit: 30,
+		Divergence: bio.MutationModel{SubstitutionRate: 0.05},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := bio.DefaultScoring()
+	var jobs []phase2.Job
+	for _, r := range []struct{ s0, s1, t0, t1 int }{
+		{1, 80, 1, 80}, {100, 220, 90, 215}, {250, 400, 260, 410},
+		{50, 150, 40, 160}, {300, 480, 310, 490}, {10, 490, 5, 495},
+	} {
+		jobs = append(jobs, phase2.Job{SBegin: r.s0, SEnd: r.s1, TBegin: r.t0, TEnd: r.t1})
+	}
+	want, err := phase2.Sequential(pair.S, pair.T, sc, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, seed := range []int64{1, 2, 3, 4} {
+		plan := chaos.NewPlan(seed, 3, chaos.DefaultPlanConfig())
+		cc := cluster.Calibrated2005()
+		cc.Hooks = plan.Hooks(nil, 4)
+		res, err := phase2.RunLockQueue(3, cc, pair.S, pair.T, sc, jobs)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if len(res.Alignments) != len(want) {
+			t.Fatalf("seed %d: %d alignments, sequential %d", seed, len(res.Alignments), len(want))
+		}
+		for i := range want {
+			got := res.Alignments[i]
+			if got == nil || want[i] == nil {
+				if got != want[i] {
+					t.Fatalf("seed %d: alignment %d nil mismatch", seed, i)
+				}
+				continue
+			}
+			if got.Score != want[i].Score || got.SBegin != want[i].SBegin ||
+				got.SEnd != want[i].SEnd || got.TBegin != want[i].TBegin ||
+				got.TEnd != want[i].TEnd {
+				t.Fatalf("seed %d: alignment %d differs: got %+v want %+v",
+					seed, i, *got, *want[i])
+			}
+			if len(got.Ops) != len(want[i].Ops) {
+				t.Fatalf("seed %d: alignment %d op count differs", seed, i)
+			}
+			for k := range got.Ops {
+				if got.Ops[k] != want[i].Ops[k] {
+					t.Fatalf("seed %d: alignment %d op %d differs", seed, i, k)
+				}
+			}
+		}
+		if res.Stats.LockAcquires == 0 {
+			t.Fatalf("seed %d: lock queue took no locks", seed)
+		}
+	}
+}

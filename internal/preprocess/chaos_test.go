@@ -1,0 +1,127 @@
+// Chaos coverage for the pre-process strategy and its reprocessing path:
+// an external test package because internal/chaos itself imports
+// preprocess.
+package preprocess_test
+
+import (
+	"reflect"
+	"testing"
+
+	"genomedsm/internal/bio"
+	"genomedsm/internal/chaos"
+	"genomedsm/internal/cluster"
+	"genomedsm/internal/preprocess"
+)
+
+// TestReprocessUnderDelayedDiffs runs the pre-process strategy with
+// injected diff delays, jitter and bounded reordering, then reprocesses an
+// interesting block from the chaotic run's saved columns. Saved columns
+// and border rows are the strategy's durable output — if a delayed or
+// reordered diff ever leaked a stale page into a saved column, the
+// recomputed block would differ from the one rebuilt from a clean
+// sequential run's store. Both the run results and the reprocessed blocks
+// must be bit-exact.
+func TestReprocessUnderDelayedDiffs(t *testing.T) {
+	g := bio.NewGenerator(47)
+	pair, err := g.HomologousPair(600, bio.HomologyModel{
+		Regions: 2, RegionLen: 100, RegionJit: 50,
+		Divergence: bio.MutationModel{SubstitutionRate: 0.05},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := bio.DefaultScoring()
+	cfg := preprocess.Config{
+		BandScheme:       preprocess.BandFixed, // band layout independent of nprocs
+		BandSize:         64,
+		ChunkSize:        48,
+		ChunkGrowth:      preprocess.GrowthFixed,
+		SaveInterleave:   32,
+		ResultInterleave: 64,
+		Threshold:        15,
+		IOMode:           preprocess.IOImmediate,
+	}
+
+	baseSink := preprocess.NewMemSink()
+	base, err := preprocess.Run(1, cluster.Calibrated2005(), pair.S, pair.T, sc, cfg, baseSink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocks := preprocess.InterestingBlocks(base, 1)
+	if len(blocks) == 0 {
+		t.Fatal("baseline run produced no interesting blocks")
+	}
+
+	// A plan that leans on the diff class: large base delay and jitter
+	// relative to the other classes, plus a reorder window, so diff
+	// arrival order at the homes is thoroughly scrambled.
+	pc := chaos.DefaultPlanConfig()
+	pc.Delays[cluster.MsgDiff] = chaos.DelaySpec{Base: 2e-3, Jitter: 8e-3}
+	pc.ReorderWindow = 4
+
+	for _, seed := range []int64{5, 6, 7} {
+		plan := chaos.NewPlan(seed, 3, pc)
+		cc := cluster.Calibrated2005()
+		cc.Hooks = plan.Hooks(nil, 4)
+		sink := preprocess.NewMemSink()
+		res, err := preprocess.Run(3, cc, pair.S, pair.T, sc, cfg, sink)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if res.TotalHits != base.TotalHits ||
+			res.BestScore != base.BestScore ||
+			res.BestI != base.BestI || res.BestJ != base.BestJ {
+			t.Fatalf("seed %d: summary differs: hits %d/%d best %d@(%d,%d) vs %d@(%d,%d)",
+				seed, res.TotalHits, base.TotalHits,
+				res.BestScore, res.BestI, res.BestJ,
+				base.BestScore, base.BestI, base.BestJ)
+		}
+		if !reflect.DeepEqual(res.ResultMatrix, base.ResultMatrix) {
+			t.Fatalf("seed %d: result matrix differs", seed)
+		}
+
+		// The stores themselves must hold identical data.
+		if !reflect.DeepEqual(sink.Columns, baseSink.Columns) ||
+			!reflect.DeepEqual(sink.Starts, baseSink.Starts) {
+			t.Fatalf("seed %d: saved columns differ from sequential run", seed)
+		}
+		if !reflect.DeepEqual(sink.Border, baseSink.Border) {
+			t.Fatalf("seed %d: saved border rows differ from sequential run", seed)
+		}
+
+		// Reprocess every interesting block from the chaotic run's store
+		// and compare against the same block rebuilt from the clean store.
+		for _, blk := range blocks {
+			want, err := preprocess.ReprocessBlock(
+				pair.S, pair.T, sc, base, baseSink, blk[0], blk[1], cfg)
+			if err != nil {
+				t.Fatalf("baseline reprocess block %v: %v", blk, err)
+			}
+			got, err := preprocess.ReprocessBlock(
+				pair.S, pair.T, sc, res, sink, blk[0], blk[1], cfg)
+			if err != nil {
+				t.Fatalf("seed %d: reprocess block %v: %v", seed, blk, err)
+			}
+			// Band ownership differs by construction (the baseline is a
+			// 1-proc run); everything else must match exactly.
+			got.Band.Owner = want.Band.Owner
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("seed %d: block %v scores differ:\ngot  %+v\nwant %+v",
+					seed, blk, got, want)
+			}
+			gotAl, err := preprocess.RetrieveFromBlock(
+				pair.S, pair.T, sc, res, sink, blk[0], blk[1], cfg)
+			if err != nil {
+				t.Fatalf("seed %d: retrieve block %v: %v", seed, blk, err)
+			}
+			wantAl, err := preprocess.RetrieveFromBlock(
+				pair.S, pair.T, sc, base, baseSink, blk[0], blk[1], cfg)
+			if err != nil {
+				t.Fatalf("baseline retrieve block %v: %v", blk, err)
+			}
+			if !reflect.DeepEqual(gotAl, wantAl) {
+				t.Fatalf("seed %d: block %v alignments differ", seed, blk)
+			}
+		}
+	}
+}

@@ -130,7 +130,10 @@ func RunBlockedMP(nprocs int, cfg cluster.Config, s, t bio.Sequence, sc bio.Scor
 						clock.Advance(cfg.Net.PerMessageCPU, cluster.Comm)
 						msgs++
 						bytes += int64(width * heuristics.CellBytes)
-						chans[band] <- mpMsg{cells: row, at: clock.Now()}
+						// Border rows are this variant's diff analogue, so
+						// they answer to the same fault class.
+						at := clock.Now() + cfg.FaultDelay(cluster.MsgDiff, id)
+						chans[band] <- mpMsg{cells: row, at: at}
 					}
 				}
 			}

@@ -4,8 +4,12 @@
 #   1. go vet, build, and the test suite under the race detector
 #      (plus a doubled -race pass over the concurrency-heavy SWAR
 #      search packages)
-#   2. a 1-iteration smoke run of every kernel and search benchmark
-#   3. the kernel and search benchmarks for real, gated by
+#   2. a chaos sweep: 16 seeds x 3 strategies of the fault-injection
+#      differential oracle, under the race detector
+#   3. per-package coverage, gated on >= 85% combined coverage of
+#      internal/dsm + internal/chaos (the protocol and its harness)
+#   4. a 1-iteration smoke run of every kernel and search benchmark
+#   5. the kernel and search benchmarks for real, gated by
 #      cmd/benchdiff against the committed BENCH_kernels.json baseline
 #
 # The benchmark gate fails the build when any kernel loses more than
@@ -36,6 +40,33 @@ go test -race ./...
 
 echo "== go test -race -count=2 (swar + search)"
 go test -race -count=2 ./internal/swar ./internal/search ./cmd/genomedsm
+
+echo "== chaos sweep (16 seeds x 3 strategies, -race)"
+chaos_bin=$(mktemp -d)/genomedsm
+go build -race -o "$chaos_bin" ./cmd/genomedsm
+seed=1
+while [ "$seed" -le 16 ]; do
+    "$chaos_bin" chaos -seed "$seed" -strategy noblock,preprocess,phase2 \
+        -schedules 2 -len 360 -procs 3 >/dev/null ||
+        { echo "chaos sweep FAILED at seed $seed"; exit 1; }
+    seed=$((seed + 1))
+done
+rm -rf "$(dirname "$chaos_bin")"
+echo "chaos sweep ok"
+
+echo "== per-package coverage"
+go test -cover ./...
+
+echo "== dsm+chaos coverage gate (>= 85%)"
+covfile=$(mktemp)
+go test -coverpkg=./internal/dsm,./internal/chaos -coverprofile="$covfile" \
+    ./internal/dsm ./internal/chaos ./internal/phase2 ./internal/preprocess \
+    ./internal/wavefront >/dev/null
+pct=$(go tool cover -func="$covfile" | awk '/^total:/ { sub(/%/, "", $3); print $3 }')
+rm -f "$covfile"
+echo "combined internal/dsm + internal/chaos coverage: ${pct}%"
+awk -v p="$pct" 'BEGIN { exit (p >= 85.0) ? 0 : 1 }' ||
+    { echo "coverage gate FAILED: ${pct}% < 85%"; exit 1; }
 
 echo "== benchmark smoke (1 iteration)"
 go test -run '^$' -bench 'Kernel|Search' -benchtime 1x .
