@@ -8,15 +8,18 @@ import (
 	"time"
 
 	"genomedsm/internal/chaos"
+	"genomedsm/internal/recovery"
 )
 
 // chaosCmd implements `genomedsm chaos`: the seeded fault-injection and
 // schedule-exploration sweep. Every strategy is run under N explored
 // schedules — permuted lock grants, barrier orders and eviction victims,
-// plus injected message delays and reordering — and its results are
-// checked bit-for-bit against the sequential baseline. A failing
-// interleaving prints its plan seed; `-replay` reruns exactly that
-// interleaving and dumps its protocol trace.
+// plus injected message delays and reordering, and optionally message
+// loss/duplication (-loss, -dup) and crash-stop faults with recovery
+// (-kill node@point) — and its results are checked bit-for-bit against
+// the sequential baseline. A failing interleaving prints its plan seed;
+// `-replay` reruns exactly that interleaving and dumps its protocol
+// trace, including any crash/recovery events.
 func chaosCmd(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("genomedsm chaos", flag.ContinueOnError)
 	fs.SetOutput(w)
@@ -31,6 +34,9 @@ func chaosCmd(args []string, w io.Writer) error {
 		noFaults  = fs.Bool("no-faults", false, "disable message faults (schedule exploration only)")
 		replay    = fs.Int64("replay", 0, "replay one run with this plan seed (requires a single -strategy) and dump its trace")
 		traceTail = fs.Int("trace", 64, "protocol trace events to show for a divergence or replay")
+		kill      = fs.String("kill", "", "crash-stop schedule: comma-separated node@point[+delay] specs, e.g. 1@2 or 1@2+0.05 (not applied to blockedmp)")
+		loss      = fs.Float64("loss", 0, "per-attempt message-loss probability, all classes (at-least-once delivery with dedup)")
+		dup       = fs.Float64("dup", 0, "probability a delivered message arrives twice (duplicate suppressed by sequence numbers)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if err == flag.ErrHelp {
@@ -71,6 +77,33 @@ func chaosCmd(args []string, w io.Writer) error {
 	if *noFaults {
 		opt.Plan = chaos.PlanConfig{} // all-zero: schedule exploration only
 	}
+	if *loss < 0 || *loss >= 1 || *dup < 0 || *dup >= 1 {
+		return fmt.Errorf("-loss and -dup must be probabilities in [0, 1)")
+	}
+	if *loss > 0 || *dup > 0 {
+		// Probabilities ride on the effective plan: the defaults unless
+		// -no-faults zeroed the delays.
+		if !*noFaults {
+			opt.Plan = chaos.DefaultPlanConfig()
+		}
+		for class := range opt.Plan.Loss {
+			opt.Plan.Loss[class] = *loss
+			opt.Plan.Dup[class] = *dup
+		}
+		opt.UsePlanZero = true // the plan is now deliberate; keep it
+	}
+	if *kill != "" {
+		kills, err := recovery.ParseKills(*kill)
+		if err != nil {
+			return err
+		}
+		for _, k := range kills {
+			if k.Node >= *procs {
+				return fmt.Errorf("-kill %s: node %d out of range for -procs %d", k, k.Node, *procs)
+			}
+		}
+		opt.Kills = kills
+	}
 
 	if *replay != 0 {
 		if len(sts) != 1 {
@@ -100,10 +133,20 @@ func chaosCmd(args []string, w io.Writer) error {
 	fmt.Fprintf(w, "\nseed %d: %d runs, %d divergences (%.2fs wall)\n",
 		*seed, runs, len(divergences), time.Since(start).Seconds())
 	if len(divergences) > 0 {
+		extra := ""
+		if *kill != "" {
+			extra += fmt.Sprintf(" -kill %s", *kill)
+		}
+		if *loss > 0 {
+			extra += fmt.Sprintf(" -loss %g", *loss)
+		}
+		if *dup > 0 {
+			extra += fmt.Sprintf(" -dup %g", *dup)
+		}
 		for _, d := range divergences {
 			fmt.Fprintln(w, d.Error())
-			fmt.Fprintf(w, "  replay: genomedsm chaos -strategy %s -seed %d -replay %d\n",
-				d.Strategy, *seed, d.PlanSeed)
+			fmt.Fprintf(w, "  replay: genomedsm chaos -strategy %s -seed %d%s -replay %d\n",
+				d.Strategy, *seed, extra, d.PlanSeed)
 		}
 		return fmt.Errorf("%d of %d runs diverged from the sequential baseline", len(divergences), runs)
 	}

@@ -132,7 +132,7 @@ func runJSON(w io.Writer, strategy string, procs, n int, seed int64, sFile, tFil
 		Breakdown:  map[string]float64{},
 	}
 	merged := cluster.Merge(rep.Breakdowns)
-	for cat := cluster.Compute; cat <= cluster.IO; cat++ {
+	for cat := cluster.Compute; cat <= cluster.Recovery; cat++ {
 		if v := merged.Cat[cat]; v > 0 {
 			out.Breakdown[cat.String()] = v
 		}

@@ -44,6 +44,18 @@ type PlanConfig struct {
 	// messages is permuted so no message is displaced more than this many
 	// positions from its protocol-default slot. Zero disables reordering.
 	ReorderWindow int
+	// Loss holds the per-class per-attempt loss probability: each
+	// transmission attempt of a class-c message is independently lost with
+	// probability Loss[c], up to MaxLost consecutive losses (delivery is
+	// never suppressed forever — the DSM is at-least-once with dedup).
+	Loss [cluster.NumMsgClasses]float64
+	// Dup holds the per-class probability that a delivered message
+	// arrives twice (the duplicate suppressed by the receiver's sequence
+	// numbers).
+	Dup [cluster.NumMsgClasses]float64
+	// MaxLost caps consecutive lost attempts per message (default 3 when
+	// any loss probability is set).
+	MaxLost int
 }
 
 // DefaultPlanConfig returns delays on the scale of the calibrated 2005
@@ -74,6 +86,8 @@ type Plan struct {
 	delayCnt []atomic.Uint64 // class*nodes + node
 	permCnt  []atomic.Uint64 // class*nodes + node
 	evictCnt []atomic.Uint64 // node
+	loseCnt  []atomic.Uint64 // class*nodes + node
+	dupCnt   []atomic.Uint64 // class*nodes + node
 	lockCnt  atomic.Uint64
 	barrCnt  atomic.Uint64
 }
@@ -90,6 +104,8 @@ func NewPlan(seed int64, nodes int, cfg PlanConfig) *Plan {
 		delayCnt: make([]atomic.Uint64, int(cluster.NumMsgClasses)*nodes),
 		permCnt:  make([]atomic.Uint64, int(cluster.NumMsgClasses)*nodes),
 		evictCnt: make([]atomic.Uint64, nodes),
+		loseCnt:  make([]atomic.Uint64, int(cluster.NumMsgClasses)*nodes),
+		dupCnt:   make([]atomic.Uint64, int(cluster.NumMsgClasses)*nodes),
 	}
 }
 
@@ -133,6 +149,41 @@ func (p *Plan) Permute(class cluster.MsgClass, node, k int) []int {
 	return perm
 }
 
+// Lose implements cluster.LossPlan: a capped geometric draw — each
+// attempt of the node's next class message is independently lost with
+// probability Loss[class], at most MaxLost (default 3) times.
+func (p *Plan) Lose(class cluster.MsgClass, node int) int {
+	prob := p.cfg.Loss[class]
+	if prob <= 0 {
+		return 0
+	}
+	cap := p.cfg.MaxLost
+	if cap <= 0 {
+		cap = 3
+	}
+	k := p.loseCnt[int(class)*p.nodes+node].Add(1)
+	lost := 0
+	for lost < cap {
+		u := unit(mix64(uint64(p.seed), 0x105E, uint64(class), uint64(node), k, uint64(lost)))
+		if u >= prob {
+			break
+		}
+		lost++
+	}
+	return lost
+}
+
+// Duplicate implements cluster.LossPlan: a single per-message draw
+// against Dup[class].
+func (p *Plan) Duplicate(class cluster.MsgClass, node int) bool {
+	prob := p.cfg.Dup[class]
+	if prob <= 0 {
+		return false
+	}
+	k := p.dupCnt[int(class)*p.nodes+node].Add(1)
+	return unit(mix64(uint64(p.seed), 0xD0B1, uint64(class), uint64(node), k)) < prob
+}
+
 // PickLockGrant implements cluster.ScheduleControl.
 func (p *Plan) PickLockGrant(lock, k int) int {
 	if k < 2 {
@@ -172,6 +223,7 @@ func (p *Plan) Hooks(observer any, cacheSlots int) *cluster.Hooks {
 		Gate:       NewTokenGate(p.nodes, p.seed),
 		Observer:   observer,
 		CacheSlots: cacheSlots,
+		Loss:       p,
 	}
 }
 
@@ -202,9 +254,18 @@ func unit(h uint64) float64 {
 
 // String renders the config compactly for reports.
 func (c PlanConfig) String() string {
-	return fmt.Sprintf("fetch=%g+%g diff=%g+%g notice=%g+%g window=%d",
+	s := fmt.Sprintf("fetch=%g+%g diff=%g+%g notice=%g+%g window=%d",
 		c.Delays[cluster.MsgPageFetch].Base, c.Delays[cluster.MsgPageFetch].Jitter,
 		c.Delays[cluster.MsgDiff].Base, c.Delays[cluster.MsgDiff].Jitter,
 		c.Delays[cluster.MsgNotice].Base, c.Delays[cluster.MsgNotice].Jitter,
 		c.ReorderWindow)
+	for class := cluster.MsgClass(0); class < cluster.NumMsgClasses; class++ {
+		if c.Loss[class] > 0 {
+			s += fmt.Sprintf(" loss[%s]=%g", class, c.Loss[class])
+		}
+		if c.Dup[class] > 0 {
+			s += fmt.Sprintf(" dup[%s]=%g", class, c.Dup[class])
+		}
+	}
+	return s
 }

@@ -14,6 +14,7 @@ import (
 	"genomedsm/internal/heuristics"
 	"genomedsm/internal/phase2"
 	"genomedsm/internal/preprocess"
+	"genomedsm/internal/recovery"
 	"genomedsm/internal/wavefront"
 )
 
@@ -99,6 +100,16 @@ type Options struct {
 	SeqLen int
 	// Plan holds the fault parameters (default DefaultPlanConfig).
 	Plan PlanConfig
+	// Kills schedules crash-stop faults: node i dies at its t-th recovery
+	// point and is recovered from its checkpoint. Ignored for
+	// StrategyBlockedMP, which has no DSM state to re-home (its fault
+	// support is loss-timing only).
+	Kills []recovery.Kill
+	// Recovery overrides the failure-detector / recovery-manager
+	// parameters; the zero value means defaults. The retry backoff's
+	// jitter seed, when unset, is derived from each run's plan seed so
+	// replays stay exact.
+	Recovery recovery.Params
 	// UsePlanZero disables fault injection (schedule exploration only)
 	// when Plan is deliberately all-zero. Without this flag a zero Plan
 	// is replaced by DefaultPlanConfig.
@@ -348,6 +359,16 @@ func runOne(st Strategy, opt Options, in *inputs, planSeed int64) (*RunResult, e
 	tracer := &dsm.ListTracer{}
 	hooks := plan.Hooks(tracer, opt.CacheSlots)
 	gate := hooks.Gate.(*TokenGate)
+	hooks.Recovery = opt.Recovery
+	if hooks.Recovery.Retry.Seed == 0 {
+		// Tie the retransmission backoff jitter to the plan seed so an
+		// (opt, planSeed) pair replays the identical timing.
+		hooks.Recovery.Retry.Seed = planSeed
+	}
+	if st != StrategyBlockedMP {
+		// blockedmp has no DSM pages or checkpoints; kills do not apply.
+		hooks.Crashes = opt.Kills
+	}
 
 	type outcome struct {
 		res *RunResult

@@ -1,0 +1,287 @@
+package chaos
+
+import (
+	"testing"
+
+	"genomedsm/internal/cluster"
+	"genomedsm/internal/dsm"
+	"genomedsm/internal/recovery"
+)
+
+// crashStrategies are the strategies the kill regression covers —
+// everything DSM-backed (blockedmp is timing-only under faults and never
+// receives kills).
+var crashStrategies = []Strategy{StrategyNoBlock, StrategyBlocked, StrategyPreprocess, StrategyPhase2}
+
+// TestKillEachNodeBitExact is the crash-recovery regression: every
+// DSM-backed strategy, killed once at every node id, must recover from
+// its checkpoint and still produce results bit-exact against the
+// sequential baseline.
+func TestKillEachNodeBitExact(t *testing.T) {
+	opt := quickOptions(21)
+	opt.Schedules = 1
+	for _, st := range crashStrategies {
+		stOpt := opt
+		stOpt.Strategies = []Strategy{st}
+		// A fault-free pre-run shows which nodes reach a recovery point at
+		// all: a kill scheduled before any crash-induced divergence fires
+		// iff the victim checkpoints in the fault-free schedule (phase 2's
+		// dynamic queue can starve a node of jobs on small inputs).
+		freeOpt := stOpt
+		freeOpt.Recovery.ForceCheckpoints = true // surface recovery points without a kill
+		free, err := RunOne(st, freeOpt, PlanSeed(stOpt.Seed, st, 0))
+		if err != nil {
+			t.Fatalf("%v fault-free run: %v", st, err)
+		}
+		reaches := make([]bool, stOpt.Nprocs)
+		for _, ev := range free.Trace {
+			if ev.Kind == dsm.TraceCheckpoint {
+				reaches[ev.Node] = true
+			}
+		}
+		killable := 0
+		for victim := 0; victim < stOpt.Nprocs; victim++ {
+			o := stOpt
+			o.Kills = []recovery.Kill{{Node: victim, Point: 1}}
+			rep, err := CheckStrategies(o)
+			if err != nil {
+				t.Fatalf("%v kill %d: %v", st, victim, err)
+			}
+			if err := rep.Err(); err != nil {
+				t.Fatalf("%v kill %d: %v", st, victim, err)
+			}
+			res, err := RunOne(st, o, PlanSeed(o.Seed, st, 0))
+			if err != nil {
+				t.Fatalf("%v kill %d rerun: %v", st, victim, err)
+			}
+			want := int64(0)
+			if reaches[victim] {
+				want = 1
+				killable++
+			}
+			if res.Stats.Crashes != want || res.Stats.Recoveries != want {
+				t.Errorf("%v kill %d: crashes=%d recoveries=%d, want %d/%d — %s",
+					st, victim, res.Stats.Crashes, res.Stats.Recoveries, want, want, res.Stats.String())
+			}
+		}
+		// The regression is vacuous if nobody could be killed.
+		if killable == 0 {
+			t.Errorf("%v: no node reaches a recovery point; the kill regression tested nothing", st)
+		}
+	}
+}
+
+// TestCrashTraceExplainsRecovery pins satellite coverage of the replay
+// trace: a kill-and-recover run records the crash, the lease-expiry
+// detection, the restore and the restart, in causal order, and the same
+// plan seed replays the identical event sequence.
+func TestCrashTraceExplainsRecovery(t *testing.T) {
+	opt := quickOptions(8)
+	opt.Kills = []recovery.Kill{{Node: 1, Point: 2}}
+	planSeed := PlanSeed(opt.Seed, StrategyNoBlock, 0)
+	res, err := RunOne(StrategyNoBlock, opt, planSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := []dsm.TraceKind{dsm.TraceCrash, dsm.TraceDetect, dsm.TraceRestore, dsm.TraceRestart}
+	at := make(map[dsm.TraceKind]int)
+	for i, ev := range res.Trace {
+		if ev.Node != 1 {
+			continue
+		}
+		if _, seen := at[ev.Kind]; !seen {
+			at[ev.Kind] = i
+		}
+	}
+	prev := -1
+	for _, k := range order {
+		i, ok := at[k]
+		if !ok {
+			t.Fatalf("trace has no %s event for the killed node", k)
+		}
+		if i < prev {
+			t.Errorf("%s at index %d precedes the prior recovery step at %d", k, i, prev)
+		}
+		prev = i
+	}
+	if _, ok := at[dsm.TraceCheckpoint]; !ok {
+		t.Error("trace has no checkpoint event for the killed node")
+	}
+	replay, err := RunOne(StrategyNoBlock, opt, planSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := diffTraces(res.Trace, replay.Trace); diff != "" {
+		t.Fatalf("kill-and-recover replay diverged: %s", diff)
+	}
+}
+
+// TestCheckpointCrashRoundTrip drives a bare DSM system through a
+// checkpoint, a crash and a restore, and asserts the strategy payload
+// comes back value-for-value while the flushed shared memory survives the
+// re-homing — the round-trip contract every strategy's resume path is
+// built on.
+func TestCheckpointCrashRoundTrip(t *testing.T) {
+	plan := NewPlan(31, 2, PlanConfig{})
+	tracer := &dsm.ListTracer{}
+	hooks := plan.Hooks(tracer, 0)
+	hooks.Crashes = []recovery.Kill{{Node: 1, Point: 1, After: 0.002}}
+	cc := cluster.Calibrated2005()
+	cc.Hooks = hooks
+	sys, err := dsm.NewSystem(2, cc, dsm.Options{CondVars: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Homed at the victim, so recovery must re-home it to node 0.
+	r, err := sys.AllocAt(cc.PageSize, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantInts := []int{-7, 0, 1 << 40}
+	wantF := 2.718281828
+	wantCells := []int32{9, -9, 2147483647}
+	var got [1]byte
+	err = sys.Run(func(n *dsm.Node) error {
+		if n.ID() == 0 {
+			if err := n.Barrier(); err != nil {
+				return err
+			}
+			if err := n.Waitcv(0); err != nil {
+				return err
+			}
+			if err := n.ReadAt(r, 5, got[:]); err != nil {
+				return err
+			}
+			return n.Barrier()
+		}
+		if ck := n.Restored(); ck != nil {
+			for i, want := range wantInts {
+				if v := ck.Int(); v != want {
+					t.Errorf("restored int %d = %d, want %d", i, v, want)
+				}
+			}
+			if v := ck.Float(); v != wantF {
+				t.Errorf("restored float = %v, want %v", v, wantF)
+			}
+			cells := ck.Int32s()
+			if len(cells) != len(wantCells) {
+				t.Errorf("restored slice length %d, want %d", len(cells), len(wantCells))
+			} else {
+				for i := range wantCells {
+					if cells[i] != wantCells[i] {
+						t.Errorf("restored cell %d = %d, want %d", i, cells[i], wantCells[i])
+					}
+				}
+			}
+			if err := ck.Err(); err != nil {
+				return err
+			}
+			if err := n.Setcv(0); err != nil {
+				return err
+			}
+			return n.Barrier()
+		}
+		if err := n.Barrier(); err != nil {
+			return err
+		}
+		if err := n.WriteAt(r, 5, []byte{0xC3}); err != nil {
+			return err
+		}
+		return n.Checkpoint(func(w *recovery.Writer) {
+			for _, v := range wantInts {
+				w.Int(v)
+			}
+			w.Float(wantF)
+			w.Int32s(wantCells)
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 0xC3 {
+		t.Errorf("shared byte after recovery = %#x, want 0xC3 (write lost across the crash)", got[0])
+	}
+	st := sys.Node(1).Stats()
+	if st.Checkpoints != 1 || st.Crashes != 1 || st.Recoveries != 1 {
+		t.Errorf("victim counters ckpt=%d crash=%d recov=%d, want 1/1/1", st.Checkpoints, st.Crashes, st.Recoveries)
+	}
+	if st.PagesRehomed < 1 {
+		t.Errorf("no pages re-homed although the victim homed a page")
+	}
+	if inc := sys.Node(1).Incarnation(); inc != 1 {
+		t.Errorf("incarnation = %d, want 1", inc)
+	}
+}
+
+// TestLossDupBitExact: with every message class losing and duplicating
+// probabilistically, all strategies stay bit-exact; the runs really do
+// retry and suppress duplicates.
+func TestLossDupBitExact(t *testing.T) {
+	opt := quickOptions(17)
+	opt.Schedules = 1
+	opt.Plan = DefaultPlanConfig()
+	for class := range opt.Plan.Loss {
+		opt.Plan.Loss[class] = 0.1
+		opt.Plan.Dup[class] = 0.1
+	}
+	opt.UsePlanZero = true // keep this deliberate plan
+	rep, err := CheckStrategies(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Err(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunOne(StrategyNoBlock, opt, PlanSeed(opt.Seed, StrategyNoBlock, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Retries == 0 {
+		t.Error("10% loss injected but no retries recorded")
+	}
+	if res.Stats.DupsSuppressed == 0 {
+		t.Error("10% duplication injected but no duplicates suppressed")
+	}
+}
+
+// TestPlanLoseDuplicate pins the Plan's loss draws: deterministic across
+// plans with equal seeds, capped at MaxLost, and silent at probability
+// zero.
+func TestPlanLoseDuplicate(t *testing.T) {
+	var cfg PlanConfig
+	cfg.Loss[cluster.MsgDiff] = 0.9
+	cfg.Dup[cluster.MsgDiff] = 0.5
+	cfg.MaxLost = 2
+	a := NewPlan(5, 2, cfg)
+	b := NewPlan(5, 2, cfg)
+	sawLoss, sawDup := false, false
+	for i := 0; i < 64; i++ {
+		la, lb := a.Lose(cluster.MsgDiff, 1), b.Lose(cluster.MsgDiff, 1)
+		if la != lb {
+			t.Fatalf("draw %d: Lose not deterministic: %d vs %d", i, la, lb)
+		}
+		if la < 0 || la > 2 {
+			t.Fatalf("draw %d: Lose = %d outside [0, MaxLost=2]", i, la)
+		}
+		if la > 0 {
+			sawLoss = true
+		}
+		da, db := a.Duplicate(cluster.MsgDiff, 1), b.Duplicate(cluster.MsgDiff, 1)
+		if da != db {
+			t.Fatalf("draw %d: Duplicate not deterministic", i)
+		}
+		if da {
+			sawDup = true
+		}
+		// Classes with zero probability stay silent.
+		if a.Lose(cluster.MsgSync, 1) != 0 || a.Duplicate(cluster.MsgSync, 1) {
+			t.Fatal("zero-probability class produced a fault")
+		}
+	}
+	if !sawLoss {
+		t.Error("90% loss never fired in 64 draws")
+	}
+	if !sawDup {
+		t.Error("50% duplication never fired in 64 draws")
+	}
+}

@@ -1,6 +1,10 @@
 package cluster
 
-import "fmt"
+import (
+	"fmt"
+
+	"genomedsm/internal/recovery"
+)
 
 // This file defines the chaos-layer hooks: interfaces through which a
 // fault-injection and schedule-exploration harness (internal/chaos) can
@@ -25,6 +29,10 @@ const (
 	// MsgNotice is a write-notice delivery riding on a lock grant,
 	// barrier grant or condition-variable signal.
 	MsgNotice
+	// MsgSync is a synchronization control message: ACQ/REL to a lock
+	// manager, BARR to the barrier owner, a condition-variable signal or
+	// wait registration.
+	MsgSync
 	// NumMsgClasses bounds per-class tables.
 	NumMsgClasses
 )
@@ -38,6 +46,8 @@ func (c MsgClass) String() string {
 		return "diff"
 	case MsgNotice:
 		return "notice"
+	case MsgSync:
+		return "sync"
 	default:
 		return fmt.Sprintf("msgclass(%d)", int(c))
 	}
@@ -59,6 +69,25 @@ type FaultPlan interface {
 	// displacement of each element is expected to stay within the
 	// plan's reorder bound.
 	Permute(class MsgClass, node, k int) []int
+}
+
+// LossPlan injects message loss and duplication. Delivery in the DSM is
+// at-least-once with receiver-side deduplication: a lost message costs
+// the sender a retransmission timeout (capped exponential backoff, see
+// recovery.Backoff) per lost attempt before the attempt that gets
+// through, and a duplicated message reaches the receiver twice, the
+// second copy suppressed by its sequence number. Like FaultPlan,
+// implementations must be concurrency-safe and answer deterministically
+// from per-(node, class) counters so a seeded run replays exactly.
+type LossPlan interface {
+	// Lose returns how many consecutive transmission attempts of the
+	// node's next message of the class are lost before one is delivered
+	// (0 = first attempt gets through). Implementations cap the answer;
+	// delivery is never suppressed forever.
+	Lose(class MsgClass, node int) int
+	// Duplicate reports whether the node's next delivered message of the
+	// class arrives twice.
+	Duplicate(class MsgClass, node int) bool
 }
 
 // ScheduleControl overrides the protocol's internal scheduling choices,
@@ -121,6 +150,17 @@ type Hooks struct {
 	// CacheSlots, when positive, overrides the per-node remote-page
 	// cache capacity, letting a harness force replacement traffic.
 	CacheSlots int
+	// Loss, when non-nil, injects message loss and duplication (see
+	// LossPlan).
+	Loss LossPlan
+	// Crashes schedules crash-stop faults: each Kill fires once, when
+	// its node reaches the given recovery point. Crash faults require a
+	// Gate (recovery mutates cross-node state while every other node is
+	// quiescent) and at least two nodes; dsm.NewSystem enforces both.
+	Crashes []recovery.Kill
+	// Recovery sets the failure-detector and recovery-manager
+	// parameters; the zero value means defaults (Params.WithDefaults).
+	Recovery recovery.Params
 }
 
 // FaultDelay returns the injected extra delay for the node's next
@@ -164,6 +204,58 @@ func (c Config) Gate() Gate {
 		return nil
 	}
 	return c.Hooks.Gate
+}
+
+// LostAttempts returns how many transmission attempts of the node's next
+// message of the class are lost before delivery, or 0 without a loss
+// plan. Negative answers are clamped.
+func (c Config) LostAttempts(class MsgClass, node int) int {
+	if c.Hooks == nil || c.Hooks.Loss == nil {
+		return 0
+	}
+	if k := c.Hooks.Loss.Lose(class, node); k > 0 {
+		return k
+	}
+	return 0
+}
+
+// Duplicated reports whether the node's next delivered message of the
+// class arrives twice, or false without a loss plan.
+func (c Config) Duplicated(class MsgClass, node int) bool {
+	return c.Hooks != nil && c.Hooks.Loss != nil && c.Hooks.Loss.Duplicate(class, node)
+}
+
+// KillAt returns the scheduled crash-stop fault for the node at the
+// given recovery point, if any. Points are counted per node across
+// restarts, so each Kill can fire at most once.
+func (c Config) KillAt(node, point int) (recovery.Kill, bool) {
+	if c.Hooks == nil {
+		return recovery.Kill{}, false
+	}
+	for _, k := range c.Hooks.Crashes {
+		if k.Node == node && k.Point == point {
+			return k, true
+		}
+	}
+	return recovery.Kill{}, false
+}
+
+// RecoveryParams returns the effective failure-detector / recovery
+// parameters (defaults filled in).
+func (c Config) RecoveryParams() recovery.Params {
+	if c.Hooks == nil {
+		return recovery.Params{}.WithDefaults()
+	}
+	return c.Hooks.Recovery.WithDefaults()
+}
+
+// RecoveryActive reports whether the checkpoint/heartbeat machinery is
+// on for this run: it is when crash faults are scheduled or checkpoints
+// are forced. Everything recovery-related (checkpoint I/O, heartbeats,
+// detection charges) is gated on this so a run without the hooks is
+// bit- and timing-identical to one built before the fault layer existed.
+func (c Config) RecoveryActive() bool {
+	return c.Hooks != nil && (len(c.Hooks.Crashes) > 0 || c.Hooks.Recovery.ForceCheckpoints)
 }
 
 // validPerm reports whether perm is a permutation of 0..k-1.

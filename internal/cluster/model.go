@@ -26,6 +26,7 @@ const (
 	LockCV           // lock acquire/release and condition-variable waits
 	Barrier          // barrier waits
 	IO               // disk writes of the pre-process strategy
+	Recovery         // failure detection, checkpoint I/O and crash recovery
 	numCategories
 )
 
@@ -42,6 +43,8 @@ func (c Category) String() string {
 		return "barrier"
 	case IO:
 		return "io"
+	case Recovery:
+		return "recovery"
 	default:
 		return fmt.Sprintf("category(%d)", int(c))
 	}

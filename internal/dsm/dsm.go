@@ -32,6 +32,7 @@ import (
 	"sync/atomic"
 
 	"genomedsm/internal/cluster"
+	"genomedsm/internal/recovery"
 )
 
 // Options configures a System beyond the cluster cost model, mirroring
@@ -130,6 +131,18 @@ type System struct {
 	migrations atomic.Int64
 
 	nodes []*Node
+
+	// Fault-tolerance configuration, resolved once at NewSystem. recActive
+	// gates every piece of new crash-recovery behaviour (checkpoint I/O,
+	// heartbeats) so fault-free runs — including pre-existing golden
+	// traces — are byte-identical to the pre-recovery protocol. recParams
+	// is always resolved, because loss-retry backoff applies even without
+	// crash faults.
+	recActive bool
+	recParams recovery.Params
+	// ckpts holds each node's latest checkpoint blob — the simulated
+	// stable storage a restarting node restores from.
+	ckpts [][]byte
 }
 
 // NewSystem builds a cluster of nprocs nodes with the given cost model.
@@ -166,7 +179,26 @@ func NewSystem(nprocs int, cfg cluster.Config, opts Options) (*System, error) {
 	if opts.CondVars == 0 {
 		opts.CondVars = defaultCondVars
 	}
+	if h := cfg.Hooks; h != nil && len(h.Crashes) > 0 {
+		// Crash-stop faults need the execution gate (recovery mutates
+		// survivor state inline while they are quiescent) and a survivor
+		// to re-home pages to.
+		if h.Gate == nil {
+			return nil, fmt.Errorf("dsm: crash faults require an execution gate")
+		}
+		if nprocs < 2 {
+			return nil, fmt.Errorf("dsm: crash faults need at least 2 nodes, got %d", nprocs)
+		}
+		for _, k := range h.Crashes {
+			if k.Node < 0 || k.Node >= nprocs {
+				return nil, fmt.Errorf("dsm: crash fault names node %d, have %d nodes", k.Node, nprocs)
+			}
+		}
+	}
 	sys := &System{cfg: cfg, opts: opts, nprocs: nprocs}
+	sys.recActive = cfg.RecoveryActive()
+	sys.recParams = cfg.RecoveryParams()
+	sys.ckpts = make([][]byte, nprocs)
 	sys.locks = make([]*lockVar, opts.Locks)
 	for i := range sys.locks {
 		sys.locks[i] = newLockVar(i % nprocs) // lock managers distributed round-robin
@@ -275,6 +307,12 @@ func (s *System) page(id int) *page {
 // node. Under an execution gate, each node registers before running and
 // announces completion, so the gate serializes the whole SPMD execution
 // deterministically.
+//
+// When a scheduled crash-stop fault fires inside body (at a checkpoint —
+// see Node.Checkpoint), the node recovers inline — lease-expiry
+// detection, forced lock release, page re-homing, checkpoint restore —
+// and body is re-invoked on the same node; Node.Restored distinguishes
+// the restarted incarnation from a fresh start.
 func (s *System) Run(body func(n *Node) error) error {
 	var wg sync.WaitGroup
 	errs := make([]error, s.nprocs)
@@ -287,12 +325,21 @@ func (s *System) Run(body func(n *Node) error) error {
 				gate.Register(n.id)
 				defer gate.Done(n.id)
 			}
-			defer func() {
-				if r := recover(); r != nil {
-					errs[n.id] = fmt.Errorf("dsm: node %d panicked: %v", n.id, r)
+			for {
+				err := runBody(body, n)
+				cf, crashed := err.(*crashFault)
+				if !crashed {
+					errs[n.id] = err
+					return
 				}
-			}()
-			errs[n.id] = body(n)
+				// Crash-stop fault: this goroutine still holds the gate
+				// token, so every other node is quiescent and the
+				// cross-node recovery fixups below are race-free.
+				if rerr := n.recoverFromCrash(cf); rerr != nil {
+					errs[n.id] = rerr
+					return
+				}
+			}
 		}(s.nodes[i])
 	}
 	wg.Wait()
@@ -302,6 +349,22 @@ func (s *System) Run(body func(n *Node) error) error {
 		}
 	}
 	return nil
+}
+
+// runBody invokes body once, converting a crash-fault panic back into the
+// sentinel error Run's retry loop dispatches on and any other panic into
+// a node-naming error.
+func runBody(body func(n *Node) error, n *Node) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if cf, ok := r.(*crashFault); ok {
+				err = cf
+				return
+			}
+			err = fmt.Errorf("dsm: node %d panicked: %v", n.id, r)
+		}
+	}()
+	return body(n)
 }
 
 // Breakdowns returns every node's virtual-time breakdown.

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"genomedsm/internal/cluster"
+	"genomedsm/internal/recovery"
 )
 
 // msgHeaderBytes approximates the wire overhead of one protocol message.
@@ -43,6 +44,21 @@ type Node struct {
 	// the next release/barrier or other nodes' stale copies would never
 	// learn about the writes.
 	pendingNotices map[int]uint64
+
+	// Fault-tolerance state (see recovery.go). ops, points, diffSeq,
+	// cvSeq and syncSeq are manipulated only by the node's own
+	// goroutine; diffSeq/cvSeq/syncSeq are the sender side of the
+	// at-least-once-with-dedup sequence numbering and survive a crash
+	// via the checkpoint (reusing a sequence number after restart would
+	// make the homes wrongly suppress fresh diffs as duplicates).
+	ops         uint64                        // protocol operations, paces heartbeats
+	points      int                           // recovery points passed (checkpoint counter)
+	incarnation int                           // completed crash recoveries
+	diffSeq     map[int]uint64                // per-page outbound diff sequence numbers
+	cvSeq       []uint64                      // per-cv outbound signal sequence numbers
+	syncSeq     uint64                        // outbound sync-message sequence number
+	sendSeq     [cluster.NumMsgClasses]uint64 // per-class message counter (backoff jitter keys)
+	restored    *recovery.Reader              // strategy section of the restored checkpoint
 }
 
 func newNode(sys *System, id int) *Node {
@@ -52,6 +68,8 @@ func newNode(sys *System, id int) *Node {
 		cache:          make(map[int]*cachedPage),
 		dirtyHome:      make(map[int]bool),
 		pendingNotices: make(map[int]uint64),
+		diffSeq:        make(map[int]uint64),
+		cvSeq:          make([]uint64, sys.opts.CondVars),
 	}
 }
 
@@ -78,9 +96,55 @@ func (n *Node) Stats() Stats { return n.stats.snapshot() }
 
 // yield offers a scheduling point at the start of a protocol operation.
 func (n *Node) yield() {
+	n.maybeHeartbeat()
 	if g := n.sys.cfg.Gate(); g != nil {
 		g.Yield(n.id)
 	}
+}
+
+// maybeHeartbeat sends a failure-detector heartbeat every HeartbeatEvery
+// protocol operations while recovery is active. Survivors use the absence
+// of heartbeats past the lease to confirm a crash; the simulation charges
+// the send cost here and the lease wait on the recovery path.
+func (n *Node) maybeHeartbeat() {
+	if !n.sys.recActive {
+		return
+	}
+	every := n.sys.recParams.HeartbeatEvery
+	if every <= 0 {
+		return
+	}
+	n.ops++
+	if n.ops%uint64(every) != 0 {
+		return
+	}
+	n.clock.Advance(n.sys.cfg.Net.MessageCost(msgHeaderBytes), cluster.Recovery)
+	inc(&n.stats.Heartbeats, 1)
+	inc(&n.stats.MsgsSent, 1)
+	inc(&n.stats.BytesMoved, msgHeaderBytes)
+}
+
+// lossRetries charges the at-least-once delivery cost of the node's next
+// message of the given class: the loss plan reports how many transmission
+// attempts vanish, and each lost attempt costs the sender one
+// retransmission timeout from the capped exponential backoff schedule.
+// The successful final attempt is the round trip the caller charges.
+func (n *Node) lossRetries(class cluster.MsgClass, cat cluster.Category) {
+	n.sendSeq[class]++
+	lost := n.sys.cfg.LostAttempts(class, n.id)
+	if lost == 0 {
+		return
+	}
+	bo := n.sys.recParams.Retry
+	key := uint64(n.id)<<48 ^ uint64(class)<<40 ^ n.sendSeq[class]
+	total := 0.0
+	for a := 0; a < lost; a++ {
+		total += bo.Delay(key, a)
+	}
+	n.clock.Advance(total, cat)
+	inc(&n.stats.Retries, int64(lost))
+	inc(&n.stats.MsgsSent, int64(lost))
+	n.trace(TraceRetry, -1, -1, fmt.Sprintf("%s x%d", class, lost))
 }
 
 // park announces that the node is about to block on a channel receive.
@@ -206,12 +270,19 @@ func (n *Node) ensureCached(p *page) (*cachedPage, error) {
 		}
 	}
 	// GETP request to the home; reply carries the page.
+	n.lossRetries(cluster.MsgPageFetch, cluster.Comm)
 	data, version := p.snapshot()
 	n.clock.Advance(n.sys.cfg.Net.RoundTrip(msgHeaderBytes, msgHeaderBytes+len(data))+
 		n.sys.cfg.FaultDelay(cluster.MsgPageFetch, n.id), cluster.Comm)
 	inc(&n.stats.PageFetches, 1)
 	inc(&n.stats.MsgsSent, 2)
 	inc(&n.stats.BytesMoved, int64(2*msgHeaderBytes+len(data)))
+	if n.sys.cfg.Duplicated(cluster.MsgPageFetch, n.id) {
+		// A duplicated page reply carries the same snapshot; the requester
+		// matches replies to outstanding GETPs and drops the straggler.
+		inc(&n.stats.DupsSuppressed, 1)
+		n.trace(TraceDup, p.id, -1, "page reply")
+	}
 	cp := &cachedPage{data: data, version: version, seq: n.nextSeq}
 	n.nextSeq++
 	n.cache[p.id] = cp
@@ -263,12 +334,15 @@ func (n *Node) flushPage(pid int, cp *cachedPage, notices map[int]uint64) {
 		return
 	}
 	p := n.sys.page(pid)
-	version := p.applyDiff(d, n.id)
+	n.diffSeq[pid]++
+	seq := n.diffSeq[pid]
+	version, _ := p.applyDiff(d, n.id, seq)
 	// Deliberately leave cp.version at its fetch-time value: the cached
 	// copy does not contain writes other nodes (including the home) made
 	// meanwhile, so the write notice for this very diff must be able to
 	// invalidate it — as JIAJIA does, where written pages fall back to
 	// invalid at the next synchronization unless the node is the home.
+	n.lossRetries(cluster.MsgDiff, cluster.Comm)
 	n.clock.Advance(n.sys.cfg.Net.RoundTrip(d.wireSize()+msgHeaderBytes, msgHeaderBytes)+
 		n.sys.cfg.FaultDelay(cluster.MsgDiff, n.id), cluster.Comm)
 	inc(&n.stats.DiffsSent, 1)
@@ -276,6 +350,15 @@ func (n *Node) flushPage(pid int, cp *cachedPage, notices map[int]uint64) {
 	inc(&n.stats.MsgsSent, 2)
 	inc(&n.stats.BytesMoved, int64(d.wireSize()+2*msgHeaderBytes))
 	n.trace(TraceDiff, pid, -1, fmt.Sprintf("%dB -> v%d", d.wireSize(), version))
+	if n.sys.cfg.Duplicated(cluster.MsgDiff, n.id) {
+		// Duplicated delivery: the home sees the same sequence number
+		// again and must drop it, or the diff would apply twice and its
+		// version bump would masquerade as a fresh write.
+		if _, applied := p.applyDiff(d, n.id, seq); !applied {
+			inc(&n.stats.DupsSuppressed, 1)
+			n.trace(TraceDup, pid, -1, fmt.Sprintf("diff seq %d", seq))
+		}
+	}
 	if notices != nil {
 		notices[pid] = version
 	}
@@ -338,6 +421,7 @@ func (n *Node) applyNotices(notices map[int]uint64) {
 	if len(notices) == 0 {
 		return
 	}
+	n.lossRetries(cluster.MsgNotice, cluster.Comm)
 	if d := n.sys.cfg.FaultDelay(cluster.MsgNotice, n.id); d > 0 {
 		n.clock.Advance(d, cluster.Comm)
 	}

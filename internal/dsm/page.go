@@ -23,6 +23,11 @@ type page struct {
 	// whole pages. Entry k carries the diff that took the master from
 	// version v−1 to v.
 	recent []versionedDiff
+	// lastSeq records, per remote writer, the highest diff sequence
+	// number applied — the home side of at-least-once-with-dedup
+	// delivery. A diff arriving with a sequence number at or below the
+	// recorded one is a duplicate and is dropped. Lazily allocated.
+	lastSeq map[int]uint64
 }
 
 // versionedDiff is one retained master modification.
@@ -120,17 +125,31 @@ func (p *page) writeMaster(off int, data []byte, writer int) uint64 {
 }
 
 // applyDiff merges a diff produced by remote writer into the master — the
-// home side of the multiple-writer protocol. It returns the new version.
-func (p *page) applyDiff(d diff, writer int) uint64 {
+// home side of the multiple-writer protocol. seq is the writer's
+// per-page diff sequence number; a duplicate (seq at or below the last
+// one applied for this writer) leaves the master untouched and reports
+// applied=false. seq 0 bypasses deduplication (callers that do not
+// number their diffs). It returns the current version and whether the
+// diff was applied.
+func (p *page) applyDiff(d diff, writer int, seq uint64) (version uint64, applied bool) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	if seq != 0 {
+		if p.lastSeq == nil {
+			p.lastSeq = make(map[int]uint64)
+		}
+		if seq <= p.lastSeq[writer] {
+			return p.version, false
+		}
+		p.lastSeq[writer] = seq
+	}
 	for _, run := range d.runs {
 		copy(p.master[run.off:run.off+len(run.data)], run.data)
 	}
 	p.version++
 	p.noteWriter(writer)
 	p.recordDiff(p.version, d)
-	return p.version
+	return p.version, true
 }
 
 // diff is the set of byte runs by which a cached copy departs from its

@@ -24,7 +24,7 @@ func TestMakeDiffRoundTrip(t *testing.T) {
 		// Applying the diff to a copy of the twin must reproduce current.
 		p := newPage(7, 0, 512)
 		copy(p.master, twin)
-		p.applyDiff(d, 1)
+		p.applyDiff(d, 1, 0)
 		return bytes.Equal(p.master, current)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {

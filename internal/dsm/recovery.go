@@ -1,0 +1,293 @@
+package dsm
+
+import (
+	"fmt"
+	"sort"
+
+	"genomedsm/internal/cluster"
+	"genomedsm/internal/recovery"
+)
+
+// This file is the crash-fault-tolerance layer: checkpoints at recovery
+// points, the crash-stop fault sentinel, and the recovery manager that
+// survivors (conceptually) and the simulation (actually, inline in the
+// crashed node's goroutine) run to bring a dead node back.
+//
+// Fault model. A crash-stop fault wipes a node's volatile state — cached
+// pages, twins, pending notices, dirty-home flags, sequence counters —
+// but not the page masters homed elsewhere, not the manager-side
+// synchronization state, and not the checkpoint on stable storage.
+// Faults fire only at recovery points (Checkpoint calls), where the
+// strategy holds no lock and sits between work units; the checkpoint
+// flushes every dirty page home first, so the crash loses no completed
+// work and the sequential-equivalence argument of DESIGN.md §9 goes
+// through: a kill-and-recover run produces bit-identical alignments.
+
+// crashFault is the panic sentinel a scheduled crash-stop fault raises at
+// a checkpoint. System.Run converts it back into a recovery, never into a
+// user-visible error.
+type crashFault struct {
+	kill recovery.Kill
+}
+
+func (c *crashFault) Error() string {
+	return fmt.Sprintf("dsm: crash-stop fault %s", c.kill)
+}
+
+// RecoveryEnabled reports whether the checkpoint/recovery machinery is
+// active for this run (crash faults scheduled, or checkpoints forced).
+func (n *Node) RecoveryEnabled() bool { return n.sys.recActive }
+
+// Incarnation returns how many crash recoveries this node has completed
+// (0 for a node that never crashed).
+func (n *Node) Incarnation() int { return n.incarnation }
+
+// Restored returns a reader positioned at the strategy section of the
+// checkpoint this node was recovered from, or nil when the node is on a
+// fresh start. A strategy body checks it first thing and, when non-nil,
+// decodes its cursor state and resumes mid-loop instead of starting over.
+func (n *Node) Restored() *recovery.Reader {
+	r := n.restored
+	n.restored = nil
+	return r
+}
+
+// Checkpoint persists the node's recovery-point state: it flushes every
+// dirty remote page home (so the checkpoint is crash-consistent — all
+// completed work is either at the page homes or in this blob), writes the
+// dsm-side counters followed by whatever the strategy's encode callback
+// appends, and charges the blob's write to the simulated NFS disk. When
+// recovery is inactive it returns immediately without invoking encode, so
+// strategies call it unconditionally at their natural boundaries for free.
+//
+// A scheduled crash-stop fault for this node's current recovery point
+// fires here, after the blob is persisted — modelling a machine that dies
+// right after its last successful checkpoint.
+func (n *Node) Checkpoint(encode func(w *recovery.Writer)) error {
+	if !n.sys.recActive {
+		return nil
+	}
+	n.yield()
+	n.points++
+
+	// Flush dirty remote pages (ascending page id, like flushAll) so no
+	// completed writes live only in volatile cache. Their write notices
+	// park in pendingNotices and are saved below, to ride the next
+	// synchronization flush of whichever incarnation performs it.
+	var dirty []int
+	for pid, cp := range n.cache {
+		if cp.dirty {
+			dirty = append(dirty, pid)
+		}
+	}
+	sort.Ints(dirty)
+	for _, pid := range dirty {
+		n.flushPage(pid, n.cache[pid], n.pendingNotices)
+	}
+
+	w := recovery.NewWriter()
+	w.Int(n.points)
+	w.Uint(n.syncSeq)
+	pids := make([]int, 0, len(n.diffSeq))
+	for pid := range n.diffSeq {
+		pids = append(pids, pid)
+	}
+	sort.Ints(pids)
+	w.Int(len(pids))
+	for _, pid := range pids {
+		w.Int(pid)
+		w.Uint(n.diffSeq[pid])
+	}
+	w.Int(len(n.cvSeq))
+	for _, s := range n.cvSeq {
+		w.Uint(s)
+	}
+	pids = pids[:0]
+	for pid := range n.pendingNotices {
+		pids = append(pids, pid)
+	}
+	sort.Ints(pids)
+	w.Int(len(pids))
+	for _, pid := range pids {
+		w.Int(pid)
+		w.Uint(n.pendingNotices[pid])
+	}
+	pids = pids[:0]
+	for pid := range n.dirtyHome {
+		pids = append(pids, pid)
+	}
+	sort.Ints(pids)
+	w.Int(len(pids))
+	for _, pid := range pids {
+		w.Int(pid)
+	}
+	encode(w)
+	blob := w.Finish()
+	n.sys.ckpts[n.id] = blob
+	n.clock.Advance(n.sys.cfg.Disk.WriteCost(len(blob)), cluster.Recovery)
+	inc(&n.stats.Checkpoints, 1)
+	n.trace(TraceCheckpoint, -1, -1, fmt.Sprintf("point %d, %dB", n.points, len(blob)))
+
+	if kill, ok := n.sys.cfg.KillAt(n.id, n.points); ok {
+		inc(&n.stats.Crashes, 1)
+		n.trace(TraceCrash, -1, -1, fmt.Sprintf("at point %d", n.points))
+		panic(&crashFault{kill: kill})
+	}
+	return nil
+}
+
+// recoverFromCrash is the recovery manager. It runs inline in the crashed
+// node's goroutine while that goroutine holds the execution-gate token —
+// every other node is parked or waiting for the gate, so the cross-node
+// fixups (forced lock release, page re-homing, dropping the successor's
+// stale copies) are race-free. All recovery work is charged to the failed
+// node's clock in the Recovery category; survivors blocked on it observe
+// the outage as barrier/lock wait time, exactly as a real cluster would.
+func (n *Node) recoverFromCrash(cf *crashFault) error {
+	sys := n.sys
+	params := sys.recParams
+
+	// The crash wipes volatile state.
+	n.cache = make(map[int]*cachedPage)
+	n.dirtyHome = make(map[int]bool)
+	n.pendingNotices = make(map[int]uint64)
+	n.diffSeq = make(map[int]uint64)
+	for i := range n.cvSeq {
+		n.cvSeq[i] = 0
+	}
+	n.syncSeq = 0
+	n.nextSeq = 0
+	n.ops = 0
+	for i := range n.sendSeq {
+		n.sendSeq[i] = 0
+	}
+
+	// Detection: survivors miss heartbeats and confirm the crash once the
+	// lease expires.
+	n.clock.Advance(params.Lease, cluster.Recovery)
+	n.trace(TraceDetect, -1, -1, fmt.Sprintf("lease %.0fµs expired", params.Lease*1e6))
+
+	// Break any locks the dead node held (defensive: the fault model
+	// guarantees none at a recovery point) so survivors cannot wedge.
+	if broken := n.forceReleaseLocks(n.clock.Now()); broken > 0 {
+		n.trace(TraceDetect, -1, -1, fmt.Sprintf("%d locks force-released", broken))
+	}
+
+	// Re-home the dead node's pages to its successor, reconstructed from
+	// the flushed-diff log (the simulation retains master contents; the
+	// cost model charges one page-sized transfer per page). The successor
+	// drops its now-shadowing cached copies: the master is local to it.
+	succ := (n.id + 1) % sys.nprocs
+	rehomed := sys.rehome(n.id, succ)
+	if len(rehomed) > 0 {
+		per := sys.cfg.Net.MessageCost(msgHeaderBytes + sys.cfg.PageSize)
+		n.clock.Advance(float64(len(rehomed))*per, cluster.Recovery)
+		inc(&n.stats.PagesRehomed, int64(len(rehomed)))
+		n.trace(TraceRehome, -1, -1, fmt.Sprintf("%d pages -> node %d", len(rehomed), succ))
+		for _, pid := range rehomed {
+			delete(sys.nodes[succ].cache, pid)
+		}
+	}
+
+	// Reboot, then restore the checkpoint from stable storage.
+	n.clock.Advance(params.RestartDelay+cf.kill.After, cluster.Recovery)
+	blob := sys.ckpts[n.id]
+	if blob == nil {
+		return fmt.Errorf("dsm: node %d crashed with no checkpoint on stable storage", n.id)
+	}
+	n.clock.Advance(sys.cfg.Disk.WriteCost(len(blob)), cluster.Recovery) // NFS read ≈ write
+	r, err := recovery.NewReader(blob)
+	if err != nil {
+		return fmt.Errorf("dsm: node %d checkpoint corrupt: %w", n.id, err)
+	}
+	n.points = r.Int()
+	n.syncSeq = r.Uint()
+	for i, cnt := 0, r.Int(); i < cnt; i++ {
+		pid := r.Int()
+		n.diffSeq[pid] = r.Uint()
+	}
+	for i, cnt := 0, r.Int(); i < cnt; i++ {
+		if i < len(n.cvSeq) {
+			n.cvSeq[i] = r.Uint()
+		}
+	}
+	for i, cnt := 0, r.Int(); i < cnt; i++ {
+		pid := r.Int()
+		n.pendingNotices[pid] = r.Uint()
+	}
+	for i, cnt := 0, r.Int(); i < cnt; i++ {
+		n.dirtyHome[r.Int()] = true
+	}
+	if err := r.Err(); err != nil {
+		return fmt.Errorf("dsm: node %d checkpoint decode: %w", n.id, err)
+	}
+	n.restored = r
+	n.incarnation++
+	inc(&n.stats.Recoveries, 1)
+	n.trace(TraceRestore, -1, -1, fmt.Sprintf("point %d, %dB", n.points, len(blob)))
+	n.trace(TraceRestart, -1, -1, fmt.Sprintf("incarnation %d", n.incarnation))
+	return nil
+}
+
+// forceReleaseLocks sweeps every lock held by this (crashed) node and
+// releases it on the manager's behalf, granting to the earliest queued
+// waiter by virtual arrival time. The crash-at-recovery-point model
+// guarantees no lock is held at a checkpoint, so this is defensive depth:
+// lease-based recovery must be able to break locks regardless. Returns
+// the number of locks broken.
+func (n *Node) forceReleaseLocks(now float64) int {
+	broken := 0
+	cfg := n.sys.cfg
+	for id, lv := range n.sys.locks {
+		lv.mu.Lock()
+		if !lv.held || lv.holder != n.id {
+			lv.mu.Unlock()
+			continue
+		}
+		broken++
+		if len(lv.queue) > 0 {
+			best := 0
+			for i, w := range lv.queue {
+				if w.reqArrive < lv.queue[best].reqArrive {
+					best = i
+				}
+			}
+			w := lv.queue[best]
+			lv.queue = append(lv.queue[:best], lv.queue[best+1:]...)
+			departAt := now
+			if w.reqArrive > departAt {
+				departAt = w.reqArrive
+			}
+			lv.holder = w.node
+			n.wake(w.node)
+			w.ch <- lockGrant{departAt: departAt + cfg.ManagerService, notices: copyNotices(lv.notices)}
+		} else {
+			lv.held = false
+			lv.holder = -1
+			lv.freeAt = now + cfg.ManagerService
+		}
+		lv.mu.Unlock()
+		n.trace(TraceRelease, -1, id, "forced by recovery")
+	}
+	return broken
+}
+
+// rehome moves every page homed at dead to succ, returning the moved page
+// ids. Master contents are retained: the model is that the successor
+// reconstructs each page from the last flushed diffs, which the
+// home-based protocol guarantees cover every completed write.
+func (s *System) rehome(dead, succ int) []int {
+	s.mu.Lock()
+	pages := s.pages
+	s.mu.Unlock()
+	var moved []int
+	for _, p := range pages {
+		p.mu.Lock()
+		if p.home == dead {
+			p.home = succ
+			moved = append(moved, p.id)
+		}
+		p.mu.Unlock()
+	}
+	return moved
+}

@@ -1,0 +1,313 @@
+package dsm
+
+import (
+	"strings"
+	"testing"
+
+	"genomedsm/internal/cluster"
+	"genomedsm/internal/recovery"
+)
+
+// TestApplyDiffDedup pins the receiver-side sequence-number dedup that
+// makes delivery at-least-once safe: each case replays a delivery
+// sequence and lists which applications must take effect.
+func TestApplyDiffDedup(t *testing.T) {
+	type delivery struct {
+		writer      int
+		seq         uint64
+		wantApplied bool
+	}
+	cases := []struct {
+		name       string
+		deliveries []delivery
+	}{
+		{
+			name: "duplicate suppressed",
+			deliveries: []delivery{
+				{writer: 1, seq: 1, wantApplied: true},
+				{writer: 1, seq: 1, wantApplied: false},
+			},
+		},
+		{
+			name: "fresh sequence applies",
+			deliveries: []delivery{
+				{writer: 1, seq: 1, wantApplied: true},
+				{writer: 1, seq: 2, wantApplied: true},
+			},
+		},
+		{
+			name: "stale sequence suppressed",
+			deliveries: []delivery{
+				{writer: 1, seq: 3, wantApplied: true},
+				{writer: 1, seq: 2, wantApplied: false},
+			},
+		},
+		{
+			name: "per-writer independence",
+			deliveries: []delivery{
+				{writer: 1, seq: 1, wantApplied: true},
+				{writer: 2, seq: 1, wantApplied: true},
+				{writer: 2, seq: 1, wantApplied: false},
+				{writer: 1, seq: 2, wantApplied: true},
+			},
+		},
+		{
+			name: "seq zero bypasses dedup",
+			deliveries: []delivery{
+				{writer: 1, seq: 0, wantApplied: true},
+				{writer: 1, seq: 0, wantApplied: true},
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := newPage(0, 0, 64)
+			twin := make([]byte, 64)
+			current := make([]byte, 64)
+			current[7] = 0xAB
+			d := makeDiff(0, twin, current)
+			for i, dv := range tc.deliveries {
+				_, applied := p.applyDiff(d, dv.writer, dv.seq)
+				if applied != dv.wantApplied {
+					t.Errorf("delivery %d (writer %d seq %d): applied=%v, want %v",
+						i, dv.writer, dv.seq, applied, dv.wantApplied)
+				}
+			}
+		})
+	}
+}
+
+// TestCheckpointInactiveNoop: without crash faults or forced checkpoints
+// the facility costs nothing — encode is never invoked, no blob is
+// written, no counter moves — so strategies call Checkpoint
+// unconditionally at their natural boundaries.
+func TestCheckpointInactiveNoop(t *testing.T) {
+	sys := newTestSystem(t, 1, Options{})
+	called := false
+	err := sys.Run(func(n *Node) error {
+		if n.RecoveryEnabled() {
+			return nil
+		}
+		return n.Checkpoint(func(w *recovery.Writer) { called = true })
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if called {
+		t.Error("encode invoked while recovery inactive")
+	}
+	if sys.ckpts[0] != nil {
+		t.Error("checkpoint blob written while recovery inactive")
+	}
+	if st := sys.TotalStats(); st.Checkpoints != 0 || st.Heartbeats != 0 {
+		t.Errorf("recovery counters moved while inactive: %s", st.String())
+	}
+}
+
+// TestCheckpointForcedRoundTrip: with ForceCheckpoints on, a checkpoint
+// flushes dirty remote pages home, persists a blob, and the blob decodes
+// back to the dsm counters and strategy payload that went in — the
+// round-trip contract a restore relies on.
+func TestCheckpointForcedRoundTrip(t *testing.T) {
+	cfg := cluster.Zero()
+	cfg.Hooks = &cluster.Hooks{Recovery: recovery.Params{ForceCheckpoints: true}}
+	sys, err := NewSystem(2, cfg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, _ := sys.AllocAt(cfg.PageSize, 0)
+	payload := []int32{3, 1, 4, 1, 5}
+	err = sys.Run(func(n *Node) error {
+		if n.ID() != 1 {
+			return n.Barrier()
+		}
+		// Dirty a remote page, then checkpoint: the flush must reach the
+		// home before the blob is persisted.
+		if err := n.WriteAt(r, 3, []byte{0x5A}); err != nil {
+			return err
+		}
+		if err := n.Checkpoint(func(w *recovery.Writer) {
+			w.Int(42)
+			w.Int32s(payload)
+		}); err != nil {
+			return err
+		}
+		return n.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob := sys.ckpts[1]
+	if blob == nil {
+		t.Fatal("no checkpoint blob persisted")
+	}
+	rd, err := recovery.NewReader(blob)
+	if err != nil {
+		t.Fatalf("blob does not decode: %v", err)
+	}
+	// The dsm section, in Checkpoint's writing order.
+	if points := rd.Int(); points != 1 {
+		t.Errorf("points = %d, want 1", points)
+	}
+	rd.Uint() // syncSeq
+	diffSeqs := map[int]uint64{}
+	for i, cnt := 0, rd.Int(); i < cnt; i++ {
+		diffSeqs[rd.Int()] = rd.Uint()
+	}
+	if len(diffSeqs) != 1 {
+		t.Errorf("diffSeq entries = %d, want 1 (the flushed page)", len(diffSeqs))
+	}
+	for i, cnt := 0, rd.Int(); i < cnt; i++ { // cvSeq
+		rd.Uint()
+	}
+	pending := 0
+	for i, cnt := 0, rd.Int(); i < cnt; i++ { // pendingNotices
+		rd.Int()
+		rd.Uint()
+		pending++
+	}
+	if pending != 1 {
+		t.Errorf("pending notices = %d, want 1 (the flushed page's)", pending)
+	}
+	for i, cnt := 0, rd.Int(); i < cnt; i++ { // dirtyHome
+		rd.Int()
+	}
+	// The strategy section round-trips.
+	if got := rd.Int(); got != 42 {
+		t.Errorf("payload int = %d, want 42", got)
+	}
+	got := rd.Int32s()
+	if len(got) != len(payload) {
+		t.Fatalf("payload slice length %d, want %d", len(got), len(payload))
+	}
+	for i := range payload {
+		if got[i] != payload[i] {
+			t.Errorf("payload[%d] = %d, want %d", i, got[i], payload[i])
+		}
+	}
+	if err := rd.Err(); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	// The dirty write reached the home through the checkpoint flush.
+	err = sys.Run(func(n *Node) error {
+		if n.ID() != 0 {
+			return nil
+		}
+		var b [1]byte
+		if err := n.ReadAt(r, 3, b[:]); err != nil {
+			return err
+		}
+		if b[0] != 0x5A {
+			t.Errorf("home byte = %#x, want 0x5A (checkpoint did not flush)", b[0])
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := sys.TotalStats(); st.Checkpoints != 1 {
+		t.Errorf("checkpoints = %d, want 1", st.Checkpoints)
+	}
+}
+
+// TestForceReleaseLocks drives the recovery manager's lock sweep
+// directly: a lock held by the dead node is granted to its earliest
+// waiter (by virtual arrival), a queue-less lock is freed, and locks held
+// by others are untouched.
+func TestForceReleaseLocks(t *testing.T) {
+	sys := newTestSystem(t, 2, Options{Locks: 3})
+
+	// Lock 0: held by node 0 with two queued waiters; the earlier arrival
+	// (node 1 at t=2) must win even though it is queued second.
+	lv0 := sys.locks[0]
+	lv0.held, lv0.holder = true, 0
+	late := &lockWaiter{node: 1, reqArrive: 5, ch: make(chan lockGrant, 1)}
+	early := &lockWaiter{node: 1, reqArrive: 2, ch: make(chan lockGrant, 1)}
+	lv0.queue = []*lockWaiter{late, early}
+
+	// Lock 1: held by node 0, no waiters — must become free.
+	lv1 := sys.locks[1]
+	lv1.held, lv1.holder = true, 0
+
+	// Lock 2: held by node 1 — not the dead node's, must survive.
+	lv2 := sys.locks[2]
+	lv2.held, lv2.holder = true, 1
+
+	broken := sys.nodes[0].forceReleaseLocks(3.0)
+	if broken != 2 {
+		t.Fatalf("broke %d locks, want 2", broken)
+	}
+	select {
+	case g := <-early.ch:
+		// Grant departs no earlier than the sweep time or the request.
+		if g.departAt < 3.0 {
+			t.Errorf("grant departs at %g, before the sweep at 3.0", g.departAt)
+		}
+	default:
+		t.Fatal("earliest waiter did not receive the forced grant")
+	}
+	select {
+	case <-late.ch:
+		t.Fatal("later waiter received a grant")
+	default:
+	}
+	if !lv0.held || lv0.holder != 1 {
+		t.Errorf("lock 0 after sweep: held=%v holder=%d, want held by node 1", lv0.held, lv0.holder)
+	}
+	if lv1.held || lv1.holder != -1 {
+		t.Errorf("lock 1 after sweep: held=%v holder=%d, want free", lv1.held, lv1.holder)
+	}
+	if !lv2.held || lv2.holder != 1 {
+		t.Errorf("lock 2 after sweep: held=%v holder=%d, want untouched", lv2.held, lv2.holder)
+	}
+}
+
+// TestHeartbeats: with recovery active, a node emits a failure-detector
+// heartbeat every HeartbeatEvery protocol operations.
+func TestHeartbeats(t *testing.T) {
+	cfg := cluster.Zero()
+	cfg.Hooks = &cluster.Hooks{Recovery: recovery.Params{
+		ForceCheckpoints: true, HeartbeatEvery: 8,
+	}}
+	sys, err := NewSystem(2, cfg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const ops = 64
+	err = sys.Run(func(n *Node) error {
+		if n.ID() != 1 {
+			return n.Barrier()
+		}
+		// Synchronization calls are protocol operations; each offers a
+		// yield and so a heartbeat opportunity.
+		for i := 0; i < ops; i++ {
+			if err := n.Setcv(0); err != nil {
+				return err
+			}
+		}
+		return n.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := sys.TotalStats()
+	if st.Heartbeats < ops/8 {
+		t.Errorf("heartbeats = %d, want >= %d for %d sync ops every 8", st.Heartbeats, ops/8, ops)
+	}
+}
+
+// TestStatsStringRecoveryBlock: the fault-tolerance counters appear in
+// String only when one of them moved, keeping fault-free summaries
+// byte-identical to the pre-fault-layer format.
+func TestStatsStringRecoveryBlock(t *testing.T) {
+	clean := Stats{PageFetches: 2}.String()
+	if strings.Contains(clean, "retries=") {
+		t.Errorf("fault-free summary mentions recovery counters: %s", clean)
+	}
+	faulty := Stats{Retries: 3, Crashes: 1, Recoveries: 1, PagesRehomed: 4}.String()
+	for _, want := range []string{"retries=3", "crash=1", "recov=1", "rehome=4"} {
+		if !strings.Contains(faulty, want) {
+			t.Errorf("summary lacks %q: %s", want, faulty)
+		}
+	}
+}

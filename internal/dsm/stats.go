@@ -33,6 +33,24 @@ type Stats struct {
 	// Migrations counts home migrations (system-wide; filled by
 	// System.TotalStats).
 	Migrations int64
+	// Retries counts retransmissions after injected message loss (each
+	// costs the sender a backoff timeout).
+	Retries int64
+	// DupsSuppressed counts duplicated deliveries dropped by
+	// receiver-side sequence-number deduplication.
+	DupsSuppressed int64
+	// Heartbeats counts failure-detector heartbeats sent.
+	Heartbeats int64
+	// Checkpoints counts checkpoints persisted at recovery points.
+	Checkpoints int64
+	// Crashes counts crash-stop faults suffered.
+	Crashes int64
+	// Recoveries counts completed crash recoveries (checkpoint restored,
+	// node restarted).
+	Recoveries int64
+	// PagesRehomed counts pages whose home moved to a survivor during
+	// crash recovery.
+	PagesRehomed int64
 }
 
 // inc atomically adds v to the counter, which must be a field of a live
@@ -58,6 +76,14 @@ func (s *Stats) snapshot() Stats {
 		CVWaits:       atomic.LoadInt64(&s.CVWaits),
 		Updates:       atomic.LoadInt64(&s.Updates),
 		Migrations:    atomic.LoadInt64(&s.Migrations),
+
+		Retries:        atomic.LoadInt64(&s.Retries),
+		DupsSuppressed: atomic.LoadInt64(&s.DupsSuppressed),
+		Heartbeats:     atomic.LoadInt64(&s.Heartbeats),
+		Checkpoints:    atomic.LoadInt64(&s.Checkpoints),
+		Crashes:        atomic.LoadInt64(&s.Crashes),
+		Recoveries:     atomic.LoadInt64(&s.Recoveries),
+		PagesRehomed:   atomic.LoadInt64(&s.PagesRehomed),
 	}
 }
 
@@ -76,12 +102,28 @@ func (s *Stats) add(o Stats) {
 	s.CVSignals += o.CVSignals
 	s.CVWaits += o.CVWaits
 	s.Updates += o.Updates
+	s.Retries += o.Retries
+	s.DupsSuppressed += o.DupsSuppressed
+	s.Heartbeats += o.Heartbeats
+	s.Checkpoints += o.Checkpoints
+	s.Crashes += o.Crashes
+	s.Recoveries += o.Recoveries
+	s.PagesRehomed += o.PagesRehomed
 }
 
-// String gives a one-line summary.
+// String gives a one-line summary. The fault-tolerance counters only
+// appear once any of them is non-zero, keeping fault-free summaries
+// identical to the pre-fault-layer format.
 func (s Stats) String() string {
-	return fmt.Sprintf("fetches=%d twins=%d diffs=%d diffB=%d inval=%d evict=%d msgs=%d bytes=%d locks=%d/%d barriers=%d cv=%d/%d",
+	out := fmt.Sprintf("fetches=%d twins=%d diffs=%d diffB=%d inval=%d evict=%d msgs=%d bytes=%d locks=%d/%d barriers=%d cv=%d/%d",
 		s.PageFetches, s.Twins, s.DiffsSent, s.DiffBytes, s.Invalidations,
 		s.Evictions, s.MsgsSent, s.BytesMoved, s.LockAcquires, s.LockReleases,
 		s.Barriers, s.CVSignals, s.CVWaits)
+	if s.Retries != 0 || s.DupsSuppressed != 0 || s.Heartbeats != 0 || s.Checkpoints != 0 ||
+		s.Crashes != 0 || s.Recoveries != 0 || s.PagesRehomed != 0 {
+		out += fmt.Sprintf(" retries=%d dups=%d hb=%d ckpt=%d crash=%d recov=%d rehome=%d",
+			s.Retries, s.DupsSuppressed, s.Heartbeats, s.Checkpoints,
+			s.Crashes, s.Recoveries, s.PagesRehomed)
+	}
+	return out
 }

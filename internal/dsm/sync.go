@@ -17,9 +17,15 @@ type lockVar struct {
 
 	mu      sync.Mutex
 	held    bool
+	holder  int     // node currently holding the lock, or -1
 	freeAt  float64 // virtual time the lock last became free at the manager
 	queue   []*lockWaiter
 	notices map[int]uint64 // cumulative write notices associated with the lock
+	// lastAcq records, per node, the highest ACQ sequence number the
+	// manager has processed — a duplicated ACQ delivery is recognized and
+	// dropped; without it the node would be enqueued twice and the second
+	// grant would wedge the lock forever.
+	lastAcq map[int]uint64
 }
 
 type lockWaiter struct {
@@ -34,7 +40,8 @@ type lockGrant struct {
 }
 
 func newLockVar(manager int) *lockVar {
-	return &lockVar{manager: manager, notices: make(map[int]uint64)}
+	return &lockVar{manager: manager, holder: -1,
+		notices: make(map[int]uint64), lastAcq: make(map[int]uint64)}
 }
 
 func copyNotices(src map[int]uint64) map[int]uint64 {
@@ -77,15 +84,28 @@ func (n *Node) Acquire(id int) error {
 	// virtual-time grant ordering treats everyone fairly.
 	runtime.Gosched()
 	cfg := n.sys.cfg
+	n.lossRetries(cluster.MsgSync, cluster.LockCV)
+	n.syncSeq++
+	seq := n.syncSeq
+	if cfg.Duplicated(cluster.MsgSync, n.id) {
+		// The duplicated ACQ reaches the manager after the original; its
+		// sequence number is no longer fresh, so the manager drops it.
+		inc(&n.stats.DupsSuppressed, 1)
+		n.trace(TraceDup, -1, id, fmt.Sprintf("acq seq %d", seq))
+	}
 	reqArrive := n.clock.Now() + cfg.Net.MessageCost(msgHeaderBytes)
 	inc(&n.stats.MsgsSent, 1)
 	inc(&n.stats.BytesMoved, msgHeaderBytes)
 	inc(&n.stats.LockAcquires, 1)
 
 	lv.mu.Lock()
+	if lv.lastAcq[n.id] < seq {
+		lv.lastAcq[n.id] = seq
+	}
 	var grant lockGrant
 	if !lv.held {
 		lv.held = true
+		lv.holder = n.id
 		departAt := reqArrive
 		if lv.freeAt > departAt {
 			departAt = lv.freeAt
@@ -119,6 +139,7 @@ func (n *Node) Release(id int) error {
 	n.yield()
 	cfg := n.sys.cfg
 	notices := n.flushAll()
+	n.lossRetries(cluster.MsgSync, cluster.LockCV)
 	relSize := msgHeaderBytes + len(notices)*noticeBytes
 	relArrive := n.clock.Now() + cfg.Net.MessageCost(relSize)
 	// The one-way REL costs the releaser only its message processing.
@@ -161,10 +182,12 @@ func (n *Node) Release(id int) error {
 		if w.reqArrive > departAt {
 			departAt = w.reqArrive
 		}
+		lv.holder = w.node
 		n.wake(w.node)
 		w.ch <- lockGrant{departAt: departAt + cfg.ManagerService, notices: copyNotices(lv.notices)}
 	} else {
 		lv.held = false
+		lv.holder = -1
 		lv.freeAt = relArrive + cfg.ManagerService
 	}
 	return nil
@@ -234,6 +257,7 @@ func (n *Node) Barrier() error {
 	cfg := n.sys.cfg
 	n.yield()
 	notices := n.flushAll()
+	n.lossRetries(cluster.MsgSync, cluster.Barrier)
 	barrSize := msgHeaderBytes + len(notices)*noticeBytes
 	arrive := n.clock.Now() + cfg.Net.MessageCost(barrSize)
 	inc(&n.stats.MsgsSent, 1)
@@ -331,6 +355,11 @@ type condVar struct {
 	pending []cvSignal // unconsumed signals, FIFO
 	waiters []cvWaiter
 	notices map[int]uint64 // cumulative write notices attached to the cv
+	// lastSeq records, per signaller, the highest SETCV sequence number
+	// processed — a duplicated signal delivery is recognized and dropped;
+	// without it a duplicate would wake a second waiter for a single
+	// produced value and corrupt the FIFO handoff.
+	lastSeq map[int]uint64
 }
 
 // cvWaiter is one parked jia_waitcv caller. Signal consumption stays
@@ -349,7 +378,8 @@ type cvSignal struct {
 }
 
 func newCondVar(manager int) *condVar {
-	return &condVar{manager: manager, notices: make(map[int]uint64)}
+	return &condVar{manager: manager,
+		notices: make(map[int]uint64), lastSeq: make(map[int]uint64)}
 }
 
 func (s *System) cv(id int) (*condVar, error) {
@@ -370,6 +400,15 @@ func (n *Node) Setcv(id int) error {
 	n.yield()
 	cfg := n.sys.cfg
 	notices := n.flushAll()
+	n.lossRetries(cluster.MsgSync, cluster.LockCV)
+	n.cvSeq[id]++
+	seq := n.cvSeq[id]
+	if cfg.Duplicated(cluster.MsgSync, n.id) {
+		// The duplicated SETCV carries a stale sequence number; the
+		// manager drops it instead of waking a second waiter.
+		inc(&n.stats.DupsSuppressed, 1)
+		n.trace(TraceDup, -1, id, fmt.Sprintf("setcv seq %d", seq))
+	}
 	sigSize := msgHeaderBytes + len(notices)*noticeBytes
 	arrive := n.clock.Now() + cfg.Net.MessageCost(sigSize)
 	n.clock.Advance(cfg.Net.PerMessageCPU, cluster.LockCV)
@@ -380,6 +419,9 @@ func (n *Node) Setcv(id int) error {
 	n.trace(TraceSetcv, -1, id, "")
 	cv.mu.Lock()
 	defer cv.mu.Unlock()
+	if cv.lastSeq[n.id] < seq {
+		cv.lastSeq[n.id] = seq
+	}
 	mergeNotices(cv.notices, notices)
 	sig := cvSignal{arrive: arrive, notices: copyNotices(cv.notices)}
 	if len(cv.waiters) > 0 {
@@ -404,6 +446,7 @@ func (n *Node) Waitcv(id int) error {
 	n.yield()
 	cfg := n.sys.cfg
 	// WAIT registration message to the manager.
+	n.lossRetries(cluster.MsgSync, cluster.LockCV)
 	regArrive := n.clock.Now() + cfg.Net.MessageCost(msgHeaderBytes)
 	inc(&n.stats.MsgsSent, 1)
 	inc(&n.stats.BytesMoved, msgHeaderBytes)

@@ -33,6 +33,17 @@ const (
 	TraceSetcv     TraceKind = "SETCV"   // condition variable signalled
 	TraceWaitcv    TraceKind = "WAITCV"  // condition variable wait satisfied
 	TraceMigration TraceKind = "MIGRATE" // page home migrated
+
+	// Fault-tolerance events (PR 4): these let a -replay trace explain a
+	// kill-and-recover schedule end to end.
+	TraceRetry      TraceKind = "RETRY"   // retransmission(s) after message loss
+	TraceDup        TraceKind = "DUP"     // duplicated delivery suppressed by dedup
+	TraceCrash      TraceKind = "CRASH"   // crash-stop fault fired
+	TraceDetect     TraceKind = "DETECT"  // crash confirmed by lease expiry
+	TraceRehome     TraceKind = "REHOME"  // page re-homed to a survivor
+	TraceCheckpoint TraceKind = "CKPT"    // checkpoint persisted at a recovery point
+	TraceRestore    TraceKind = "RESTORE" // checkpoint restored into a fresh node
+	TraceRestart    TraceKind = "RESTART" // node rejoined after recovery
 )
 
 // String renders the event as one log line.

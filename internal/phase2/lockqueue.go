@@ -7,6 +7,7 @@ import (
 	"genomedsm/internal/bio"
 	"genomedsm/internal/cluster"
 	"genomedsm/internal/dsm"
+	"genomedsm/internal/recovery"
 )
 
 // RunLockQueue is the synchronization-based alternative that §4.4's
@@ -63,16 +64,29 @@ func RunLockQueue(nprocs int, cc cluster.Config, s, t bio.Sequence, sc bio.Scori
 	res := &Result{Alignments: make([]*align.Alignment, len(jobs))}
 	err = sys.Run(func(node *dsm.Node) error {
 		id := node.ID()
-		if id == 0 {
-			for i, j := range jobs {
-				enc := []int32{int32(j.SBegin), int32(j.SEnd), int32(j.TBegin), int32(j.TEnd)}
-				if err := node.WriteInt32s(jobsRegion, i*jobBytes, enc); err != nil {
-					return err
+		done := 0
+		if ck := node.Restored(); ck != nil {
+			// Crash recovery: the queue cursor, the published jobs and
+			// every finished result slot live in (re-homed, surviving) DSM
+			// pages — the checkpoint flushed them — so the node just
+			// re-enters the pop loop; the opening publication and barrier
+			// belong to the previous incarnation.
+			done = ck.Int()
+			if err := ck.Err(); err != nil {
+				return err
+			}
+		} else {
+			if id == 0 {
+				for i, j := range jobs {
+					enc := []int32{int32(j.SBegin), int32(j.SEnd), int32(j.TBegin), int32(j.TEnd)}
+					if err := node.WriteInt32s(jobsRegion, i*jobBytes, enc); err != nil {
+						return err
+					}
 				}
 			}
-		}
-		if err := node.Barrier(); err != nil {
-			return err
+			if err := node.Barrier(); err != nil {
+				return err
+			}
 		}
 
 		buf := make([]int32, 4)
@@ -118,6 +132,17 @@ func RunLockQueue(nprocs int, cc cluster.Config, s, t bio.Sequence, sc bio.Scori
 				slot[k] = byte(op)
 			}
 			if err := node.WriteAt(resultRegion, i*slotBytes+slotHeaderBytes, slot[:len(al.Ops)]); err != nil {
+				return err
+			}
+			// Job boundary: a recovery point. No strategy state needs
+			// saving beyond a progress marker — the cursor and the result
+			// slots are shared memory, made crash-consistent by the
+			// checkpoint's flush.
+			done++
+			jobsDone := done
+			if err := node.Checkpoint(func(w *recovery.Writer) {
+				w.Int(jobsDone)
+			}); err != nil {
 				return err
 			}
 		}

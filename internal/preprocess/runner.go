@@ -6,6 +6,7 @@ import (
 	"genomedsm/internal/bio"
 	"genomedsm/internal/cluster"
 	"genomedsm/internal/dsm"
+	"genomedsm/internal/recovery"
 )
 
 // Result is the outcome of a pre-process run.
@@ -93,19 +94,56 @@ func Run(nprocs int, cc cluster.Config, s, t bio.Sequence, sc bio.Scoring, cfg C
 	outs := make([]nodeOut, nprocs)
 
 	err = sys.Run(func(node *dsm.Node) error {
-		if err := node.Barrier(); err != nil {
-			return err
-		}
 		id := node.ID()
 		out := &outs[id]
-		coreStart := node.Clock().Now()
-		disk := node.Config().Disk
 
 		type deferredCol struct {
 			band, col, r0 int
 			values        []int32
 		}
 		var deferred []deferredCol
+
+		// Crash recovery: resume from the checkpointed chunk cursor. The
+		// blob carries the band-local column state, the accumulated
+		// per-node result fields and the deferred-I/O list; bands this
+		// node finished before the crash already published their hits to
+		// the (re-homed, surviving) result-matrix pages.
+		firstBand, firstChunk := 0, 0
+		var resPrevCol, resBottom []int32
+		var resHits []int64
+		var coreStart float64
+		if ck := node.Restored(); ck != nil {
+			firstBand = ck.Int()
+			firstChunk = ck.Int()
+			resPrevCol = ck.Int32s()
+			resBottom = ck.Int32s()
+			resHits = ck.Int64s()
+			out.best = ck.Int()
+			out.bestI = ck.Int()
+			out.bestJ = ck.Int()
+			out.colsSaved = ck.Int()
+			out.rowsSaved = ck.Int()
+			out.bytesSaved = ck.Int64()
+			coreStart = ck.Float()
+			for i, cnt := 0, ck.Int(); i < cnt; i++ {
+				var d deferredCol
+				d.band = ck.Int()
+				d.col = ck.Int()
+				d.r0 = ck.Int()
+				d.values = ck.Int32s()
+				deferred = append(deferred, d)
+			}
+			if err := ck.Err(); err != nil {
+				return err
+			}
+		} else {
+			if err := node.Barrier(); err != nil {
+				return err
+			}
+			coreStart = node.Clock().Now()
+		}
+		disk := node.Config().Disk
+
 		saveColumn := func(band, col, r0 int, values []int32) error {
 			cp := make([]int32, len(values))
 			copy(cp, values)
@@ -119,7 +157,8 @@ func Run(nprocs int, cc cluster.Config, s, t bio.Sequence, sc bio.Scoring, cfg C
 			return sink.WriteColumn(band, col, r0, cp)
 		}
 
-		for _, band := range bands {
+		for bi := firstBand; bi < len(bands); bi++ {
+			band := bands[bi]
 			if band.Owner != id {
 				continue
 			}
@@ -131,8 +170,17 @@ func Run(nprocs int, cc cluster.Config, s, t bio.Sequence, sc bio.Scoring, cfg C
 			topRow := make([]int32, 0, n) // received top border values, per chunk
 			bottom := make([]int32, n)    // this band's bottom row (row band.R1)
 			hits := make([]int64, rowWidth)
+			ci0 := 0
+			if bi == firstBand && firstChunk > 0 {
+				// Mid-band resume: restore the carried column state.
+				ci0 = firstChunk
+				copy(prevCol, resPrevCol)
+				copy(bottom, resBottom)
+				copy(hits, resHits)
+			}
 
-			for _, ch := range chunks {
+			for ci := ci0; ci < len(chunks); ci++ {
+				ch := chunks[ci]
 				c0, c1 := ch[0], ch[1]
 				width := c1 - c0 + 1
 				topRow = topRow[:width]
@@ -185,6 +233,35 @@ func Run(nprocs int, cc cluster.Config, s, t bio.Sequence, sc bio.Scoring, cfg C
 						return err
 					}
 					if err := node.Setcv(band.Index); err != nil {
+						return err
+					}
+				}
+				// Chunk boundary: a recovery point (mid-band only; the
+				// band's tail work — row save, hits publication — belongs
+				// to the resumed pass over its remaining chunks).
+				if ci+1 < len(chunks) {
+					bandIdx, nextChunk := bi, ci+1
+					if err := node.Checkpoint(func(w *recovery.Writer) {
+						w.Int(bandIdx)
+						w.Int(nextChunk)
+						w.Int32s(prevCol)
+						w.Int32s(bottom)
+						w.Int64s(hits)
+						w.Int(out.best)
+						w.Int(out.bestI)
+						w.Int(out.bestJ)
+						w.Int(out.colsSaved)
+						w.Int(out.rowsSaved)
+						w.Int64(out.bytesSaved)
+						w.Float(coreStart)
+						w.Int(len(deferred))
+						for _, d := range deferred {
+							w.Int(d.band)
+							w.Int(d.col)
+							w.Int(d.r0)
+							w.Int32s(d.values)
+						}
+					}); err != nil {
 						return err
 					}
 				}

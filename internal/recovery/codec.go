@@ -1,0 +1,196 @@
+package recovery
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+)
+
+// codecVersion is bumped whenever the checkpoint wire format changes; a
+// Reader rejects blobs from another version instead of mis-decoding them.
+const codecVersion = 1
+
+// Writer builds one checkpoint blob: a version byte, a length-prefixed
+// value stream, and a trailing FNV-1a checksum. The caller appends typed
+// values in order; the matching Reader must consume them in the same
+// order (the codec is positional, like encoding/gob without the schema).
+type Writer struct {
+	buf []byte
+}
+
+// NewWriter starts an empty checkpoint blob.
+func NewWriter() *Writer {
+	return &Writer{buf: []byte{codecVersion}}
+}
+
+// Uint appends an unsigned integer (uvarint).
+func (w *Writer) Uint(v uint64) {
+	w.buf = binary.AppendUvarint(w.buf, v)
+}
+
+// Int appends a signed integer (varint).
+func (w *Writer) Int(v int) {
+	w.buf = binary.AppendVarint(w.buf, int64(v))
+}
+
+// Int64 appends a signed 64-bit integer (varint).
+func (w *Writer) Int64(v int64) {
+	w.buf = binary.AppendVarint(w.buf, v)
+}
+
+// Float appends a float64 (IEEE-754 bits).
+func (w *Writer) Float(v float64) {
+	w.buf = binary.AppendUvarint(w.buf, math.Float64bits(v))
+}
+
+// Bytes appends a length-prefixed byte string.
+func (w *Writer) Bytes(b []byte) {
+	w.buf = binary.AppendUvarint(w.buf, uint64(len(b)))
+	w.buf = append(w.buf, b...)
+}
+
+// Int32s appends a length-prefixed slice of int32 values.
+func (w *Writer) Int32s(vs []int32) {
+	w.buf = binary.AppendUvarint(w.buf, uint64(len(vs)))
+	for _, v := range vs {
+		w.buf = binary.AppendVarint(w.buf, int64(v))
+	}
+}
+
+// Int64s appends a length-prefixed slice of int64 values.
+func (w *Writer) Int64s(vs []int64) {
+	w.buf = binary.AppendUvarint(w.buf, uint64(len(vs)))
+	for _, v := range vs {
+		w.buf = binary.AppendVarint(w.buf, v)
+	}
+}
+
+// Finish seals the blob with its checksum and returns it. The Writer
+// must not be reused afterwards.
+func (w *Writer) Finish() []byte {
+	h := fnv.New64a()
+	h.Write(w.buf) //nolint:errcheck // fnv never errors
+	w.buf = h.Sum(w.buf)
+	return w.buf
+}
+
+// Len returns the current payload size in bytes (before the checksum).
+func (w *Writer) Len() int { return len(w.buf) }
+
+// Reader decodes a blob produced by Writer. Decoding errors are sticky:
+// the first failure poisons the Reader, later reads return zero values,
+// and Err reports what went wrong — callers check once at the end.
+type Reader struct {
+	buf []byte
+	pos int
+	err error
+}
+
+// NewReader verifies the blob's checksum and version and positions a
+// Reader at its first value.
+func NewReader(blob []byte) (*Reader, error) {
+	if len(blob) < 1+8 {
+		return nil, fmt.Errorf("recovery: checkpoint blob of %d bytes is truncated", len(blob))
+	}
+	payload, sum := blob[:len(blob)-8], blob[len(blob)-8:]
+	h := fnv.New64a()
+	h.Write(payload) //nolint:errcheck // fnv never errors
+	if string(h.Sum(nil)) != string(sum) {
+		return nil, fmt.Errorf("recovery: checkpoint checksum mismatch (%d-byte blob corrupt)", len(blob))
+	}
+	if payload[0] != codecVersion {
+		return nil, fmt.Errorf("recovery: checkpoint codec version %d, want %d", payload[0], codecVersion)
+	}
+	return &Reader{buf: payload, pos: 1}, nil
+}
+
+// Err returns the first decoding error, or nil.
+func (r *Reader) Err() error { return r.err }
+
+func (r *Reader) fail(what string) {
+	if r.err == nil {
+		r.err = fmt.Errorf("recovery: checkpoint truncated or out of sync decoding %s at byte %d", what, r.pos)
+	}
+}
+
+func (r *Reader) uvarint(what string) uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.buf[r.pos:])
+	if n <= 0 {
+		r.fail(what)
+		return 0
+	}
+	r.pos += n
+	return v
+}
+
+func (r *Reader) varint(what string) int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.buf[r.pos:])
+	if n <= 0 {
+		r.fail(what)
+		return 0
+	}
+	r.pos += n
+	return v
+}
+
+// Uint reads an unsigned integer.
+func (r *Reader) Uint() uint64 { return r.uvarint("uint") }
+
+// Int reads a signed integer.
+func (r *Reader) Int() int { return int(r.varint("int")) }
+
+// Int64 reads a signed 64-bit integer.
+func (r *Reader) Int64() int64 { return r.varint("int64") }
+
+// Float reads a float64.
+func (r *Reader) Float() float64 { return math.Float64frombits(r.uvarint("float")) }
+
+// Bytes reads a length-prefixed byte string (aliasing the blob).
+func (r *Reader) Bytes() []byte {
+	n := int(r.uvarint("bytes length"))
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || r.pos+n > len(r.buf) {
+		r.fail("bytes")
+		return nil
+	}
+	out := r.buf[r.pos : r.pos+n]
+	r.pos += n
+	return out
+}
+
+// Int32s reads a length-prefixed slice of int32 values.
+func (r *Reader) Int32s() []int32 {
+	n := int(r.uvarint("int32s length"))
+	if r.err != nil || n < 0 || n > len(r.buf)-r.pos {
+		r.fail("int32s")
+		return nil
+	}
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = int32(r.varint("int32"))
+	}
+	return out
+}
+
+// Int64s reads a length-prefixed slice of int64 values.
+func (r *Reader) Int64s() []int64 {
+	n := int(r.uvarint("int64s length"))
+	if r.err != nil || n < 0 || n > len(r.buf)-r.pos {
+		r.fail("int64s")
+		return nil
+	}
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = r.varint("int64")
+	}
+	return out
+}

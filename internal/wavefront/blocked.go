@@ -7,6 +7,7 @@ import (
 	"genomedsm/internal/cluster"
 	"genomedsm/internal/dsm"
 	"genomedsm/internal/heuristics"
+	"genomedsm/internal/recovery"
 )
 
 // BlockConfig controls strategy 2's decomposition: the similarity matrix
@@ -112,9 +113,6 @@ func RunBlocked(nprocs int, cfg cluster.Config, s, t bio.Sequence, sc bio.Scorin
 
 	var out *Result
 	err = sys.Run(func(node *dsm.Node) error {
-		if err := node.Barrier(); err != nil {
-			return err
-		}
 		id := node.ID()
 		var q heuristics.Queue
 		emit := q.Add
@@ -133,7 +131,33 @@ func RunBlocked(nprocs int, cfg cluster.Config, s, t bio.Sequence, sc bio.Scorin
 		// mutate state that still flows east into the next tile.
 		var lastRow []heuristics.Cell
 
-		for band := id; band < bc.Bands; band += nprocs {
+		// Crash recovery: resume from the checkpointed tile cursor. A
+		// mid-band checkpoint also carries the band's right column and
+		// corner cell (the carried state a tile needs from its western
+		// neighbour); the boundary-row CV handshake state survives at the
+		// managers, so consumption continues where it stopped.
+		firstBand, firstBlk := id, 0
+		var resumeRight []heuristics.Cell
+		var resumeCorner heuristics.Cell
+		if ck := node.Restored(); ck != nil {
+			firstBand = ck.Int()
+			firstBlk = ck.Int()
+			if firstBlk > 0 {
+				resumeRight = decodeCells(ck)
+				resumeCorner = decodeCells(ck)[0]
+			}
+			if ck.Int() == 1 {
+				lastRow = decodeCells(ck)
+			}
+			decodeQueue(ck, &q)
+			if err := ck.Err(); err != nil {
+				return err
+			}
+		} else if err := node.Barrier(); err != nil {
+			return err
+		}
+
+		for band := firstBand; band < bc.Bands; band += nprocs {
 			r0, r1 := bandRows(band)
 			height := r1 - r0 + 1
 			// rightCol[x] is the cell at (r0+x, c0−1): the previous
@@ -142,8 +166,14 @@ func RunBlocked(nprocs int, cfg cluster.Config, s, t bio.Sequence, sc bio.Scorin
 			clear(rightCol)
 			// corner is the cell at (r0−1, c0−1).
 			var corner heuristics.Cell
+			blk0 := 0
+			if band == firstBand && firstBlk > 0 {
+				blk0 = firstBlk
+				copy(rightCol, resumeRight)
+				corner = resumeCorner
+			}
 
-			for blk := 0; blk < bc.Blocks; blk++ {
+			for blk := blk0; blk < bc.Blocks; blk++ {
 				c0, c1 := blockCols(blk)
 				width := c1 - c0 + 1
 				// Top block-row of this tile: from the band above via the
@@ -192,6 +222,30 @@ func RunBlocked(nprocs int, cfg cluster.Config, s, t bio.Sequence, sc bio.Scorin
 					if err := node.Setcv(dataCV(band)); err != nil {
 						return err
 					}
+				}
+				// Tile boundary: a recovery point. The cursor names the
+				// next tile; a mid-band cut also needs the carried right
+				// column and corner.
+				nextBand, nextBlk := band, blk+1
+				if nextBlk == bc.Blocks {
+					nextBand, nextBlk = band+nprocs, 0
+				}
+				if err := node.Checkpoint(func(w *recovery.Writer) {
+					w.Int(nextBand)
+					w.Int(nextBlk)
+					if nextBlk > 0 {
+						encodeCells(w, rightCol)
+						encodeCells(w, []heuristics.Cell{corner})
+					}
+					if lastRow != nil {
+						w.Int(1)
+						encodeCells(w, lastRow)
+					} else {
+						w.Int(0)
+					}
+					encodeQueue(w, &q)
+				}); err != nil {
+					return err
 				}
 			}
 		}

@@ -17,6 +17,12 @@ import (
 // programming model and names message passing as future work for
 // inter-cluster communication; this variant quantifies what the DSM
 // abstraction costs on the same network model.
+//
+// Fault support is timing-only: injected message loss charges each send
+// the same capped-exponential retransmission backoff the DSM layer uses.
+// Crash-stop faults are not supported here — there is no page table to
+// re-home and no checkpoint facility outside the DSM layer — so the
+// chaos harness never schedules kills against this variant.
 func RunBlockedMP(nprocs int, cfg cluster.Config, s, t bio.Sequence, sc bio.Scoring, p heuristics.Params, bc BlockConfig) (*Result, error) {
 	m, n := s.Len(), t.Len()
 	if nprocs < 1 {
@@ -79,6 +85,24 @@ func RunBlockedMP(nprocs int, cfg cluster.Config, s, t bio.Sequence, sc bio.Scor
 			cur := make([]heuristics.Cell, maxW+1)
 			top := make([]heuristics.Cell, maxW)
 			msgs, bytes := int64(0), int64(0)
+			// Injected message loss costs the sender one retransmission
+			// timeout per lost attempt, as in the DSM layer's lossRetries.
+			recParams := cfg.RecoveryParams()
+			sendNo := uint64(0)
+			lossDelay := func(class cluster.MsgClass) float64 {
+				sendNo++
+				lost := cfg.LostAttempts(class, id)
+				if lost == 0 {
+					return 0
+				}
+				key := uint64(id)<<48 ^ uint64(class)<<40 ^ sendNo
+				total := 0.0
+				for a := 0; a < lost; a++ {
+					total += recParams.Retry.Delay(key, a)
+				}
+				msgs += int64(lost)
+				return total
+			}
 			defer func() {
 				statsMu.Lock()
 				stats.MsgsSent += msgs
@@ -127,7 +151,7 @@ func RunBlockedMP(nprocs int, cfg cluster.Config, s, t bio.Sequence, sc bio.Scor
 						// prev is reused for the next tile.
 						row := make([]heuristics.Cell, width)
 						copy(row, prev[1:width+1])
-						clock.Advance(cfg.Net.PerMessageCPU, cluster.Comm)
+						clock.Advance(cfg.Net.PerMessageCPU+lossDelay(cluster.MsgDiff), cluster.Comm)
 						msgs++
 						bytes += int64(width * heuristics.CellBytes)
 						// Border rows are this variant's diff analogue, so
@@ -142,7 +166,7 @@ func RunBlockedMP(nprocs int, cfg cluster.Config, s, t bio.Sequence, sc bio.Scor
 			}
 			// Ship the local queue to node 0.
 			size := queues[id].Len()*candidateBytes + msgHeader
-			clock.Advance(cfg.Net.PerMessageCPU, cluster.Comm)
+			clock.Advance(cfg.Net.PerMessageCPU+lossDelay(cluster.MsgSync), cluster.Comm)
 			msgs++
 			bytes += int64(size)
 			gather <- mpMsg{at: clock.Now() + cfg.Net.MessageCost(size)}

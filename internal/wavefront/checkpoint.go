@@ -1,0 +1,56 @@
+package wavefront
+
+import (
+	"genomedsm/internal/heuristics"
+	"genomedsm/internal/recovery"
+)
+
+// Checkpoint codec helpers shared by the wavefront strategies: the DP
+// border state and the candidate queue are what a restarted node needs to
+// resume its sweep without recomputing finished rows or tiles.
+
+// encodeCells appends a cell run to a checkpoint blob.
+func encodeCells(w *recovery.Writer, cells []heuristics.Cell) {
+	blob := make([]byte, len(cells)*heuristics.CellBytes)
+	for i := range cells {
+		cells[i].Encode(blob[i*heuristics.CellBytes:])
+	}
+	w.Bytes(blob)
+}
+
+// decodeCells reads a cell run written by encodeCells.
+func decodeCells(r *recovery.Reader) []heuristics.Cell {
+	blob := r.Bytes()
+	cells := make([]heuristics.Cell, len(blob)/heuristics.CellBytes)
+	for i := range cells {
+		cells[i] = heuristics.DecodeCell(blob[i*heuristics.CellBytes:])
+	}
+	return cells
+}
+
+// encodeQueue appends the queue's candidates to a checkpoint blob.
+func encodeQueue(w *recovery.Writer, q *heuristics.Queue) {
+	items := q.Items()
+	w.Int(len(items))
+	for _, c := range items {
+		w.Int(c.SBegin)
+		w.Int(c.SEnd)
+		w.Int(c.TBegin)
+		w.Int(c.TEnd)
+		w.Int(c.Score)
+	}
+}
+
+// decodeQueue refills q with candidates written by encodeQueue.
+func decodeQueue(r *recovery.Reader, q *heuristics.Queue) {
+	n := r.Int()
+	for i := 0; i < n; i++ {
+		var c heuristics.Candidate
+		c.SBegin = r.Int()
+		c.SEnd = r.Int()
+		c.TBegin = r.Int()
+		c.TEnd = r.Int()
+		c.Score = r.Int()
+		q.Add(c)
+	}
+}

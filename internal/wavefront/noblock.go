@@ -7,7 +7,15 @@ import (
 	"genomedsm/internal/cluster"
 	"genomedsm/internal/dsm"
 	"genomedsm/internal/heuristics"
+	"genomedsm/internal/recovery"
 )
+
+// noblockCkptRows is the recovery-point cadence of strategy 1: every this
+// many completed rows the node checkpoints its cursor, the border row it
+// would otherwise have to recompute, and the candidates found so far. The
+// row boundary is a natural recovery point — no lock is held and the CV
+// handshake for the finished row is fully sent.
+const noblockCkptRows = 8
 
 // RunNoBlock executes strategy 1 (§4.2): each of nprocs processors is
 // assigned N/P columns; every processor works on two rows (a writing row
@@ -58,9 +66,6 @@ func RunNoBlock(nprocs int, cfg cluster.Config, s, t bio.Sequence, sc bio.Scorin
 
 	var out *Result
 	err = sys.Run(func(node *dsm.Node) error {
-		if err := node.Barrier(); err != nil {
-			return err
-		}
 		id := node.ID()
 		lo, hi := stripe(id, nprocs, n)
 		width := hi - lo + 1
@@ -74,7 +79,25 @@ func RunNoBlock(nprocs int, cfg cluster.Config, s, t bio.Sequence, sc bio.Scorin
 		cur := make([]heuristics.Cell, width+1)
 		buf := make([]byte, heuristics.CellBytes)
 
-		for i := 1; i <= m; i++ {
+		start := 1
+		if ck := node.Restored(); ck != nil {
+			// Crash recovery: resume mid-sweep from the checkpointed
+			// cursor. prev holds the last completed row and q the
+			// candidates found so far; the opening barrier was already
+			// passed by the previous incarnation, and the manager-side CV
+			// state survived the crash, so the handshake continues where
+			// it stopped.
+			start = ck.Int()
+			copy(prev, decodeCells(ck))
+			decodeQueue(ck, &q)
+			if err := ck.Err(); err != nil {
+				return err
+			}
+		} else if err := node.Barrier(); err != nil {
+			return err
+		}
+
+		for i := start; i <= m; i++ {
 			if id > 0 {
 				// Wait for the left neighbour's border value of this row,
 				// read it, and acknowledge so the slot can be reused.
@@ -115,6 +138,16 @@ func RunNoBlock(nprocs int, cfg cluster.Config, s, t bio.Sequence, sc bio.Scorin
 				}
 			}
 			prev, cur = cur, prev
+			if i%noblockCkptRows == 0 && i < m {
+				row := i
+				if err := node.Checkpoint(func(w *recovery.Writer) {
+					w.Int(row + 1)
+					encodeCells(w, prev)
+					encodeQueue(w, &q)
+				}); err != nil {
+					return err
+				}
+			}
 		}
 
 		if err := publishCandidates(node, results, q.Items()); err != nil {

@@ -5,9 +5,12 @@
 #      (plus a doubled -race pass over the concurrency-heavy SWAR
 #      search packages)
 #   2. a chaos sweep: 16 seeds x 3 strategies of the fault-injection
-#      differential oracle, under the race detector
+#      differential oracle, under the race detector, plus a
+#      crash-recovery matrix (8 seeds x 3 strategies, one kill + 5%
+#      message loss each) asserting bit-exact kill-and-recover runs
 #   3. per-package coverage, gated on >= 85% combined coverage of
-#      internal/dsm + internal/chaos (the protocol and its harness)
+#      internal/dsm + internal/chaos + internal/recovery (the
+#      protocol, its harness and the fault-tolerance layer)
 #   4. a 1-iteration smoke run of every kernel and search benchmark
 #   5. the kernel and search benchmarks for real, gated by
 #      cmd/benchdiff against the committed BENCH_kernels.json baseline
@@ -51,20 +54,33 @@ while [ "$seed" -le 16 ]; do
         { echo "chaos sweep FAILED at seed $seed"; exit 1; }
     seed=$((seed + 1))
 done
-rm -rf "$(dirname "$chaos_bin")"
 echo "chaos sweep ok"
+
+echo "== crash-recovery matrix (8 seeds x 3 strategies, kill + 5% loss, -race)"
+seed=1
+while [ "$seed" -le 8 ]; do
+    for st in noblock preprocess phase2; do
+        "$chaos_bin" chaos -seed "$seed" -strategy "$st" \
+            -kill 1@2 -loss 0.05 -schedules 1 -len 360 -procs 3 >/dev/null ||
+            { echo "crash matrix FAILED at seed $seed strategy $st"; exit 1; }
+    done
+    seed=$((seed + 1))
+done
+rm -rf "$(dirname "$chaos_bin")"
+echo "crash-recovery matrix ok"
 
 echo "== per-package coverage"
 go test -cover ./...
 
-echo "== dsm+chaos coverage gate (>= 85%)"
+echo "== dsm+chaos+recovery coverage gate (>= 85%)"
 covfile=$(mktemp)
-go test -coverpkg=./internal/dsm,./internal/chaos -coverprofile="$covfile" \
-    ./internal/dsm ./internal/chaos ./internal/phase2 ./internal/preprocess \
-    ./internal/wavefront >/dev/null
+go test -coverpkg=./internal/dsm,./internal/chaos,./internal/recovery \
+    -coverprofile="$covfile" \
+    ./internal/dsm ./internal/chaos ./internal/recovery ./internal/phase2 \
+    ./internal/preprocess ./internal/wavefront >/dev/null
 pct=$(go tool cover -func="$covfile" | awk '/^total:/ { sub(/%/, "", $3); print $3 }')
 rm -f "$covfile"
-echo "combined internal/dsm + internal/chaos coverage: ${pct}%"
+echo "combined internal/dsm + internal/chaos + internal/recovery coverage: ${pct}%"
 awk -v p="$pct" 'BEGIN { exit (p >= 85.0) ? 0 : 1 }' ||
     { echo "coverage gate FAILED: ${pct}% < 85%"; exit 1; }
 
