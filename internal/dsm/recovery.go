@@ -177,6 +177,11 @@ func (n *Node) recoverFromCrash(cf *crashFault) error {
 	// the flushed-diff log (the simulation retains master contents; the
 	// cost model charges one page-sized transfer per page). The successor
 	// drops its now-shadowing cached copies: the master is local to it.
+	// A dirty copy (the successor was mid-interval with unflushed writes)
+	// is flushed into the master first — dropping it unflushed would
+	// silently discard completed writes and break bit-exactness; the gate
+	// token makes this cross-node flush race-free, like applyNotices'
+	// multiple-writer merge.
 	succ := (n.id + 1) % sys.nprocs
 	rehomed := sys.rehome(n.id, succ)
 	if len(rehomed) > 0 {
@@ -184,8 +189,12 @@ func (n *Node) recoverFromCrash(cf *crashFault) error {
 		n.clock.Advance(float64(len(rehomed))*per, cluster.Recovery)
 		inc(&n.stats.PagesRehomed, int64(len(rehomed)))
 		n.trace(TraceRehome, -1, -1, fmt.Sprintf("%d pages -> node %d", len(rehomed), succ))
+		sn := sys.nodes[succ]
 		for _, pid := range rehomed {
-			delete(sys.nodes[succ].cache, pid)
+			if cp := sn.cache[pid]; cp != nil && cp.dirty {
+				sn.flushPage(pid, cp, sn.pendingNotices)
+			}
+			delete(sn.cache, pid)
 		}
 	}
 
@@ -206,10 +215,17 @@ func (n *Node) recoverFromCrash(cf *crashFault) error {
 		pid := r.Int()
 		n.diffSeq[pid] = r.Uint()
 	}
-	for i, cnt := 0, r.Int(); i < cnt; i++ {
-		if i < len(n.cvSeq) {
-			n.cvSeq[i] = r.Uint()
+	if cnt := r.Int(); cnt != len(n.cvSeq) {
+		// A count mismatch means the blob does not match this run's
+		// configuration; bail out before the positional codec desyncs and
+		// every later field mis-decodes.
+		if err := r.Err(); err != nil {
+			return fmt.Errorf("dsm: node %d checkpoint decode: %w", n.id, err)
 		}
+		return fmt.Errorf("dsm: node %d checkpoint: %d cv counters, want %d", n.id, cnt, len(n.cvSeq))
+	}
+	for i := range n.cvSeq {
+		n.cvSeq[i] = r.Uint()
 	}
 	for i, cnt := 0, r.Int(); i < cnt; i++ {
 		pid := r.Int()

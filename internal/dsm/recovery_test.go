@@ -262,6 +262,91 @@ func TestForceReleaseLocks(t *testing.T) {
 	}
 }
 
+// TestRecoveryFlushesSuccessorDirtyCopy drives recoverFromCrash directly
+// with the successor holding a dirty cached copy of a page homed at the
+// crashed node — a survivor mid-interval with unflushed writes. Re-homing
+// must flush that copy into the master before dropping it; discarding it
+// would silently lose completed writes and break bit-exactness.
+func TestRecoveryFlushesSuccessorDirtyCopy(t *testing.T) {
+	cfg := cluster.Zero()
+	sys, err := NewSystem(2, cfg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.AllocAt(cfg.PageSize, 0); err != nil { // page 0 homed at node 0
+		t.Fatal(err)
+	}
+	sys.recActive = true
+
+	// A minimal valid checkpoint for node 0, in Checkpoint's writing
+	// order, with an empty strategy section.
+	w := recovery.NewWriter()
+	w.Int(1)  // points
+	w.Uint(0) // syncSeq
+	w.Int(0)  // diffSeq entries
+	w.Int(len(sys.nodes[0].cvSeq))
+	for range sys.nodes[0].cvSeq {
+		w.Uint(0)
+	}
+	w.Int(0) // pendingNotices
+	w.Int(0) // dirtyHome
+	sys.ckpts[0] = w.Finish()
+
+	data := make([]byte, cfg.PageSize)
+	data[7] = 0xAB
+	sys.nodes[1].cache[0] = &cachedPage{
+		data:  data,
+		twin:  make([]byte, cfg.PageSize),
+		dirty: true,
+	}
+
+	if err := sys.nodes[0].recoverFromCrash(&crashFault{}); err != nil {
+		t.Fatal(err)
+	}
+
+	p := sys.page(0)
+	if p.home != 1 {
+		t.Errorf("page home = %d, want 1 (the successor)", p.home)
+	}
+	if p.master[7] != 0xAB {
+		t.Errorf("master[7] = %#x, want 0xAB: re-homing dropped the successor's unflushed write", p.master[7])
+	}
+	if _, ok := sys.nodes[1].cache[0]; ok {
+		t.Error("successor still caches the re-homed page")
+	}
+	if sys.nodes[1].pendingNotices[0] == 0 {
+		t.Error("no pending write notice for the flushed page; other nodes' stale copies would never invalidate")
+	}
+}
+
+// TestRestoreRejectsCVCountMismatch: a checkpoint whose cv-counter count
+// does not match the run's configuration must fail the restore cleanly
+// instead of desyncing the positional codec.
+func TestRestoreRejectsCVCountMismatch(t *testing.T) {
+	cfg := cluster.Zero()
+	sys, err := NewSystem(2, cfg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.recActive = true
+	w := recovery.NewWriter()
+	w.Int(1)  // points
+	w.Uint(0) // syncSeq
+	w.Int(0)  // diffSeq entries
+	w.Int(len(sys.nodes[0].cvSeq) + 3)
+	for i := 0; i < len(sys.nodes[0].cvSeq)+3; i++ {
+		w.Uint(0)
+	}
+	w.Int(0) // pendingNotices
+	w.Int(0) // dirtyHome
+	sys.ckpts[0] = w.Finish()
+
+	err = sys.nodes[0].recoverFromCrash(&crashFault{})
+	if err == nil || !strings.Contains(err.Error(), "cv counters") {
+		t.Errorf("recoverFromCrash = %v, want cv-counter mismatch error", err)
+	}
+}
+
 // TestHeartbeats: with recovery active, a node emits a failure-detector
 // heartbeat every HeartbeatEvery protocol operations.
 func TestHeartbeats(t *testing.T) {

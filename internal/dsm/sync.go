@@ -21,11 +21,6 @@ type lockVar struct {
 	freeAt  float64 // virtual time the lock last became free at the manager
 	queue   []*lockWaiter
 	notices map[int]uint64 // cumulative write notices associated with the lock
-	// lastAcq records, per node, the highest ACQ sequence number the
-	// manager has processed — a duplicated ACQ delivery is recognized and
-	// dropped; without it the node would be enqueued twice and the second
-	// grant would wedge the lock forever.
-	lastAcq map[int]uint64
 }
 
 type lockWaiter struct {
@@ -40,8 +35,7 @@ type lockGrant struct {
 }
 
 func newLockVar(manager int) *lockVar {
-	return &lockVar{manager: manager, holder: -1,
-		notices: make(map[int]uint64), lastAcq: make(map[int]uint64)}
+	return &lockVar{manager: manager, holder: -1, notices: make(map[int]uint64)}
 }
 
 func copyNotices(src map[int]uint64) map[int]uint64 {
@@ -88,8 +82,14 @@ func (n *Node) Acquire(id int) error {
 	n.syncSeq++
 	seq := n.syncSeq
 	if cfg.Duplicated(cluster.MsgSync, n.id) {
-		// The duplicated ACQ reaches the manager after the original; its
-		// sequence number is no longer fresh, so the manager drops it.
+		// The duplicated ACQ reaches the manager after the original with a
+		// stale sequence number, so it is dropped (enqueueing the node
+		// twice would wedge the lock at the second grant). The drop is
+		// modelled sender-side: the simulation delivers each logical ACQ
+		// once, so only the accounting happens here. The manager cannot
+		// gate *originals* on sequence numbers anyway — crash recovery
+		// restores syncSeq from the checkpoint and legitimately replays
+		// them, and dropping a replayed ACQ would wedge the recovered node.
 		inc(&n.stats.DupsSuppressed, 1)
 		n.trace(TraceDup, -1, id, fmt.Sprintf("acq seq %d", seq))
 	}
@@ -99,9 +99,6 @@ func (n *Node) Acquire(id int) error {
 	inc(&n.stats.LockAcquires, 1)
 
 	lv.mu.Lock()
-	if lv.lastAcq[n.id] < seq {
-		lv.lastAcq[n.id] = seq
-	}
 	var grant lockGrant
 	if !lv.held {
 		lv.held = true
@@ -355,11 +352,6 @@ type condVar struct {
 	pending []cvSignal // unconsumed signals, FIFO
 	waiters []cvWaiter
 	notices map[int]uint64 // cumulative write notices attached to the cv
-	// lastSeq records, per signaller, the highest SETCV sequence number
-	// processed — a duplicated signal delivery is recognized and dropped;
-	// without it a duplicate would wake a second waiter for a single
-	// produced value and corrupt the FIFO handoff.
-	lastSeq map[int]uint64
 }
 
 // cvWaiter is one parked jia_waitcv caller. Signal consumption stays
@@ -378,8 +370,7 @@ type cvSignal struct {
 }
 
 func newCondVar(manager int) *condVar {
-	return &condVar{manager: manager,
-		notices: make(map[int]uint64), lastSeq: make(map[int]uint64)}
+	return &condVar{manager: manager, notices: make(map[int]uint64)}
 }
 
 func (s *System) cv(id int) (*condVar, error) {
@@ -404,8 +395,11 @@ func (n *Node) Setcv(id int) error {
 	n.cvSeq[id]++
 	seq := n.cvSeq[id]
 	if cfg.Duplicated(cluster.MsgSync, n.id) {
-		// The duplicated SETCV carries a stale sequence number; the
-		// manager drops it instead of waking a second waiter.
+		// The duplicated SETCV carries a stale sequence number, so it is
+		// dropped instead of waking a second waiter for a single produced
+		// value. Like the ACQ case, the drop is modelled sender-side: each
+		// logical SETCV is delivered once, and cvSeq replays after crash
+		// recovery, so the manager keeps no sequence gate of its own.
 		inc(&n.stats.DupsSuppressed, 1)
 		n.trace(TraceDup, -1, id, fmt.Sprintf("setcv seq %d", seq))
 	}
@@ -419,9 +413,6 @@ func (n *Node) Setcv(id int) error {
 	n.trace(TraceSetcv, -1, id, "")
 	cv.mu.Lock()
 	defer cv.mu.Unlock()
-	if cv.lastSeq[n.id] < seq {
-		cv.lastSeq[n.id] = seq
-	}
 	mergeNotices(cv.notices, notices)
 	sig := cvSignal{arrive: arrive, notices: copyNotices(cv.notices)}
 	if len(cv.waiters) > 0 {

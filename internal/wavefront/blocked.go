@@ -144,7 +144,17 @@ func RunBlocked(nprocs int, cfg cluster.Config, s, t bio.Sequence, sc bio.Scorin
 			firstBlk = ck.Int()
 			if firstBlk > 0 {
 				resumeRight = decodeCells(ck)
-				resumeCorner = decodeCells(ck)[0]
+				corner := decodeCells(ck)
+				if len(corner) != 1 {
+					// A truncated or out-of-sync blob yields an empty
+					// slice; surface the codec error instead of panicking
+					// on the index below.
+					if err := ck.Err(); err != nil {
+						return err
+					}
+					return fmt.Errorf("wavefront: checkpoint corner: %d cells, want 1", len(corner))
+				}
+				resumeCorner = corner[0]
 			}
 			if ck.Int() == 1 {
 				lastRow = decodeCells(ck)
