@@ -83,7 +83,10 @@ func BenchmarkKernelExactScan(b *testing.B) {
 	reportCells(b, int64(s.Len())*int64(t.Len()))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := align.Scan(s, t, bio.DefaultScoring(), align.ScanOptions{}); err != nil {
+		// ForceScalar keeps this benchmark the scalar denominator the
+		// striped kernels are measured against (and the oracle they are
+		// tested against); KernelStripedScan times the fast path.
+		if _, err := align.Scan(s, t, bio.DefaultScoring(), align.ScanOptions{ForceScalar: true}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -104,9 +107,12 @@ func BenchmarkKernelHeuristicScan(b *testing.B) {
 func BenchmarkKernelColumnScan(b *testing.B) {
 	s, t := benchPair(1000)
 	reportCells(b, int64(s.Len())*int64(t.Len()))
+	// A nil visit makes ColumnScan return without scanning (nothing
+	// would observe the columns); the no-op keeps the kernel honest.
+	visit := func(j int, col []int32) {}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if err := align.ColumnScan(s, t, bio.DefaultScoring(), nil); err != nil {
+		if err := align.ColumnScan(s, t, bio.DefaultScoring(), visit); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -115,10 +121,11 @@ func BenchmarkKernelColumnScan(b *testing.B) {
 func BenchmarkKernelGotoh(b *testing.B) {
 	s, t := benchPair(500)
 	sc := align.AffineScoring{Match: 1, Mismatch: -1, GapOpen: -3, GapExtend: -1}
+	var al align.AffineAligner // reused layer matrices: steady-state allocs only
 	reportCells(b, int64(s.Len())*int64(t.Len()))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := align.BestLocalAffine(s, t, sc); err != nil {
+		if _, err := al.BestLocalAffine(s, t, sc); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -195,6 +202,45 @@ func BenchmarkKernelSWARScan16(b *testing.B) {
 	}
 }
 
+// benchRandomPair returns two independent random sequences: unrelated
+// data keeps local scores far below the int8 cap, so the striped
+// benchmarks time the pure packed path with no fallback.
+func benchRandomPair(n int) (bio.Sequence, bio.Sequence) {
+	g := bio.NewGenerator(77)
+	return g.Random(n), g.Random(n)
+}
+
+// BenchmarkKernelStripedScan times the striped intra-sequence int8
+// kernel on a single pair — the Farrar-layout counterpart of the
+// inter-sequence SWARScan, and the fast path behind align.Scan. The
+// acceptance bar is ≥ 2× the scalar KernelExactScan cells/s.
+func BenchmarkKernelStripedScan(b *testing.B) {
+	s, t := benchRandomPair(1000)
+	var al swar.Aligner
+	sc := bio.DefaultScoring()
+	reportCells(b, int64(s.Len())*int64(t.Len()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := al.StripedScan8(s, t, sc); !ok {
+			b.Fatal("StripedScan8 saturated on random data")
+		}
+	}
+}
+
+// BenchmarkKernelStripedScan16 times the 4-lane int16 striped fallback.
+func BenchmarkKernelStripedScan16(b *testing.B) {
+	s, t := benchRandomPair(1000)
+	var al swar.Aligner
+	sc := bio.DefaultScoring()
+	reportCells(b, int64(s.Len())*int64(t.Len()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := al.StripedScan16(s, t, sc); !ok {
+			b.Fatal("StripedScan16 saturated on random data")
+		}
+	}
+}
+
 // BenchmarkSearchDatabase times the full multicore database scan: lane
 // batching, the worker pool over all host cores, and the top-K merge.
 func BenchmarkSearchDatabase(b *testing.B) {
@@ -234,10 +280,11 @@ func BenchmarkKernelReverseRetrieve(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	var rt align.Retriever // reused sparse arenas: steady-state allocs only
 	reportCells(b, int64(s.Len())*int64(t.Len()))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := align.ReverseRetrieve(s, t, sc, r.BestI, r.BestJ, r.BestScore); err != nil {
+		if _, _, err := rt.ReverseRetrieve(s, t, sc, r.BestI, r.BestJ, r.BestScore); err != nil {
 			b.Fatal(err)
 		}
 	}

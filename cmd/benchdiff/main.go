@@ -14,8 +14,10 @@
 // which is the standard way to strip scheduler noise from shared
 // machines. -check compares the preferred throughput metric (cells/s,
 // falling back to MB/s, falling back to inverted ns/op) and exits
-// non-zero when any benchmark is slower than baseline by more than the
-// tolerance (default 10%).
+// non-zero when any benchmark is slower than baseline by more than
+// -max-regress percent (default 5). The older -tol flag is the same
+// limit as a fraction and is kept for compatibility; when both are
+// given, -max-regress wins.
 package main
 
 import (
@@ -201,12 +203,16 @@ func main() {
 		file     = flag.String("file", "BENCH_kernels.json", "snapshot file")
 		snapshot = flag.String("snapshot", "", "record stdin bench output under this snapshot name")
 		doCheck  = flag.Bool("check", false, "check stdin bench output against the baseline snapshot")
-		baseline = flag.String("baseline", "current", "baseline snapshot name for -check")
-		tol      = flag.Float64("tol", 0.10, "allowed fractional throughput regression for -check")
-		doList   = flag.Bool("list", false, "list stored snapshots")
-		diff     = flag.Bool("diff", false, "compare two stored snapshots given as arguments: benchdiff -diff OLD NEW")
+		baseline   = flag.String("baseline", "current", "baseline snapshot name for -check")
+		maxRegress = flag.Float64("max-regress", 5, "allowed per-benchmark throughput regression for -check, in percent")
+		tol        = flag.Float64("tol", 0.05, "deprecated fractional form of -max-regress")
+		doList     = flag.Bool("list", false, "list stored snapshots")
+		diff       = flag.Bool("diff", false, "compare two stored snapshots given as arguments: benchdiff -diff OLD NEW")
 	)
 	flag.Parse()
+	explicit := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	tolerance := resolveTolerance(*maxRegress, *tol, explicit)
 
 	f, err := loadFile(*file)
 	if err != nil {
@@ -240,13 +246,13 @@ func main() {
 		if len(cur) == 0 {
 			fatal(fmt.Errorf("no benchmark lines on stdin"))
 		}
-		lines, regressions := check(base, cur, *tol)
+		lines, regressions := check(base, cur, tolerance)
 		for _, l := range lines {
 			fmt.Println(l)
 		}
 		if len(regressions) > 0 {
 			fmt.Fprintf(os.Stderr, "benchdiff: %d regression(s) beyond %.0f%%: %s\n",
-				len(regressions), *tol*100, strings.Join(regressions, ", "))
+				len(regressions), tolerance*100, strings.Join(regressions, ", "))
 			os.Exit(1)
 		}
 
@@ -277,6 +283,18 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// resolveTolerance merges the two regression-limit flags: -max-regress
+// is the canonical knob (percent), -tol the fractional spelling older
+// scripts used. An explicit -max-regress wins, an explicit -tol alone
+// is honoured, otherwise the -max-regress default applies. explicit
+// holds the flag names actually given on the command line.
+func resolveTolerance(maxRegress, tol float64, explicit map[string]bool) float64 {
+	if explicit["tol"] && !explicit["max-regress"] {
+		return tol
+	}
+	return maxRegress / 100
 }
 
 func mapKeys(m map[string]Snapshot) []string {

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"math"
 	"strings"
 	"testing"
 )
@@ -117,5 +118,28 @@ func TestCheckRoundTrip(t *testing.T) {
 	// Identical output against itself: never a regression.
 	if _, regressions := check(snap, snap, 0.10); len(regressions) != 0 {
 		t.Errorf("self-check regressed: %v", regressions)
+	}
+}
+
+func TestResolveTolerance(t *testing.T) {
+	cases := []struct {
+		name            string
+		maxRegress, tol float64
+		explicit        []string
+		want            float64
+	}{
+		{"defaults", 5, 0.05, nil, 0.05},
+		{"max-regress only", 8, 0.05, []string{"max-regress"}, 0.08},
+		{"legacy tol only", 5, 0.12, []string{"tol"}, 0.12},
+		{"both given: max-regress wins", 3, 0.25, []string{"max-regress", "tol"}, 0.03},
+	}
+	for _, tc := range cases {
+		explicit := map[string]bool{}
+		for _, f := range tc.explicit {
+			explicit[f] = true
+		}
+		if got := resolveTolerance(tc.maxRegress, tc.tol, explicit); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("%s: resolveTolerance = %v, want %v", tc.name, got, tc.want)
+		}
 	}
 }

@@ -1,0 +1,73 @@
+package align
+
+import (
+	"testing"
+
+	"genomedsm/internal/bio"
+)
+
+// The reusable aligner structs (Retriever, AffineAligner) exist to cut
+// steady-state allocation: the one-shot package functions allocate the
+// full working set per call (sparse rows per active cell, three O(m·n)
+// Gotoh layers), while a warm struct should allocate only the query
+// profile and the returned alignment. These tests pin that property with
+// generous ceilings — a regression back to per-cell or per-row
+// allocation blows through them by orders of magnitude.
+
+// allocPair builds a pair with a strong planted alignment so the
+// retrieval has real work to do.
+func allocPair() (s, t bio.Sequence, sc bio.Scoring) {
+	g := bio.NewGenerator(7)
+	s = g.Random(400)
+	motif := s[120:220]
+	t = append(append(append(bio.Sequence(nil), g.Random(60)...), motif...), g.Random(60)...)
+	return s, t, bio.DefaultScoring()
+}
+
+func TestRetrieverSteadyStateAllocs(t *testing.T) {
+	s, tt, sc := allocPair()
+	res, err := Scan(s, tt, sc, ScanOptions{ForceScalar: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestScore < 10 {
+		t.Fatalf("planted pair too weak: best=%d", res.BestScore)
+	}
+	var rt Retriever
+	run := func() {
+		al, _, err := rt.ReverseRetrieve(s, tt, sc, res.BestI, res.BestJ, res.BestScore)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if al.Score != res.BestScore {
+			t.Fatalf("retrieved score %d, want %d", al.Score, res.BestScore)
+		}
+	}
+	run() // warm the arenas
+	allocs := testing.AllocsPerRun(20, run)
+	const ceiling = 32 // profile + result + op appends; was ~14.5k one-shot
+	if allocs > ceiling {
+		t.Errorf("Retriever.ReverseRetrieve: %.0f allocs/op, ceiling %d", allocs, ceiling)
+	}
+}
+
+func TestAffineAlignerSteadyStateAllocs(t *testing.T) {
+	s, tt, _ := allocPair()
+	sc := AffineScoring{Match: 1, Mismatch: -3, GapOpen: -5, GapExtend: -2}
+	var a AffineAligner
+	run := func() {
+		al, err := a.BestLocalAffine(s, tt, sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if al.Score < 10 {
+			t.Fatalf("planted pair too weak: score=%d", al.Score)
+		}
+	}
+	run() // warm the layer matrices
+	allocs := testing.AllocsPerRun(20, run)
+	const ceiling = 32 // profile + result + op appends; layers are reused
+	if allocs > ceiling {
+		t.Errorf("AffineAligner.BestLocalAffine: %.0f allocs/op, ceiling %d", allocs, ceiling)
+	}
+}

@@ -44,6 +44,21 @@ const (
 // BestLocalAffine computes one optimal local alignment under affine gap
 // penalties with Gotoh's three-state dynamic programming.
 func BestLocalAffine(s, t bio.Sequence, sc AffineScoring) (*Alignment, error) {
+	var a AffineAligner
+	return a.BestLocalAffine(s, t, sc)
+}
+
+// AffineAligner carries the three Gotoh layer matrices between calls so
+// repeated affine alignments (batch realignment, tests) reuse one
+// allocation instead of three O(m·n) ones per call. The zero value is
+// ready to use; an AffineAligner must not be shared between goroutines.
+type AffineAligner struct {
+	h, e, f []int32
+}
+
+// BestLocalAffine is the buffer-reusing form of the package function of
+// the same name; see its documentation.
+func (a *AffineAligner) BestLocalAffine(s, t bio.Sequence, sc AffineScoring) (*Alignment, error) {
 	if err := sc.Validate(); err != nil {
 		return nil, err
 	}
@@ -53,9 +68,18 @@ func BestLocalAffine(s, t bio.Sequence, sc AffineScoring) (*Alignment, error) {
 	}
 	const negInf = int32(-1 << 29)
 	cols := n + 1
-	h := make([]int32, (m+1)*cols)
-	e := make([]int32, (m+1)*cols)
-	f := make([]int32, (m+1)*cols)
+	size := (m + 1) * cols
+	if cap(a.h) < size {
+		a.h = make([]int32, size)
+		a.e = make([]int32, size)
+		a.f = make([]int32, size)
+	}
+	h, e, f := a.h[:size], a.e[:size], a.f[:size]
+	// Only the borders are read before being written: the recurrence
+	// consumes row 0 and column 0 of h as the zero clamp, and row 0 of
+	// e/f as -inf; interior cells are written before any read. Reused
+	// buffers therefore need the borders reset, nothing else.
+	clear(h[:cols])
 	for j := 0; j <= n; j++ {
 		e[j], f[j] = negInf, negInf
 	}
@@ -66,6 +90,7 @@ func BestLocalAffine(s, t bio.Sequence, sc AffineScoring) (*Alignment, error) {
 	for i := 1; i <= m; i++ {
 		row := i * cols
 		prev := row - cols
+		h[row] = 0
 		e[row], f[row] = negInf, negInf
 		sub := prof.Row(s[i-1])
 		for j := 1; j <= n; j++ {

@@ -35,6 +35,33 @@ func (st RetrieveStats) UsefulFraction() float64 {
 // proportional to the useful area only, O(n'²) with the Eq. (3) constant,
 // instead of endI·endJ.
 func ReverseRetrieve(s, t bio.Sequence, sc bio.Scoring, endI, endJ, k int) (*Alignment, RetrieveStats, error) {
+	var r Retriever
+	return r.ReverseRetrieve(s, t, sc, endI, endJ, k)
+}
+
+// Retriever carries the reusable sparse-row storage of ReverseRetrieve:
+// all rows live in one shared arena (vals/arrs), each row holding only
+// its index window into it, so a retrieval performs a handful of
+// amortized arena growths instead of one pair of appends per active
+// cell. The zero value is ready to use; a Retriever must not be shared
+// between goroutines. Steady-state reuse (the top-K realignment loop,
+// RetrieveAll) allocates only the profile and the result.
+type Retriever struct {
+	vals []int32      // row-value arena
+	arrs []byte       // parallel arrow arena
+	rows []rrow       // per-row windows into the arenas
+	rev  bio.Sequence // reversed-prefix scratch for the profile
+}
+
+// rrow is one sparse row: the active column window [lo, hi] stored at
+// arena offset off (so column q lives at index off+q-lo).
+type rrow struct {
+	lo, hi, off int
+}
+
+// ReverseRetrieve is the buffer-reusing form of the package function of
+// the same name; see its documentation.
+func (rt *Retriever) ReverseRetrieve(s, t bio.Sequence, sc bio.Scoring, endI, endJ, k int) (*Alignment, RetrieveStats, error) {
 	var st RetrieveStats
 	if err := sc.Validate(); err != nil {
 		return nil, st, err
@@ -52,34 +79,37 @@ func ReverseRetrieve(s, t bio.Sequence, sc bio.Scoring, endI, endJ, k int) (*Ali
 	pmax, qmax := endI, endJ
 	// Query profile over the reversed prefix of t: sub[p][q-1] is the
 	// substitution score of srev[p] against trev[q], one int32 load per
-	// cell in the hot loop below.
-	prof := bio.NewProfile(bio.Sequence(t[:endJ]).Reverse(), sc)
+	// cell in the hot loop below. The reversal scratch is reused.
+	rt.rev = rt.rev[:0]
+	for q := endJ - 1; q >= 0; q-- {
+		rt.rev = append(rt.rev, t[q])
+	}
+	prof := bio.NewProfile(rt.rev, sc)
 
 	// Sparse row storage: row p keeps values and arrows for the active
 	// column window [lo, hi]. A cell is active when its value is positive
 	// and it is reachable from the (1,1) seed without crossing a zero —
 	// Theorem 6.2 says pruning the rest cannot lose the minimal-length
 	// alignment, because that alignment starts at the first character of
-	// each reversed sequence.
-	type row struct {
-		lo, hi int
-		val    []int32
-		arr    []byte
-	}
-	rows := make([]row, 1, 64)
-	rows[0] = row{lo: 0, hi: 0, val: []int32{0}, arr: []byte{0}}
+	// each reversed sequence. Rows stack up in the shared arena: the
+	// current row grows at the arena tail, front shrinks just advance its
+	// offset, tail shrinks truncate the arena before the next row starts.
+	rt.vals = append(rt.vals[:0], 0)
+	rt.arrs = append(rt.arrs[:0], 0)
+	rt.rows = append(rt.rows[:0], rrow{lo: 0, hi: 0, off: 0})
 
-	get := func(r *row, q int) (int32, bool) {
+	get := func(r rrow, q int) (int32, bool) {
 		if q < r.lo || q > r.hi {
 			return 0, false
 		}
-		return r.val[q-r.lo], r.val[q-r.lo] > 0 || (q == 0 && r.lo == 0)
+		v := rt.vals[r.off+q-r.lo]
+		return v, v > 0 || (q == 0 && r.lo == 0)
 	}
 
 	bestP, bestQ := -1, -1
 	bestSum := 1 << 30
 	for p := 1; p <= pmax; p++ {
-		prev := &rows[p-1]
+		prev := rt.rows[p-1]
 		// Any cell in this row has path length ≥ p; stop once no cell can
 		// beat the best minimal-length hit found so far.
 		if bestP >= 0 && p+1 > bestSum {
@@ -92,7 +122,7 @@ func ReverseRetrieve(s, t bio.Sequence, sc bio.Scoring, endI, endJ, k int) (*Ali
 		if lo > qmax {
 			break
 		}
-		cur := row{lo: lo, hi: lo - 1}
+		cur := rrow{lo: lo, hi: lo - 1, off: len(rt.vals)}
 		sub := prof.Row(srevAt(p))
 		rowAlive := false
 		// Columns [lo, prev.hi+1] can receive diagonal or north arrows
@@ -109,7 +139,7 @@ func ReverseRetrieve(s, t bio.Sequence, sc bio.Scoring, endI, endJ, k int) (*Ali
 				}
 			}
 			if q-1 >= cur.lo && q-1 <= cur.hi {
-				if wv := cur.val[q-1-cur.lo]; wv > 0 {
+				if wv := rt.vals[cur.off+q-1-cur.lo]; wv > 0 {
 					switch cand := wv + int32(sc.Gap); {
 					case cand > v:
 						v, arrows = cand, ArrowWest
@@ -133,8 +163,8 @@ func ReverseRetrieve(s, t bio.Sequence, sc bio.Scoring, endI, endJ, k int) (*Ali
 				}
 				v, arrows = 0, 0
 			}
-			cur.val = append(cur.val, v)
-			cur.arr = append(cur.arr, arrows)
+			rt.vals = append(rt.vals, v)
+			rt.arrs = append(rt.arrs, arrows)
 			cur.hi = q
 			if v <= 0 {
 				continue
@@ -145,17 +175,16 @@ func ReverseRetrieve(s, t bio.Sequence, sc bio.Scoring, endI, endJ, k int) (*Ali
 			}
 		}
 		// Shrink the stored window to the live cells.
-		for cur.lo <= cur.hi && cur.val[0] <= 0 {
-			cur.val = cur.val[1:]
-			cur.arr = cur.arr[1:]
+		for cur.lo <= cur.hi && rt.vals[cur.off] <= 0 {
+			cur.off++
 			cur.lo++
 		}
-		for cur.hi >= cur.lo && cur.val[len(cur.val)-1] <= 0 {
-			cur.val = cur.val[:len(cur.val)-1]
-			cur.arr = cur.arr[:len(cur.arr)-1]
+		for cur.hi >= cur.lo && rt.vals[len(rt.vals)-1] <= 0 {
+			rt.vals = rt.vals[:len(rt.vals)-1]
+			rt.arrs = rt.arrs[:len(rt.arrs)-1]
 			cur.hi--
 		}
-		rows = append(rows, cur)
+		rt.rows = append(rt.rows, cur)
 		st.RowsComputed = p
 		if !rowAlive {
 			break
@@ -180,11 +209,11 @@ func ReverseRetrieve(s, t bio.Sequence, sc bio.Scoring, endI, endJ, k int) (*Ali
 	var revOps []Op
 	p, q := bestP, bestQ
 	for p > 0 || q > 0 {
-		r := &rows[p]
+		r := rt.rows[p]
 		if q < r.lo || q > r.hi {
 			return nil, st, fmt.Errorf("align: traceback escaped the stored area at (%d,%d)", p, q)
 		}
-		arrows := r.arr[q-r.lo]
+		arrows := rt.arrs[r.off+q-r.lo]
 		if arrows == 0 {
 			break
 		}

@@ -23,6 +23,11 @@ type ScanOptions struct {
 	// threshold — the "scoreboard of points of interest" kept by the
 	// paper's pre-process strategy (§5).
 	HitThreshold int
+	// ForceScalar disables the striped SWAR fast path and runs the
+	// scalar int32 kernel unconditionally. The scalar path is the
+	// differential oracle the striped kernels are tested against, and
+	// benchmarks use it to keep the KernelExactScan denominator stable.
+	ForceScalar bool
 }
 
 // ScanResult is the outcome of a linear-space Smith–Waterman scan.
@@ -81,6 +86,17 @@ func Scan(s, t bio.Sequence, sc bio.Scoring, opt ScanOptions) (*ScanResult, erro
 	res := &ScanResult{}
 	if m == 0 || n == 0 {
 		return res, nil
+	}
+	// Plain best-score scans take the striped SWAR fast path; the
+	// optional per-cell features (endpoint collection, hit counting)
+	// need the full score rows and keep the scalar kernel, which also
+	// remains the differential oracle for the striped one.
+	if !opt.ForceScalar && opt.EndpointMinScore <= 0 && opt.HitThreshold <= 0 {
+		if p, ok := stripedScan(s, t, sc); ok {
+			res.BestScore, res.BestI, res.BestJ = p.Score, p.I, p.J
+			res.Cells = int64(m) * int64(n)
+			return res, nil
+		}
 	}
 	prof := bio.NewProfile(t, sc)
 	gap := int32(sc.Gap)
@@ -177,21 +193,21 @@ func ColumnScan(s, t bio.Sequence, sc bio.Scoring, visit func(j int, col []int32
 		return err
 	}
 	m, n := s.Len(), t.Len()
+	if visit == nil {
+		// Nothing observes the columns; the scan would be pure waste.
+		return nil
+	}
 	prof := bio.NewProfile(s, sc)
 	gap := int32(sc.Gap)
 	prev := make([]int32, m+1)
 	cur := make([]int32, m+1)
-	if visit != nil {
-		visit(0, prev)
-	}
+	visit(0, prev)
 	for j := 1; j <= n; j++ {
 		cur[0] = 0
 		if m > 0 {
 			swRow(prev, cur, prof.Row(t[j-1]), gap)
 		}
-		if visit != nil {
-			visit(j, cur)
-		}
+		visit(j, cur)
 		prev, cur = cur, prev
 	}
 	return nil

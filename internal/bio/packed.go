@@ -49,10 +49,10 @@ const (
 // at position j. Build it once per lane group; it is read-only
 // afterwards and safe for concurrent use.
 type PackedProfile struct {
-	lanes int // PackedLanes8 or PackedLanes16
+	lanes int  // PackedLanes8 or PackedLanes16
 	shift uint // bits per lane (8 or 16)
-	cap   int // per-lane saturation cap
-	words int // padded target length (words per row)
+	cap   int  // per-lane saturation cap
+	words int  // padded target length (words per row)
 	lens  []int
 	plus  [AlphabetSize][]uint64
 	minus [AlphabetSize][]uint64

@@ -1,0 +1,113 @@
+package bio
+
+import "testing"
+
+// TestStripedProfileLanes pins the striped layout lane by lane against
+// the scalar Substitution rule: word v lane l must carry the split
+// magnitudes of query position v + l·SegLen, padded positions must be
+// all-mismatch, and the masks must cover exactly the real lanes.
+func TestStripedProfileLanes(t *testing.T) {
+	sc := DefaultScoring()
+	for _, seq := range []Sequence{
+		MustSequence("ACGTNNACGTANACG"), // 15 = 8*2-1: one padded lane
+		MustSequence("ACGT"),            // shorter than one word of lanes
+		MustSequence("A"),
+		nil,
+	} {
+		for _, wide := range []bool{false, true} {
+			var p *StripedProfile
+			if wide {
+				p = NewStripedProfile16(seq, sc)
+			} else {
+				p = NewStripedProfile8(seq, sc)
+			}
+			if p == nil {
+				t.Fatalf("profile rejected scoring %+v", sc)
+			}
+			if p.Len() != len(seq) {
+				t.Fatalf("Len = %d, want %d", p.Len(), len(seq))
+			}
+			wantSeg := (len(seq) + p.Lanes() - 1) / p.Lanes()
+			if p.SegLen() != wantSeg {
+				t.Fatalf("SegLen = %d, want %d", p.SegLen(), wantSeg)
+			}
+			for _, a := range []byte{'A', 'C', 'G', 'T', 'N', 'x'} {
+				plus, minus := p.PlusRow(a), p.MinusRow(a)
+				for v := 0; v < p.SegLen(); v++ {
+					for l := 0; l < p.Lanes(); l++ {
+						pos := v + l*p.SegLen()
+						wantPlus, wantMinus := 0, -sc.Mismatch
+						if pos < len(seq) {
+							if s := Substitution(a, seq[pos], sc.Match, sc.Mismatch); s > 0 {
+								wantPlus, wantMinus = s, 0
+							} else {
+								wantPlus, wantMinus = 0, -s
+							}
+						}
+						if got := p.Lane(plus[v], l); got != wantPlus {
+							t.Fatalf("lanes=%d plus(%q) word %d lane %d (pos %d) = %d, want %d",
+								p.Lanes(), a, v, l, pos, got, wantPlus)
+						}
+						if got := p.Lane(minus[v], l); got != wantMinus {
+							t.Fatalf("lanes=%d minus(%q) word %d lane %d (pos %d) = %d, want %d",
+								p.Lanes(), a, v, l, pos, got, wantMinus)
+						}
+					}
+				}
+			}
+			// Masks: value mask = lane cap for real lanes, 0 for padded.
+			for v := 0; v < p.SegLen(); v++ {
+				vm := p.ValueMask()[v]
+				gm := p.GuardMask(v)
+				for l := 0; l < p.Lanes(); l++ {
+					pos := v + l*p.SegLen()
+					wantVal, wantGuard := 0, 0
+					if pos < len(seq) {
+						wantVal = p.Cap()
+						wantGuard = p.Cap() + 1
+					}
+					if got := p.Lane(vm, l); got != wantVal {
+						t.Fatalf("value mask word %d lane %d = %#x, want %#x", v, l, got, wantVal)
+					}
+					if got := p.Lane(gm, l); got != wantGuard {
+						t.Fatalf("guard mask word %d lane %d = %#x, want %#x", v, l, got, wantGuard)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestStripedProfileRejectsWideScores checks the constructor refuses
+// scoring magnitudes that do not fit the clean lane range.
+func TestStripedProfileRejectsWideScores(t *testing.T) {
+	seq := MustSequence("ACGT")
+	if p := NewStripedProfile8(seq, Scoring{Match: 200, Mismatch: -1, Gap: -2}); p != nil {
+		t.Fatal("int8 profile accepted match=200")
+	}
+	if p := NewStripedProfile8(seq, Scoring{Match: 1, Mismatch: -200, Gap: -2}); p != nil {
+		t.Fatal("int8 profile accepted mismatch=-200")
+	}
+	if p := NewStripedProfile16(seq, Scoring{Match: 40000, Mismatch: -1, Gap: -2}); p != nil {
+		t.Fatal("int16 profile accepted match=40000")
+	}
+	if p := NewStripedProfile16(seq, Scoring{Match: 200, Mismatch: -100, Gap: -2}); p == nil {
+		t.Fatal("int16 profile rejected in-range scores")
+	}
+}
+
+// TestStripedBroadcast pins Broadcast/Lane round-trips on both widths.
+func TestStripedBroadcast(t *testing.T) {
+	seq := MustSequence("ACGTACGTA")
+	for _, p := range []*StripedProfile{
+		NewStripedProfile8(seq, DefaultScoring()),
+		NewStripedProfile16(seq, DefaultScoring()),
+	} {
+		w := p.Broadcast(5)
+		for l := 0; l < p.Lanes(); l++ {
+			if got := p.Lane(w, l); got != 5 {
+				t.Fatalf("lanes=%d Broadcast(5) lane %d = %d", p.Lanes(), l, got)
+			}
+		}
+	}
+}

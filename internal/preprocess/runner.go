@@ -7,7 +7,14 @@ import (
 	"genomedsm/internal/cluster"
 	"genomedsm/internal/dsm"
 	"genomedsm/internal/recovery"
+	"genomedsm/internal/swar"
 )
+
+// disableBandKernel forces every chunk through the scalar loop. The
+// differential test flips it to prove the striped and scalar paths
+// produce bit-identical runs (hits, best tracking, saved columns,
+// checkpoint state included).
+var disableBandKernel bool
 
 // Result is the outcome of a pre-process run.
 type Result struct {
@@ -163,6 +170,15 @@ func Run(nprocs int, cc cluster.Config, s, t bio.Sequence, sc bio.Scoring, cfg C
 				continue
 			}
 			h := band.Rows()
+			// The striped band kernel advances whole columns in packed
+			// lanes; chunks whose value bound overflows both lane widths
+			// (or a disabled kernel) fall back to the scalar loop below,
+			// which stays the differential oracle.
+			var kern *swar.BandKernel
+			if !disableBandKernel {
+				kern = swar.NewBandKernel(s[band.R0-1:band.R0-1+h], sc, cfg.Threshold)
+			}
+			var hitbuf []int32
 			// prevCol[x] is the value at (band.R0-1+x, j-1); col[x] the
 			// current column. Index 0 is the top border row.
 			prevCol := make([]int32, h+1)
@@ -196,36 +212,75 @@ func Run(nprocs int, cc cluster.Config, s, t bio.Sequence, sc bio.Scoring, cfg C
 						topRow[x] = 0
 					}
 				}
-				for j := c0; j <= c1; j++ {
-					tj := t[j-1]
-					col[0] = topRow[j-c0]
-					for x := 1; x <= h; x++ {
-						i := band.R0 + x - 1
-						v := int(prevCol[x-1]) + sc.Pair(s[i-1], tj)
-						if w := int(prevCol[x]) + sc.Gap; w > v {
-							v = w
-						}
-						if no := int(col[x-1]) + sc.Gap; no > v {
-							v = no
-						}
-						if v < 0 {
-							v = 0
-						}
-						col[x] = int32(v)
-						if v >= cfg.Threshold {
-							hits[j/cfg.ResultInterleave]++
-						}
-						if v > out.best {
-							out.best, out.bestI, out.bestJ = v, i, j
+				ranKernel := false
+				if kern != nil {
+					if cap(hitbuf) < width {
+						hitbuf = make([]int32, width)
+					}
+					args := swar.ChunkArgs{
+						Cols:   t[c0-1 : c1],
+						Diag:   prevCol[0],
+						Left:   prevCol[1:],
+						Top:    topRow,
+						BestIn: out.best,
+						Bottom: bottom[c0-1 : c1],
+						Hits:   hitbuf[:width],
+					}
+					if saving {
+						args.WantCol = func(ci int) bool { return (c0+ci)%cfg.SaveInterleave == 0 }
+						args.Save = func(ci int, values []int32) error {
+							return saveColumn(band.Index, c0+ci, band.R0, values)
 						}
 					}
-					bottom[j-1] = col[h]
-					if saving && j%cfg.SaveInterleave == 0 {
-						if err := saveColumn(band.Index, j, band.R0, col[1:]); err != nil {
-							return err
-						}
+					cb, ok, err := kern.Chunk(&args)
+					if err != nil {
+						return err
 					}
-					prevCol, col = col, prevCol
+					if ok {
+						ranKernel = true
+						for x := 0; x < width; x++ {
+							hits[(c0+x)/cfg.ResultInterleave] += int64(hitbuf[x])
+						}
+						if cb.Improved {
+							out.best, out.bestI, out.bestJ = cb.Score, band.R0+cb.Row, c0+cb.Col
+						}
+						// The carried column's border cell, exactly as the
+						// scalar loop's final swap would leave it.
+						prevCol[0] = topRow[width-1]
+					}
+				}
+				if !ranKernel {
+					for j := c0; j <= c1; j++ {
+						tj := t[j-1]
+						col[0] = topRow[j-c0]
+						for x := 1; x <= h; x++ {
+							i := band.R0 + x - 1
+							v := int(prevCol[x-1]) + sc.Pair(s[i-1], tj)
+							if w := int(prevCol[x]) + sc.Gap; w > v {
+								v = w
+							}
+							if no := int(col[x-1]) + sc.Gap; no > v {
+								v = no
+							}
+							if v < 0 {
+								v = 0
+							}
+							col[x] = int32(v)
+							if v >= cfg.Threshold {
+								hits[j/cfg.ResultInterleave]++
+							}
+							if v > out.best {
+								out.best, out.bestI, out.bestJ = v, i, j
+							}
+						}
+						bottom[j-1] = col[h]
+						if saving && j%cfg.SaveInterleave == 0 {
+							if err := saveColumn(band.Index, j, band.R0, col[1:]); err != nil {
+								return err
+							}
+						}
+						prevCol, col = col, prevCol
+					}
 				}
 				node.Compute(int64(h) * int64(width))
 				if band.Index < len(bands)-1 {

@@ -271,10 +271,21 @@ func Run(q bio.Sequence, db []bio.Record, opt Options) (*Result, error) {
 // scoreGroup dispatches one lane group to the kernel selected by the
 // Lanes option. The default (0/8) uses the full int8→int16→scalar chain
 // of swar.Scores; 16 starts at int16 with scalar fallback; 1 is the
-// scalar reference path.
+// scalar reference path (align.Scan with its striped fast path disabled,
+// so differential tests compare two independent kernels).
 func scoreGroup(al *swar.Aligner, q bio.Sequence, targets []bio.Sequence, sc bio.Scoring, lanesOpt int) ([]int, error) {
 	switch lanesOpt {
 	case 0, 8:
+		if len(targets) == 1 {
+			// A singleton group (database tail, tiny database) would fill
+			// one of eight lanes; the striped intra-sequence kernel inside
+			// align.Scan uses all lanes on the single pair instead.
+			r, err := align.Scan(q, targets[0], sc, align.ScanOptions{})
+			if err != nil {
+				return nil, err
+			}
+			return []int{r.BestScore}, nil
+		}
 		return al.Scores(q, targets, sc)
 	case 16:
 		out := make([]int, len(targets))
@@ -294,7 +305,7 @@ func scoreGroup(al *swar.Aligner, q bio.Sequence, targets []bio.Sequence, sc bio
 	default: // scalar
 		out := make([]int, len(targets))
 		for i, t := range targets {
-			r, err := align.Scan(q, t, sc, align.ScanOptions{})
+			r, err := align.Scan(q, t, sc, align.ScanOptions{ForceScalar: true})
 			if err != nil {
 				return nil, err
 			}
@@ -304,12 +315,15 @@ func scoreGroup(al *swar.Aligner, q bio.Sequence, targets []bio.Sequence, sc bio
 	}
 }
 
-// realign fills the alignment spans of the final hits with the scalar
-// kernels: align.Scan finds the end cell, align.ReverseRetrieve walks
-// back to the start. Only the K winners pay this cost, and the exact
-// scan doubles as a safety net: a score disagreeing with the packed
-// kernel is a kernel bug and is reported, never papered over.
+// realign fills the alignment spans of the final hits with the exact
+// kernels: align.Scan (striped when the scheme fits, scalar otherwise)
+// finds the end cell, ReverseRetrieve walks back to the start. Only the
+// K winners pay this cost, and the exact re-scan doubles as a safety
+// net: a score disagreeing with the packed inter-sequence kernel is a
+// kernel bug and is reported, never papered over. One Retriever serves
+// the whole loop, so the sparse traceback arenas are allocated once.
 func realign(q bio.Sequence, db []bio.Record, sc bio.Scoring, hits []Hit) error {
+	var rt align.Retriever
 	for i := range hits {
 		h := &hits[i]
 		t := db[h.Index].Seq
@@ -321,7 +335,7 @@ func realign(q bio.Sequence, db []bio.Record, sc bio.Scoring, hits []Hit) error 
 			return fmt.Errorf("search: packed score %d for %q disagrees with scalar %d",
 				h.Score, h.ID, r.BestScore)
 		}
-		al, _, err := align.ReverseRetrieve(q, t, sc, r.BestI, r.BestJ, r.BestScore)
+		al, _, err := rt.ReverseRetrieve(q, t, sc, r.BestI, r.BestJ, r.BestScore)
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,253 @@
+package swar
+
+import (
+	"math/bits"
+
+	"genomedsm/internal/bio"
+)
+
+// BandKernel runs the striped step kernel over the *interior* of one
+// pre-process band (a horizontal stripe of rows scanned column by
+// column): the band's rows are striped across lanes and one outer step
+// advances a whole column. Unlike the pairwise scans, a chunk starts
+// from arbitrary non-zero border values (the DSM passage band above and
+// the carried column on the left), so instead of detecting saturation
+// after the fact — side effects (saved columns, hit counts) stream
+// during the chunk and could not be rolled back — the kernel *proves*
+// saturation impossible up front: along any DP path inside a chunk the
+// score grows only on diagonal steps (gap steps are penalties, and a
+// path entering from a border or restarting at the zero clamp gains at
+// most Match per diagonal step), so every interior cell is bounded by
+//
+//	maxBorderInput + min(bandRows, chunkCols)·Match.
+//
+// Chunk picks the narrowest lane width whose clean range holds that
+// bound, or reports ok=false before any side effect so the caller runs
+// its scalar loop. Within an accepted chunk the results — column
+// values, bottom row, per-column threshold hits, strict-improvement
+// best tracking — are bit-exact against the scalar recurrence.
+type BandKernel struct {
+	rows            bio.Sequence
+	sc              bio.Scoring
+	thr             int
+	prof8, prof16   *bio.StripedProfile
+	guard8, guard16 []uint64 // per-word guard bits of real lanes
+	prev, cur       []uint64
+	unpack          []int32
+}
+
+// ChunkArgs describes one chunk of columns. Slices are caller-owned;
+// Left is updated in place to the chunk's final column.
+type ChunkArgs struct {
+	// Cols holds the chunk's column residues (the slice of t).
+	Cols bio.Sequence
+	// Diag is the top-left corner border value H(r0-1, c0-1).
+	Diag int32
+	// Left holds the band's row values at the column before the chunk
+	// (length = band rows); on return it holds the chunk's last column.
+	Left []int32
+	// Top holds the border row above the band for the chunk's columns
+	// (length = len(Cols)); nil means the zero border of the top band.
+	Top []int32
+	// BestIn is the running strict-improvement best score before the
+	// chunk.
+	BestIn int
+	// Bottom receives the band's last-row value per column (length =
+	// len(Cols)).
+	Bottom []int32
+	// Hits receives the per-column count of cells ≥ the kernel's
+	// threshold (length = len(Cols)).
+	Hits []int32
+	// WantCol reports whether the finished column ci (chunk-local)
+	// should be handed to Save; nil means no columns are saved.
+	WantCol func(ci int) bool
+	// Save receives wanted columns in column order. The slice is reused
+	// between calls and must be copied to retain.
+	Save func(ci int, col []int32) error
+}
+
+// ChunkBest is Chunk's strict-improvement best-score outcome.
+type ChunkBest struct {
+	// Score/Row/Col are meaningful only when Improved: Row is the
+	// 0-based row inside the band, Col the 0-based column inside the
+	// chunk, of the first cell (column-major order) where the running
+	// best strictly improved to its final value.
+	Score, Row, Col int
+	Improved        bool
+}
+
+// NewBandKernel prepares the striped profiles of one band's rows. The
+// kernel is reusable across the band's chunks; it must not be shared
+// between goroutines.
+func NewBandKernel(rows bio.Sequence, sc bio.Scoring, threshold int) *BandKernel {
+	k := &BandKernel{rows: rows, sc: sc, thr: threshold}
+	if -sc.Gap <= bio.PackedCap8 {
+		k.prof8 = bio.NewStripedProfile8(rows, sc)
+		k.guard8 = guardMasks(k.prof8)
+	}
+	if -sc.Gap <= bio.PackedCap16 {
+		k.prof16 = bio.NewStripedProfile16(rows, sc)
+		k.guard16 = guardMasks(k.prof16)
+	}
+	return k
+}
+
+func guardMasks(prof *bio.StripedProfile) []uint64 {
+	if prof == nil {
+		return nil
+	}
+	g := make([]uint64, prof.SegLen())
+	for v := range g {
+		g[v] = prof.GuardMask(v)
+	}
+	return g
+}
+
+// bound returns the largest value any cell of the chunk can take: the
+// maximum border input plus one Match gain per possible diagonal step.
+func (k *BandKernel) bound(c *ChunkArgs) int {
+	maxIn := int(c.Diag)
+	for _, v := range c.Left {
+		maxIn = max(maxIn, int(v))
+	}
+	for _, v := range c.Top {
+		maxIn = max(maxIn, int(v))
+	}
+	maxIn = max(maxIn, 0)
+	return maxIn + min(len(k.rows), len(c.Cols))*k.sc.Match
+}
+
+// Chunk advances the band across c's columns. ok=false (before any
+// side effect) means the chunk's value bound exceeds every lane width
+// and the caller must run its scalar loop.
+func (k *BandKernel) Chunk(c *ChunkArgs) (ChunkBest, bool, error) {
+	h := len(k.rows)
+	if h == 0 || len(c.Cols) == 0 {
+		return ChunkBest{}, false, nil
+	}
+	bound := k.bound(c)
+	var prof *bio.StripedProfile
+	var guard []uint64
+	switch {
+	case k.prof8 != nil && bound <= bio.PackedCap8:
+		prof, guard = k.prof8, k.guard8
+	case k.prof16 != nil && bound <= bio.PackedCap16:
+		prof, guard = k.prof16, k.guard16
+	default:
+		return ChunkBest{}, false, nil
+	}
+	best, err := k.run(prof, guard, c, bound)
+	return best, true, err
+}
+
+func (k *BandKernel) run(prof *bio.StripedProfile, guard []uint64, c *ChunkArgs, bound int) (ChunkBest, error) {
+	h, width := len(k.rows), len(c.Cols)
+	segLen := prof.SegLen()
+	wide := prof.Lanes() == bio.PackedLanes16
+	if cap(k.prev) < segLen {
+		k.prev = make([]uint64, segLen)
+		k.cur = make([]uint64, segLen)
+	}
+	prev, cur := k.prev[:segLen], k.cur[:segLen]
+	packColumn(prof, c.Left, prev)
+	if cap(k.unpack) < h {
+		k.unpack = make([]int32, h)
+	}
+
+	gapV := prof.Broadcast(-k.sc.Gap)
+	value := prof.ValueMask()
+	countHits := k.thr <= bound // otherwise no cell can reach it
+	var thrV uint64
+	if countHits {
+		thrV = prof.Broadcast(k.thr)
+	}
+	// Seed the packed fold at the incoming best (clamped to the lane
+	// cap: when BestIn exceeds it, no in-bound cell can improve on it
+	// and the fold must simply never fire).
+	out := ChunkBest{Score: c.BestIn}
+	bestW := prof.Broadcast(min(c.BestIn, prof.Cap()))
+	var sat uint64
+	satMask := uint64(hi8)
+	if wide {
+		satMask = hi16
+	}
+	bw, bl := (h-1)%segLen, (h-1)/segLen // striped home of the band's last row
+
+	diagIn := uint64(uint32(c.Diag))
+	for ci := 0; ci < width; ci++ {
+		tc := c.Cols[ci]
+		var topv int32
+		if c.Top != nil {
+			topv = c.Top[ci]
+		}
+		fIn := uint64(uint32(bio.Clamp0(topv + int32(k.sc.Gap))))
+		var nb uint64
+		if wide {
+			nb, sat = stepStriped16(prev, cur, prof.PlusRow(tc), prof.MinusRow(tc), value, gapV, diagIn, fIn, bestW, sat)
+		} else {
+			nb, sat = stepStriped8(prev, cur, prof.PlusRow(tc), prof.MinusRow(tc), value, gapV, diagIn, fIn, bestW, sat)
+		}
+		if nb != bestW {
+			bestW = nb
+			var m int
+			if wide {
+				m = reduce16(bestW)
+			} else {
+				m = reduce8(bestW)
+			}
+			if m > out.Score {
+				// The running best strictly improved in THIS column;
+				// the first striped position holding the new maximum is
+				// the cell the scalar loop would have updated at last.
+				out.Score, out.Row, out.Col = m, stripedFind(prof, cur, m)-1, ci
+				out.Improved = true
+			}
+		}
+		c.Bottom[ci] = int32(prof.Lane(cur[bw], bl))
+		if countHits {
+			cnt := 0
+			for v := 0; v < segLen; v++ {
+				cnt += bits.OnesCount64(((cur[v] | satMask) - thrV) & guard[v])
+			}
+			c.Hits[ci] = int32(cnt)
+		} else {
+			c.Hits[ci] = 0
+		}
+		if c.WantCol != nil && c.WantCol(ci) {
+			unpackColumn(prof, cur, k.unpack[:h])
+			if err := c.Save(ci, k.unpack[:h]); err != nil {
+				return out, err
+			}
+		}
+		diagIn = uint64(uint32(topv))
+		prev, cur = cur, prev
+	}
+	if sat&satMask != 0 {
+		// The bound proof above makes this unreachable; reaching it
+		// means a kernel bug, and silent wrong hit counts or saved
+		// columns would be far worse than stopping the run.
+		panic("swar: band kernel saturated despite value bound")
+	}
+	unpackColumn(prof, prev, c.Left)
+	k.prev, k.cur = prev, cur
+	return out, nil
+}
+
+// packColumn scatters the column values into their striped lane homes;
+// values must fit the profile's clean lane range.
+func packColumn(prof *bio.StripedProfile, vals []int32, out []uint64) {
+	clear(out)
+	segLen := prof.SegLen()
+	shift := prof.Shift()
+	for p, val := range vals {
+		out[p%segLen] |= uint64(uint32(val)) << (uint(p/segLen) * shift)
+	}
+}
+
+// unpackColumn gathers the striped words back into sequential order.
+func unpackColumn(prof *bio.StripedProfile, words []uint64, out []int32) {
+	segLen := prof.SegLen()
+	for p := range out {
+		out[p] = int32(prof.Lane(words[p%segLen], p/segLen))
+	}
+}

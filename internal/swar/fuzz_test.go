@@ -1,10 +1,11 @@
-package swar
+package swar_test
 
 import (
 	"testing"
 
 	"genomedsm/internal/align"
 	"genomedsm/internal/bio"
+	"genomedsm/internal/swar"
 )
 
 // fuzzSeq maps arbitrary bytes to the DNA alphabet including 'N', so the
@@ -42,13 +43,13 @@ func FuzzScoresVsScalar(f *testing.F) {
 		for i := 0; i < int(rep)%6; i++ {
 			targets = append(targets, q)
 		}
-		var al Aligner
+		var al swar.Aligner
 		got, err := al.Scores(q, targets, bio.DefaultScoring())
 		if err != nil {
 			t.Fatal(err)
 		}
 		for i, tgt := range targets {
-			r, err := align.Scan(q, tgt, bio.DefaultScoring(), align.ScanOptions{})
+			r, err := align.Scan(q, tgt, bio.DefaultScoring(), align.ScanOptions{ForceScalar: true})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -56,6 +57,42 @@ func FuzzScoresVsScalar(f *testing.F) {
 				t.Fatalf("lane %d (|q|=%d |t|=%d): packed %d, scalar %d",
 					i, len(q), len(tgt), got[i], r.BestScore)
 			}
+		}
+	})
+}
+
+// FuzzStripedVsScalar drives the striped intra-sequence ladder against
+// the forced-scalar align.Scan on arbitrary sequence pairs and three
+// scoring schemes, checking score AND end-coordinate bit-exactness.
+// The high-reward scheme saturates int8 within 6 matches and int16
+// within ~5, exercising every rung of the fallback ladder.
+func FuzzStripedVsScalar(f *testing.F) {
+	f.Add([]byte("acgtacgtacgt"), []byte("tacgtacg"), uint8(0))
+	f.Add([]byte("aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa"), []byte("aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa"), uint8(1))
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8}, []byte{8, 7, 6, 5, 4}, uint8(2))
+	f.Fuzz(func(t *testing.T, rawS, rawT []byte, scheme uint8) {
+		s := fuzzSeq(rawS, 128)
+		tt := fuzzSeq(rawT, 128)
+		scorings := []bio.Scoring{
+			bio.DefaultScoring(),
+			{Match: 25, Mismatch: -2, Gap: -3},         // saturates int8 in 6 matches
+			{Match: 7000, Mismatch: -7000, Gap: -9000}, // no int8 layout, saturates int16 in 5
+		}
+		sc := scorings[int(scheme)%len(scorings)]
+		r, err := align.Scan(s, tt, sc, align.ScanOptions{ForceScalar: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := swar.Pair{Score: r.BestScore, I: r.BestI, J: r.BestJ}
+		var al swar.Aligner
+		if got, ok := al.StripedScan8(s, tt, sc); ok && got != want {
+			t.Fatalf("StripedScan8 (|s|=%d |t|=%d %+v): %+v, want %+v", len(s), len(tt), sc, got, want)
+		}
+		if got, ok := al.StripedScan16(s, tt, sc); ok && got != want {
+			t.Fatalf("StripedScan16 (|s|=%d |t|=%d %+v): %+v, want %+v", len(s), len(tt), sc, got, want)
+		}
+		if got := al.StripedScore(s, tt, sc); got != want {
+			t.Fatalf("StripedScore (|s|=%d |t|=%d %+v): %+v, want %+v", len(s), len(tt), sc, got, want)
 		}
 	})
 }

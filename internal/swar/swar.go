@@ -31,14 +31,13 @@
 // excess value is still computed exactly (sums stay within the lane),
 // so a lane is either never flagged — and bit-exact against the scalar
 // kernel — or flagged and retried with the next wider layout:
-// int8 → int16 → the scalar align.Scan path. Wrapped garbage in a
+// int8 → int16 → the exact scalar kernel (scalar.go). Wrapped garbage in a
 // flagged lane stays inside that lane (no operation carries or borrows
 // across lane boundaries for any input), so neighbours are unaffected.
 // The chain makes Scores bit-exact against align.Scan by construction.
 package swar
 
 import (
-	"genomedsm/internal/align"
 	"genomedsm/internal/bio"
 )
 
@@ -154,7 +153,8 @@ type LaneScores struct {
 // zero value is ready to use; an Aligner must not be shared between
 // goroutines.
 type Aligner struct {
-	prev, cur []uint64
+	prev, cur   []uint64 // inter-sequence packed rows (Scan8/Scan16)
+	sprev, scur []uint64 // striped rows (StripedScan8/StripedScan16)
 }
 
 // rows returns the two row buffers of length words+1, with prev cleared
@@ -288,11 +288,7 @@ func (a *Aligner) Scores(q bio.Sequence, targets []bio.Sequence, sc bio.Scoring)
 		}
 	}
 	for _, idx := range scalar {
-		r, err := align.Scan(q, targets[idx], sc, align.ScanOptions{})
-		if err != nil {
-			return nil, err
-		}
-		out[idx] = r.BestScore
+		out[idx] = scalarScore(q, targets[idx], sc)
 	}
 	return out, nil
 }

@@ -1,4 +1,4 @@
-package swar
+package swar_test
 
 import (
 	"math/rand"
@@ -6,6 +6,15 @@ import (
 
 	"genomedsm/internal/align"
 	"genomedsm/internal/bio"
+	"genomedsm/internal/swar"
+)
+
+// The tests live in an external package (swar_test) because the
+// differential oracles import align, which itself imports swar for the
+// striped fast path; guard-bit masks are restated here.
+const (
+	hi8  = 0x8080808080808080
+	hi16 = 0x8000800080008000
 )
 
 // ---- SWAR primitive unit tests: packed ops vs per-lane reference loops ----
@@ -25,8 +34,8 @@ func TestClampPrimitives(t *testing.T) {
 		for _, x := range words {
 			for _, yr := range words {
 				y := yr &^ hi8 // penalty lanes stay ≤ 127 by contract
-				sub := SubClamp8(x, y)
-				mx := MaxClamped8(x, y)
+				sub := swar.SubClamp8(x, y)
+				mx := swar.MaxClamped8(x, y)
 				for l := 0; l < 8; l++ {
 					xl := int(x >> (8 * l) & 0xFF)
 					yl := int(y >> (8 * l) & 0xFF)
@@ -43,8 +52,8 @@ func TestClampPrimitives(t *testing.T) {
 					}
 				}
 				y = yr &^ hi16
-				sub = SubClamp16(x, y)
-				mx = MaxClamped16(x, y)
+				sub = swar.SubClamp16(x, y)
+				mx = swar.MaxClamped16(x, y)
 				for l := 0; l < 4; l++ {
 					xl := int(x >> (16 * l) & 0xFFFF)
 					yl := int(y >> (16 * l) & 0xFFFF)
@@ -67,12 +76,14 @@ func TestClampPrimitives(t *testing.T) {
 
 // ---- Differential tests: packed lane scores vs the scalar align.Scan ----
 
-// scalarScores is the reference: one align.Scan per target.
+// scalarScores is the reference: one forced-scalar align.Scan per
+// target (ForceScalar keeps the oracle independent of the striped fast
+// path under test).
 func scalarScores(t *testing.T, q bio.Sequence, targets []bio.Sequence, sc bio.Scoring) []int {
 	t.Helper()
 	out := make([]int, len(targets))
 	for i, tgt := range targets {
-		r, err := align.Scan(q, tgt, sc, align.ScanOptions{})
+		r, err := align.Scan(q, tgt, sc, align.ScanOptions{ForceScalar: true})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -84,7 +95,7 @@ func scalarScores(t *testing.T, q bio.Sequence, targets []bio.Sequence, sc bio.S
 // checkScores runs the full fallback chain and compares against scalar.
 func checkScores(t *testing.T, name string, q bio.Sequence, targets []bio.Sequence, sc bio.Scoring) {
 	t.Helper()
-	var al Aligner
+	var al swar.Aligner
 	got, err := al.Scores(q, targets, sc)
 	if err != nil {
 		t.Fatalf("%s: %v", name, err)
@@ -144,7 +155,7 @@ func TestScoresWithN(t *testing.T) {
 	}
 	checkScores(t, "with-N", q, targets, sc)
 	// The all-N target must score 0: 'N' never matches, even itself.
-	var al Aligner
+	var al swar.Aligner
 	got, err := al.Scores(q, targets, sc)
 	if err != nil {
 		t.Fatal(err)
@@ -159,7 +170,7 @@ func TestScoresEmpty(t *testing.T) {
 	g := bio.NewGenerator(3)
 	checkScores(t, "empty-query", bio.Sequence{}, []bio.Sequence{g.Random(50), {}}, sc)
 	checkScores(t, "empty-targets", g.Random(50), []bio.Sequence{{}, {}, {}}, sc)
-	var al Aligner
+	var al swar.Aligner
 	got, err := al.Scores(g.Random(10), nil, sc)
 	if err != nil || len(got) != 0 {
 		t.Errorf("no targets: got %v, %v", got, err)
@@ -173,12 +184,12 @@ func TestScoresSaturation(t *testing.T) {
 	sc := bio.DefaultScoring()
 	q := g.Random(600)
 	targets := []bio.Sequence{
-		q.Clone(),        // identity: score 600 ≫ 127
-		g.Random(600),    // noise: stays in int8
-		q[:300].Clone(),  // score 300: saturates int8, fits int16
-		q[:100].Clone(),  // score 100: stays in int8
+		q.Clone(),       // identity: score 600 ≫ 127
+		g.Random(600),   // noise: stays in int8
+		q[:300].Clone(), // score 300: saturates int8, fits int16
+		q[:100].Clone(), // score 100: stays in int8
 	}
-	var al Aligner
+	var al swar.Aligner
 	ls, ok := al.Scan8(q, targets, sc)
 	if !ok {
 		t.Fatal("Scan8 rejected default scoring")
@@ -200,7 +211,7 @@ func TestScoresScalarFallback(t *testing.T) {
 	sc := bio.Scoring{Match: 1000, Mismatch: -1000, Gap: -2000}
 	q := g.Random(100)
 	targets := []bio.Sequence{q.Clone(), g.Random(100)}
-	var al Aligner
+	var al swar.Aligner
 	if _, ok := al.Scan8(q, targets, sc); ok {
 		t.Fatal("Scan8 accepted a scoring scheme that cannot fit int8 lanes")
 	}
@@ -220,7 +231,7 @@ func TestScan16Direct(t *testing.T) {
 	sc := bio.DefaultScoring()
 	q := g.Random(500)
 	targets := []bio.Sequence{q.Clone(), g.MutatedCopy(q, bio.DefaultMutationModel()), g.Random(200)}
-	var al Aligner
+	var al swar.Aligner
 	ls, ok := al.Scan16(q, targets, sc)
 	if !ok {
 		t.Fatal("Scan16 rejected default scoring")
@@ -241,7 +252,7 @@ func TestScan16Direct(t *testing.T) {
 func TestAlignerReuse(t *testing.T) {
 	g := bio.NewGenerator(8)
 	sc := bio.DefaultScoring()
-	var al Aligner
+	var al swar.Aligner
 	for i := 0; i < 10; i++ {
 		q := g.Random(10 + i*37)
 		targets := []bio.Sequence{g.Random(200 - i*13), g.Random(5 + i), g.MutatedCopy(q, bio.DefaultMutationModel())}
