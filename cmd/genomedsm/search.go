@@ -35,6 +35,9 @@ func searchCmd(args []string, w io.Writer) error {
 		lanes    = fs.Int("lanes", 0, "kernel: 0/8 int8 SWAR chain, 16 int16, 1 scalar")
 		scores   = fs.Bool("scores-only", false, "skip alignment-span retrieval of the hits")
 		jsonOut  = fs.Bool("json", false, "emit a machine-readable JSON report instead of text")
+		prune    = fs.Bool("prune", true, "exact top-K pruning: skip and abandon records that provably cannot rank")
+		prefilt  = fs.Bool("prefilter", false, "seed the pruning floor with blast word-seed lower bounds before scanning")
+		plant    = fs.Int("plant-every", 8, "plant a mutated query homolog every Nth synthetic record (0 = pure noise)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if err == flag.ErrHelp {
@@ -42,7 +45,7 @@ func searchCmd(args []string, w io.Writer) error {
 		}
 		return err
 	}
-	q, db, err := loadSearchInputs(*qFile, *dbFile, *n, *dbSize, *dbLen, *seed)
+	q, db, err := loadSearchInputs(*qFile, *dbFile, *n, *dbSize, *dbLen, *seed, *plant)
 	if err != nil {
 		return err
 	}
@@ -53,6 +56,8 @@ func searchCmd(args []string, w io.Writer) error {
 		MinScore:    *minScore,
 		Lanes:       *lanes,
 		NoEndpoints: *scores,
+		Prune:       *prune,
+		Prefilter:   *prefilt,
 	}
 	start := time.Now()
 	res, err := genomedsm.Search(q, db, opt)
@@ -69,9 +74,11 @@ func searchCmd(args []string, w io.Writer) error {
 
 // loadSearchInputs reads the query and database from FASTA files, or
 // synthesizes whichever is missing: a random query and a database of
-// noise records with mutated query fragments planted every eighth
-// record, so the scan always has real hits to rank.
-func loadSearchInputs(qFile, dbFile string, n, dbSize, dbLen int, seed int64) (genomedsm.Sequence, []genomedsm.Record, error) {
+// noise records with mutated query fragments planted every plantEvery
+// records (default every eighth), so the scan has real hits to rank;
+// plantEvery ≤ 0 yields pure noise (a uniform score distribution, the
+// worst case for pruning).
+func loadSearchInputs(qFile, dbFile string, n, dbSize, dbLen int, seed int64, plantEvery int) (genomedsm.Sequence, []genomedsm.Record, error) {
 	g := genomedsm.NewGenerator(seed)
 	var q genomedsm.Sequence
 	if qFile != "" {
@@ -92,7 +99,7 @@ func loadSearchInputs(qFile, dbFile string, n, dbSize, dbLen int, seed int64) (g
 	}
 	db := make([]genomedsm.Record, 0, dbSize)
 	for i := 0; i < dbSize; i++ {
-		if i%8 == 3 && len(q) >= 2 {
+		if plantEvery > 0 && i%plantEvery == 3%plantEvery && len(q) >= 2 {
 			half := len(q) / 2
 			frag := q[(i*13)%half : half+(i*29)%(half+1)]
 			db = append(db, genomedsm.Record{
@@ -109,13 +116,25 @@ func loadSearchInputs(qFile, dbFile string, n, dbSize, dbLen int, seed int64) (g
 
 // searchJSON is the machine-readable report of `genomedsm search`.
 type searchJSON struct {
-	QueryLen    int             `json:"query_len"`
-	Records     int             `json:"records"`
-	Hits        []searchJSONHit `json:"hits"`
-	Cells       int64           `json:"cells"`
-	PaddedCells int64           `json:"padded_cells"`
-	Seconds     float64         `json:"seconds"`
-	MCellsPerS  float64         `json:"mcells_per_second"`
+	QueryLen    int              `json:"query_len"`
+	Records     int              `json:"records"`
+	Hits        []searchJSONHit  `json:"hits"`
+	Cells       int64            `json:"cells"`
+	PaddedCells int64            `json:"padded_cells"`
+	Seconds     float64          `json:"seconds"`
+	MCellsPerS  float64          `json:"mcells_per_second"`
+	Prune       *searchJSONPrune `json:"prune,omitempty"`
+}
+
+// searchJSONPrune mirrors genomedsm.SearchPruneStats. The counts are
+// scheduling-dependent diagnostics (see PruneStats), so consumers must
+// not expect them to be stable run to run — only the hits are.
+type searchJSONPrune struct {
+	Skipped    int   `json:"skipped"`
+	Abandoned  int   `json:"abandoned"`
+	Scanned    int   `json:"scanned"`
+	CellsSaved int64 `json:"cells_saved"`
+	FloorFinal int   `json:"floor_final"`
 }
 
 type searchJSONHit struct {
@@ -138,6 +157,12 @@ func writeSearchJSON(w io.Writer, q genomedsm.Sequence, res *genomedsm.SearchRes
 	}
 	if seconds > 0 {
 		out.MCellsPerS = float64(res.Cells) / seconds / 1e6
+	}
+	if st := res.Prune; st != nil {
+		out.Prune = &searchJSONPrune{
+			Skipped: st.Skipped, Abandoned: st.Abandoned, Scanned: st.Scanned,
+			CellsSaved: st.CellsSaved, FloorFinal: st.FloorFinal,
+		}
 	}
 	for _, h := range res.Hits {
 		out.Hits = append(out.Hits, searchJSONHit{
@@ -167,11 +192,22 @@ func writeSearchText(w io.Writer, q genomedsm.Sequence, res *genomedsm.SearchRes
 		}
 		fmt.Fprint(w, tbl.Render())
 	}
+	if st := res.Prune; st != nil {
+		line := fmt.Sprintf("pruning: skipped %d, abandoned %d, scanned %d of %d records",
+			st.Skipped, st.Abandoned, st.Scanned, res.Searched)
+		if res.Cells > 0 {
+			line += fmt.Sprintf(" — %.1f%% of cells saved", 100*float64(st.CellsSaved)/float64(res.Cells))
+		}
+		if st.FloorFinal > 0 {
+			line += fmt.Sprintf(" (top-%d floor %d)", len(res.Hits), st.FloorFinal)
+		}
+		fmt.Fprintln(w, line)
+	}
 	line := fmt.Sprintf("scan time %.3fs", seconds)
 	if seconds > 0 {
 		line += fmt.Sprintf(" — %.1f Mcells/s", float64(res.Cells)/seconds/1e6)
 	}
-	if res.Cells > 0 {
+	if res.Prune == nil && res.Cells > 0 {
 		line += fmt.Sprintf(" (lane padding overhead %.1f%%)",
 			100*float64(res.PaddedCells-res.Cells)/float64(res.Cells))
 	}

@@ -54,8 +54,70 @@ func TestSearchCmdJSON(t *testing.T) {
 	if rep.Hits[0].QBegin < 1 || rep.Hits[0].TBegin < 1 {
 		t.Errorf("top hit missing alignment span: %+v", rep.Hits[0])
 	}
-	if rep.Cells <= 0 || rep.PaddedCells < rep.Cells {
+	// Pruning is on by default: the kernels may compute fewer padded
+	// cells than the full matrix, but never zero, and the stats must be
+	// present and account for every record.
+	if rep.Cells <= 0 || rep.PaddedCells <= 0 {
 		t.Errorf("cell accounting: cells=%d padded=%d", rep.Cells, rep.PaddedCells)
+	}
+	if rep.Prune == nil {
+		t.Fatal("default run missing prune stats")
+	}
+	if n := rep.Prune.Skipped + rep.Prune.Abandoned + rep.Prune.Scanned; n != rep.Records {
+		t.Errorf("prune stats cover %d of %d records", n, rep.Records)
+	}
+}
+
+// TestSearchCmdPruneDifferential pins the CLI contract behind -prune:
+// identical hits with pruning on (with and without the prefilter) and
+// off, on both the skewed (planted homologs) and uniform (pure noise)
+// synthetic databases.
+func TestSearchCmdPruneDifferential(t *testing.T) {
+	hits := func(args ...string) []searchJSONHit {
+		t.Helper()
+		var buf bytes.Buffer
+		if err := searchCmd(append(args, "-n", "350", "-db-size", "48", "-db-len", "250", "-json"), &buf); err != nil {
+			t.Fatal(err)
+		}
+		var rep searchJSON
+		if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+			t.Fatal(err)
+		}
+		return rep.Hits
+	}
+	for _, plant := range []string{"8", "0"} {
+		want := hits("-prune=false", "-plant-every", plant)
+		for _, args := range [][]string{
+			{"-prune", "-plant-every", plant},
+			{"-prune", "-prefilter", "-plant-every", plant},
+		} {
+			got := hits(args...)
+			if len(got) != len(want) {
+				t.Fatalf("plant=%s %v: %d hits, want %d", plant, args, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Errorf("plant=%s %v hit %d: %+v, want %+v", plant, args, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestSearchCmdPruneText(t *testing.T) {
+	var buf bytes.Buffer
+	if err := searchCmd([]string{"-n", "300", "-db-size", "24", "-k", "3"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if out := buf.String(); !strings.Contains(out, "pruning: skipped") {
+		t.Errorf("missing pruning stats line:\n%s", out)
+	}
+	buf.Reset()
+	if err := searchCmd([]string{"-n", "300", "-db-size", "24", "-k", "3", "-prune=false"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if out := buf.String(); strings.Contains(out, "pruning:") || !strings.Contains(out, "padding overhead") {
+		t.Errorf("-prune=false output wrong:\n%s", out)
 	}
 }
 

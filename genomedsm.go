@@ -74,6 +74,9 @@ type (
 	SearchHit = search.Hit
 	// SearchResult is the outcome of a database scan.
 	SearchResult = search.Result
+	// SearchPruneStats reports what the exact pruning pipeline did
+	// during a scan (SearchOptions.Prune); see search.PruneStats.
+	SearchPruneStats = search.PruneStats
 )
 
 // Re-exported constructors and helpers.

@@ -51,6 +51,50 @@ type Retriever struct {
 	arrs []byte       // parallel arrow arena
 	rows []rrow       // per-row windows into the arenas
 	rev  bio.Sequence // reversed-prefix scratch for the profile
+	// High-water trim bookkeeping: one huge retrieval must not pin its
+	// arena for the lifetime of a long-lived Retriever (the search
+	// worker pool, RetrieveAll loops). Every trimWindow calls the arenas
+	// are shrunk back to the window's peak usage when their capacity
+	// dwarfs it; see observe.
+	calls  int
+	hw     int // peak len(vals) observed this window
+	hwRows int // peak len(rows) observed this window
+}
+
+// Arena trim tuning: how many retrievals one observation window spans,
+// the slack factor before a trim fires, and the capacity below which
+// trimming is never worth it.
+const (
+	arenaTrimWindow = 16
+	arenaTrimFactor = 2
+	arenaTrimMinCap = 4096
+)
+
+// observe runs at the start of each retrieval, while the arenas still
+// hold the previous call's rows: it folds that usage into the window's
+// high-water marks and, once per window, releases arenas whose
+// capacity exceeds arenaTrimFactor × the recent peak (so alternating
+// big/small workloads keep their buffers, while a one-off giant
+// retrieval stops taxing every later small one).
+func (rt *Retriever) observe() {
+	if n := len(rt.vals); n > rt.hw {
+		rt.hw = n
+	}
+	if n := len(rt.rows); n > rt.hwRows {
+		rt.hwRows = n
+	}
+	if rt.calls++; rt.calls < arenaTrimWindow {
+		return
+	}
+	if cap(rt.vals) > arenaTrimFactor*rt.hw && cap(rt.vals) > arenaTrimMinCap {
+		rt.vals = make([]int32, 0, rt.hw)
+		rt.arrs = make([]byte, 0, rt.hw)
+		rt.rev = nil
+	}
+	if cap(rt.rows) > arenaTrimFactor*rt.hwRows && cap(rt.rows) > arenaTrimMinCap {
+		rt.rows = make([]rrow, 0, rt.hwRows)
+	}
+	rt.calls, rt.hw, rt.hwRows = 0, 0, 0
 }
 
 // rrow is one sparse row: the active column window [lo, hi] stored at
@@ -62,6 +106,7 @@ type rrow struct {
 // ReverseRetrieve is the buffer-reusing form of the package function of
 // the same name; see its documentation.
 func (rt *Retriever) ReverseRetrieve(s, t bio.Sequence, sc bio.Scoring, endI, endJ, k int) (*Alignment, RetrieveStats, error) {
+	rt.observe()
 	var st RetrieveStats
 	if err := sc.Validate(); err != nil {
 		return nil, st, err

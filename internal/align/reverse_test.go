@@ -214,3 +214,61 @@ func TestEq3WorstCaseBound(t *testing.T) {
 		t.Errorf("worst-case useful fraction %.3f, paper says ~0.30", frac)
 	}
 }
+
+// TestRetrieverArenaTrim pins the high-water trim: a single giant
+// retrieval must not pin its arena for the lifetime of the Retriever.
+// After enough small retrievals to roll through a full observation
+// window, the arena capacity must drop back near the small workload's
+// needs instead of staying at the giant one's.
+func TestRetrieverArenaTrim(t *testing.T) {
+	g := bio.NewGenerator(77)
+	big := g.Random(1500)
+	small := g.Random(80)
+
+	var rt Retriever
+	retrieve := func(s, tt bio.Sequence) {
+		t.Helper()
+		r, err := Scan(s, tt, sc, ScanOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		al, _, err := rt.ReverseRetrieve(s, tt, sc, r.BestI, r.BestJ, r.BestScore)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if al.Score != r.BestScore {
+			t.Fatalf("retrieved score %d, want %d", al.Score, r.BestScore)
+		}
+	}
+
+	// The identity pair maximizes the useful area, so the arena balloons.
+	retrieve(big, big)
+	bigCap := cap(rt.vals)
+	if bigCap <= arenaTrimMinCap {
+		t.Fatalf("giant retrieval only grew the arena to %d, test needs > %d", bigCap, arenaTrimMinCap)
+	}
+
+	// Two full windows of small retrievals: the first window's high-water
+	// mark still sees the giant residue, the second one is all-small and
+	// must fire the trim.
+	for i := 0; i < 2*arenaTrimWindow+1; i++ {
+		retrieve(small, small)
+	}
+	if c := cap(rt.vals); c >= bigCap {
+		t.Errorf("arena capacity %d never shrank from %d after %d small retrievals",
+			c, bigCap, 2*arenaTrimWindow+1)
+	}
+	if c := cap(rt.rows); c > 4*small.Len()+arenaTrimMinCap {
+		t.Errorf("row arena capacity %d not trimmed for %d-base retrievals", c, small.Len())
+	}
+
+	// Trimming must never break correctness: mixed sizes keep retrieving
+	// the exact score (checked inside retrieve).
+	for i := 0; i < arenaTrimWindow; i++ {
+		if i%3 == 0 {
+			retrieve(big[:400], big[:400])
+		} else {
+			retrieve(small, small)
+		}
+	}
+}

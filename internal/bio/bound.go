@@ -1,0 +1,94 @@
+package bio
+
+// This file implements the precomputed score bounds behind the search
+// layer's ALAE-style exact pruning: for one query and one scoring
+// scheme, QueryBound answers two questions in O(1) —
+//
+//   - RecordBound: how high can ANY record of length L possibly score
+//     against this query? Every aligned column contributes at most the
+//     query position's best substitution score (gaps only cost), and a
+//     local alignment against a length-L record aligns at most
+//     min(|q|, L) query positions, so the sum of the min(|q|, L)
+//     largest per-position maxima bounds the score from above.
+//   - SuffixBound: mid-scan, after the kernel has finished r query
+//     rows, how much more can any alignment still gain? Only query
+//     positions > r can add score, each at most its per-position
+//     maximum, so the suffix sum over positions > r bounds the gain.
+//
+// Both are bounds on the exact Smith–Waterman score, so a record ruled
+// out by them is ruled out exactly — no heuristics, no false drops.
+
+// QueryBound holds the per-position score maxima of one query under one
+// scoring scheme, with the prefix/suffix sums that make record-level
+// and mid-scan upper bounds O(1). Build once per search; it is
+// read-only afterwards and safe for concurrent use.
+type QueryBound struct {
+	n      int
+	prefix []int32 // prefix[w]: sum of the w largest per-position maxima
+	suffix []int32 // suffix[r]: sum of maxima at 0-based positions ≥ r
+}
+
+// NewQueryBound precomputes the bounds of q under sc. The per-position
+// maximum of a known base is sc.Match (some target residue matches it);
+// an unknown base ('N' or out-of-alphabet) never matches anything, so
+// its best substitution is sc.Mismatch < 0 and — since a local
+// alignment may simply not include the column — it contributes 0.
+func NewQueryBound(q Sequence, sc Scoring) *QueryBound {
+	n := len(q)
+	b := &QueryBound{
+		n:      n,
+		prefix: make([]int32, n+1),
+		suffix: make([]int32, n+1),
+	}
+	known := 0
+	for r := n - 1; r >= 0; r-- {
+		b.suffix[r] = b.suffix[r+1]
+		if baseCode[q[r]] != codeUnknown {
+			b.suffix[r] += int32(sc.Match)
+			known++
+		}
+	}
+	// All positive maxima are equal (sc.Match), so the "w largest" sum
+	// needs no sort: the first `known` prefix steps add sc.Match each and
+	// the rest add the zero contribution of unknown positions.
+	for w := 1; w <= n; w++ {
+		b.prefix[w] = b.prefix[w-1]
+		if w <= known {
+			b.prefix[w] += int32(sc.Match)
+		}
+	}
+	return b
+}
+
+// QueryLen returns the bound's query length.
+func (b *QueryBound) QueryLen() int { return b.n }
+
+// RecordBound returns an upper bound on the best local-alignment score
+// of the query against any record of length recLen. The bound is exact
+// in the sense of never under-estimating: score ≤ RecordBound(recLen)
+// for every record of that length.
+func (b *QueryBound) RecordBound(recLen int) int {
+	if recLen > b.n {
+		recLen = b.n
+	}
+	if recLen < 0 {
+		recLen = 0
+	}
+	return int(b.prefix[recLen])
+}
+
+// SuffixBound returns an upper bound on the score any alignment can
+// still gain from query positions after the first rowsDone rows of a
+// row-major scan: every such alignment either ended within the finished
+// rows (already folded into the kernel's running maximum) or crosses
+// into rows > rowsDone, gaining at most this much beyond the best
+// prefix value the kernel has seen.
+func (b *QueryBound) SuffixBound(rowsDone int) int {
+	if rowsDone >= b.n {
+		return 0
+	}
+	if rowsDone < 0 {
+		rowsDone = 0
+	}
+	return int(b.suffix[rowsDone])
+}

@@ -1,0 +1,91 @@
+package bio_test
+
+import (
+	"strings"
+	"testing"
+
+	"genomedsm/internal/align"
+	"genomedsm/internal/bio"
+)
+
+func TestQueryBoundTables(t *testing.T) {
+	q, err := bio.NewSequence("ACGTNNACGT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := bio.Scoring{Match: 3, Mismatch: -2, Gap: -4}
+	b := bio.NewQueryBound(q, sc)
+	if b.QueryLen() != 10 {
+		t.Fatalf("query len %d", b.QueryLen())
+	}
+	// 8 known bases contribute Match=3 each; the two Ns contribute 0.
+	if got := b.RecordBound(1000); got != 24 {
+		t.Errorf("RecordBound(1000) = %d, want 24", got)
+	}
+	// Shorter records cap the number of aligned columns.
+	for l, want := range map[int]int{0: 0, 1: 3, 5: 15, 8: 24, 10: 24, -3: 0} {
+		if got := b.RecordBound(l); got != want {
+			t.Errorf("RecordBound(%d) = %d, want %d", l, got, want)
+		}
+	}
+	// Suffix sums walk past the Ns without adding score.
+	for r, want := range map[int]int{0: 24, 4: 12, 5: 12, 6: 12, 7: 9, 10: 0, 99: 0} {
+		if got := b.SuffixBound(r); got != want {
+			t.Errorf("SuffixBound(%d) = %d, want %d", r, got, want)
+		}
+	}
+}
+
+// TestQueryBoundIsUpperBound is the property the pruning pipeline
+// rests on: for random queries and records, the exact local-alignment
+// score never exceeds RecordBound of the record's length.
+func TestQueryBoundIsUpperBound(t *testing.T) {
+	g := bio.NewGenerator(17)
+	sc := bio.DefaultScoring()
+	for trial := 0; trial < 50; trial++ {
+		q := g.Random(20 + trial*7%180)
+		b := bio.NewQueryBound(q, sc)
+		rec := g.Random(5 + trial*13%300)
+		r, err := align.Scan(q, rec, sc, align.ScanOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bound := b.RecordBound(len(rec)); r.BestScore > bound {
+			t.Fatalf("trial %d: score %d exceeds bound %d (|q|=%d |rec|=%d)",
+				trial, r.BestScore, bound, len(q), len(rec))
+		}
+		// Exact-copy record: the bound is tight for full-length identity.
+		if bound := b.RecordBound(len(q)); bound < len(q)*sc.Match-countN(q)*sc.Match {
+			t.Fatalf("trial %d: identity bound %d too small", trial, bound)
+		}
+	}
+}
+
+// TestSuffixBoundDominates pins the mid-scan abandon inequality: the
+// exact score is always ≤ the best DP value within the first r rows
+// plus SuffixBound(r), for every prefix r.
+func TestSuffixBoundDominates(t *testing.T) {
+	g := bio.NewGenerator(29)
+	sc := bio.Scoring{Match: 2, Mismatch: -3, Gap: -1}
+	q := g.Random(80)
+	rec := g.MutatedCopy(q, bio.DefaultMutationModel())
+	b := bio.NewQueryBound(q, sc)
+	full, err := align.Scan(q, rec, sc, align.ScanOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 8; r <= len(q); r += 8 {
+		prefix, err := align.Scan(q[:r], rec, sc, align.ScanOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if full.BestScore > prefix.BestScore+b.SuffixBound(r) {
+			t.Fatalf("r=%d: full %d > prefix %d + suffix %d",
+				r, full.BestScore, prefix.BestScore, b.SuffixBound(r))
+		}
+	}
+}
+
+func countN(q bio.Sequence) int {
+	return strings.Count(string(q), "N")
+}

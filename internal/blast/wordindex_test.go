@@ -1,0 +1,61 @@
+package blast_test
+
+import (
+	"testing"
+
+	"genomedsm/internal/align"
+	"genomedsm/internal/bio"
+	"genomedsm/internal/blast"
+)
+
+func TestNewWordIndexRejects(t *testing.T) {
+	g := bio.NewGenerator(5)
+	q := g.Random(100)
+	for _, w := range []int{0, 3, 16, 101} {
+		if ix := blast.NewWordIndex(q, w); ix != nil {
+			t.Errorf("word size %d accepted", w)
+		}
+	}
+	if ix := blast.NewWordIndex(q[:5], 11); ix != nil {
+		t.Error("query shorter than a word accepted")
+	}
+	var nilIx *blast.WordIndex
+	if s := nilIx.SeedScore(q, bio.DefaultScoring(), 0); s != 0 {
+		t.Errorf("nil index seed score %d", s)
+	}
+}
+
+// TestSeedScoreIsLowerBound is the exactness contract the search
+// prefilter relies on: SeedScore never exceeds the true Smith–Waterman
+// score, for related and unrelated pairs alike.
+func TestSeedScoreIsLowerBound(t *testing.T) {
+	g := bio.NewGenerator(15)
+	sc := bio.DefaultScoring()
+	q := g.Random(300)
+	ix := blast.NewWordIndex(q, 11)
+	if ix == nil {
+		t.Fatal("index not built")
+	}
+	targets := []bio.Sequence{
+		g.MutatedCopy(q, bio.DefaultMutationModel()),
+		g.MutatedCopy(q[50:200], bio.DefaultMutationModel()),
+		g.Random(400),
+		g.Random(10),
+		q.Clone(),
+	}
+	for i, tgt := range targets {
+		lb := ix.SeedScore(tgt, sc, 0)
+		r, err := align.Scan(q, tgt, sc, align.ScanOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lb > r.BestScore {
+			t.Errorf("target %d: seed lower bound %d exceeds exact score %d", i, lb, r.BestScore)
+		}
+	}
+	// The identity copy shares every word: the ungapped extension must
+	// recover the full identity score.
+	if lb := ix.SeedScore(q, sc, 0); lb != len(q)*sc.Match {
+		t.Errorf("identity seed score %d, want %d", lb, len(q)*sc.Match)
+	}
+}

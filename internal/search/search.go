@@ -46,6 +46,20 @@ type Options struct {
 	// NoEndpoints skips the scalar re-alignment of the final hits, for
 	// callers that only need scores.
 	NoEndpoints bool
+	// Prune enables the exact ALAE-style pruning pipeline (prune.go):
+	// an O(1) record-level upper bound skips hopeless records and a
+	// shared top-K floor lets the kernels abandon scans that provably
+	// cannot reach the result. The hit set — scores, coordinates and
+	// tie-breaks — is bit-identical with or without it.
+	Prune bool
+	// Prefilter additionally seeds the floor with blast seed-and-extend
+	// lower bounds before any DP runs (stage 3; only with Prune).
+	Prefilter bool
+	// PrefilterWord is the prefilter seed word size (default 11).
+	PrefilterWord int
+	// AbandonEvery is the mid-scan abandon check cadence in query rows
+	// (default swar.DefaultAbandonEvery).
+	AbandonEvery int
 }
 
 // Hit is one database record in the top K.
@@ -65,9 +79,14 @@ type Result struct {
 	Searched int   // records scored
 	Cells    int64 // true DP cells: Σ |q|·|target|
 	// PaddedCells counts the cells the packed kernels actually computed
-	// (lane width × padded group length × |q|): the padding-waste metric
-	// that the length-sorted batching keeps close to Cells.
+	// (lane width × padded group length × rows scanned): the
+	// padding-waste metric that the length-sorted batching keeps close
+	// to Cells. Under pruning it shrinks with the abandoned rows and
+	// skipped records, and — like the PruneStats — depends on worker
+	// scheduling.
 	PaddedCells int64
+	// Prune holds the pruning statistics; nil when Options.Prune is off.
+	Prune *PruneStats
 }
 
 // laneGroups orders record indices by decreasing sequence length and
@@ -184,6 +203,20 @@ func Run(q bio.Sequence, db []bio.Record, opt Options) (*Result, error) {
 		return nil, fmt.Errorf("search: lanes must be 8, 16 or 1, got %d", opt.Lanes)
 	}
 
+	var qb *bio.QueryBound
+	var ft *floorTracker
+	if opt.Prune {
+		qb = bio.NewQueryBound(q, sc)
+		ft = newFloorTracker(k)
+		if opt.Prefilter {
+			word := opt.PrefilterWord
+			if word == 0 {
+				word = 11
+			}
+			seedFloor(ft, q, db, sc, word, opt.MinScore)
+		}
+	}
+
 	groups := laneGroups(db, lanes)
 	if workers > len(groups) && len(groups) > 0 {
 		workers = len(groups)
@@ -192,6 +225,7 @@ func Run(q bio.Sequence, db []bio.Record, opt Options) (*Result, error) {
 	heaps := make([]*topK, workers)
 	errs := make([]error, workers)
 	padded := make([]int64, workers)
+	pstats := make([]PruneStats, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -201,25 +235,77 @@ func Run(q bio.Sequence, db []bio.Record, opt Options) (*Result, error) {
 			heap := &topK{k: k}
 			heaps[w] = heap
 			targets := make([]bio.Sequence, 0, lanes)
+			kept := make([]int, 0, lanes)
 			for group := range work {
 				targets = targets[:0]
+				kept = kept[:0]
+				var ab *swar.Bound
+				if opt.Prune {
+					// Stage 1: the O(1) record bound against the floor read
+					// once per group (a stale, lower floor only makes the
+					// check more conservative — never wrong).
+					th := ft.threshold(opt.MinScore)
+					for _, idx := range group {
+						t := db[idx].Seq
+						if qb.RecordBound(len(t)) < th {
+							pstats[w].Skipped++
+							pstats[w].CellsSaved += int64(len(q)) * int64(len(t))
+							continue
+						}
+						kept = append(kept, idx)
+					}
+					ab = &swar.Bound{Below: th, Query: qb, Every: opt.AbandonEvery}
+				} else {
+					kept = append(kept, group...)
+				}
+				if len(kept) == 0 {
+					continue
+				}
 				maxLen := 0
-				for _, idx := range group {
+				for _, idx := range kept {
 					t := db[idx].Seq
 					targets = append(targets, t)
 					if len(t) > maxLen {
 						maxLen = len(t)
 					}
 				}
-				padded[w] += int64(lanes) * int64(maxLen) * int64(len(q))
-				scores, err := scoreGroup(&al, q, targets, sc, opt.Lanes)
+				var scores []int
+				var prunedMask []bool
+				var rowsScanned []int
+				var err error
+				if opt.Prune {
+					scores, prunedMask, rowsScanned, err = scoreGroupBounded(&al, q, targets, sc, opt.Lanes, ab)
+				} else {
+					scores, err = scoreGroup(&al, q, targets, sc, opt.Lanes)
+				}
 				if err != nil {
 					errs[w] = err
 					return
 				}
-				for i, idx := range group {
+				rowsUsed := len(q)
+				if rowsScanned != nil {
+					rowsUsed = 0
+					for _, r := range rowsScanned {
+						if r > rowsUsed {
+							rowsUsed = r
+						}
+					}
+				}
+				padded[w] += int64(lanes) * int64(maxLen) * int64(rowsUsed)
+				for i, idx := range kept {
+					if prunedMask != nil && prunedMask[i] {
+						pstats[w].Abandoned++
+						pstats[w].CellsSaved += int64(len(q)-rowsScanned[i]) * int64(len(targets[i]))
+						continue
+					}
+					if opt.Prune {
+						pstats[w].Scanned++
+					}
 					if s := scores[i]; s > 0 && s >= opt.MinScore {
 						heap.push(Hit{Index: idx, ID: db[idx].ID, Score: s})
+						if ft != nil {
+							ft.push(s, idx)
+						}
 					}
 				}
 			}
@@ -251,6 +337,16 @@ func Run(q bio.Sequence, db []bio.Record, opt Options) (*Result, error) {
 	}
 	for _, p := range padded {
 		res.PaddedCells += p
+	}
+	if opt.Prune {
+		st := &PruneStats{FloorFinal: ft.get()}
+		for _, ps := range pstats {
+			st.Skipped += ps.Skipped
+			st.Abandoned += ps.Abandoned
+			st.Scanned += ps.Scanned
+			st.CellsSaved += ps.CellsSaved
+		}
+		res.Prune = st
 	}
 	res.Hits = merged.items
 	sort.Slice(res.Hits, func(a, b int) bool {

@@ -1,0 +1,158 @@
+package swar
+
+import "genomedsm/internal/bio"
+
+// This file holds the mid-scan early-abandon machinery of the search
+// layer's ALAE-style exact pruning. A Bound threads a pruning threshold
+// into the packed kernels: every cadence rows the kernel folds its
+// running per-lane maximum, adds the query's remaining-suffix upper
+// bound (bio.QueryBound) and abandons the scan when even that
+// optimistic total is strictly below the threshold.
+//
+// Exactness: any local alignment of q against a lane either ends within
+// the rows already scanned — its score is folded into the running
+// maximum — or crosses row r, where its prefix value is a DP cell ≤ the
+// running maximum and its remaining columns add at most SuffixBound(r).
+// Either way score ≤ runningMax + SuffixBound(r), so when that sum is
+// < Below for the maximum over all lanes, every lane is provably below
+// the threshold. Saturated lanes are excluded as evidence (their
+// running maximum is garbage); they ride the usual fallback ladder,
+// where the wider retry gets its own chance to abandon.
+
+// DefaultAbandonEvery is the default abandon check cadence in query
+// rows: rare enough that the fold and suffix lookup vanish against the
+// row cost, frequent enough that an abandoned record wastes at most one
+// cadence of rows past the provable cutoff.
+const DefaultAbandonEvery = 64
+
+// Bound configures the optional mid-scan early abandon of a packed
+// scan. The zero value — and a nil *Bound — disables it.
+type Bound struct {
+	// Below is the strict pruning threshold: the scan may be abandoned
+	// once every lane's exact score is provably < Below. Ties are never
+	// pruned, so callers can skip records strictly below a result floor
+	// while records tying it keep their chance on the tie-break.
+	Below int
+	// Query supplies the remaining-suffix upper bounds: a
+	// bio.QueryBound built from the same query sequence and scoring
+	// scheme as the scan. A nil Query disables the bound.
+	Query *bio.QueryBound
+	// Every is the check cadence in query rows; ≤ 0 selects
+	// DefaultAbandonEvery.
+	Every int
+}
+
+// cadence returns the active check cadence, or 0 when the bound is
+// disabled (nil receiver, no query bounds, or an unreachable
+// threshold).
+func (b *Bound) cadence() int {
+	if b == nil || b.Query == nil || b.Below <= 0 {
+		return 0
+	}
+	if b.Every > 0 {
+		return b.Every
+	}
+	return DefaultAbandonEvery
+}
+
+// Scan8Bounded is Scan8 under a Bound: an abandoned scan returns
+// Pruned=true with Rows set to the rows consumed, and Scores must then
+// be ignored (every lane is provably below ab.Below).
+func (a *Aligner) Scan8Bounded(q bio.Sequence, targets []bio.Sequence, sc bio.Scoring, ab *Bound) (LaneScores, bool) {
+	if -sc.Gap > bio.PackedCap8 {
+		return LaneScores{}, false
+	}
+	prof := bio.NewPackedProfile8(targets, sc)
+	if prof == nil {
+		return LaneScores{}, false
+	}
+	return a.finish(q, prof, sc, len(targets), ab), true
+}
+
+// Scan16Bounded is Scan16 under a Bound.
+func (a *Aligner) Scan16Bounded(q bio.Sequence, targets []bio.Sequence, sc bio.Scoring, ab *Bound) (LaneScores, bool) {
+	if -sc.Gap > bio.PackedCap16 {
+		return LaneScores{}, false
+	}
+	prof := bio.NewPackedProfile16(targets, sc)
+	if prof == nil {
+		return LaneScores{}, false
+	}
+	return a.finish(q, prof, sc, len(targets), ab), true
+}
+
+// ScoresBounded is Scores under a Bound: pruned[i] reports that target
+// i's exact score is provably < ab.Below (scores[i] is then 0 and
+// meaningless) and rows[i] is the number of query rows the rung that
+// resolved target i consumed (the full query length unless pruned).
+// Targets that are not pruned are scored bit-exactly, by the same
+// int8 → int16 → scalar ladder as Scores; with a nil or disabled bound
+// the result degenerates to exactly Scores.
+func (a *Aligner) ScoresBounded(q bio.Sequence, targets []bio.Sequence, sc bio.Scoring, ab *Bound) (scores []int, pruned []bool, rows []int, err error) {
+	if err := sc.Validate(); err != nil {
+		return nil, nil, nil, err
+	}
+	scores = make([]int, len(targets))
+	pruned = make([]bool, len(targets))
+	rows = make([]int, len(targets))
+	for i := range rows {
+		rows[i] = len(q)
+	}
+	var narrow []int // target indices needing the int16 retry
+	for lo := 0; lo < len(targets); lo += bio.PackedLanes8 {
+		hi := min(lo+bio.PackedLanes8, len(targets))
+		ls, ok := a.Scan8Bounded(q, targets[lo:hi], sc, ab)
+		if !ok {
+			for i := lo; i < hi; i++ {
+				narrow = append(narrow, i)
+			}
+			continue
+		}
+		if ls.Pruned {
+			for i := lo; i < hi; i++ {
+				pruned[i] = true
+				rows[i] = ls.Rows
+			}
+			continue
+		}
+		for l := 0; l < ls.Lanes; l++ {
+			if ls.Saturated&(1<<uint(l)) != 0 {
+				narrow = append(narrow, lo+l)
+			} else {
+				scores[lo+l] = ls.Scores[l]
+			}
+		}
+	}
+	var scalar []int // target indices needing the exact scalar kernel
+	group := make([]bio.Sequence, 0, bio.PackedLanes16)
+	for lo := 0; lo < len(narrow); lo += bio.PackedLanes16 {
+		hi := min(lo+bio.PackedLanes16, len(narrow))
+		group = group[:0]
+		for _, idx := range narrow[lo:hi] {
+			group = append(group, targets[idx])
+		}
+		ls, ok := a.Scan16Bounded(q, group, sc, ab)
+		if !ok {
+			scalar = append(scalar, narrow[lo:hi]...)
+			continue
+		}
+		if ls.Pruned {
+			for _, idx := range narrow[lo:hi] {
+				pruned[idx] = true
+				rows[idx] = ls.Rows
+			}
+			continue
+		}
+		for l := 0; l < ls.Lanes; l++ {
+			if ls.Saturated&(1<<uint(l)) != 0 {
+				scalar = append(scalar, narrow[lo+l])
+			} else {
+				scores[narrow[lo+l]] = ls.Scores[l]
+			}
+		}
+	}
+	for _, idx := range scalar {
+		scores[idx], rows[idx], pruned[idx] = ScalarScoreBounded(q, targets[idx], sc, ab)
+	}
+	return scores, pruned, rows, nil
+}

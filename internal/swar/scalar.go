@@ -9,10 +9,23 @@ import "genomedsm/internal/bio"
 // against each other), kept package-local so align can itself import
 // swar for the striped fast path without an import cycle.
 func scalarScore(s, t bio.Sequence, sc bio.Scoring) int {
+	score, _, _ := ScalarScoreBounded(s, t, sc, nil)
+	return score
+}
+
+// ScalarScoreBounded is the exact scalar rung under a Bound, exported
+// for callers outside the packed ladder (the search layer's scalar
+// reference path). pruned reports that the exact score is provably
+// < ab.Below (score is then 0); rows is the number of query rows
+// consumed. With a nil or disabled bound it always scans the full
+// matrix and returns the exact score.
+func ScalarScoreBounded(s, t bio.Sequence, sc bio.Scoring, ab *Bound) (score, rows int, pruned bool) {
 	m, n := s.Len(), t.Len()
 	if m == 0 || n == 0 {
-		return 0
+		return 0, m, false
 	}
+	every := ab.cadence()
+	next := every
 	prof := bio.NewProfile(t, sc)
 	gap := int32(sc.Gap)
 	prev := make([]int32, n+1)
@@ -37,6 +50,12 @@ func scalarScore(s, t bio.Sequence, sc bio.Scoring) int {
 			best = bio.Max32(best, v)
 		}
 		prev, cur = cur, prev
+		if next != 0 && i == next {
+			next += every
+			if int(best)+ab.Query.SuffixBound(i) < ab.Below {
+				return 0, i, true
+			}
+		}
 	}
-	return int(best)
+	return int(best), m, false
 }

@@ -183,7 +183,8 @@ func (a *Aligner) StripedScan8(s, t bio.Sequence, sc bio.Scoring) (Pair, bool) {
 	if prof == nil {
 		return Pair{}, false
 	}
-	return a.stripedScan(s, prof, -sc.Gap)
+	p, _, _, ok := a.stripedScan(s, prof, -sc.Gap, nil)
+	return p, ok
 }
 
 // StripedScan16 is StripedScan8 with 4 int16 lanes: half the
@@ -196,12 +197,18 @@ func (a *Aligner) StripedScan16(s, t bio.Sequence, sc bio.Scoring) (Pair, bool) 
 	if prof == nil {
 		return Pair{}, false
 	}
-	return a.stripedScan(s, prof, -sc.Gap)
+	p, _, _, ok := a.stripedScan(s, prof, -sc.Gap, nil)
+	return p, ok
 }
 
-func (a *Aligner) stripedScan(s bio.Sequence, prof *bio.StripedProfile, gap int) (Pair, bool) {
+// stripedScan streams s over the striped profile. Under a non-nil
+// Bound it abandons the scan once even bestSoFar + remaining-suffix
+// cannot reach ab.Below (see bound.go for the exactness argument);
+// rows is the number of rows of s consumed. Saturation (ok=false)
+// still defers to the wider rung, which re-checks the bound itself.
+func (a *Aligner) stripedScan(s bio.Sequence, prof *bio.StripedProfile, gap int, ab *Bound) (p Pair, rows int, pruned, ok bool) {
 	if len(s) == 0 || prof.SegLen() == 0 {
-		return Pair{}, true
+		return Pair{}, len(s), false, true
 	}
 	prev, cur := a.stripedRows(prof.SegLen())
 	gapV := prof.Broadcast(gap)
@@ -211,6 +218,8 @@ func (a *Aligner) stripedScan(s bio.Sequence, prof *bio.StripedProfile, gap int)
 	if wide {
 		satMask = hi16
 	}
+	every := ab.cadence()
+	next := every
 	var best, sat uint64
 	var res Pair
 	for i := 1; i <= len(s); i++ {
@@ -222,7 +231,7 @@ func (a *Aligner) stripedScan(s bio.Sequence, prof *bio.StripedProfile, gap int)
 			nb, sat = stepStriped8(prev, cur, prof.PlusRow(c), prof.MinusRow(c), value, gapV, 0, 0, best, sat)
 		}
 		if sat&satMask != 0 {
-			return Pair{}, false
+			return Pair{}, i, false, false
 		}
 		if nb != best {
 			// Some lane's running maximum grew this row; only a strict
@@ -241,31 +250,61 @@ func (a *Aligner) stripedScan(s bio.Sequence, prof *bio.StripedProfile, gap int)
 			}
 		}
 		prev, cur = cur, prev
+		if next != 0 && i == next {
+			next += every
+			// res.Score tracks reduce(best) exactly (best only grows and
+			// every strict improvement updates it), so no extra fold.
+			if res.Score+ab.Query.SuffixBound(i) < ab.Below {
+				a.sprev, a.scur = prev, cur
+				return Pair{}, i, true, true
+			}
+		}
 	}
 	a.sprev, a.scur = prev, cur
-	return res, true
+	return res, len(s), false, true
 }
 
 // StripedScore runs the full striped fallback ladder — int8, int16,
 // exact scalar — and always returns the exact best score and end
 // coordinates, bit-exact against align.Scan.
 func (a *Aligner) StripedScore(s, t bio.Sequence, sc bio.Scoring) Pair {
-	if p, ok := a.StripedScan8(s, t, sc); ok {
-		return p
+	p, _, _ := a.StripedScoreBounded(s, t, sc, nil)
+	return p
+}
+
+// StripedScoreBounded is StripedScore under a Bound: pruned reports
+// that the exact score is provably < ab.Below (the Pair is then zero),
+// and rows is the number of rows of s the resolving rung consumed.
+// Unpruned results are bit-exact against align.Scan, coordinates and
+// tie-breaks included.
+func (a *Aligner) StripedScoreBounded(s, t bio.Sequence, sc bio.Scoring, ab *Bound) (p Pair, rows int, pruned bool) {
+	if -sc.Gap <= bio.PackedCap8 {
+		if prof := bio.NewStripedProfile8(t, sc); prof != nil {
+			if p, rows, pruned, ok := a.stripedScan(s, prof, -sc.Gap, ab); ok {
+				return p, rows, pruned
+			}
+		}
 	}
-	if p, ok := a.StripedScan16(s, t, sc); ok {
-		return p
+	if -sc.Gap <= bio.PackedCap16 {
+		if prof := bio.NewStripedProfile16(t, sc); prof != nil {
+			if p, rows, pruned, ok := a.stripedScan(s, prof, -sc.Gap, ab); ok {
+				return p, rows, pruned
+			}
+		}
 	}
-	return a.scalarPair(s, t, sc)
+	return a.scalarPair(s, t, sc, ab)
 }
 
 // scalarPair is the exact scalar rung with coordinates: scalarScore's
-// loop plus align.Scan's strict-improvement coordinate tracking.
-func (a *Aligner) scalarPair(s, t bio.Sequence, sc bio.Scoring) Pair {
+// loop plus align.Scan's strict-improvement coordinate tracking, with
+// the same optional mid-scan abandon as ScalarScoreBounded.
+func (a *Aligner) scalarPair(s, t bio.Sequence, sc bio.Scoring, ab *Bound) (p Pair, rows int, pruned bool) {
 	m, n := s.Len(), t.Len()
 	if m == 0 || n == 0 {
-		return Pair{}
+		return Pair{}, m, false
 	}
+	every := ab.cadence()
+	next := every
 	prof := bio.NewProfile(t, sc)
 	gap := int32(sc.Gap)
 	prev := make([]int32, n+1)
@@ -295,6 +334,12 @@ func (a *Aligner) scalarPair(s, t bio.Sequence, sc bio.Scoring) Pair {
 			res.Score, res.I, res.J = int(rowBest), i, rowJ
 		}
 		prev, cur = cur, prev
+		if next != 0 && i == next {
+			next += every
+			if int(best)+ab.Query.SuffixBound(i) < ab.Below {
+				return Pair{}, i, true
+			}
+		}
 	}
-	return res
+	return res, m, false
 }

@@ -147,6 +147,14 @@ type LaneScores struct {
 	Saturated uint8
 	// Lanes is the number of live lanes (= number of targets scanned).
 	Lanes int
+	// Rows is the number of query rows the scan consumed: the full query
+	// length for a completed scan, fewer when a Bound abandoned it.
+	Rows int
+	// Pruned reports that a bounded scan was abandoned mid-matrix: every
+	// lane's exact score is provably below the bound's Below threshold.
+	// Scores are then meaningless and Saturated is always zero (saturated
+	// lanes are never used as abandon evidence).
+	Pruned bool
 }
 
 // Aligner carries the reusable packed row buffers of one worker. The
@@ -175,14 +183,23 @@ func (a *Aligner) rows(words int) ([]uint64, []uint64) {
 
 // scanPacked runs the packed recurrence of q against prof and returns
 // the folded guard-stripped per-lane maximum and the saturation word.
-func (a *Aligner) scanPacked(q bio.Sequence, prof *bio.PackedProfile, gap int) (best, sat uint64) {
+// Under a non-nil Bound it additionally abandons the scan (see Bound)
+// once no lane can still reach the threshold, reporting how many rows
+// it consumed and whether it pruned.
+func (a *Aligner) scanPacked(q bio.Sequence, prof *bio.PackedProfile, gap int, ab *Bound) (best, sat uint64, rows int, pruned bool) {
 	words := prof.Words()
 	if words == 0 || len(q) == 0 {
-		return 0, 0
+		return 0, 0, len(q), false
 	}
 	prev, cur := a.rows(words)
 	gapV := prof.Broadcast(gap)
 	wide := prof.Lanes() == bio.PackedLanes16
+	satMask := uint64(hi8)
+	if wide {
+		satMask = hi16
+	}
+	every := ab.cadence()
+	next := every
 	for i := 0; i < len(q); i++ {
 		c := q[i]
 		if wide {
@@ -191,9 +208,24 @@ func (a *Aligner) scanPacked(q bio.Sequence, prof *bio.PackedProfile, gap int) (
 			best, sat = row8(prev, cur, prof.PlusRow(c), prof.MinusRow(c), gapV, best, sat)
 		}
 		prev, cur = cur, prev
+		if next != 0 && i+1 == next {
+			next += every
+			// A saturated lane's running maximum is untrustworthy, so it
+			// is never abandon evidence; the wider retry re-checks.
+			if sat&satMask == 0 {
+				m := reduce8(best)
+				if wide {
+					m = reduce16(best)
+				}
+				if m+ab.Query.SuffixBound(i+1) < ab.Below {
+					a.prev, a.cur = prev, cur
+					return best, sat, i + 1, true
+				}
+			}
+		}
 	}
 	a.prev, a.cur = prev, cur
-	return best, sat
+	return best, sat, len(q), false
 }
 
 // Scan8 scores q against up to 8 targets in int8 lanes. ok is false
@@ -208,7 +240,7 @@ func (a *Aligner) Scan8(q bio.Sequence, targets []bio.Sequence, sc bio.Scoring) 
 	if prof == nil {
 		return LaneScores{}, false
 	}
-	return a.finish(q, prof, sc, len(targets)), true
+	return a.finish(q, prof, sc, len(targets), nil), true
 }
 
 // Scan16 scores q against up to 4 targets in int16 lanes.
@@ -220,12 +252,15 @@ func (a *Aligner) Scan16(q bio.Sequence, targets []bio.Sequence, sc bio.Scoring)
 	if prof == nil {
 		return LaneScores{}, false
 	}
-	return a.finish(q, prof, sc, len(targets)), true
+	return a.finish(q, prof, sc, len(targets), nil), true
 }
 
-func (a *Aligner) finish(q bio.Sequence, prof *bio.PackedProfile, sc bio.Scoring, lanes int) LaneScores {
-	best, sat := a.scanPacked(q, prof, -sc.Gap)
-	res := LaneScores{Lanes: lanes}
+func (a *Aligner) finish(q bio.Sequence, prof *bio.PackedProfile, sc bio.Scoring, lanes int, ab *Bound) LaneScores {
+	best, sat, rows, pruned := a.scanPacked(q, prof, -sc.Gap, ab)
+	res := LaneScores{Lanes: lanes, Rows: rows, Pruned: pruned}
+	if pruned {
+		return res
+	}
 	guard := uint64(1) << (uint(prof.Shift()) - 1)
 	for l := 0; l < lanes; l++ {
 		res.Scores[l] = prof.Lane(best, l)

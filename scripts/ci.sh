@@ -8,13 +8,18 @@
 #   2. a chaos sweep: 16 seeds x 3 strategies of the fault-injection
 #      differential oracle, under the race detector, plus a
 #      crash-recovery matrix (8 seeds x 3 strategies, one kill + 5%
-#      message loss each) asserting bit-exact kill-and-recover runs
+#      message loss each) asserting bit-exact kill-and-recover runs,
+#      plus a pruned-vs-unpruned search differential sweep (3 seeds x
+#      skewed/uniform databases, -race) asserting bit-identical hits
 #   3. per-package coverage, gated on >= 85% combined coverage of
 #      internal/dsm + internal/chaos + internal/recovery (the
 #      protocol, its harness and the fault-tolerance layer)
 #   4. a 1-iteration smoke run of every kernel and search benchmark
 #   5. the kernel and search benchmarks for real, gated by
-#      cmd/benchdiff against the committed BENCH_kernels.json baseline
+#      cmd/benchdiff against the committed BENCH_kernels.json baseline,
+#      plus the pruning speedup gate: SearchDatabasePruned must hold
+#      >= 1.5x the cells/s of both SearchDatabaseSkewed and
+#      SearchDatabase
 #
 # The benchmark gate fails the build when any kernel loses more than
 # BENCHDIFF_MAX_REGRESS percent (default 5) cells/sec against the
@@ -68,8 +73,31 @@ while [ "$seed" -le 8 ]; do
     done
     seed=$((seed + 1))
 done
-rm -rf "$(dirname "$chaos_bin")"
 echo "crash-recovery matrix ok"
+
+echo "== pruned-vs-unpruned differential sweep (3 seeds x skewed/uniform, -race)"
+# The exact-pruning contract: `search -prune` (and -prune -prefilter)
+# must return bit-identical hits — scores, coordinates, tie-breaks — to
+# the unpruned scan, on skewed (planted homologs) and uniform (pure
+# noise, worst case) databases alike. Reuses the -race CLI binary so
+# the sweep also exercises the shared floor under the race detector.
+hits_of() {
+    "$chaos_bin" search -n 400 -db-size 64 -db-len 300 -json "$@" |
+        sed -n '/"hits"/,/\]/p'
+}
+for seed in 1 2 3; do
+    for plant in 8 0; do
+        want=$(hits_of -seed "$seed" -plant-every "$plant" -prune=false)
+        for mode in "-prune" "-prune -prefilter"; do
+            got=$(hits_of -seed "$seed" -plant-every "$plant" $mode)
+            [ "$got" = "$want" ] ||
+                { echo "differential sweep FAILED: seed $seed plant $plant mode '$mode'"
+                  echo "--- unpruned"; echo "$want"; echo "--- pruned"; echo "$got"; exit 1; }
+        done
+    done
+done
+rm -rf "$(dirname "$chaos_bin")"
+echo "differential sweep ok"
 
 echo "== per-package coverage"
 go test -cover ./...
@@ -97,5 +125,27 @@ fi
 count="${BENCH_COUNT:-5}"
 maxregress="${BENCHDIFF_MAX_REGRESS:-5}"
 echo "== benchmark regression gate (count=$count, max-regress=${maxregress}%)"
+benchout=$(mktemp)
 go test -run '^$' -bench 'Kernel|Search' -benchtime 1s -count "$count" . |
+    tee "$benchout" |
     go run ./cmd/benchdiff -check -baseline baseline -max-regress "$maxregress"
+
+echo "== pruning speedup gate (SearchDatabasePruned >= 1.5x unpruned)"
+# Best cells/s over the -count runs, same collapse rule as benchdiff.
+best() {
+    awk -v name="Benchmark$1" '
+        $1 ~ "^"name"(-[0-9]+)?$" {
+            for (i = 2; i < NF; i++) if ($(i+1) == "cells/s" && $i > best) best = $i
+        }
+        END { if (best == "") exit 1; print best }' "$benchout"
+}
+pruned=$(best SearchDatabasePruned)
+skewed=$(best SearchDatabaseSkewed)
+uniform=$(best SearchDatabase)
+rm -f "$benchout"
+echo "pruned $pruned cells/s vs skewed $skewed, uniform $uniform"
+awk -v p="$pruned" -v s="$skewed" -v u="$uniform" 'BEGIN {
+    if (p < 1.5 * s) { printf "pruning gate FAILED: %.2fx over skewed < 1.5x\n", p / s; exit 1 }
+    if (p < 1.5 * u) { printf "pruning gate FAILED: %.2fx over uniform < 1.5x\n", p / u; exit 1 }
+    printf "pruning gate ok: %.2fx over skewed, %.2fx over uniform\n", p / s, p / u
+}'
