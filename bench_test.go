@@ -262,6 +262,100 @@ func BenchmarkSearchDatabase(b *testing.B) {
 	}
 }
 
+// benchUniformDB is the BenchmarkSearchDatabase workload, shared by the
+// dispatch-mode variants so their cells/s numbers are comparable.
+func benchUniformDB() (bio.Sequence, []bio.Record, int64) {
+	g := bio.NewGenerator(88)
+	q := g.Random(1000)
+	var db []bio.Record
+	cells := int64(0)
+	for i := 0; i < 64; i++ {
+		t := g.Random(500 + i*17%1000)
+		db = append(db, bio.Record{ID: fmt.Sprintf("r%d", i), Seq: t})
+		cells += int64(q.Len()) * int64(t.Len())
+	}
+	return q, db, cells
+}
+
+// benchSearch runs one search benchmark over a prebuilt workload with a
+// warmup pass outside the timer, so one-time calibration (auto mode
+// probes the kernel families on first use) never lands in the measured
+// window.
+func benchSearch(b *testing.B, q bio.Sequence, db []bio.Record, cells int64, opt search.Options) {
+	b.Helper()
+	if _, err := search.Run(q, db, opt); err != nil {
+		b.Fatal(err)
+	}
+	reportCells(b, cells)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := search.Run(q, db, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSearchDatabaseDispatch / ...Fixed time the uniform database
+// under calibrated auto routing versus the legacy fixed thresholds.
+// ci.sh gates auto at ≥ 1.0× fixed: on a uniform workload the cost
+// model must pick the same int8 word-pass route, so any gap is routing
+// overhead.
+func BenchmarkSearchDatabaseDispatch(b *testing.B) {
+	q, db, cells := benchUniformDB()
+	benchSearch(b, q, db, cells, search.Options{NoEndpoints: true, Dispatch: "auto"})
+}
+
+func BenchmarkSearchDatabaseFixed(b *testing.B) {
+	q, db, cells := benchUniformDB()
+	benchSearch(b, q, db, cells, search.Options{NoEndpoints: true, Dispatch: "fixed"})
+}
+
+// benchMixedDB builds the workload adaptive dispatch exists for: two
+// dozen long planted homologs whose scores blow past the int8 clean cap
+// (every narrow scan of them is a doomed pass plus an int16 retry), and
+// a long tail of short noise records that can never saturate (length ×
+// match stays under the cap) where the int8 word-pass is unbeatable. No
+// single fixed route wins both halves: the int8 ladder pays the doomed
+// pass on every homolog group, forced int16 halves throughput on the
+// noise, and auto learns the saturation rate and splits the routes.
+func benchMixedDB() (bio.Sequence, []bio.Record, int64) {
+	g := bio.NewGenerator(88)
+	q := g.Random(1000)
+	var db []bio.Record
+	cells := int64(0)
+	add := func(id string, t bio.Sequence) {
+		db = append(db, bio.Record{ID: id, Seq: t})
+		cells += int64(q.Len()) * int64(t.Len())
+	}
+	for i := 0; i < 24; i++ {
+		pad := g.Random(250 + i*7)
+		add(fmt.Sprintf("hom%d", i), append(pad.Clone(), g.MutatedCopy(q, bio.DefaultMutationModel())...))
+	}
+	for i := 0; i < 360; i++ {
+		add(fmt.Sprintf("r%d", i), g.Random(60+i*67%68)) // 60..127: below the int8 cap
+	}
+	return q, db, cells
+}
+
+func BenchmarkSearchDatabaseMixed(b *testing.B) {
+	q, db, cells := benchMixedDB()
+	benchSearch(b, q, db, cells, search.Options{NoEndpoints: true, Dispatch: "auto"})
+}
+
+func BenchmarkSearchDatabaseMixedFixed(b *testing.B) {
+	q, db, cells := benchMixedDB()
+	benchSearch(b, q, db, cells, search.Options{NoEndpoints: true, Dispatch: "fixed"})
+}
+
+// BenchmarkSearchDatabaseMixedLanes16 is the other single-route
+// baseline on the mixed workload: every group forced down the int16
+// word-pass, the right call for the homologs and a ~2× loss on the
+// short noise.
+func BenchmarkSearchDatabaseMixedLanes16(b *testing.B) {
+	q, db, cells := benchMixedDB()
+	benchSearch(b, q, db, cells, search.Options{NoEndpoints: true, Lanes: 16})
+}
+
 // benchSkewedDB builds the skewed search workload the pruning gate is
 // measured on: a handful of planted full-query homologs padded out to be
 // the LONGEST records, followed by a long tail of shorter noise. The
@@ -299,6 +393,14 @@ func BenchmarkSearchDatabaseSkewed(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkSearchDatabaseSkewedFixed is the fixed-route baseline of the
+// skewed workload; ci.sh gates the default (auto-dispatched) skewed
+// scan at ≥ 1.0× this.
+func BenchmarkSearchDatabaseSkewedFixed(b *testing.B) {
+	q, db, cells := benchSkewedDB()
+	benchSearch(b, q, db, cells, search.Options{NoEndpoints: true, Dispatch: "fixed"})
 }
 
 // BenchmarkSearchDatabasePruned runs the same skewed database with the

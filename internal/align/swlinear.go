@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"genomedsm/internal/bio"
+	"genomedsm/internal/dispatch"
 )
 
 // Endpoint is a candidate local-alignment end position found by a linear
@@ -28,6 +29,13 @@ type ScanOptions struct {
 	// differential oracle the striped kernels are tested against, and
 	// benchmarks use it to keep the KernelExactScan denominator stable.
 	ForceScalar bool
+	// ExpectScore, when positive, is a known lower bound on the final
+	// best score (re-alignment of a database hit knows the score it is
+	// looking for). A bound above a packed rung's clean cap proves that
+	// rung will saturate, so the fast path starts the fallback ladder
+	// past it instead of paying a doomed scan. The result is unchanged —
+	// the ladder is exact from any starting rung.
+	ExpectScore int
 }
 
 // ScanResult is the outcome of a linear-space Smith–Waterman scan.
@@ -90,12 +98,16 @@ func Scan(s, t bio.Sequence, sc bio.Scoring, opt ScanOptions) (*ScanResult, erro
 	// Plain best-score scans take the striped SWAR fast path; the
 	// optional per-cell features (endpoint collection, hit counting)
 	// need the full score rows and keep the scalar kernel, which also
-	// remains the differential oracle for the striped one.
+	// remains the differential oracle for the striped one. The rung the
+	// ladder starts at — and whether the packed path is worth entering
+	// at all for this matrix shape — is the process router's call.
 	if !opt.ForceScalar && opt.EndpointMinScore <= 0 && opt.HitThreshold <= 0 {
-		if p, ok := stripedScan(s, t, sc); ok {
-			res.BestScore, res.BestI, res.BestJ = p.Score, p.I, p.J
-			res.Cells = int64(m) * int64(n)
-			return res, nil
+		if route := dispatch.Active().Pair(m, n, sc, opt.ExpectScore); route != dispatch.PairScalar {
+			if p, ok := stripedScan(s, t, sc, route); ok {
+				res.BestScore, res.BestI, res.BestJ = p.Score, p.I, p.J
+				res.Cells = int64(m) * int64(n)
+				return res, nil
+			}
 		}
 	}
 	prof := bio.NewProfile(t, sc)

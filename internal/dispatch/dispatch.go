@@ -1,0 +1,157 @@
+// Package dispatch routes every exact-alignment workload in the repo to
+// the fastest exact kernel for this host. The repo has four exact kernel
+// families — the scalar int32 row kernel, the inter-sequence SWAR lanes
+// (8× int8 / 4× int16 per word), the striped intra-sequence Farrar
+// kernels, and the band kernel of the pre-process strategy — and until
+// this package the choice between them was hard-coded by thresholds
+// tuned on one machine and one workload shape. Following the KNL tuning
+// study (Rucci et al.) and SWAPHI's per-batch routing, dispatch instead:
+//
+//  1. calibrates: a few milliseconds of synthetic probes measure each
+//     family's Mcells/s and per-call overhead on the actual host
+//     (calibrate.go), cached to a versioned on-disk profile keyed by
+//     host + build so repeat CLI runs skip the probes (profile.go);
+//  2. routes: a small cost model picks the cheapest exact path per
+//     workload from the query length, the record-length distribution of
+//     a lane group, the leftover-lane count, and the expected score
+//     range — which predicts int8 guard-bit saturation and avoids
+//     paying the int8 → int16 → scalar fallback ladder when the narrow
+//     rung is provably (or statistically) doomed (router.go).
+//
+// Routing never changes results: every route ends in the same
+// exact-or-flagged ladder, so scores, coordinates and tie-breaks are
+// bit-identical across routes and only the time to produce them varies.
+// The differential and fuzz suites (FuzzDispatchVsScalar) pin exactly
+// that, including adversarially forced mis-routes.
+package dispatch
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Mode selects how much freedom the router has.
+type Mode int
+
+const (
+	// ModeAuto routes each workload by the calibrated cost model.
+	ModeAuto Mode = iota
+	// ModeFixed reproduces the pre-dispatch hard-coded thresholds:
+	// inter-sequence int8 ladder for lane groups, striped ladder for
+	// singletons and pairwise scans, band kernel always on.
+	ModeFixed
+	// ModeScalar forces the exact scalar kernels everywhere (reference
+	// and benchmarking).
+	ModeScalar
+)
+
+// ParseMode maps the CLI spelling to a Mode; the empty string means
+// auto.
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "", "auto":
+		return ModeAuto, nil
+	case "fixed":
+		return ModeFixed, nil
+	case "scalar":
+		return ModeScalar, nil
+	}
+	return 0, fmt.Errorf("dispatch: unknown mode %q (want auto, fixed or scalar)", s)
+}
+
+// String returns the CLI spelling of m.
+func (m Mode) String() string {
+	switch m {
+	case ModeFixed:
+		return "fixed"
+	case ModeScalar:
+		return "scalar"
+	}
+	return "auto"
+}
+
+// GroupRoute is the router's verdict for one lane group of a database
+// scan.
+type GroupRoute int
+
+const (
+	// GroupInter8 scans the group with the inter-sequence int8 SWAR
+	// kernel and its int16 → scalar fallback ladder.
+	GroupInter8 GroupRoute = iota
+	// GroupInter16 starts the group directly at the int16 kernel (two
+	// 4-lane words per 8-record group), skipping a doomed int8 pass.
+	GroupInter16
+	// GroupSingles scans each record of the group as its own striped
+	// intra-sequence ladder — the right call for ragged leftover groups
+	// whose padding would waste most of the packed lanes.
+	GroupSingles
+	// GroupScalar runs the exact scalar kernel per record.
+	GroupScalar
+)
+
+// String returns a short label for logging and tests.
+func (r GroupRoute) String() string {
+	switch r {
+	case GroupInter8:
+		return "inter8"
+	case GroupInter16:
+		return "inter16"
+	case GroupSingles:
+		return "singles"
+	}
+	return "scalar"
+}
+
+// PairRoute is the router's verdict for one pairwise scan: the rung of
+// the striped ladder to start at. Whatever the start, the ladder still
+// falls back rung by rung on saturation, so the scan stays exact.
+type PairRoute int
+
+const (
+	// PairStriped8 starts at the 8-lane striped int8 kernel.
+	PairStriped8 PairRoute = iota
+	// PairStriped16 starts at the 4-lane striped int16 kernel.
+	PairStriped16
+	// PairScalar runs the scalar kernel directly.
+	PairScalar
+)
+
+// String returns a short label for logging and tests.
+func (r PairRoute) String() string {
+	switch r {
+	case PairStriped8:
+		return "striped8"
+	case PairStriped16:
+		return "striped16"
+	}
+	return "scalar"
+}
+
+// active is the process-wide router consulted by call sites that have
+// no per-scan router of their own (align.Scan's fast path, the
+// pre-process band loop). It defaults to ModeFixed — the pre-dispatch
+// behavior — until something (the CLI -dispatch flag, a test) installs
+// a calibrated one.
+var active atomic.Pointer[Router]
+
+// Active returns the process-wide router, never nil.
+func Active() *Router {
+	if r := active.Load(); r != nil {
+		return r
+	}
+	r := New(ModeFixed, nil)
+	if active.CompareAndSwap(nil, r) {
+		return r
+	}
+	return active.Load()
+}
+
+// SetActive installs the process-wide router; nil resets to the fixed
+// default.
+func SetActive(r *Router) {
+	if r == nil {
+		active.Store(New(ModeFixed, nil))
+		return
+	}
+	active.Store(r)
+}

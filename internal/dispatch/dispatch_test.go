@@ -1,0 +1,266 @@
+package dispatch
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"genomedsm/internal/bio"
+)
+
+func TestParseMode(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Mode
+		err  bool
+	}{
+		{"", ModeAuto, false},
+		{"auto", ModeAuto, false},
+		{"fixed", ModeFixed, false},
+		{"scalar", ModeScalar, false},
+		{"turbo", 0, true},
+		{"AUTO", 0, true},
+	}
+	for _, c := range cases {
+		got, err := ParseMode(c.in)
+		if (err != nil) != c.err {
+			t.Errorf("ParseMode(%q) err = %v, want err=%v", c.in, err, c.err)
+			continue
+		}
+		if err == nil && got != c.want {
+			t.Errorf("ParseMode(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+	for _, m := range []Mode{ModeAuto, ModeFixed, ModeScalar} {
+		back, err := ParseMode(m.String())
+		if err != nil || back != m {
+			t.Errorf("Mode round-trip %v → %q → %v (err %v)", m, m.String(), back, err)
+		}
+	}
+}
+
+// TestCacheRoundTrip is the table-driven calibration-cache contract:
+// a valid profile survives Save/Load, and every class of defect —
+// corrupt JSON, stale version, foreign host or build, missing family —
+// fails Load so LoadOrCalibrate falls back to re-probing and repairs
+// the cache file.
+func TestCacheRoundTrip(t *testing.T) {
+	cases := []struct {
+		name    string
+		corrupt func(p *Profile) []byte // nil body = Save the profile as-is
+		wantErr bool
+	}{
+		{"valid", nil, false},
+		{"corrupt-json", func(p *Profile) []byte { return []byte("{not json") }, true},
+		{"stale-version", func(p *Profile) []byte { p.Version++; return nil }, true},
+		{"foreign-host", func(p *Profile) []byte { p.Host = "elsewhere/linux/amd64/cpu1"; return nil }, true},
+		{"foreign-build", func(p *Profile) []byte { p.Build = "go0.0/deadbeef"; return nil }, true},
+		{"missing-family", func(p *Profile) []byte { delete(p.Families, FamBand); return nil }, true},
+		{"zero-throughput", func(p *Profile) []byte { p.Families[FamScalar] = FamilyStats{}; return nil }, true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "dispatch.json")
+			p := DefaultProfile()
+			var raw []byte
+			if c.corrupt != nil {
+				raw = c.corrupt(p)
+			}
+			if raw != nil {
+				if err := os.WriteFile(path, raw, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			} else if err := p.Save(path); err != nil {
+				t.Fatal(err)
+			}
+			got, err := Load(path)
+			if c.wantErr {
+				if err == nil {
+					t.Fatalf("Load accepted a %s cache", c.name)
+				}
+				// The fallback must re-probe, report fromCache=false, and
+				// leave a now-valid cache behind.
+				repaired, fromCache := LoadOrCalibrate(path)
+				if fromCache {
+					t.Fatalf("LoadOrCalibrate trusted a %s cache", c.name)
+				}
+				if err := repaired.validFor(hostSignature(), buildSignature()); err != nil {
+					t.Fatalf("re-probed profile invalid: %v", err)
+				}
+				if _, err := Load(path); err != nil {
+					t.Fatalf("cache not repaired after fallback: %v", err)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("Load: %v", err)
+			}
+			for _, fam := range Families {
+				if got.Stats(fam) != p.Stats(fam) {
+					t.Fatalf("family %s: %+v, want %+v", fam, got.Stats(fam), p.Stats(fam))
+				}
+			}
+			if _, fromCache := LoadOrCalibrate(path); !fromCache {
+				t.Fatal("LoadOrCalibrate re-probed despite a valid cache")
+			}
+		})
+	}
+}
+
+func TestCachePathEnvOverride(t *testing.T) {
+	dir := t.TempDir()
+	t.Setenv(cacheEnv, dir)
+	path, err := CachePath()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Dir(path) != dir {
+		t.Fatalf("CachePath = %s, want inside %s", path, dir)
+	}
+}
+
+// TestCalibrateCoversAllFamilies runs the real probe set (a few
+// milliseconds) and checks every family yields a usable cost model.
+func TestCalibrateCoversAllFamilies(t *testing.T) {
+	p := Calibrate()
+	if err := p.validFor(hostSignature(), buildSignature()); err != nil {
+		t.Fatal(err)
+	}
+	for _, fam := range Families {
+		st := p.Families[fam]
+		if st.MCells <= 0 || st.MCells > 1e6 {
+			t.Errorf("family %s: implausible throughput %.1f Mcells/s", fam, st.MCells)
+		}
+		if st.OverheadNS < 0 {
+			t.Errorf("family %s: negative overhead %f", fam, st.OverheadNS)
+		}
+	}
+}
+
+func TestFit(t *testing.T) {
+	// 1e6 cells in 2ms and 4e6 cells in 5ms → 1e9 cells/s, 1ms overhead.
+	st := fit(1e6, 2e-3, 4e6, 5e-3)
+	if st.MCells < 999 || st.MCells > 1001 {
+		t.Fatalf("throughput %.2f, want ≈1000", st.MCells)
+	}
+	if st.OverheadNS < 0.99e6 || st.OverheadNS > 1.01e6 {
+		t.Fatalf("overhead %.0f ns, want ≈1e6", st.OverheadNS)
+	}
+	// Degenerate (non-increasing time) collapses to pure throughput.
+	st = fit(1e6, 5e-3, 4e6, 5e-3)
+	if st.MCells <= 0 || st.OverheadNS != 0 {
+		t.Fatalf("degenerate fit: %+v", st)
+	}
+}
+
+func TestRouterFixedAndScalarModes(t *testing.T) {
+	sc := bio.DefaultScoring()
+	fixed := New(ModeFixed, nil)
+	scalar := New(ModeScalar, nil)
+
+	if r := fixed.NewScan().Group(100, []int{50}, sc); r != GroupSingles {
+		t.Fatalf("fixed singleton → %v, want singles", r)
+	}
+	if r := fixed.NewScan().Group(100, []int{50, 60, 70}, sc); r != GroupInter8 {
+		t.Fatalf("fixed group → %v, want inter8", r)
+	}
+	if r := scalar.NewScan().Group(100, []int{50, 60}, sc); r != GroupScalar {
+		t.Fatalf("scalar group → %v, want scalar", r)
+	}
+	if r := fixed.Pair(100, 100, sc, 0); r != PairStriped8 {
+		t.Fatalf("fixed pair → %v, want striped8", r)
+	}
+	if r := scalar.Pair(100, 100, sc, 0); r != PairScalar {
+		t.Fatalf("scalar pair → %v, want scalar", r)
+	}
+	if !fixed.Band(4) || scalar.Band(100) {
+		t.Fatal("band gating: fixed must allow, scalar must refuse")
+	}
+}
+
+// TestPairExpectScoreProof pins the proof-based rung skip: a known
+// score above a rung's clean cap must skip that rung in EVERY mode.
+func TestPairExpectScoreProof(t *testing.T) {
+	sc := bio.DefaultScoring()
+	for _, mode := range []Mode{ModeAuto, ModeFixed} {
+		r := New(mode, nil)
+		if got := r.Pair(5000, 5000, sc, bio.PackedCap8+1); got != PairStriped16 {
+			t.Fatalf("mode %v: expect>cap8 → %v, want striped16", mode, got)
+		}
+		if got := r.Pair(90000, 90000, sc, bio.PackedCap16+1); got != PairScalar {
+			t.Fatalf("mode %v: expect>cap16 → %v, want scalar", mode, got)
+		}
+	}
+}
+
+// TestAutoRouting checks the cost model's qualitative calls on a
+// controlled profile (equal throughputs would never separate routes, so
+// the table gives each family a distinct, realistic shape).
+func TestAutoRouting(t *testing.T) {
+	prof := DefaultProfile()
+	sc := bio.DefaultScoring()
+	r := New(ModeAuto, prof)
+
+	// Eight equal long lanes: the packed int8 word-pass wins (singles
+	// would compute the same cells but pay eight profile builds).
+	long := []int{1000, 1000, 1000, 1000, 1000, 1000, 1000, 1000}
+	if got := r.NewScan().Group(1000, long, sc); got != GroupInter8 {
+		t.Fatalf("uniform full group → %v, want inter8", got)
+	}
+	// A ragged leftover pair (one long, one tiny): padding the short
+	// lane to maxLen in 8 lanes wastes ~8× the useful cells; singles win.
+	if got := r.NewScan().Group(1000, []int{2000, 30}, sc); got != GroupSingles {
+		t.Fatalf("ragged leftover → %v, want singles", got)
+	}
+	// Saturation feedback: once the observed int8 saturation rate says
+	// nearly every capable lane retries, saturation-capable groups start
+	// at int16.
+	st := r.NewScan()
+	st.Observe8(64, 64)
+	sat := []int{900, 900, 900, 900, 900, 900, 900, 900} // 900·Match > cap8
+	if !SatPossible8(900, 900, sc) {
+		t.Fatal("test workload unexpectedly cannot saturate")
+	}
+	if got := st.Group(900, sat, sc); got != GroupInter16 {
+		t.Fatalf("saturating group after feedback → %v, want inter16", got)
+	}
+	// The same group with no saturation observed stays on int8.
+	st2 := r.NewScan()
+	st2.Observe8(64, 0)
+	if got := st2.Group(900, sat, sc); got != GroupInter8 {
+		t.Fatalf("non-saturating group → %v, want inter8", got)
+	}
+	// Tiny pairs: per-call overhead dominates; scalar wins the pair.
+	if got := r.Pair(4, 4, sc, 0); got != PairScalar {
+		t.Fatalf("tiny pair → %v, want scalar", got)
+	}
+	if got := r.Pair(2000, 2000, sc, 0); got != PairStriped8 {
+		t.Fatalf("large pair → %v, want striped8", got)
+	}
+	// Band: auto keeps the packed kernel for real band heights and
+	// refuses sub-lane-width bands.
+	if !r.Band(64) || r.Band(4) {
+		t.Fatal("auto band gating wrong")
+	}
+}
+
+// TestForceHooks pins the adversarial override used by the fuzz suite.
+func TestForceHooks(t *testing.T) {
+	r := New(ModeAuto, nil)
+	r.ForceGroup = func(qLen int, lens []int) (GroupRoute, bool) { return GroupScalar, true }
+	r.ForcePair = func(m, n int) (PairRoute, bool) { return PairStriped16, true }
+	sc := bio.DefaultScoring()
+	if got := r.NewScan().Group(1000, []int{1000, 1000}, sc); got != GroupScalar {
+		t.Fatalf("ForceGroup ignored: %v", got)
+	}
+	if got := r.Pair(1000, 1000, sc, 0); got != PairStriped16 {
+		t.Fatalf("ForcePair ignored: %v", got)
+	}
+}
+
+func TestActiveDefaultIsFixed(t *testing.T) {
+	SetActive(nil)
+	if Active().Mode() != ModeFixed {
+		t.Fatalf("default active mode %v, want fixed", Active().Mode())
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"genomedsm/internal/bio"
 	"genomedsm/internal/cluster"
+	"genomedsm/internal/dispatch"
 	"genomedsm/internal/dsm"
 	"genomedsm/internal/recovery"
 	"genomedsm/internal/swar"
@@ -175,7 +176,7 @@ func Run(nprocs int, cc cluster.Config, s, t bio.Sequence, sc bio.Scoring, cfg C
 			// (or a disabled kernel) fall back to the scalar loop below,
 			// which stays the differential oracle.
 			var kern *swar.BandKernel
-			if !disableBandKernel {
+			if !disableBandKernel && dispatch.Active().Band(h) {
 				kern = swar.NewBandKernel(s[band.R0-1:band.R0-1+h], sc, cfg.Threshold)
 			}
 			var hitbuf []int32
@@ -212,7 +213,7 @@ func Run(nprocs int, cc cluster.Config, s, t bio.Sequence, sc bio.Scoring, cfg C
 						topRow[x] = 0
 					}
 				}
-				ranKernel := false
+				done := 0
 				if kern != nil {
 					if cap(hitbuf) < width {
 						hitbuf = make([]int32, width)
@@ -232,13 +233,14 @@ func Run(nprocs int, cc cluster.Config, s, t bio.Sequence, sc bio.Scoring, cfg C
 							return saveColumn(band.Index, c0+ci, band.R0, values)
 						}
 					}
-					cb, ok, err := kern.Chunk(&args)
+					var cb swar.ChunkBest
+					var err error
+					cb, done, err = kern.Chunk(&args)
 					if err != nil {
 						return err
 					}
-					if ok {
-						ranKernel = true
-						for x := 0; x < width; x++ {
+					if done > 0 {
+						for x := 0; x < done; x++ {
 							hits[(c0+x)/cfg.ResultInterleave] += int64(hitbuf[x])
 						}
 						if cb.Improved {
@@ -246,11 +248,13 @@ func Run(nprocs int, cc cluster.Config, s, t bio.Sequence, sc bio.Scoring, cfg C
 						}
 						// The carried column's border cell, exactly as the
 						// scalar loop's final swap would leave it.
-						prevCol[0] = topRow[width-1]
+						prevCol[0] = topRow[done-1]
 					}
 				}
-				if !ranKernel {
-					for j := c0; j <= c1; j++ {
+				if done < width {
+					// Scalar continuation for the columns the kernel did
+					// not consume (all of them when the kernel is off).
+					for j := c0 + done; j <= c1; j++ {
 						tj := t[j-1]
 						col[0] = topRow[j-c0]
 						for x := 1; x <= h; x++ {

@@ -25,6 +25,7 @@ import (
 
 	"genomedsm/internal/align"
 	"genomedsm/internal/bio"
+	"genomedsm/internal/dispatch"
 	"genomedsm/internal/swar"
 )
 
@@ -39,10 +40,17 @@ type Options struct {
 	Workers int
 	// MinScore drops hits scoring below it; scores ≤ 0 are always dropped.
 	MinScore int
-	// Lanes selects the kernel: 0 or 8 for the int8 SWAR chain, 16 to
-	// start at the int16 kernel, 1 to force the scalar path (reference
-	// and benchmarking).
+	// Lanes selects the kernel: 0 routes each lane group adaptively (see
+	// Dispatch), 8 forces the int8 SWAR chain, 16 starts at the int16
+	// kernel, 1 forces the scalar path (reference and benchmarking).
 	Lanes int
+	// Dispatch selects the routing mode for the default kernel path
+	// (Lanes == 0): "" or "auto" picks the fastest exact route per lane
+	// group by the calibrated cost model of internal/dispatch, "fixed"
+	// reproduces the pre-dispatch fixed thresholds, "scalar" forces the
+	// exact scalar kernels. All modes return bit-identical hits; only
+	// speed varies. Ignored when Lanes selects an explicit kernel.
+	Dispatch string
 	// NoEndpoints skips the scalar re-alignment of the final hits, for
 	// callers that only need scores.
 	NoEndpoints bool
@@ -194,13 +202,22 @@ func Run(q bio.Sequence, db []bio.Record, opt Options) (*Result, error) {
 	lanes := bio.PackedLanes8
 	switch opt.Lanes {
 	case 0, 8:
-		// default int8 chain
+		// adaptive routing (0) and the forced int8 chain (8) both pack
+		// groups of 8 records
 	case 16:
 		lanes = bio.PackedLanes16
 	case 1:
 		lanes = 1
 	default:
 		return nil, fmt.Errorf("search: lanes must be 8, 16 or 1, got %d", opt.Lanes)
+	}
+	var scanState *dispatch.ScanState
+	if opt.Lanes == 0 {
+		router, err := routerFor(opt)
+		if err != nil {
+			return nil, err
+		}
+		scanState = router.NewScan()
 	}
 
 	var qb *bio.QueryBound
@@ -273,7 +290,13 @@ func Run(q bio.Sequence, db []bio.Record, opt Options) (*Result, error) {
 				var prunedMask []bool
 				var rowsScanned []int
 				var err error
-				if opt.Prune {
+				if scanState != nil {
+					// Adaptive path: the router picks the route and the
+					// scorer reports the padded cells that route computed.
+					var pad int64
+					scores, prunedMask, rowsScanned, pad, err = scoreGroupRouted(&al, q, targets, sc, scanState, ab)
+					padded[w] += pad
+				} else if opt.Prune {
 					scores, prunedMask, rowsScanned, err = scoreGroupBounded(&al, q, targets, sc, opt.Lanes, ab)
 				} else {
 					scores, err = scoreGroup(&al, q, targets, sc, opt.Lanes)
@@ -282,16 +305,18 @@ func Run(q bio.Sequence, db []bio.Record, opt Options) (*Result, error) {
 					errs[w] = err
 					return
 				}
-				rowsUsed := len(q)
-				if rowsScanned != nil {
-					rowsUsed = 0
-					for _, r := range rowsScanned {
-						if r > rowsUsed {
-							rowsUsed = r
+				if scanState == nil {
+					rowsUsed := len(q)
+					if rowsScanned != nil {
+						rowsUsed = 0
+						for _, r := range rowsScanned {
+							if r > rowsUsed {
+								rowsUsed = r
+							}
 						}
 					}
+					padded[w] += int64(lanes) * int64(maxLen) * int64(rowsUsed)
 				}
-				padded[w] += int64(lanes) * int64(maxLen) * int64(rowsUsed)
 				for i, idx := range kept {
 					if prunedMask != nil && prunedMask[i] {
 						pstats[w].Abandoned++
@@ -423,7 +448,9 @@ func realign(q bio.Sequence, db []bio.Record, sc bio.Scoring, hits []Hit) error 
 	for i := range hits {
 		h := &hits[i]
 		t := db[h.Index].Seq
-		r, err := align.Scan(q, t, sc, align.ScanOptions{})
+		// The hit's score is already known: passing it as ExpectScore
+		// lets the scan skip packed rungs it proves will saturate.
+		r, err := align.Scan(q, t, sc, align.ScanOptions{ExpectScore: h.Score})
 		if err != nil {
 			return err
 		}

@@ -33,6 +33,7 @@ type BandKernel struct {
 	prof8, prof16   *bio.StripedProfile
 	guard8, guard16 []uint64 // per-word guard bits of real lanes
 	prev, cur       []uint64
+	chg             []uint64 // correction-loop change mask
 	unpack          []int32
 }
 
@@ -103,41 +104,97 @@ func guardMasks(prof *bio.StripedProfile) []uint64 {
 	return g
 }
 
-// bound returns the largest value any cell of the chunk can take: the
-// maximum border input plus one Match gain per possible diagonal step.
-func (k *BandKernel) bound(c *ChunkArgs) int {
-	maxIn := int(c.Diag)
-	for _, v := range c.Left {
-		maxIn = max(maxIn, int(v))
-	}
-	for _, v := range c.Top {
-		maxIn = max(maxIn, int(v))
-	}
-	maxIn = max(maxIn, 0)
-	return maxIn + min(len(k.rows), len(c.Cols))*k.sc.Match
-}
-
-// Chunk advances the band across c's columns. ok=false (before any
-// side effect) means the chunk's value bound exceeds every lane width
-// and the caller must run its scalar loop.
-func (k *BandKernel) Chunk(c *ChunkArgs) (ChunkBest, bool, error) {
+// Chunk advances the band across c's columns and returns the number of
+// leading columns it consumed (with all their side effects streamed in
+// column order). done == len(c.Cols) is the full chunk; done == 0 means
+// nothing was touched; in between, the caller's scalar loop must finish
+// columns done… — Left then holds column done−1, exactly the carried
+// state that loop needs.
+//
+// The old all-or-nothing bound check is replaced by per-slice border
+// rescale: when the whole-chunk value bound overflows a lane width, the
+// chunk is split into column slices, each re-bounded from the *actual*
+// border values at its first column instead of the chunk-entry maximum
+// plus the full diagonal budget. Along any DP path the score gains at
+// most Match per column, so the loose whole-chunk bound overshoots by
+// up to min(rows, cols)·Match — re-reading real borders between slices
+// recovers that slack and keeps high-scoring preprocess chunks on the
+// packed int16 path that previously bailed to the scalar loop. A slice
+// is bit-exact by the same argument as before (its bound holds every
+// cell), and slices chain exactly: run leaves Left holding the slice's
+// last column, which is the next slice's left border.
+func (k *BandKernel) Chunk(c *ChunkArgs) (ChunkBest, int, error) {
 	h := len(k.rows)
-	if h == 0 || len(c.Cols) == 0 {
-		return ChunkBest{}, false, nil
+	width := len(c.Cols)
+	if h == 0 || width == 0 {
+		return ChunkBest{}, 0, nil
 	}
-	bound := k.bound(c)
-	var prof *bio.StripedProfile
-	var guard []uint64
-	switch {
-	case k.prof8 != nil && bound <= bio.PackedCap8:
-		prof, guard = k.prof8, k.guard8
-	case k.prof16 != nil && bound <= bio.PackedCap16:
-		prof, guard = k.prof16, k.guard16
-	default:
-		return ChunkBest{}, false, nil
+	out := ChunkBest{Score: c.BestIn}
+	lo := 0
+	for lo < width {
+		// Re-bound from the actual border values at column lo.
+		diag := c.Diag
+		if lo > 0 {
+			diag = 0
+			if c.Top != nil {
+				diag = c.Top[lo-1]
+			}
+		}
+		base := max(int(diag), 0)
+		for _, v := range c.Left {
+			base = max(base, int(v))
+		}
+		// Greedy widest slice whose bound fits the int16 clean range:
+		// the bound is nondecreasing in the slice width, so extend until
+		// it breaks. Each column is examined once across all slices.
+		hi, m := lo, base
+		for hi < width {
+			nm := m
+			if c.Top != nil {
+				nm = max(nm, int(c.Top[hi]))
+			}
+			if nm+min(h, hi-lo+1)*k.sc.Match > bio.PackedCap16 {
+				break
+			}
+			m = nm
+			hi++
+		}
+		if hi == lo || k.prof16 == nil {
+			// Even a one-column slice overflows int16: the values here
+			// genuinely exceed every clean lane range.
+			return out, lo, nil
+		}
+		sliceBound := m + min(h, hi-lo)*k.sc.Match
+		prof, guard := k.prof16, k.guard16
+		if k.prof8 != nil && sliceBound <= bio.PackedCap8 {
+			prof, guard = k.prof8, k.guard8
+		}
+		sub := ChunkArgs{
+			Cols:   c.Cols[lo:hi],
+			Diag:   diag,
+			Left:   c.Left,
+			BestIn: out.Score,
+			Bottom: c.Bottom[lo:hi],
+			Hits:   c.Hits[lo:hi],
+		}
+		if c.Top != nil {
+			sub.Top = c.Top[lo:hi]
+		}
+		if c.WantCol != nil {
+			off := lo
+			sub.WantCol = func(ci int) bool { return c.WantCol(ci + off) }
+			sub.Save = func(ci int, col []int32) error { return c.Save(ci+off, col) }
+		}
+		sb, err := k.run(prof, guard, &sub, sliceBound)
+		if sb.Improved {
+			out.Score, out.Row, out.Col, out.Improved = sb.Score, sb.Row, sb.Col+lo, true
+		}
+		if err != nil {
+			return out, lo, err
+		}
+		lo = hi
 	}
-	best, err := k.run(prof, guard, c, bound)
-	return best, true, err
+	return out, width, nil
 }
 
 func (k *BandKernel) run(prof *bio.StripedProfile, guard []uint64, c *ChunkArgs, bound int) (ChunkBest, error) {
@@ -149,6 +206,12 @@ func (k *BandKernel) run(prof *bio.StripedProfile, guard []uint64, c *ChunkArgs,
 		k.cur = make([]uint64, segLen)
 	}
 	prev, cur := k.prev[:segLen], k.cur[:segLen]
+	chgWords := (segLen + 63) / 64
+	if cap(k.chg) < chgWords {
+		k.chg = make([]uint64, chgWords)
+	}
+	changed := k.chg[:chgWords]
+	clear(changed)
 	packColumn(prof, c.Left, prev)
 	if cap(k.unpack) < h {
 		k.unpack = make([]int32, h)
@@ -183,9 +246,9 @@ func (k *BandKernel) run(prof *bio.StripedProfile, guard []uint64, c *ChunkArgs,
 		fIn := uint64(uint32(bio.Clamp0(topv + int32(k.sc.Gap))))
 		var nb uint64
 		if wide {
-			nb, sat = stepStriped16(prev, cur, prof.PlusRow(tc), prof.MinusRow(tc), value, gapV, diagIn, fIn, bestW, sat)
+			nb, sat = stepStriped16(prev, cur, prof.PlusRow(tc), prof.MinusRow(tc), value, changed, gapV, diagIn, fIn, bestW, sat)
 		} else {
-			nb, sat = stepStriped8(prev, cur, prof.PlusRow(tc), prof.MinusRow(tc), value, gapV, diagIn, fIn, bestW, sat)
+			nb, sat = stepStriped8(prev, cur, prof.PlusRow(tc), prof.MinusRow(tc), value, changed, gapV, diagIn, fIn, bestW, sat)
 		}
 		if nb != bestW {
 			bestW = nb

@@ -1,6 +1,10 @@
 package swar
 
-import "genomedsm/internal/bio"
+import (
+	"math/bits"
+
+	"genomedsm/internal/bio"
+)
 
 // This file holds the *intra*-sequence striped kernels: where swar.go
 // packs 8 different targets into the lanes of a word (inter-sequence,
@@ -44,9 +48,24 @@ type Pair struct {
 // the striped words. diagIn is the border diagonal value for lane 0 of
 // word 0 (clean, ≤ 127); fIn is the border gap-chain word (lane 0 only,
 // clean). value masks real lanes with guard bits stripped (the
-// profile's ValueMask). Returns the updated best fold and saturation
-// accumulator; cur holds the finished row.
-func stepStriped8(prev, cur, plus, minus, value []uint64, gapV, diagIn, fIn, best, sat uint64) (uint64, uint64) {
+// profile's ValueMask). changed is caller scratch of ⌈n/64⌉ words,
+// all-zero on entry and restored to all-zero on return. Returns the
+// updated best fold and saturation accumulator; cur holds the finished
+// row.
+//
+// The correction loop carries neither the saturation OR nor the best
+// fold of the main pass:
+//
+//   - sat needs no update because the loop cannot create a guard bit
+//     the main pass did not already record: MaxClamped8(cur[v], vF)
+//     copies every result lane verbatim from either cur[v] (whose guard
+//     bit is already in sat) or vF, which is a SubClamp8 output and
+//     therefore clean. Dirty lanes always win the max, so they freeze.
+//   - best is folded once per *changed* word after the loop settles
+//     (the column-sparse change mask): corrected values only ever
+//     increase, so intermediate values are dominated by the final one
+//     and folding only the final value of each touched word is exact.
+func stepStriped8(prev, cur, plus, minus, value, changed []uint64, gapV, diagIn, fIn, best, sat uint64) (uint64, uint64) {
 	n := len(plus)
 	d := prev[n-1]<<8 | diagIn
 	vF := fIn
@@ -70,21 +89,39 @@ func stepStriped8(prev, cur, plus, minus, value []uint64, gapV, diagIn, fIn, bes
 	for limit := (bio.PackedCap8 + 2) * n * bio.PackedLanes8; limit > 0; limit-- {
 		h := MaxClamped8(cur[v], vF)
 		if h == cur[v] {
-			return best, sat
+			return foldChanged8(cur, value, changed, best), sat
 		}
 		cur[v] = h
-		sat |= h
-		best = MaxClamped8(best, h&value[v])
+		changed[v>>6] |= 1 << (v & 63)
 		vF = SubClamp8(h, gapV)
 		if v++; v == n {
 			v, vF = 0, vF<<8
 		}
 	}
-	return best, sat | hi8 // unreachable: force the fallback ladder
+	return foldChanged8(cur, value, changed, best), sat | hi8 // unreachable: force the fallback ladder
 }
 
-// stepStriped16 is stepStriped8 for 4 uint16 lanes.
-func stepStriped16(prev, cur, plus, minus, value []uint64, gapV, diagIn, fIn, best, sat uint64) (uint64, uint64) {
+// foldChanged8 folds the final value of every word the correction loop
+// touched into best and clears the mask for the next row.
+func foldChanged8(cur, value, changed []uint64, best uint64) uint64 {
+	for w, m := range changed {
+		if m == 0 {
+			continue
+		}
+		changed[w] = 0
+		base := w << 6
+		for m != 0 {
+			v := base + bits.TrailingZeros64(m)
+			m &= m - 1
+			best = MaxClamped8(best, cur[v]&value[v])
+		}
+	}
+	return best
+}
+
+// stepStriped16 is stepStriped8 for 4 uint16 lanes, with the same
+// change-mask correction loop and the same exactness argument.
+func stepStriped16(prev, cur, plus, minus, value, changed []uint64, gapV, diagIn, fIn, best, sat uint64) (uint64, uint64) {
 	n := len(plus)
 	d := prev[n-1]<<16 | diagIn
 	vF := fIn
@@ -106,17 +143,33 @@ func stepStriped16(prev, cur, plus, minus, value []uint64, gapV, diagIn, fIn, be
 	for limit := (bio.PackedCap16 + 2) * n * bio.PackedLanes16; limit > 0; limit-- {
 		h := MaxClamped16(cur[v], vF)
 		if h == cur[v] {
-			return best, sat
+			return foldChanged16(cur, value, changed, best), sat
 		}
 		cur[v] = h
-		sat |= h
-		best = MaxClamped16(best, h&value[v])
+		changed[v>>6] |= 1 << (v & 63)
 		vF = SubClamp16(h, gapV)
 		if v++; v == n {
 			v, vF = 0, vF<<16
 		}
 	}
-	return best, sat | hi16
+	return foldChanged16(cur, value, changed, best), sat | hi16
+}
+
+// foldChanged16 is foldChanged8 for 4 uint16 lanes.
+func foldChanged16(cur, value, changed []uint64, best uint64) uint64 {
+	for w, m := range changed {
+		if m == 0 {
+			continue
+		}
+		changed[w] = 0
+		base := w << 6
+		for m != 0 {
+			v := base + bits.TrailingZeros64(m)
+			m &= m - 1
+			best = MaxClamped16(best, cur[v]&value[v])
+		}
+	}
+	return best
 }
 
 // reduce8 folds a clean (guard-stripped) packed word into its scalar
@@ -157,8 +210,9 @@ func stripedFind(prof *bio.StripedProfile, cur []uint64, want int) int {
 }
 
 // stripedRows returns the two striped row buffers of length segLen with
-// prev cleared (the zero top border).
-func (a *Aligner) stripedRows(segLen int) ([]uint64, []uint64) {
+// prev cleared (the zero top border), plus the all-zero change-mask
+// scratch for the correction loop.
+func (a *Aligner) stripedRows(segLen int) ([]uint64, []uint64, []uint64) {
 	if cap(a.sprev) < segLen {
 		a.sprev = make([]uint64, segLen)
 		a.scur = make([]uint64, segLen)
@@ -166,7 +220,13 @@ func (a *Aligner) stripedRows(segLen int) ([]uint64, []uint64) {
 	a.sprev = a.sprev[:segLen]
 	a.scur = a.scur[:segLen]
 	clear(a.sprev)
-	return a.sprev, a.scur
+	chgWords := (segLen + 63) / 64
+	if cap(a.schg) < chgWords {
+		a.schg = make([]uint64, chgWords)
+	}
+	a.schg = a.schg[:chgWords]
+	clear(a.schg)
+	return a.sprev, a.scur, a.schg
 }
 
 // StripedScan8 computes the best local alignment of s against t with
@@ -210,7 +270,7 @@ func (a *Aligner) stripedScan(s bio.Sequence, prof *bio.StripedProfile, gap int,
 	if len(s) == 0 || prof.SegLen() == 0 {
 		return Pair{}, len(s), false, true
 	}
-	prev, cur := a.stripedRows(prof.SegLen())
+	prev, cur, changed := a.stripedRows(prof.SegLen())
 	gapV := prof.Broadcast(gap)
 	value := prof.ValueMask()
 	wide := prof.Lanes() == bio.PackedLanes16
@@ -226,9 +286,9 @@ func (a *Aligner) stripedScan(s bio.Sequence, prof *bio.StripedProfile, gap int,
 		c := s[i-1]
 		var nb uint64
 		if wide {
-			nb, sat = stepStriped16(prev, cur, prof.PlusRow(c), prof.MinusRow(c), value, gapV, 0, 0, best, sat)
+			nb, sat = stepStriped16(prev, cur, prof.PlusRow(c), prof.MinusRow(c), value, changed, gapV, 0, 0, best, sat)
 		} else {
-			nb, sat = stepStriped8(prev, cur, prof.PlusRow(c), prof.MinusRow(c), value, gapV, 0, 0, best, sat)
+			nb, sat = stepStriped8(prev, cur, prof.PlusRow(c), prof.MinusRow(c), value, changed, gapV, 0, 0, best, sat)
 		}
 		if sat&satMask != 0 {
 			return Pair{}, i, false, false

@@ -311,12 +311,12 @@ func TestBandKernelDifferential(t *testing.T) {
 			return nil
 		}
 		kern := swar.NewBandKernel(rows, sc, thr)
-		gotBest, ok, err := kern.Chunk(gotArgs)
+		gotBest, done, err := kern.Chunk(gotArgs)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if !ok {
-			t.Fatalf("trial %d: kernel rejected a small chunk (h=%d w=%d)", trial, h, width)
+		if done != width {
+			t.Fatalf("trial %d: kernel consumed %d of %d columns (h=%d)", trial, done, width, h)
 		}
 		if gotBest != wantBest {
 			t.Fatalf("trial %d: best %+v, want %+v", trial, gotBest, wantBest)
@@ -364,8 +364,8 @@ func TestBandKernelBoundRejects(t *testing.T) {
 		Bottom: make([]int32, 6),
 		Hits:   make([]int32, 6),
 	}
-	if _, ok, err := kern.Chunk(args); ok || err != nil {
-		t.Fatalf("kernel accepted a chunk whose bound overflows int16 (ok=%v err=%v)", ok, err)
+	if _, done, err := kern.Chunk(args); done != 0 || err != nil {
+		t.Fatalf("kernel accepted a chunk whose bound overflows int16 (done=%v err=%v)", done, err)
 	}
 	for ci, v := range args.Bottom {
 		if v != 0 || args.Hits[ci] != 0 {
@@ -404,9 +404,9 @@ func TestBandKernelWidePath(t *testing.T) {
 	wantBest, _ := ref.run(wantArgs, map[int][]int32{})
 	gotArgs := mk()
 	kern := swar.NewBandKernel(rows, sc, 1)
-	gotBest, ok, err := kern.Chunk(gotArgs)
-	if err != nil || !ok {
-		t.Fatalf("int16 band path rejected (ok=%v err=%v)", ok, err)
+	gotBest, done, err := kern.Chunk(gotArgs)
+	if err != nil || done != width {
+		t.Fatalf("int16 band path rejected (done=%v err=%v)", done, err)
 	}
 	if gotBest != wantBest {
 		t.Fatalf("best %+v, want %+v", gotBest, wantBest)
@@ -421,5 +421,200 @@ func TestBandKernelWidePath(t *testing.T) {
 		if gotArgs.Left[x] != wantArgs.Left[x] {
 			t.Fatalf("row %d: final column %d, want %d", x, gotArgs.Left[x], wantArgs.Left[x])
 		}
+	}
+}
+
+// TestBandKernelSlicedHighBorders drives borders so high that the
+// whole-chunk value bound escapes the int16 clean range — the case the
+// pre-slicing kernel refused outright — and checks the column-sliced
+// packed path against the scalar reference on every output, including
+// saved columns whose indices must be rebased across slice boundaries.
+func TestBandKernelSlicedHighBorders(t *testing.T) {
+	g := bio.NewGenerator(33)
+	rng := rand.New(rand.NewSource(34))
+	sc := bio.DefaultScoring()
+	for trial := 0; trial < 20; trial++ {
+		h := 8 + rng.Intn(24)
+		width := 40 + rng.Intn(40)
+		rows := g.Random(h)
+		cols := g.Random(width)
+		// Borders a few dozen below the int16 cap: any single slice
+		// fits, the whole chunk provably does not (diag alone is close
+		// enough to the cap that adding min(h,width) matches escapes it).
+		diag := int32(bio.PackedCap16 - 7 + rng.Intn(6))
+		left := make([]int32, h)
+		maxIn := diag
+		for x := range left {
+			left[x] = int32(bio.PackedCap16 - 60 + rng.Intn(50))
+			maxIn = max(maxIn, left[x])
+		}
+		top := make([]int32, width)
+		for x := range top {
+			top[x] = int32(bio.PackedCap16 - 60 + rng.Intn(55))
+			maxIn = max(maxIn, top[x])
+		}
+		if int(maxIn)+min(h, width)*sc.Match <= bio.PackedCap16 {
+			t.Fatalf("trial %d: borders too low to force slicing", trial)
+		}
+		saveEvery := 1 + rng.Intn(7)
+		mk := func() *swar.ChunkArgs {
+			l := make([]int32, h)
+			copy(l, left)
+			return &swar.ChunkArgs{
+				Cols: cols, Diag: diag, Left: l, Top: top,
+				BestIn:  bio.PackedCap16 - 100,
+				Bottom:  make([]int32, width),
+				Hits:    make([]int32, width),
+				WantCol: func(ci int) bool { return ci%saveEvery == 0 },
+			}
+		}
+		wantSaved := map[int][]int32{}
+		wantArgs := mk()
+		ref := &scalarBandChunk{rows: rows, sc: sc, thr: 1}
+		wantBest, err := ref.run(wantArgs, wantSaved)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotSaved := map[int][]int32{}
+		gotArgs := mk()
+		gotArgs.Save = func(ci int, col []int32) error {
+			cp := make([]int32, len(col))
+			copy(cp, col)
+			gotSaved[ci] = cp
+			return nil
+		}
+		kern := swar.NewBandKernel(rows, sc, 1)
+		gotBest, done, err := kern.Chunk(gotArgs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Random DNA decays from the borders, so the real values never
+		// approach the cap and every slice must be accepted.
+		if done != width {
+			t.Fatalf("trial %d: consumed %d of %d columns (h=%d)", trial, done, width, h)
+		}
+		if gotBest != wantBest {
+			t.Fatalf("trial %d: best %+v, want %+v", trial, gotBest, wantBest)
+		}
+		for ci := 0; ci < width; ci++ {
+			if gotArgs.Bottom[ci] != wantArgs.Bottom[ci] || gotArgs.Hits[ci] != wantArgs.Hits[ci] {
+				t.Fatalf("trial %d col %d: bottom/hits (%d,%d), want (%d,%d)", trial, ci,
+					gotArgs.Bottom[ci], gotArgs.Hits[ci], wantArgs.Bottom[ci], wantArgs.Hits[ci])
+			}
+		}
+		for x := 0; x < h; x++ {
+			if gotArgs.Left[x] != wantArgs.Left[x] {
+				t.Fatalf("trial %d row %d: final column %d, want %d", trial, x, gotArgs.Left[x], wantArgs.Left[x])
+			}
+		}
+		if len(gotSaved) != len(wantSaved) {
+			t.Fatalf("trial %d: saved %d columns, want %d", trial, len(gotSaved), len(wantSaved))
+		}
+		for ci, want := range wantSaved {
+			got := gotSaved[ci]
+			if got == nil {
+				t.Fatalf("trial %d: saved column %d missing (slice offset rebase)", trial, ci)
+			}
+			for x := range want {
+				if got[x] != want[x] {
+					t.Fatalf("trial %d saved col %d row %d: %d, want %d", trial, ci, x, got[x], want[x])
+				}
+			}
+		}
+	}
+}
+
+// TestBandKernelMidChunkStall pins the partial-consumption contract: a
+// homopolymer band growing +1 per column from near-cap borders reaches
+// the int16 clean cap mid-chunk, so the kernel must consume exactly the
+// columns whose values still fit, leave later outputs untouched, and
+// report done < width so the caller's scalar loop finishes the chunk.
+func TestBandKernelMidChunkStall(t *testing.T) {
+	sc := bio.DefaultScoring()
+	h, width := 16, 60
+	rows := make(bio.Sequence, h)
+	cols := make(bio.Sequence, width)
+	for i := range rows {
+		rows[i] = 'A'
+	}
+	for i := range cols {
+		cols[i] = 'A'
+	}
+	start := int32(bio.PackedCap16 - 7) // 7 match columns to the cap
+	left := make([]int32, h)
+	for x := range left {
+		left[x] = start
+	}
+	mk := func(w int) *swar.ChunkArgs {
+		l := make([]int32, h)
+		copy(l, left)
+		return &swar.ChunkArgs{
+			Cols: cols[:w], Diag: start, Left: l,
+			Bottom: make([]int32, w), Hits: make([]int32, w),
+		}
+	}
+	gotArgs := mk(width)
+	kern := swar.NewBandKernel(rows, sc, 1)
+	gotBest, done, err := kern.Chunk(gotArgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done == 0 || done >= width {
+		t.Fatalf("expected a mid-chunk stall, consumed %d of %d columns", done, width)
+	}
+	// The consumed prefix must match the scalar reference run on a
+	// truncated chunk with identical borders.
+	wantArgs := mk(done)
+	ref := &scalarBandChunk{rows: rows, sc: sc, thr: 1}
+	wantBest, err := ref.run(wantArgs, map[int][]int32{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotBest != wantBest {
+		t.Fatalf("best %+v, want %+v", gotBest, wantBest)
+	}
+	for ci := 0; ci < done; ci++ {
+		if gotArgs.Bottom[ci] != wantArgs.Bottom[ci] || gotArgs.Hits[ci] != wantArgs.Hits[ci] {
+			t.Fatalf("col %d: bottom/hits (%d,%d), want (%d,%d)", ci,
+				gotArgs.Bottom[ci], gotArgs.Hits[ci], wantArgs.Bottom[ci], wantArgs.Hits[ci])
+		}
+	}
+	for ci := done; ci < width; ci++ {
+		if gotArgs.Bottom[ci] != 0 || gotArgs.Hits[ci] != 0 {
+			t.Fatalf("col %d beyond the stall was written", ci)
+		}
+	}
+	// Left must hold column done-1 so the caller's scalar continuation
+	// sees the exact border state.
+	for x := 0; x < h; x++ {
+		if gotArgs.Left[x] != wantArgs.Left[x] {
+			t.Fatalf("row %d: stalled left %d, want %d", x, gotArgs.Left[x], wantArgs.Left[x])
+		}
+	}
+}
+
+// TestStripedGapChains stresses the lazy-F correction loop and its
+// change-mask best fold: cheap gaps on near-homopolymer pairs make the
+// F wrap-around corrections span many stripe words, the regime where a
+// wrong or stale change mask would drop the true best.
+func TestStripedGapChains(t *testing.T) {
+	g := bio.NewGenerator(35)
+	cheapGap := bio.Scoring{Match: 2, Mismatch: -1, Gap: -1}
+	for _, n := range []int{17, 64, 129, 300} {
+		s := make(bio.Sequence, n)
+		tt := make(bio.Sequence, n)
+		for i := range s {
+			s[i], tt[i] = 'A', 'A'
+		}
+		// Mismatch islands force the optimum to route around them with
+		// gap chains rather than straight diagonals.
+		for i := 5; i < n; i += 11 {
+			tt[i] = 'C'
+		}
+		checkStriped(t, fmt.Sprintf("gapchain-%d", n), s, tt, cheapGap)
+		// A mutated random pair under the same cheap-gap scoring.
+		r := g.Random(n)
+		m := g.MutatedCopy(r, bio.DefaultMutationModel())
+		checkStriped(t, fmt.Sprintf("gapchain-mut-%d", n), r, m, cheapGap)
 	}
 }

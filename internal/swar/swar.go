@@ -163,6 +163,7 @@ type LaneScores struct {
 type Aligner struct {
 	prev, cur   []uint64 // inter-sequence packed rows (Scan8/Scan16)
 	sprev, scur []uint64 // striped rows (StripedScan8/StripedScan16)
+	schg        []uint64 // striped correction-loop change mask
 }
 
 // rows returns the two row buffers of length words+1, with prev cleared

@@ -3,8 +3,9 @@
 #
 #   1. go vet, build, and the test suite under the race detector
 #      (plus a doubled -race pass over the concurrency-heavy SWAR,
-#      align and search packages — the striped kernels and their
-#      pooled aligners run under -race -count=2)
+#      align, search and dispatch packages — the striped kernels,
+#      their pooled aligners and the adaptive routing state run under
+#      -race -count=2)
 #   2. a chaos sweep: 16 seeds x 3 strategies of the fault-injection
 #      differential oracle, under the race detector, plus a
 #      crash-recovery matrix (8 seeds x 3 strategies, one kill + 5%
@@ -19,7 +20,10 @@
 #      cmd/benchdiff against the committed BENCH_kernels.json baseline,
 #      plus the pruning speedup gate: SearchDatabasePruned must hold
 #      >= 1.5x the cells/s of both SearchDatabaseSkewed and
-#      SearchDatabase
+#      SearchDatabase, plus the dispatch routing gate: auto-dispatched
+#      scans must hold parity with the best fixed route on the uniform
+#      and skewed databases and beat every fixed route outright on the
+#      mixed database (where no single fixed route wins both halves)
 #
 # The benchmark gate fails the build when any kernel loses more than
 # BENCHDIFF_MAX_REGRESS percent (default 5) cells/sec against the
@@ -48,8 +52,8 @@ go build ./...
 echo "== go test -race"
 go test -race ./...
 
-echo "== go test -race -count=2 (swar + align + search)"
-go test -race -count=2 ./internal/swar ./internal/align ./internal/search ./cmd/genomedsm
+echo "== go test -race -count=2 (swar + align + search + dispatch)"
+go test -race -count=2 ./internal/swar ./internal/align ./internal/search ./internal/dispatch ./cmd/genomedsm
 
 echo "== chaos sweep (16 seeds x 3 strategies, -race)"
 chaos_bin=$(mktemp -d)/genomedsm
@@ -142,10 +146,40 @@ best() {
 pruned=$(best SearchDatabasePruned)
 skewed=$(best SearchDatabaseSkewed)
 uniform=$(best SearchDatabase)
-rm -f "$benchout"
 echo "pruned $pruned cells/s vs skewed $skewed, uniform $uniform"
 awk -v p="$pruned" -v s="$skewed" -v u="$uniform" 'BEGIN {
     if (p < 1.5 * s) { printf "pruning gate FAILED: %.2fx over skewed < 1.5x\n", p / s; exit 1 }
     if (p < 1.5 * u) { printf "pruning gate FAILED: %.2fx over uniform < 1.5x\n", p / u; exit 1 }
     printf "pruning gate ok: %.2fx over skewed, %.2fx over uniform\n", p / s, p / u
+}'
+
+echo "== dispatch routing gate (auto vs fixed routes)"
+# On the uniform and skewed databases auto and fixed routing are a
+# statistical tie (uniform routes identically; skewed trades an int8
+# retry against feedback-driven int16 starts), so those pairs are
+# parity checks: the floor is twice the benchdiff tolerance, wide
+# enough for the ±7% run-to-run spread of two same-speed runs on a
+# 1-core host but still tripped by any real routing regression. On the
+# mixed database (saturating homologs + provably non-saturating noise)
+# no single fixed route wins both halves, so auto must beat the best
+# fixed route outright; that is the structural win routing exists to
+# capture (≈1.15-1.3x on the dev host).
+dauto=$(best SearchDatabaseDispatch)
+dfixed=$(best SearchDatabaseFixed)
+skewfixed=$(best SearchDatabaseSkewedFixed)
+mixed=$(best SearchDatabaseMixed)
+mixfixed=$(best SearchDatabaseMixedFixed)
+mixlanes16=$(best SearchDatabaseMixedLanes16)
+rm -f "$benchout"
+echo "uniform auto $dauto vs fixed $dfixed; skewed auto $skewed vs fixed $skewfixed"
+echo "mixed auto $mixed vs fixed int8 $mixfixed, fixed int16 $mixlanes16"
+awk -v tol="$maxregress" -v d="$dauto" -v f="$dfixed" \
+    -v sa="$skewed" -v sf="$skewfixed" \
+    -v m="$mixed" -v mf="$mixfixed" -v ml="$mixlanes16" 'BEGIN {
+    floor = 1 - 2 * tol / 100
+    if (d < floor * f)  { printf "dispatch gate FAILED: uniform auto at %.2fx of fixed (floor %.2fx)\n", d / f, floor; exit 1 }
+    if (sa < floor * sf) { printf "dispatch gate FAILED: skewed auto at %.2fx of fixed (floor %.2fx)\n", sa / sf, floor; exit 1 }
+    bf = (mf > ml) ? mf : ml
+    if (m < bf) { printf "dispatch gate FAILED: mixed auto at %.2fx of best fixed route\n", m / bf; exit 1 }
+    printf "dispatch gate ok: uniform %.2fx, skewed %.2fx, mixed %.2fx over best fixed\n", d / f, sa / sf, m / bf
 }'
