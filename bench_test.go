@@ -1,8 +1,13 @@
 package genomedsm
 
 import (
+	"bytes"
+	"context"
+	"encoding/json"
 	"fmt"
 	"io"
+	"net/http"
+	"net/http/httptest"
 	"testing"
 
 	"genomedsm/internal/align"
@@ -10,6 +15,7 @@ import (
 	"genomedsm/internal/experiments"
 	"genomedsm/internal/heuristics"
 	"genomedsm/internal/search"
+	"genomedsm/internal/server"
 	"genomedsm/internal/swar"
 )
 
@@ -327,7 +333,7 @@ func benchMixedDB() (bio.Sequence, []bio.Record, int64) {
 		db = append(db, bio.Record{ID: id, Seq: t})
 		cells += int64(q.Len()) * int64(t.Len())
 	}
-	for i := 0; i < 24; i++ {
+	for i := 0; i < 16; i++ {
 		pad := g.Random(250 + i*7)
 		add(fmt.Sprintf("hom%d", i), append(pad.Clone(), g.MutatedCopy(q, bio.DefaultMutationModel())...))
 	}
@@ -444,6 +450,115 @@ func BenchmarkKernelReverseRetrieve(b *testing.B) {
 		if _, _, err := rt.ReverseRetrieve(s, t, sc, r.BestI, r.BestJ, r.BestScore); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// Resident-service benchmarks: end-to-end HTTP query cost against the
+// in-process search server. The workload is deliberately tiny (16-base
+// queries, 16 short records) so the per-request fixed costs — HTTP
+// round trip, JSON, per-scan setup — dominate the DP work; that is the
+// regime the batching path exists for. ci.sh gates
+// ServeThroughputBatched at ≥ 1.5× ServeQueryLatency queries/s: one
+// POST carrying BatchMax queries shares a single database scan and one
+// round trip, so the amortization must show up even on one core.
+
+// benchServeQueries builds the shared serve workload: the HTTP test
+// server (resident over a small synthetic database) plus count query
+// sequences and the per-query full-matrix cell count.
+func benchServeQueries(b *testing.B, count int) (*httptest.Server, []bio.Sequence, int64) {
+	b.Helper()
+	g := bio.NewGenerator(88)
+	var recs []bio.Record
+	bases := int64(0)
+	for i := 0; i < 16; i++ {
+		t := g.Random(40 + i*24%25)
+		recs = append(recs, bio.Record{ID: fmt.Sprintf("r%d", i), Seq: t})
+		bases += int64(t.Len())
+	}
+	queries := make([]bio.Sequence, count)
+	for i := range queries {
+		queries[i] = g.Random(16)
+	}
+	srv, err := server.New(server.Config{
+		DB:      search.NewDB(recs),
+		Options: search.Options{TopK: 5, NoEndpoints: true},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	hs := httptest.NewServer(srv.Handler())
+	b.Cleanup(func() {
+		hs.Close()
+		srv.Shutdown(context.Background())
+	})
+	return hs, queries, 16 * bases
+}
+
+// benchServePost sends one /search POST and fails the benchmark on any
+// non-200 answer; the response body must be drained for the keep-alive
+// connection to be reused.
+func benchServePost(b *testing.B, c *http.Client, url string, body []byte) {
+	resp, err := c.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		b.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b.Fatalf("search answered %d", resp.StatusCode)
+	}
+}
+
+// reportQueries adds the queries/s metric the serve gate reads,
+// alongside reportCells' cells/s for the benchdiff snapshot.
+func reportQueries(b *testing.B, perIter int) {
+	b.Cleanup(func() {
+		if s := b.Elapsed().Seconds(); s > 0 {
+			b.ReportMetric(float64(perIter)*float64(b.N)/s, "queries/s")
+		}
+	})
+}
+
+// BenchmarkServeQueryLatency times the sequential client: one query per
+// POST, a full HTTP round trip and a private database scan each.
+func BenchmarkServeQueryLatency(b *testing.B) {
+	hs, queries, cellsPerQuery := benchServeQueries(b, 1)
+	body, err := json.Marshal(map[string]any{"query": queries[0].String(), "top_k": 5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := hs.Client()
+	url := hs.URL + "/search"
+	benchServePost(b, c, url, body) // warmup: dispatch calibration, conn setup
+	reportCells(b, cellsPerQuery)
+	reportQueries(b, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchServePost(b, c, url, body)
+	}
+}
+
+// BenchmarkServeThroughputBatched times the batched client: 16 queries
+// in one POST, which the server answers with one shared scan.
+func BenchmarkServeThroughputBatched(b *testing.B) {
+	const batch = 16
+	hs, queries, cellsPerQuery := benchServeQueries(b, batch)
+	qs := make([]map[string]any, batch)
+	for i, q := range queries {
+		qs[i] = map[string]any{"seq": q.String(), "top_k": 5}
+	}
+	body, err := json.Marshal(map[string]any{"queries": qs})
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := hs.Client()
+	url := hs.URL + "/search"
+	benchServePost(b, c, url, body)
+	reportCells(b, int64(batch)*cellsPerQuery)
+	reportQueries(b, batch)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchServePost(b, c, url, body)
 	}
 }
 

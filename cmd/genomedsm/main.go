@@ -20,6 +20,15 @@
 //
 //	genomedsm chaos -seed 7 -schedules 8
 //	genomedsm chaos -strategy phase2 -seed 7 -replay 1234567
+//
+// The index and serve subcommands make the database search resident:
+// index packs a database (records, scan order, prefilter word index)
+// into one validated file, and serve loads it behind an HTTP/JSON API
+// with shared-scan batching, admission control and graceful drain:
+//
+//	genomedsm index -db db.fa -o db.pack
+//	genomedsm serve -pack db.pack -addr 127.0.0.1:7878
+//	curl -d '{"query":"ACGTACGT...","top_k":5}' http://127.0.0.1:7878/search
 package main
 
 import (
@@ -45,6 +54,20 @@ func main() {
 	if len(os.Args) > 1 && os.Args[1] == "chaos" {
 		if err := chaosCmd(os.Args[2:], os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "genomedsm chaos:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "index" {
+		if err := indexCmd(os.Args[2:], os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "genomedsm index:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "serve" {
+		if err := serveCmd(os.Args[2:], os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "genomedsm serve:", err)
 			os.Exit(1)
 		}
 		return

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -8,6 +9,7 @@ import (
 	"time"
 
 	"genomedsm"
+	"genomedsm/internal/dbpack"
 	"genomedsm/internal/dispatch"
 	"genomedsm/internal/stats"
 )
@@ -23,6 +25,7 @@ func searchCmd(args []string, w io.Writer) error {
 	var (
 		qFile    = fs.String("q", "", "query FASTA file (first record; synthetic when empty)")
 		dbFile   = fs.String("db", "", "database FASTA file (synthetic when empty)")
+		packFile = fs.String("pack", "", "pre-packed database from `genomedsm index` (overrides -db)")
 		n        = fs.Int("n", 1000, "synthetic query length")
 		dbSize   = fs.Int("db-size", 200, "synthetic database record count")
 		dbLen    = fs.Int("db-len", 1000, "synthetic database base record length")
@@ -56,10 +59,6 @@ func searchCmd(args []string, w io.Writer) error {
 		return err
 	}
 	installDispatch(mode)
-	q, db, err := loadSearchInputs(*qFile, *dbFile, *n, *dbSize, *dbLen, *seed, *plant)
-	if err != nil {
-		return err
-	}
 	opt := genomedsm.SearchOptions{
 		Scoring:     genomedsm.Scoring{Match: *match, Mismatch: *mismatch, Gap: *gap},
 		TopK:        *k,
@@ -71,10 +70,33 @@ func searchCmd(args []string, w io.Writer) error {
 		Prune:       *prune,
 		Prefilter:   *prefilt,
 	}
-	start := time.Now()
-	res, err := genomedsm.Search(q, db, opt)
-	if err != nil {
-		return err
+	var q genomedsm.Sequence
+	var res *genomedsm.SearchResult
+	var start time.Time
+	if *packFile != "" {
+		// Pre-packed database: the parse, sort and prefilter index were
+		// paid at `genomedsm index` time; the scan starts cold-path-free.
+		p, err := dbpack.ReadFile(*packFile)
+		if err != nil {
+			return err
+		}
+		if q, err = loadQuery(*qFile, *n, *seed); err != nil {
+			return err
+		}
+		start = time.Now()
+		if res, err = genomedsm.SearchPrepared(context.Background(), q, p.DB, opt); err != nil {
+			return err
+		}
+	} else {
+		var db []genomedsm.Record
+		var err error
+		if q, db, err = loadSearchInputs(*qFile, *dbFile, *n, *dbSize, *dbLen, *seed, *plant); err != nil {
+			return err
+		}
+		start = time.Now()
+		if res, err = genomedsm.Search(q, db, opt); err != nil {
+			return err
+		}
 	}
 	elapsed := time.Since(start).Seconds()
 	if *jsonOut {
@@ -151,6 +173,29 @@ func loadSearchInputs(qFile, dbFile string, n, dbSize, dbLen int, seed int64, pl
 	} else {
 		q = g.Random(n)
 	}
+	return loadSearchDB(g, q, dbFile, dbSize, dbLen, plantEvery)
+}
+
+// loadQuery loads just the query: the first record of qFile, or the
+// synthetic query the shared generator would produce — the same one
+// loadSearchInputs plants homologs of, so `search -pack` against a
+// synthetic pack of the same seed finds the planted hits.
+func loadQuery(qFile string, n int, seed int64) (genomedsm.Sequence, error) {
+	if qFile != "" {
+		recs, err := genomedsm.ReadFASTAFile(qFile)
+		if err != nil {
+			return nil, err
+		}
+		if len(recs) == 0 {
+			return nil, fmt.Errorf("query file %s holds no records", qFile)
+		}
+		return recs[0].Seq, nil
+	}
+	return genomedsm.NewGenerator(seed).Random(n), nil
+}
+
+// loadSearchDB reads or synthesizes the database half of the inputs.
+func loadSearchDB(g *genomedsm.Generator, q genomedsm.Sequence, dbFile string, dbSize, dbLen, plantEvery int) (genomedsm.Sequence, []genomedsm.Record, error) {
 	if dbFile != "" {
 		db, err := genomedsm.ReadFASTAFile(dbFile)
 		return q, db, err

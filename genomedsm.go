@@ -22,6 +22,7 @@
 package genomedsm
 
 import (
+	"context"
 	"fmt"
 
 	"genomedsm/internal/align"
@@ -287,6 +288,22 @@ func Preprocess(s, t Sequence, opts Options, sink ColumnSink) (*PreprocessResult
 // throughput — the database-search workload of DSA and SWAPHI.
 func Search(q Sequence, db []Record, opt SearchOptions) (*SearchResult, error) {
 	return search.Run(q, db, opt)
+}
+
+// SearchDB is a prepared database: records plus the derived scan state
+// (canonical order, prefilter index) built once and reused across
+// queries. Build with NewSearchDB, or load a pre-packed one with
+// internal/dbpack via `genomedsm index`/`serve`.
+type SearchDB = search.DB
+
+// NewSearchDB prepares a database for repeated scans.
+func NewSearchDB(recs []Record) *SearchDB { return search.NewDB(recs) }
+
+// SearchPrepared is Search over a prepared database with a context:
+// cancelling ctx aborts the scan at the next lane-group boundary.
+// Results are bit-identical to Search with the same options.
+func SearchPrepared(ctx context.Context, q Sequence, db *SearchDB, opt SearchOptions) (*SearchResult, error) {
+	return search.RunCtx(ctx, q, db, opt)
 }
 
 // AffineScoring is the affine gap-penalty scheme for BestLocalAffine.

@@ -1,0 +1,178 @@
+package blast
+
+import (
+	"fmt"
+	"sort"
+
+	"genomedsm/internal/bio"
+)
+
+// DBWordIndex is the database-side counterpart of WordIndex: every exact
+// w-mer of every database record, hashed once at index time. Where
+// WordIndex indexes one query and scans each record (one pass over the
+// database per query), DBWordIndex indexes the records and scans the
+// query (one pass over the query per query) — the shape a resident
+// search service wants, and the part of prefilter seeding worth
+// persisting in a pack file. Lookups yield the same kind of evidence as
+// WordIndex.SeedScore: exact ungapped X-drop extension scores, each the
+// score of a concrete local alignment and therefore a true lower bound
+// on the record's Smith–Waterman score. The two sides enumerate seeds
+// in different orders, so their bounds may differ — but any true lower
+// bound preserves the pruning pipeline's exactness, so the hit set does
+// not depend on which side seeded it.
+type DBWordIndex struct {
+	w    int
+	recs []bio.Sequence
+	idx  map[uint32][]DBPosting
+}
+
+// DBPosting locates one indexed word occurrence: record index and
+// 0-based start position within the record.
+type DBPosting struct {
+	Rec int32
+	Pos int32
+}
+
+// NewDBWordIndex indexes every exact w-mer of every record. It returns
+// nil when w is outside the supported [4,15] range; records shorter
+// than one word simply contribute no postings.
+func NewDBWordIndex(db []bio.Record, w int) *DBWordIndex {
+	if w < 4 || w > 15 {
+		return nil
+	}
+	ix := &DBWordIndex{w: w, recs: make([]bio.Sequence, len(db)), idx: make(map[uint32][]DBPosting)}
+	mask := uint32(1)<<(2*uint(w)) - 1
+	for r, rec := range db {
+		ix.recs[r] = rec.Seq
+		var word uint32
+		valid := 0
+		for i := 0; i < rec.Seq.Len(); i++ {
+			code, ok := baseCode(rec.Seq[i])
+			if !ok {
+				valid, word = 0, 0
+				continue
+			}
+			word = (word<<2 | code) & mask
+			valid++
+			if valid >= w {
+				ix.idx[word] = append(ix.idx[word], DBPosting{Rec: int32(r), Pos: int32(i - w + 1)})
+			}
+		}
+	}
+	return ix
+}
+
+// RestoreDBWordIndex rebuilds an index from serialized postings (the
+// dbpack codec stores words sorted with their posting lists). Posting
+// ranges are validated against the records so a malformed pack cannot
+// make lookups panic; the scores themselves stay true lower bounds for
+// ANY posting content, because SeedScores extends seeds over the actual
+// record bases — a wrong posting merely seeds a worse (but still real)
+// ungapped alignment.
+func RestoreDBWordIndex(db []bio.Record, w int, words []uint32, postings [][]DBPosting) (*DBWordIndex, error) {
+	if w < 4 || w > 15 {
+		return nil, fmt.Errorf("blast: word size %d outside [4,15]", w)
+	}
+	if len(words) != len(postings) {
+		return nil, fmt.Errorf("blast: %d words with %d posting lists", len(words), len(postings))
+	}
+	ix := &DBWordIndex{w: w, recs: make([]bio.Sequence, len(db)), idx: make(map[uint32][]DBPosting, len(words))}
+	for r, rec := range db {
+		ix.recs[r] = rec.Seq
+	}
+	max := uint32(1)<<(2*uint(w)) - 1
+	for i, word := range words {
+		if word > max {
+			return nil, fmt.Errorf("blast: word %#x exceeds the %d-mer space", word, w)
+		}
+		for _, p := range postings[i] {
+			if p.Rec < 0 || int(p.Rec) >= len(db) {
+				return nil, fmt.Errorf("blast: posting names record %d of %d", p.Rec, len(db))
+			}
+			if p.Pos < 0 || int(p.Pos)+w > ix.recs[p.Rec].Len() {
+				return nil, fmt.Errorf("blast: posting at %d overruns record %d (len %d)", p.Pos, p.Rec, ix.recs[p.Rec].Len())
+			}
+		}
+		ix.idx[word] = postings[i]
+	}
+	return ix, nil
+}
+
+// Word returns the index's word size.
+func (ix *DBWordIndex) Word() int { return ix.w }
+
+// Records returns the number of indexed records.
+func (ix *DBWordIndex) Records() int { return len(ix.recs) }
+
+// Postings returns the count of indexed word occurrences.
+func (ix *DBWordIndex) Postings() int {
+	n := 0
+	for _, ps := range ix.idx {
+		n += len(ps)
+	}
+	return n
+}
+
+// Export returns the index content in deterministic serialization
+// order: words ascending, each with its posting list (record ascending,
+// position ascending — the insertion order of NewDBWordIndex).
+func (ix *DBWordIndex) Export() (words []uint32, postings [][]DBPosting) {
+	words = make([]uint32, 0, len(ix.idx))
+	for w := range ix.idx {
+		words = append(words, w)
+	}
+	sort.Slice(words, func(a, b int) bool { return words[a] < words[b] })
+	postings = make([][]DBPosting, len(words))
+	for i, w := range words {
+		postings[i] = ix.idx[w]
+	}
+	return words, postings
+}
+
+// SeedScores returns, per record, an exact lower bound on the best
+// local-alignment score of q against that record: the best ungapped
+// X-drop extension over the exact words they share, or 0 when none.
+// Extensions are deduplicated per (record, diagonal), mirroring
+// WordIndex.SeedScore. xdrop ≤ 0 selects the DefaultOptions X-drop.
+func (ix *DBWordIndex) SeedScores(q bio.Sequence, sc bio.Scoring, xdrop int) []int {
+	best := make([]int, len(ix.recs))
+	if ix == nil || q.Len() < ix.w {
+		return best
+	}
+	if xdrop <= 0 {
+		xdrop = DefaultOptions().XDrop
+	}
+	type diagKey struct {
+		rec  int32
+		diag int32
+	}
+	covered := make(map[diagKey]int) // (record, t0-s0) → t index covered up to
+	mask := uint32(1)<<(2*uint(ix.w)) - 1
+	var word uint32
+	valid := 0
+	for i := 0; i < q.Len(); i++ {
+		code, ok := baseCode(q[i])
+		if !ok {
+			valid, word = 0, 0
+			continue
+		}
+		word = (word<<2 | code) & mask
+		valid++
+		if valid < ix.w {
+			continue
+		}
+		qStart := i - ix.w + 1
+		for _, p := range ix.idx[word] {
+			key := diagKey{rec: p.Rec, diag: p.Pos - int32(qStart)}
+			if covered[key] >= int(p.Pos)+ix.w {
+				continue
+			}
+			h := extend(q, ix.recs[p.Rec], sc, qStart, int(p.Pos), ix.w, xdrop)
+			covered[key] = h.t1
+			if h.score > best[p.Rec] {
+				best[p.Rec] = h.score
+			}
+		}
+	}
+	return best
+}

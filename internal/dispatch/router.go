@@ -14,6 +14,13 @@ type Router struct {
 	mode Mode
 	prof *Profile
 
+	// counts tallies routing decisions over the router's lifetime.
+	// Counters are atomics behind a pointer, so counting does not break
+	// the immutability contract: a resident server shares one router
+	// across every request and reads the tallies for its /statsz
+	// endpoint. Counts observe scheduling, never influence routing.
+	counts *routeCounts
+
 	// ForceGroup and ForcePair are test hooks: when non-nil they
 	// override the cost model entirely, letting the differential and
 	// fuzz suites steer the scan down adversarially wrong routes to
@@ -22,13 +29,45 @@ type Router struct {
 	ForcePair  func(m, n int) (PairRoute, bool)
 }
 
+// routeCounts holds per-route decision tallies, indexed by route value.
+type routeCounts struct {
+	group [GroupScalar + 1]atomic.Int64
+	pair  [PairScalar + 1]atomic.Int64
+}
+
+// GroupCounts returns the lane-group routing decisions taken so far,
+// keyed by route label ("inter8", "inter16", "singles", "scalar").
+// Routes never taken are omitted.
+func (r *Router) GroupCounts() map[string]int64 {
+	out := make(map[string]int64)
+	for route := GroupInter8; route <= GroupScalar; route++ {
+		if n := r.counts.group[route].Load(); n > 0 {
+			out[route.String()] = n
+		}
+	}
+	return out
+}
+
+// PairCounts returns the pairwise routing decisions taken so far, keyed
+// by route label ("striped8", "striped16", "scalar"). Routes never
+// taken are omitted.
+func (r *Router) PairCounts() map[string]int64 {
+	out := make(map[string]int64)
+	for route := PairStriped8; route <= PairScalar; route++ {
+		if n := r.counts.pair[route].Load(); n > 0 {
+			out[route.String()] = n
+		}
+	}
+	return out
+}
+
 // New builds a router in the given mode; a nil profile selects the
 // static default table.
 func New(mode Mode, prof *Profile) *Router {
 	if prof == nil {
 		prof = DefaultProfile()
 	}
-	return &Router{mode: mode, prof: prof}
+	return &Router{mode: mode, prof: prof, counts: &routeCounts{}}
 }
 
 // Mode returns the router's mode.
@@ -93,6 +132,12 @@ func (s *ScanState) satRate() (float64, bool) {
 // length and lens the group's record lengths (1 to 8 records, near
 // equal after length-sorted batching except in the leftover tail).
 func (s *ScanState) Group(qLen int, lens []int, sc bio.Scoring) GroupRoute {
+	route := s.group(qLen, lens, sc)
+	s.r.counts.group[route].Add(1)
+	return route
+}
+
+func (s *ScanState) group(qLen int, lens []int, sc bio.Scoring) GroupRoute {
 	r := s.r
 	if r.ForceGroup != nil {
 		if route, ok := r.ForceGroup(qLen, lens); ok {
@@ -211,6 +256,12 @@ func stripedOverheadScale(qLen int) float64 {
 // proves that rung will saturate, so the ladder starts past it in every
 // mode — that is a proof, not a tuned threshold.
 func (r *Router) Pair(m, n int, sc bio.Scoring, expectScore int) PairRoute {
+	route := r.pair(m, n, sc, expectScore)
+	r.counts.pair[route].Add(1)
+	return route
+}
+
+func (r *Router) pair(m, n int, sc bio.Scoring, expectScore int) PairRoute {
 	if r.ForcePair != nil {
 		if route, ok := r.ForcePair(m, n); ok {
 			return route

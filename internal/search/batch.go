@@ -1,0 +1,407 @@
+package search
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"genomedsm/internal/bio"
+	"genomedsm/internal/dispatch"
+	"genomedsm/internal/swar"
+)
+
+// This file holds the multi-query scan engine behind Run, RunCtx and
+// RunBatch. A batch shares one pass over the lane groups: every group a
+// worker pulls is scored for every live query while its targets are hot,
+// so per-scan costs (worker pool, group traversal, channel traffic) are
+// paid once per batch instead of once per query — the shared-scan
+// serving mode of the resident server. Sharing changes only scheduling:
+// each query keeps its own top-K heap, pruning floor, query bound and
+// adaptive routing state, so every completed query's result is
+// bit-identical — hits, scores, coordinates, tie-breaks, cells — to a
+// solo Run of the same query against the same DB with the same Options.
+
+// BatchQuery is one query of a shared scan.
+type BatchQuery struct {
+	// Seq is the query sequence.
+	Seq bio.Sequence
+	// Ctx, when non-nil, cancels this query alone: the scan stops
+	// spending kernel time on it at the next group boundary while the
+	// rest of the batch continues. Nil means the batch context.
+	Ctx context.Context
+	// TopK overrides Options.TopK for this query (0 keeps it).
+	TopK int
+	// MinScore overrides Options.MinScore for this query (0 keeps it).
+	MinScore int
+}
+
+// BatchResult is one query's outcome. When Err is nil, Result is the
+// full scan result, bit-identical to a solo Run. When Err reports the
+// query's context (cancelled or past its deadline), Result carries
+// partial diagnostics only — Searched/Cells/PaddedCells and prune
+// counters for the records actually processed before the cancellation
+// took effect, and no Hits: a partial top K is not a valid top K.
+type BatchResult struct {
+	Result *Result
+	Err    error
+}
+
+// qstate is the per-query scan state.
+type qstate struct {
+	q        bio.Sequence
+	ctx      context.Context
+	k        int
+	minScore int
+	qb       *bio.QueryBound
+	ft       *floorTracker
+	scan     *dispatch.ScanState
+	// cancelled latches the first ctx.Err observation so workers stop
+	// probing the context once the query is dead.
+	cancelled atomic.Bool
+}
+
+// done reports (and latches) whether the query's context has fired.
+func (st *qstate) done() bool {
+	if st.cancelled.Load() {
+		return true
+	}
+	if st.ctx.Err() != nil {
+		st.cancelled.Store(true)
+		return true
+	}
+	return false
+}
+
+// RunCtx is Run over a prepared DB with a context: cancelling ctx stops
+// the workers at the next group boundary and returns the context error.
+func RunCtx(ctx context.Context, q bio.Sequence, db *DB, opt Options) (*Result, error) {
+	brs, err := RunBatch(ctx, []BatchQuery{{Seq: q}}, db, opt)
+	if err != nil {
+		return nil, err
+	}
+	if brs[0].Err != nil {
+		return nil, brs[0].Err
+	}
+	return brs[0].Result, nil
+}
+
+// RunBatch scans the database once for every query of the batch. The
+// batch-level error is non-nil only when the whole scan failed (kernel
+// error, batch context cancelled, invalid options); per-query context
+// errors land in the matching BatchResult instead.
+func RunBatch(ctx context.Context, queries []BatchQuery, db *DB, opt Options) ([]BatchResult, error) {
+	sc := opt.Scoring
+	if sc == (bio.Scoring{}) {
+		sc = bio.DefaultScoring()
+	}
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	lanes := bio.PackedLanes8
+	switch opt.Lanes {
+	case 0, 8:
+		// adaptive routing (0) and the forced int8 chain (8) both pack
+		// groups of 8 records
+	case 16:
+		lanes = bio.PackedLanes16
+	case 1:
+		lanes = 1
+	default:
+		return nil, fmt.Errorf("search: lanes must be 8, 16 or 1, got %d", opt.Lanes)
+	}
+	var router *dispatch.Router
+	if opt.Lanes == 0 {
+		var err error
+		if router, err = routerFor(opt); err != nil {
+			return nil, err
+		}
+	}
+	if len(queries) == 0 {
+		return nil, nil
+	}
+
+	word := opt.PrefilterWord
+	if word == 0 {
+		word = 11
+	}
+	nq := len(queries)
+	states := make([]*qstate, nq)
+	for i, bq := range queries {
+		st := &qstate{q: bq.Seq, ctx: bq.Ctx, k: bq.TopK, minScore: bq.MinScore}
+		if st.ctx == nil {
+			st.ctx = ctx
+		}
+		if st.k <= 0 {
+			st.k = opt.TopK
+		}
+		if st.k <= 0 {
+			st.k = 10
+		}
+		if st.minScore == 0 {
+			st.minScore = opt.MinScore
+		}
+		if router != nil {
+			st.scan = router.NewScan()
+		}
+		if opt.Prune {
+			st.qb = bio.NewQueryBound(bq.Seq, sc)
+			st.ft = newFloorTracker(st.k)
+			if opt.Prefilter && !st.done() {
+				seedFloorDB(st.ft, bq.Seq, db, sc, word, st.minScore)
+			}
+		}
+		states[i] = st
+	}
+
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	groups := db.groups(lanes)
+	if workers > len(groups) && len(groups) > 0 {
+		workers = len(groups)
+	}
+	work := make(chan []int)
+	heaps := make([][]*topK, workers)
+	errs := make([]error, workers)
+	padded := make([][]int64, workers)
+	pstats := make([][]PruneStats, workers)
+	procRecs := make([][]int, workers)
+	procCells := make([][]int64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var al swar.Aligner
+			heaps[w] = make([]*topK, nq)
+			for qi, st := range states {
+				heaps[w][qi] = &topK{k: st.k}
+			}
+			padded[w] = make([]int64, nq)
+			pstats[w] = make([]PruneStats, nq)
+			procRecs[w] = make([]int, nq)
+			procCells[w] = make([]int64, nq)
+			targets := make([]bio.Sequence, 0, lanes)
+			kept := make([]int, 0, lanes)
+			for group := range work {
+				if err := ctx.Err(); err != nil {
+					errs[w] = err
+					return
+				}
+				var groupBases int64
+				for _, idx := range group {
+					groupBases += int64(len(db.recs[idx].Seq))
+				}
+				for qi, st := range states {
+					if st.done() {
+						continue
+					}
+					err := scanGroupFor(&al, st, db, group, sc, opt, lanes,
+						heaps[w][qi], &pstats[w][qi], &padded[w][qi], targets, kept)
+					if err != nil {
+						errs[w] = err
+						return
+					}
+					procRecs[w][qi] += len(group)
+					procCells[w][qi] += int64(len(st.q)) * groupBases
+				}
+			}
+		}(w)
+	}
+feed:
+	for _, g := range groups {
+		select {
+		case work <- g:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(work)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	out := make([]BatchResult, nq)
+	for qi, st := range states {
+		qerr := st.ctx.Err()
+		res := &Result{}
+		if qerr == nil {
+			res.Searched = len(db.recs)
+			res.Cells = int64(len(st.q)) * db.total
+		} else {
+			for w := range procRecs {
+				if procRecs[w] != nil {
+					res.Searched += procRecs[w][qi]
+					res.Cells += procCells[w][qi]
+				}
+			}
+		}
+		for w := range padded {
+			if padded[w] != nil {
+				res.PaddedCells += padded[w][qi]
+			}
+		}
+		if opt.Prune {
+			pst := &PruneStats{FloorFinal: st.ft.get()}
+			for w := range pstats {
+				if pstats[w] == nil {
+					continue
+				}
+				pst.Skipped += pstats[w][qi].Skipped
+				pst.Abandoned += pstats[w][qi].Abandoned
+				pst.Scanned += pstats[w][qi].Scanned
+				pst.CellsSaved += pstats[w][qi].CellsSaved
+			}
+			res.Prune = pst
+		}
+		if qerr != nil {
+			out[qi] = BatchResult{Result: res, Err: qerr}
+			continue
+		}
+		merged := &topK{k: st.k}
+		for w := range heaps {
+			if heaps[w] == nil {
+				continue
+			}
+			for _, it := range heaps[w][qi].items {
+				merged.push(it)
+			}
+		}
+		res.Hits = merged.items
+		sort.Slice(res.Hits, func(a, b int) bool {
+			x, y := res.Hits[a], res.Hits[b]
+			if x.Score != y.Score {
+				return x.Score > y.Score
+			}
+			return x.Index < y.Index
+		})
+		if !opt.NoEndpoints {
+			if err := realign(st.q, db.recs, sc, res.Hits); err != nil {
+				return nil, err
+			}
+		}
+		out[qi] = BatchResult{Result: res}
+	}
+	return out, nil
+}
+
+// scanGroupFor scores one lane group for one query: stage-1 record
+// skipping against the query's floor, the kernel route (adaptive,
+// bounded or plain), and the heap/floor pushes. This is the body of the
+// original single-query Run worker, parameterized by query state.
+func scanGroupFor(al *swar.Aligner, st *qstate, db *DB, group []int, sc bio.Scoring, opt Options, lanes int,
+	heap *topK, ps *PruneStats, padded *int64, targets []bio.Sequence, kept []int) error {
+	q := st.q
+	targets = targets[:0]
+	kept = kept[:0]
+	var ab *swar.Bound
+	if opt.Prune {
+		// Stage 1: the O(1) record bound against the floor read once per
+		// group (a stale, lower floor only makes the check more
+		// conservative — never wrong).
+		th := st.ft.threshold(st.minScore)
+		for _, idx := range group {
+			t := db.recs[idx].Seq
+			if st.qb.RecordBound(len(t)) < th {
+				ps.Skipped++
+				ps.CellsSaved += int64(len(q)) * int64(len(t))
+				continue
+			}
+			kept = append(kept, idx)
+		}
+		ab = &swar.Bound{Below: th, Query: st.qb, Every: opt.AbandonEvery}
+	} else {
+		kept = append(kept, group...)
+	}
+	if len(kept) == 0 {
+		return nil
+	}
+	maxLen := 0
+	for _, idx := range kept {
+		t := db.recs[idx].Seq
+		targets = append(targets, t)
+		if len(t) > maxLen {
+			maxLen = len(t)
+		}
+	}
+	var scores []int
+	var prunedMask []bool
+	var rowsScanned []int
+	var err error
+	if st.scan != nil {
+		// Adaptive path: the router picks the route and the scorer
+		// reports the padded cells that route computed.
+		var pad int64
+		scores, prunedMask, rowsScanned, pad, err = scoreGroupRouted(al, q, targets, sc, st.scan, ab)
+		*padded += pad
+	} else if opt.Prune {
+		scores, prunedMask, rowsScanned, err = scoreGroupBounded(al, q, targets, sc, opt.Lanes, ab)
+	} else {
+		scores, err = scoreGroup(al, q, targets, sc, opt.Lanes)
+	}
+	if err != nil {
+		return err
+	}
+	if st.scan == nil {
+		rowsUsed := len(q)
+		if rowsScanned != nil {
+			rowsUsed = 0
+			for _, r := range rowsScanned {
+				if r > rowsUsed {
+					rowsUsed = r
+				}
+			}
+		}
+		*padded += int64(lanes) * int64(maxLen) * int64(rowsUsed)
+	}
+	for i, idx := range kept {
+		if prunedMask != nil && prunedMask[i] {
+			ps.Abandoned++
+			ps.CellsSaved += int64(len(q)-rowsScanned[i]) * int64(len(targets[i]))
+			continue
+		}
+		if opt.Prune {
+			ps.Scanned++
+		}
+		if s := scores[i]; s > 0 && s >= st.minScore {
+			heap.push(Hit{Index: idx, ID: db.recs[idx].ID, Score: s})
+			if st.ft != nil {
+				st.ft.push(s, idx)
+			}
+		}
+	}
+	return nil
+}
+
+// seedFloorDB is seedFloor over a prepared DB: when the database carries
+// a word index of the right word size, the prefilter looks the query up
+// in it — one pass over the query instead of one pass over every record
+// — and otherwise falls back to the per-run query-side index. Both
+// produce true lower bounds, so either way the hit set is unchanged.
+func seedFloorDB(ft *floorTracker, q bio.Sequence, db *DB, sc bio.Scoring, word, minScore int) {
+	ix := db.ix
+	if ix == nil || ix.Word() != word {
+		seedFloor(ft, q, db.recs, sc, word, minScore)
+		return
+	}
+	ft.dedup = true
+	lo := minScore
+	if lo < 1 {
+		lo = 1
+	}
+	for i, lb := range ix.SeedScores(q, sc, 0) {
+		if lb >= lo {
+			ft.push(lb, i)
+		}
+	}
+}

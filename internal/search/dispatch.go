@@ -20,10 +20,15 @@ import (
 // depend on routing.
 var testRouter *dispatch.Router
 
-// routerFor builds the scan router for one Run.
+// routerFor builds the scan router for one Run: the test override wins,
+// then a caller-provided shared router (Options.Router), then one built
+// from the Dispatch mode.
 func routerFor(opt Options) (*dispatch.Router, error) {
 	if testRouter != nil {
 		return testRouter, nil
+	}
+	if opt.Router != nil {
+		return opt.Router, nil
 	}
 	mode, err := dispatch.ParseMode(opt.Dispatch)
 	if err != nil {

@@ -18,10 +18,8 @@
 package search
 
 import (
+	"context"
 	"fmt"
-	"runtime"
-	"sort"
-	"sync"
 
 	"genomedsm/internal/align"
 	"genomedsm/internal/bio"
@@ -68,6 +66,11 @@ type Options struct {
 	// AbandonEvery is the mid-scan abandon check cadence in query rows
 	// (default swar.DefaultAbandonEvery).
 	AbandonEvery int
+	// Router, when non-nil, routes this scan's lane groups (Lanes == 0)
+	// instead of a router built from Dispatch: a resident server shares
+	// one calibrated router — and its route statistics — across
+	// requests. Routing never changes results, only speed.
+	Router *dispatch.Router
 }
 
 // Hit is one database record in the top K.
@@ -101,17 +104,7 @@ type Result struct {
 // cuts them into consecutive groups of lanes, so each group packs
 // near-equal lengths and short lanes waste little padding.
 func laneGroups(db []bio.Record, lanes int) [][]int {
-	order := make([]int, len(db))
-	for i := range order {
-		order[i] = i
-	}
-	sort.Slice(order, func(a, b int) bool {
-		la, lb := len(db[order[a]].Seq), len(db[order[b]].Seq)
-		if la != lb {
-			return la > lb
-		}
-		return order[a] < order[b]
-	})
+	order := sortedOrder(db)
 	groups := make([][]int, 0, (len(order)+lanes-1)/lanes)
 	for lo := 0; lo < len(order); lo += lanes {
 		groups = append(groups, order[lo:min(lo+lanes, len(order))])
@@ -183,210 +176,11 @@ func (h *topK) siftDown(i int) {
 
 // Run scans the database for the best local alignments of q and returns
 // the top-K hits sorted by decreasing score (record index breaks ties).
+// Run prepares the database and scans it once; callers with many
+// queries against one database should build a DB once (NewDB, or load a
+// pack via internal/dbpack) and use RunCtx/RunBatch instead.
 func Run(q bio.Sequence, db []bio.Record, opt Options) (*Result, error) {
-	sc := opt.Scoring
-	if sc == (bio.Scoring{}) {
-		sc = bio.DefaultScoring()
-	}
-	if err := sc.Validate(); err != nil {
-		return nil, err
-	}
-	k := opt.TopK
-	if k <= 0 {
-		k = 10
-	}
-	workers := opt.Workers
-	if workers <= 0 {
-		workers = runtime.NumCPU()
-	}
-	lanes := bio.PackedLanes8
-	switch opt.Lanes {
-	case 0, 8:
-		// adaptive routing (0) and the forced int8 chain (8) both pack
-		// groups of 8 records
-	case 16:
-		lanes = bio.PackedLanes16
-	case 1:
-		lanes = 1
-	default:
-		return nil, fmt.Errorf("search: lanes must be 8, 16 or 1, got %d", opt.Lanes)
-	}
-	var scanState *dispatch.ScanState
-	if opt.Lanes == 0 {
-		router, err := routerFor(opt)
-		if err != nil {
-			return nil, err
-		}
-		scanState = router.NewScan()
-	}
-
-	var qb *bio.QueryBound
-	var ft *floorTracker
-	if opt.Prune {
-		qb = bio.NewQueryBound(q, sc)
-		ft = newFloorTracker(k)
-		if opt.Prefilter {
-			word := opt.PrefilterWord
-			if word == 0 {
-				word = 11
-			}
-			seedFloor(ft, q, db, sc, word, opt.MinScore)
-		}
-	}
-
-	groups := laneGroups(db, lanes)
-	if workers > len(groups) && len(groups) > 0 {
-		workers = len(groups)
-	}
-	work := make(chan []int)
-	heaps := make([]*topK, workers)
-	errs := make([]error, workers)
-	padded := make([]int64, workers)
-	pstats := make([]PruneStats, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			var al swar.Aligner
-			heap := &topK{k: k}
-			heaps[w] = heap
-			targets := make([]bio.Sequence, 0, lanes)
-			kept := make([]int, 0, lanes)
-			for group := range work {
-				targets = targets[:0]
-				kept = kept[:0]
-				var ab *swar.Bound
-				if opt.Prune {
-					// Stage 1: the O(1) record bound against the floor read
-					// once per group (a stale, lower floor only makes the
-					// check more conservative — never wrong).
-					th := ft.threshold(opt.MinScore)
-					for _, idx := range group {
-						t := db[idx].Seq
-						if qb.RecordBound(len(t)) < th {
-							pstats[w].Skipped++
-							pstats[w].CellsSaved += int64(len(q)) * int64(len(t))
-							continue
-						}
-						kept = append(kept, idx)
-					}
-					ab = &swar.Bound{Below: th, Query: qb, Every: opt.AbandonEvery}
-				} else {
-					kept = append(kept, group...)
-				}
-				if len(kept) == 0 {
-					continue
-				}
-				maxLen := 0
-				for _, idx := range kept {
-					t := db[idx].Seq
-					targets = append(targets, t)
-					if len(t) > maxLen {
-						maxLen = len(t)
-					}
-				}
-				var scores []int
-				var prunedMask []bool
-				var rowsScanned []int
-				var err error
-				if scanState != nil {
-					// Adaptive path: the router picks the route and the
-					// scorer reports the padded cells that route computed.
-					var pad int64
-					scores, prunedMask, rowsScanned, pad, err = scoreGroupRouted(&al, q, targets, sc, scanState, ab)
-					padded[w] += pad
-				} else if opt.Prune {
-					scores, prunedMask, rowsScanned, err = scoreGroupBounded(&al, q, targets, sc, opt.Lanes, ab)
-				} else {
-					scores, err = scoreGroup(&al, q, targets, sc, opt.Lanes)
-				}
-				if err != nil {
-					errs[w] = err
-					return
-				}
-				if scanState == nil {
-					rowsUsed := len(q)
-					if rowsScanned != nil {
-						rowsUsed = 0
-						for _, r := range rowsScanned {
-							if r > rowsUsed {
-								rowsUsed = r
-							}
-						}
-					}
-					padded[w] += int64(lanes) * int64(maxLen) * int64(rowsUsed)
-				}
-				for i, idx := range kept {
-					if prunedMask != nil && prunedMask[i] {
-						pstats[w].Abandoned++
-						pstats[w].CellsSaved += int64(len(q)-rowsScanned[i]) * int64(len(targets[i]))
-						continue
-					}
-					if opt.Prune {
-						pstats[w].Scanned++
-					}
-					if s := scores[i]; s > 0 && s >= opt.MinScore {
-						heap.push(Hit{Index: idx, ID: db[idx].ID, Score: s})
-						if ft != nil {
-							ft.push(s, idx)
-						}
-					}
-				}
-			}
-		}(w)
-	}
-	for _, g := range groups {
-		work <- g
-	}
-	close(work)
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-
-	res := &Result{Searched: len(db)}
-	for _, rec := range db {
-		res.Cells += int64(len(q)) * int64(len(rec.Seq))
-	}
-	merged := &topK{k: k}
-	for _, h := range heaps {
-		if h == nil {
-			continue
-		}
-		for _, it := range h.items {
-			merged.push(it)
-		}
-	}
-	for _, p := range padded {
-		res.PaddedCells += p
-	}
-	if opt.Prune {
-		st := &PruneStats{FloorFinal: ft.get()}
-		for _, ps := range pstats {
-			st.Skipped += ps.Skipped
-			st.Abandoned += ps.Abandoned
-			st.Scanned += ps.Scanned
-			st.CellsSaved += ps.CellsSaved
-		}
-		res.Prune = st
-	}
-	res.Hits = merged.items
-	sort.Slice(res.Hits, func(a, b int) bool {
-		x, y := res.Hits[a], res.Hits[b]
-		if x.Score != y.Score {
-			return x.Score > y.Score
-		}
-		return x.Index < y.Index
-	})
-	if !opt.NoEndpoints {
-		if err := realign(q, db, sc, res.Hits); err != nil {
-			return nil, err
-		}
-	}
-	return res, nil
+	return RunCtx(context.Background(), q, NewDB(db), opt)
 }
 
 // scoreGroup dispatches one lane group to the kernel selected by the

@@ -1,0 +1,132 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"testing"
+
+	"genomedsm/internal/bio"
+	"genomedsm/internal/search"
+)
+
+// TestStressMixedClients hammers one server with concurrent clients of
+// mixed shapes — single and batched queries, tight and absent
+// deadlines, two incompatible option sets — and checks the service
+// invariants hold under scheduling pressure (run with -race in CI):
+//
+//   - every request gets exactly one response, tags echo back to their
+//     query, nothing is lost or duplicated across coalesced batches;
+//   - a query that timed out reports its partial scan (searched ≤
+//     records, no hits) instead of wrong results;
+//   - the admission queue never exceeds its cap and the accounting
+//     identities (queries = served + cancelled) hold when idle.
+func TestStressMixedClients(t *testing.T) {
+	_, recs := testDB(t, 96, 80, 40)
+	s, hs := newTestServer(t, recs, Config{
+		Options:  search.Options{Prune: true},
+		MaxQueue: 8,
+		BatchMax: 8,
+	})
+
+	const clients = 6
+	const perClient = 4
+	timeouts := []int{0, 0, 1, 5000}
+
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	seenTags := make(map[string]int)
+	var sent, rejected, answered int
+
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			g := bio.NewGenerator(int64(1000 + c))
+			for r := 0; r < perClient; r++ {
+				req := RequestJSON{}
+				if c%2 == 0 {
+					// Half the clients flip pruning off: a second
+					// compatibility key, so coalescing must partition.
+					off := false
+					req.Prune = &off
+				}
+				nq := 1 + (c+r)%3
+				for i := 0; i < nq; i++ {
+					req.Queries = append(req.Queries, QueryJSON{
+						Seq:       g.Random(24 + 8*i).String(),
+						TopK:      1 + (c+i)%5,
+						TimeoutMS: timeouts[(c+r+i)%len(timeouts)],
+						Tag:       fmt.Sprintf("c%d-r%d-q%d", c, r, i),
+					})
+				}
+				mu.Lock()
+				sent += nq
+				mu.Unlock()
+
+				resp, body := postSearch(t, hs.URL, req)
+				switch resp.StatusCode {
+				case http.StatusTooManyRequests:
+					mu.Lock()
+					rejected += nq
+					mu.Unlock()
+					continue
+				case http.StatusOK:
+				default:
+					t.Errorf("client %d: status %d: %s", c, resp.StatusCode, body)
+					continue
+				}
+				var out ResponseJSON
+				if err := json.Unmarshal(body, &out); err != nil {
+					t.Errorf("client %d: %v", c, err)
+					continue
+				}
+				if len(out.Results) != nq {
+					t.Errorf("client %d: %d results for %d queries", c, len(out.Results), nq)
+					continue
+				}
+				mu.Lock()
+				answered += nq
+				mu.Unlock()
+				for i, res := range out.Results {
+					wantTag := fmt.Sprintf("c%d-r%d-q%d", c, r, i)
+					if res.Tag != wantTag {
+						t.Errorf("client %d got tag %q at slot %d, want %q", c, res.Tag, i, wantTag)
+					}
+					mu.Lock()
+					seenTags[res.Tag]++
+					mu.Unlock()
+					if res.Error != "" {
+						if len(res.Hits) != 0 {
+							t.Errorf("%s: cancelled with %d hits", res.Tag, len(res.Hits))
+						}
+						if res.Searched > len(recs) {
+							t.Errorf("%s: cancelled but searched %d of %d", res.Tag, res.Searched, len(recs))
+						}
+						continue
+					}
+					if res.Searched != len(recs) {
+						t.Errorf("%s: completed but searched %d of %d", res.Tag, res.Searched, len(recs))
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	for tag, n := range seenTags {
+		if n != 1 {
+			t.Errorf("tag %q answered %d times", tag, n)
+		}
+	}
+	if got := int(s.st.queries.Load()); got != sent-rejected {
+		t.Errorf("server admitted %d queries, want %d (sent %d, rejected %d)", got, sent-rejected, sent, rejected)
+	}
+	if served, cancelled := s.st.served.Load(), s.st.cancelled.Load(); int(served+cancelled) != answered {
+		t.Errorf("served %d + cancelled %d != answered %d", served, cancelled, answered)
+	}
+	if high := s.st.queueHigh.Load(); high > 8 {
+		t.Errorf("queue high-water mark %d exceeds cap 8", high)
+	}
+}

@@ -3,8 +3,9 @@
 #
 #   1. go vet, build, and the test suite under the race detector
 #      (plus a doubled -race pass over the concurrency-heavy SWAR,
-#      align, search and dispatch packages — the striped kernels,
-#      their pooled aligners and the adaptive routing state run under
+#      align, search, dispatch, dbpack and server packages — the
+#      striped kernels, their pooled aligners, the adaptive routing
+#      state and the HTTP batching/admission machinery run under
 #      -race -count=2)
 #   2. a chaos sweep: 16 seeds x 3 strategies of the fault-injection
 #      differential oracle, under the race detector, plus a
@@ -15,15 +16,21 @@
 #   3. per-package coverage, gated on >= 85% combined coverage of
 #      internal/dsm + internal/chaos + internal/recovery (the
 #      protocol, its harness and the fault-tolerance layer)
-#   4. a 1-iteration smoke run of every kernel and search benchmark
-#   5. the kernel and search benchmarks for real, gated by
+#   4. an index/serve e2e smoke: pack a synthetic database with the
+#      real binary, serve it resident, answer an HTTP query with hits,
+#      then drain cleanly on SIGTERM
+#   5. a 1-iteration smoke run of every kernel, search and serve
+#      benchmark
+#   6. the kernel, search and serve benchmarks for real, gated by
 #      cmd/benchdiff against the committed BENCH_kernels.json baseline,
 #      plus the pruning speedup gate: SearchDatabasePruned must hold
 #      >= 1.5x the cells/s of both SearchDatabaseSkewed and
 #      SearchDatabase, plus the dispatch routing gate: auto-dispatched
 #      scans must hold parity with the best fixed route on the uniform
 #      and skewed databases and beat every fixed route outright on the
-#      mixed database (where no single fixed route wins both halves)
+#      mixed database (where no single fixed route wins both halves),
+#      plus the serve batching gate: one 16-query POST must beat 16
+#      sequential single-query POSTs by >= 1.5x queries/s
 #
 # The benchmark gate fails the build when any kernel loses more than
 # BENCHDIFF_MAX_REGRESS percent (default 5) cells/sec against the
@@ -35,7 +42,7 @@
 # with `benchdiff -diff seed current`, not gated on. After an
 # intentional perf change, re-record with:
 #
-#   go test -run '^$' -bench 'Kernel|Search' -count 5 . | go run ./cmd/benchdiff -snapshot baseline
+#   go test -run '^$' -bench 'Kernel|Search|Serve' -count 5 . | go run ./cmd/benchdiff -snapshot baseline
 #
 # On shared/noisy machines set BENCHDIFF_MAX_REGRESS higher, increase
 # BENCH_COUNT so best-of has more samples, or set SKIP_BENCHDIFF=1 to
@@ -52,8 +59,8 @@ go build ./...
 echo "== go test -race"
 go test -race ./...
 
-echo "== go test -race -count=2 (swar + align + search + dispatch)"
-go test -race -count=2 ./internal/swar ./internal/align ./internal/search ./internal/dispatch ./cmd/genomedsm
+echo "== go test -race -count=2 (swar + align + search + dispatch + dbpack + server)"
+go test -race -count=2 ./internal/swar ./internal/align ./internal/search ./internal/dispatch ./internal/dbpack ./internal/server ./cmd/genomedsm
 
 echo "== chaos sweep (16 seeds x 3 strategies, -race)"
 chaos_bin=$(mktemp -d)/genomedsm
@@ -118,8 +125,40 @@ echo "combined internal/dsm + internal/chaos + internal/recovery coverage: ${pct
 awk -v p="$pct" 'BEGIN { exit (p >= 85.0) ? 0 : 1 }' ||
     { echo "coverage gate FAILED: ${pct}% < 85%"; exit 1; }
 
+echo "== index/serve e2e smoke (pack -> resident server -> HTTP query -> drain)"
+# The cold-start contract end to end with the real binary: pack a
+# synthetic database once, serve it (no FASTA re-parse), answer an HTTP
+# query with hits, report healthy, then drain cleanly on SIGTERM.
+e2edir=$(mktemp -d)
+go build -o "$e2edir/genomedsm" ./cmd/genomedsm
+"$e2edir/genomedsm" index -db-size 48 -db-len 300 -n 400 \
+    -o "$e2edir/db.pack" -q-out "$e2edir/q.fa" >/dev/null
+"$e2edir/genomedsm" serve -pack "$e2edir/db.pack" -addr 127.0.0.1:17878 \
+    >"$e2edir/serve.log" 2>&1 &
+serve_pid=$!
+ok=0
+for _ in $(seq 1 50); do
+    if curl -sf http://127.0.0.1:17878/healthz >/dev/null 2>&1; then ok=1; break; fi
+    sleep 0.1
+done
+[ "$ok" = 1 ] || { echo "e2e FAILED: server never became healthy"
+                   cat "$e2edir/serve.log"; kill "$serve_pid" 2>/dev/null; exit 1; }
+q=$(sed -n '2p' "$e2edir/q.fa" | cut -c1-200)
+curl -sf -d "{\"query\":\"$q\",\"top_k\":3}" http://127.0.0.1:17878/search |
+    grep -q '"score"' ||
+    { echo "e2e FAILED: query returned no scored hits"; kill "$serve_pid" 2>/dev/null; exit 1; }
+curl -sf http://127.0.0.1:17878/statsz | grep -q '"served": *1' ||
+    { echo "e2e FAILED: statsz did not count the query"; kill "$serve_pid" 2>/dev/null; exit 1; }
+kill -TERM "$serve_pid"
+wait "$serve_pid" || { echo "e2e FAILED: serve exited non-zero after SIGTERM"
+                       cat "$e2edir/serve.log"; exit 1; }
+grep -q drained "$e2edir/serve.log" ||
+    { echo "e2e FAILED: no drain on shutdown"; cat "$e2edir/serve.log"; exit 1; }
+rm -rf "$e2edir"
+echo "index/serve e2e ok"
+
 echo "== benchmark smoke (1 iteration)"
-go test -run '^$' -bench 'Kernel|Search' -benchtime 1x .
+go test -run '^$' -bench 'Kernel|Search|Serve' -benchtime 1x .
 
 if [ "${SKIP_BENCHDIFF:-0}" = "1" ]; then
     echo "== benchdiff gate skipped (SKIP_BENCHDIFF=1)"
@@ -130,16 +169,17 @@ count="${BENCH_COUNT:-5}"
 maxregress="${BENCHDIFF_MAX_REGRESS:-5}"
 echo "== benchmark regression gate (count=$count, max-regress=${maxregress}%)"
 benchout=$(mktemp)
-go test -run '^$' -bench 'Kernel|Search' -benchtime 1s -count "$count" . |
+go test -run '^$' -bench 'Kernel|Search|Serve' -benchtime 1s -count "$count" . |
     tee "$benchout" |
     go run ./cmd/benchdiff -check -baseline baseline -max-regress "$maxregress"
 
 echo "== pruning speedup gate (SearchDatabasePruned >= 1.5x unpruned)"
-# Best cells/s over the -count runs, same collapse rule as benchdiff.
+# Best value of a metric ($2, default cells/s) over the -count runs,
+# same collapse rule as benchdiff.
 best() {
-    awk -v name="Benchmark$1" '
+    awk -v name="Benchmark$1" -v unit="${2:-cells/s}" '
         $1 ~ "^"name"(-[0-9]+)?$" {
-            for (i = 2; i < NF; i++) if ($(i+1) == "cells/s" && $i > best) best = $i
+            for (i = 2; i < NF; i++) if ($(i+1) == unit && $i > best) best = $i
         }
         END { if (best == "") exit 1; print best }' "$benchout"
 }
@@ -170,7 +210,6 @@ skewfixed=$(best SearchDatabaseSkewedFixed)
 mixed=$(best SearchDatabaseMixed)
 mixfixed=$(best SearchDatabaseMixedFixed)
 mixlanes16=$(best SearchDatabaseMixedLanes16)
-rm -f "$benchout"
 echo "uniform auto $dauto vs fixed $dfixed; skewed auto $skewed vs fixed $skewfixed"
 echo "mixed auto $mixed vs fixed int8 $mixfixed, fixed int16 $mixlanes16"
 awk -v tol="$maxregress" -v d="$dauto" -v f="$dfixed" \
@@ -182,4 +221,20 @@ awk -v tol="$maxregress" -v d="$dauto" -v f="$dfixed" \
     bf = (mf > ml) ? mf : ml
     if (m < bf) { printf "dispatch gate FAILED: mixed auto at %.2fx of best fixed route\n", m / bf; exit 1 }
     printf "dispatch gate ok: uniform %.2fx, skewed %.2fx, mixed %.2fx over best fixed\n", d / f, sa / sf, m / bf
+}'
+
+echo "== serve batching gate (batched >= 1.5x sequential queries/s)"
+# The shared-scan contract: one POST carrying 16 queries must amortize
+# the per-request fixed costs (HTTP round trip, JSON, per-scan setup)
+# into at least a 1.5x queries/s win over 16 sequential single-query
+# POSTs of the same workload. The DP work per query is identical on
+# both sides, so the ratio isolates exactly what the batching path
+# exists to remove.
+seqrate=$(best ServeQueryLatency queries/s)
+batchrate=$(best ServeThroughputBatched queries/s)
+rm -f "$benchout"
+echo "sequential $seqrate queries/s vs batched $batchrate queries/s"
+awk -v s="$seqrate" -v b="$batchrate" 'BEGIN {
+    if (b < 1.5 * s) { printf "serve gate FAILED: batched at %.2fx of sequential < 1.5x\n", b / s; exit 1 }
+    printf "serve gate ok: batched %.2fx over sequential\n", b / s
 }'
