@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"testing"
+	"time"
 
 	"genomedsm/internal/align"
 	"genomedsm/internal/bio"
@@ -16,6 +17,7 @@ import (
 	"genomedsm/internal/heuristics"
 	"genomedsm/internal/search"
 	"genomedsm/internal/server"
+	"genomedsm/internal/shard"
 	"genomedsm/internal/swar"
 )
 
@@ -314,6 +316,33 @@ func BenchmarkSearchDatabaseDispatch(b *testing.B) {
 func BenchmarkSearchDatabaseFixed(b *testing.B) {
 	q, db, cells := benchUniformDB()
 	benchSearch(b, q, db, cells, search.Options{NoEndpoints: true, Dispatch: "fixed"})
+}
+
+// BenchmarkSearchDatabaseSharded times the uniform database scan
+// scattered across a 4-shard in-process cluster (scatter, per-shard
+// scan, floor gossip, merge). ci.sh gates it against
+// BenchmarkSearchDatabase: the distribution layer must hold parity with
+// a single-node scan on one host, since its wins come from adding
+// hosts, not from overhead.
+func BenchmarkSearchDatabaseSharded(b *testing.B) {
+	q, recs, cells := benchUniformDB()
+	db := search.NewDB(recs)
+	c, err := shard.New(db, shard.Options{Shards: 4, Lease: time.Hour})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	opt := search.Options{NoEndpoints: true}
+	if _, err := c.Search(context.Background(), q, opt); err != nil {
+		b.Fatal(err)
+	}
+	reportCells(b, cells)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Search(context.Background(), q, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // benchMixedDB builds the workload adaptive dispatch exists for: two

@@ -37,12 +37,28 @@ func chaosCmd(args []string, w io.Writer) error {
 		kill      = fs.String("kill", "", "crash-stop schedule: comma-separated node@point[+delay] specs, e.g. 1@2 or 1@2+0.05 (not applied to blockedmp)")
 		loss      = fs.Float64("loss", 0, "per-attempt message-loss probability, all classes (at-least-once delivery with dedup)")
 		dup       = fs.Float64("dup", 0, "probability a delivered message arrives twice (duplicate suppressed by sequence numbers)")
+
+		searchMode = fs.Bool("search", false, "check the sharded database-search layer instead of the DSM strategies")
+		shards     = fs.Int("shards", 4, "(with -search) shard cluster width")
+		queries    = fs.Int("queries", 2, "(with -search) queries per scattered batch")
+		reorder    = fs.Float64("reorder", 0, "(with -search) per-message reorder probability")
+		killShard  = fs.String("kill-shard", "", "(with -search) crash one worker: shard@groups, e.g. 1@1 kills shard 1 after its first lane group")
 	)
 	if err := fs.Parse(args); err != nil {
 		if err == flag.ErrHelp {
 			return nil
 		}
 		return err
+	}
+	if *loss < 0 || *loss >= 1 || *dup < 0 || *dup >= 1 || *reorder < 0 || *reorder >= 1 {
+		return fmt.Errorf("-loss, -dup and -reorder must be probabilities in [0, 1)")
+	}
+	if *searchMode {
+		return chaosSearch(w, chaosSearchArgs{
+			seed: *seed, schedules: *schedules, shards: *shards, queries: *queries,
+			loss: *loss, dup: *dup, reorder: *reorder, killShard: *killShard,
+			replay: *replay,
+		})
 	}
 
 	var sts []chaos.Strategy
@@ -76,9 +92,6 @@ func chaosCmd(args []string, w io.Writer) error {
 	}
 	if *noFaults {
 		opt.Plan = chaos.PlanConfig{} // all-zero: schedule exploration only
-	}
-	if *loss < 0 || *loss >= 1 || *dup < 0 || *dup >= 1 {
-		return fmt.Errorf("-loss and -dup must be probabilities in [0, 1)")
 	}
 	if *loss > 0 || *dup > 0 {
 		// Probabilities ride on the effective plan: the defaults unless
@@ -149,6 +162,91 @@ func chaosCmd(args []string, w io.Writer) error {
 				d.Strategy, *seed, extra, d.PlanSeed)
 		}
 		return fmt.Errorf("%d of %d runs diverged from the sequential baseline", len(divergences), runs)
+	}
+	return nil
+}
+
+// chaosSearchArgs carries the -search mode flags.
+type chaosSearchArgs struct {
+	seed      int64
+	schedules int
+	shards    int
+	queries   int
+	loss      float64
+	dup       float64
+	reorder   float64
+	killShard string
+	replay    int64
+}
+
+// chaosSearch runs the sharded-search differential oracle: every
+// schedule scatters a query batch across a faulty cluster — message
+// loss, duplication, reordering, optionally a worker crashed mid-scan —
+// and checks the merged results bit-for-bit against a fault-free
+// single-node scan. With a kill configured, the recovery counters must
+// additionally prove the crash, detection and reassignment happened.
+func chaosSearch(w io.Writer, a chaosSearchArgs) error {
+	opt := chaos.SearchOptions{
+		Seed: a.seed, Schedules: a.schedules, Shards: a.shards, Queries: a.queries,
+		Loss: a.loss, Dup: a.dup, Reorder: a.reorder, KillShard: chaos.NoKill,
+	}
+	if a.killShard != "" {
+		k, err := recovery.ParseKill(a.killShard)
+		if err != nil {
+			return fmt.Errorf("-kill-shard: %w", err)
+		}
+		opt.KillShard, opt.KillAfter = k.Node, k.Point
+	}
+	if a.replay != 0 {
+		res, st, err := chaos.RunShardedOnce(opt, a.replay)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "replayed sharded search with fault seed %d: %d queries\n", a.replay, len(res))
+		for i, br := range res {
+			if br.Err != nil {
+				fmt.Fprintf(w, "  query %d: error %v\n", i, br.Err)
+				continue
+			}
+			fmt.Fprintf(w, "  query %d: %d hits over %d records\n", i, len(br.Result.Hits), br.Result.Searched)
+		}
+		fmt.Fprintf(w, "counters: %d retries, %d kills, %d dead detected, %d reassigns, %d lost, %d duped, %d reordered\n",
+			st.Retries, st.Kills, st.DeadDetected, st.Reassigns, st.MsgsLost, st.MsgsDuped, st.MsgsReordered)
+		return nil
+	}
+	start := time.Now()
+	rep, err := chaos.CheckShardedSearch(opt)
+	if err != nil {
+		return err
+	}
+	verdict := "bit-exact vs single-node"
+	if len(rep.Divergences) > 0 {
+		verdict = fmt.Sprintf("%d DIVERGENT", len(rep.Divergences))
+	}
+	fmt.Fprintf(w, "sharded search (%d shards, %d queries/batch): %d schedules: %s\n",
+		a.shards, a.queries, rep.Runs, verdict)
+	fmt.Fprintf(w, "seed %d: %d runs, %d divergences (%.2fs wall)\n",
+		a.seed, rep.Runs, len(rep.Divergences), time.Since(start).Seconds())
+	if len(rep.Divergences) > 0 {
+		extra := ""
+		if a.killShard != "" {
+			extra += fmt.Sprintf(" -kill-shard %s", a.killShard)
+		}
+		if a.loss > 0 {
+			extra += fmt.Sprintf(" -loss %g", a.loss)
+		}
+		if a.dup > 0 {
+			extra += fmt.Sprintf(" -dup %g", a.dup)
+		}
+		if a.reorder > 0 {
+			extra += fmt.Sprintf(" -reorder %g", a.reorder)
+		}
+		for _, d := range rep.Divergences {
+			fmt.Fprintln(w, d.Error())
+			fmt.Fprintf(w, "  replay: genomedsm chaos -search -shards %d -seed %d%s -replay %d\n",
+				a.shards, a.seed, extra, d.FaultSeed)
+		}
+		return fmt.Errorf("%d of %d runs diverged from the single-node baseline", len(rep.Divergences), rep.Runs)
 	}
 	return nil
 }

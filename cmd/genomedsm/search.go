@@ -11,6 +11,7 @@ import (
 	"genomedsm"
 	"genomedsm/internal/dbpack"
 	"genomedsm/internal/dispatch"
+	"genomedsm/internal/shard"
 	"genomedsm/internal/stats"
 )
 
@@ -44,6 +45,7 @@ func searchCmd(args []string, w io.Writer) error {
 		prune    = fs.Bool("prune", true, "exact top-K pruning: skip and abandon records that provably cannot rank")
 		prefilt  = fs.Bool("prefilter", false, "seed the pruning floor with blast word-seed lower bounds before scanning")
 		plant    = fs.Int("plant-every", 8, "plant a mutated query homolog every Nth synthetic record (0 = pure noise)")
+		shards   = fs.Int("shards", 0, "scatter the scan across N in-process shards with gossiped pruning floors; results stay bit-identical (0 or 1 = single-node)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if err == flag.ErrHelp {
@@ -71,8 +73,7 @@ func searchCmd(args []string, w io.Writer) error {
 		Prefilter:   *prefilt,
 	}
 	var q genomedsm.Sequence
-	var res *genomedsm.SearchResult
-	var start time.Time
+	var db *genomedsm.SearchDB
 	if *packFile != "" {
 		// Pre-packed database: the parse, sort and prefilter index were
 		// paid at `genomedsm index` time; the scan starts cold-path-free.
@@ -80,30 +81,64 @@ func searchCmd(args []string, w io.Writer) error {
 		if err != nil {
 			return err
 		}
+		db = p.DB
 		if q, err = loadQuery(*qFile, *n, *seed); err != nil {
 			return err
 		}
-		start = time.Now()
-		if res, err = genomedsm.SearchPrepared(context.Background(), q, p.DB, opt); err != nil {
-			return err
-		}
 	} else {
-		var db []genomedsm.Record
+		var recs []genomedsm.Record
 		var err error
-		if q, db, err = loadSearchInputs(*qFile, *dbFile, *n, *dbSize, *dbLen, *seed, *plant); err != nil {
+		if q, recs, err = loadSearchInputs(*qFile, *dbFile, *n, *dbSize, *dbLen, *seed, *plant); err != nil {
 			return err
 		}
-		start = time.Now()
-		if res, err = genomedsm.Search(q, db, opt); err != nil {
+		db = genomedsm.NewSearchDB(recs)
+	}
+
+	var res *genomedsm.SearchResult
+	var cluster *shard.Cluster
+	if *shards >= 2 {
+		var err error
+		if cluster, err = shard.New(db, shard.Options{Shards: *shards}); err != nil {
 			return err
 		}
+		defer cluster.Close()
+	}
+	start := time.Now()
+	if cluster != nil {
+		res, err = cluster.Search(context.Background(), q, opt)
+	} else {
+		res, err = genomedsm.SearchPrepared(context.Background(), q, db, opt)
+	}
+	if err != nil {
+		return err
 	}
 	elapsed := time.Since(start).Seconds()
 	if *jsonOut {
 		return writeSearchJSON(w, q, res, elapsed)
 	}
 	writeSearchText(w, q, res, elapsed, *scores)
+	if cluster != nil {
+		writeShardText(w, cluster.Stats())
+	}
 	return nil
+}
+
+// writeShardText summarizes a sharded scan: the partition each shard
+// answered for plus the robustness counters (all zero on a clean run).
+func writeShardText(w io.Writer, st shard.Stats) {
+	fmt.Fprintf(w, "sharded across %d workers:", len(st.Shards))
+	for _, h := range st.Shards {
+		fmt.Fprintf(w, " %d:[%d,%d)", h.Shard, h.SpanLo, h.SpanHi)
+	}
+	fmt.Fprintln(w)
+	if st.Retries+st.Kills+st.Reassigns > 0 {
+		fmt.Fprintf(w, "recovery: %d retries, %d kills, %d dead detected, %d spans reassigned\n",
+			st.Retries, st.Kills, st.DeadDetected, st.Reassigns)
+	}
+	if st.FloorBroadcasts > 0 {
+		fmt.Fprintf(w, "floor gossip: %d evidence batches up, %d floor broadcasts down\n",
+			st.GossipUpdates, st.FloorBroadcasts)
+	}
 }
 
 // installDispatch wires the process-wide kernel router for this run.

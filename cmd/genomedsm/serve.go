@@ -103,7 +103,8 @@ func serveCmd(args []string, w io.Writer) error {
 		disp     = fs.String("dispatch", "auto", "default kernel routing when -lanes=0: auto, fixed, scalar")
 		prune    = fs.Bool("prune", true, "default exact top-K pruning")
 		prefilt  = fs.Bool("prefilter", false, "default blast-seeded pruning floor (uses the pack's word index)")
-		queue    = fs.Int("queue", 64, "admission queue bound (requests; beyond it clients get 429)")
+		shards   = fs.Int("shards", 0, "scatter every scan across N in-process shards with gossiped pruning floors (0 or 1 = single-node)")
+		queue    = fs.Int("queue", 64, "admission queue bound (requests; beyond it clients get 429 with Retry-After)")
 		batchMax = fs.Int("batch-max", 16, "max queries coalesced into one shared scan")
 		dbSize   = fs.Int("db-size", 200, "synthetic database record count")
 		dbLen    = fs.Int("db-len", 1000, "synthetic database base record length")
@@ -151,6 +152,7 @@ func serveCmd(args []string, w io.Writer) error {
 		},
 		MaxQueue: *queue,
 		BatchMax: *batchMax,
+		Shards:   *shards,
 	})
 	if err != nil {
 		return err
@@ -166,6 +168,9 @@ func serveCmd(args []string, w io.Writer) error {
 	line := fmt.Sprintf("serving %d records (%d bases)", db.Size(), db.TotalBases())
 	if ix := db.WordIndex(); ix != nil {
 		line += fmt.Sprintf(" with a %d-mer prefilter index", ix.Word())
+	}
+	if *shards >= 2 {
+		line += fmt.Sprintf(" across %d shards", *shards)
 	}
 	fmt.Fprintf(w, "%s\n", line)
 	fmt.Fprintf(w, "listening on http://%s\n", bound)

@@ -1,0 +1,99 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestSearchCmdSharded pins the -shards flag: identical hits to the
+// single-node CLI run, plus the shard summary line in text output.
+func TestSearchCmdSharded(t *testing.T) {
+	run := func(args ...string) []searchJSONHit {
+		t.Helper()
+		var buf bytes.Buffer
+		if err := searchCmd(append(args, "-n", "350", "-db-size", "48", "-db-len", "250", "-json"), &buf); err != nil {
+			t.Fatal(err)
+		}
+		var rep searchJSON
+		if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+			t.Fatal(err)
+		}
+		return rep.Hits
+	}
+	want := run()
+	for _, shards := range []string{"2", "4"} {
+		got := run("-shards", shards)
+		if len(got) != len(want) {
+			t.Fatalf("-shards %s: %d hits, want %d", shards, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("-shards %s hit %d: %+v, want %+v", shards, i, got[i], want[i])
+			}
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := searchCmd([]string{"-n", "300", "-db-size", "24", "-shards", "3"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "sharded across 3 workers") {
+		t.Errorf("missing shard summary line:\n%s", out)
+	}
+}
+
+// TestChaosCmdSearchMode pins `chaos -search`: the clean, faulty, and
+// kill-one-shard sweeps all verify bit-exactness against single-node,
+// and the kill sweep proves recovery in its exit status (a vacuous
+// pass would fail inside the oracle).
+func TestChaosCmdSearchMode(t *testing.T) {
+	var buf bytes.Buffer
+	if err := chaosCmd([]string{"-search", "-schedules", "2", "-seed", "3"}, &buf); err != nil {
+		t.Fatalf("clean sweep: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "bit-exact vs single-node") {
+		t.Errorf("missing verdict:\n%s", buf.String())
+	}
+
+	buf.Reset()
+	if err := chaosCmd([]string{"-search", "-schedules", "2", "-loss", "0.2", "-dup", "0.1", "-reorder", "0.1"}, &buf); err != nil {
+		t.Fatalf("faulty sweep: %v\n%s", err, buf.String())
+	}
+
+	buf.Reset()
+	if err := chaosCmd([]string{"-search", "-schedules", "2", "-kill-shard", "1@1"}, &buf); err != nil {
+		t.Fatalf("kill sweep: %v\n%s", err, buf.String())
+	}
+}
+
+// TestChaosCmdSearchReplay pins the replay flag for the search oracle.
+func TestChaosCmdSearchReplay(t *testing.T) {
+	var buf bytes.Buffer
+	if err := chaosCmd([]string{"-search", "-loss", "0.3", "-replay", "12345"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "replayed sharded search with fault seed 12345") {
+		t.Errorf("missing replay header:\n%s", out)
+	}
+	if !strings.Contains(out, "counters:") {
+		t.Errorf("missing counters line:\n%s", out)
+	}
+}
+
+// TestChaosCmdSearchBadFlags checks flag validation in -search mode.
+func TestChaosCmdSearchBadFlags(t *testing.T) {
+	for _, args := range [][]string{
+		{"-search", "-kill-shard", "banana"},
+		{"-search", "-reorder", "1.5"},
+		{"-search", "-shards", "2", "-kill-shard", "9@1"},
+	} {
+		var buf bytes.Buffer
+		if err := chaosCmd(args, &buf); err == nil {
+			t.Errorf("%v accepted", args)
+		}
+	}
+}

@@ -36,6 +36,25 @@ type BatchQuery struct {
 	TopK int
 	// MinScore overrides Options.MinScore for this query (0 keeps it).
 	MinScore int
+	// FloorHint, when non-nil, supplies an externally proven pruning
+	// floor that is folded into the query's own threshold (Options.Prune
+	// only). The distributed layer feeds the gossiped global top-K floor
+	// through it. The hint must obey the floor contract: when it returns
+	// f > 0, at least K distinct result-eligible records of the full
+	// search score ≥ f — then pruning strictly below max(local floor,
+	// hint) stays exact. A stale (lower) hint is always safe, only
+	// slower. Called concurrently from scan workers.
+	FloorHint func() int
+	// OnScore, when non-nil, observes every result-eligible exact score
+	// (score > 0 and ≥ the query's MinScore) as it is pushed into the
+	// heap, with the record's index in the scanned DB. The distributed
+	// layer gossips these to the master as floor evidence. Called
+	// concurrently from scan workers.
+	OnScore func(score, index int)
+	// OnGroup, when non-nil, runs after each lane group is scanned for
+	// this query — a progress hook for gossip cadence and fault
+	// injection. Called concurrently from scan workers.
+	OnGroup func()
 }
 
 // BatchResult is one query's outcome. When Err is nil, Result is the
@@ -58,6 +77,9 @@ type qstate struct {
 	qb       *bio.QueryBound
 	ft       *floorTracker
 	scan     *dispatch.ScanState
+	hint     func() int
+	onScore  func(score, index int)
+	onGroup  func()
 	// cancelled latches the first ctx.Err observation so workers stop
 	// probing the context once the query is dead.
 	cancelled atomic.Bool
@@ -130,7 +152,10 @@ func RunBatch(ctx context.Context, queries []BatchQuery, db *DB, opt Options) ([
 	nq := len(queries)
 	states := make([]*qstate, nq)
 	for i, bq := range queries {
-		st := &qstate{q: bq.Seq, ctx: bq.Ctx, k: bq.TopK, minScore: bq.MinScore}
+		st := &qstate{
+			q: bq.Seq, ctx: bq.Ctx, k: bq.TopK, minScore: bq.MinScore,
+			hint: bq.FloorHint, onScore: bq.OnScore, onGroup: bq.OnGroup,
+		}
 		if st.ctx == nil {
 			st.ctx = ctx
 		}
@@ -208,6 +233,9 @@ func RunBatch(ctx context.Context, queries []BatchQuery, db *DB, opt Options) ([
 					}
 					procRecs[w][qi] += len(group)
 					procCells[w][qi] += int64(len(st.q)) * groupBases
+					if st.onGroup != nil {
+						st.onGroup()
+					}
 				}
 			}
 		}(w)
@@ -286,7 +314,7 @@ feed:
 			return x.Index < y.Index
 		})
 		if !opt.NoEndpoints {
-			if err := realign(st.q, db.recs, sc, res.Hits); err != nil {
+			if err := Realign(st.q, db.recs, sc, res.Hits); err != nil {
 				return nil, err
 			}
 		}
@@ -310,6 +338,16 @@ func scanGroupFor(al *swar.Aligner, st *qstate, db *DB, group []int, sc bio.Scor
 		// group (a stale, lower floor only makes the check more
 		// conservative — never wrong).
 		th := st.ft.threshold(st.minScore)
+		if st.hint != nil {
+			// An external floor (the gossiped global top-K floor of the
+			// shard layer) tightens the threshold: the hint's contract
+			// guarantees K distinct eligible records of the full search
+			// score ≥ it, so pruning strictly below it stays exact even
+			// when this scan covers only a shard of that search.
+			if h := st.hint(); h > th {
+				th = h
+			}
+		}
 		for _, idx := range group {
 			t := db.recs[idx].Seq
 			if st.qb.RecordBound(len(t)) < th {
@@ -377,6 +415,9 @@ func scanGroupFor(al *swar.Aligner, st *qstate, db *DB, group []int, sc bio.Scor
 			heap.push(Hit{Index: idx, ID: db.recs[idx].ID, Score: s})
 			if st.ft != nil {
 				st.ft.push(s, idx)
+			}
+			if st.onScore != nil {
+				st.onScore(s, idx)
 			}
 		}
 	}

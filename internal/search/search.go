@@ -230,14 +230,20 @@ func scoreGroup(al *swar.Aligner, q bio.Sequence, targets []bio.Sequence, sc bio
 	}
 }
 
-// realign fills the alignment spans of the final hits with the exact
+// Realign fills the alignment spans of the final hits with the exact
 // kernels: align.Scan (striped when the scheme fits, scalar otherwise)
 // finds the end cell, ReverseRetrieve walks back to the start. Only the
 // K winners pay this cost, and the exact re-scan doubles as a safety
 // net: a score disagreeing with the packed inter-sequence kernel is a
 // kernel bug and is reported, never papered over. One Retriever serves
 // the whole loop, so the sparse traceback arenas are allocated once.
-func realign(q bio.Sequence, db []bio.Record, sc bio.Scoring, hits []Hit) error {
+// Exported for the shard master, which realigns only the merged global
+// winners instead of every shard's local top K. A zero sc means
+// bio.DefaultScoring.
+func Realign(q bio.Sequence, db []bio.Record, sc bio.Scoring, hits []Hit) error {
+	if sc == (bio.Scoring{}) {
+		sc = bio.DefaultScoring()
+	}
 	var rt align.Retriever
 	for i := range hits {
 		h := &hits[i]

@@ -6,12 +6,14 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"sync/atomic"
 	"time"
 
 	"genomedsm/internal/bio"
 	"genomedsm/internal/dispatch"
 	"genomedsm/internal/search"
+	"genomedsm/internal/shard"
 )
 
 // QueryJSON is one query of a POST /search request.
@@ -202,6 +204,11 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	}
 
 	if status, err := s.admit(p); err != nil {
+		if status == http.StatusTooManyRequests {
+			// Tell the shed client when the backlog should have drained;
+			// blind immediate retries just re-fill the queue.
+			w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+		}
 		writeError(w, status, err)
 		return
 	}
@@ -303,13 +310,19 @@ type StatszJSON struct {
 	TotalBases int64 `json:"total_bases"`
 	PackedWord int   `json:"prefilter_word,omitempty"`
 
-	Queries   int64 `json:"queries"`
-	Served    int64 `json:"served"`
-	Cancelled int64 `json:"cancelled"`
-	Rejected  int64 `json:"rejected"`
-	Batches   int64 `json:"batches"`
-	QueueHigh int64 `json:"queue_high"`
-	BatchMax  int64 `json:"batch_max"`
+	Queries    int64 `json:"queries"`
+	Served     int64 `json:"served"`
+	Cancelled  int64 `json:"cancelled"`
+	Rejected   int64 `json:"rejected"`
+	Batches    int64 `json:"batches"`
+	QueueDepth int   `json:"queue_depth"`
+	QueueHigh  int64 `json:"queue_high"`
+	BatchMax   int64 `json:"batch_max"`
+
+	// Shards is present when the server scans through a shard cluster:
+	// per-shard health (liveness, span, answered counts, latency) plus
+	// the cluster's retry/kill/reassign and gossip counters.
+	Shards *shard.Stats `json:"shards,omitempty"`
 
 	Prune struct {
 		Skipped    int64 `json:"skipped"`
@@ -341,7 +354,9 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 	out.Cancelled = s.st.cancelled.Load()
 	out.Rejected = s.st.rejected.Load()
 	out.Batches = s.st.batches.Load()
+	out.QueueDepth = s.QueueDepth()
 	out.QueueHigh = s.st.queueHigh.Load()
+	out.Shards = s.ShardStats()
 	out.BatchMax = s.st.batchMax.Load()
 	out.Prune.Skipped = s.st.pruneSkipped.Load()
 	out.Prune.Abandoned = s.st.pruneAbandoned.Load()

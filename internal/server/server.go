@@ -39,6 +39,7 @@ import (
 
 	"genomedsm/internal/dispatch"
 	"genomedsm/internal/search"
+	"genomedsm/internal/shard"
 )
 
 // Config configures a Server.
@@ -56,14 +57,25 @@ type Config struct {
 	// BatchMax caps how many queries one shared scan carries
 	// (default 16).
 	BatchMax int
+	// Shards, when ≥ 2, serves scans from an in-process shard cluster
+	// (internal/shard): the database is partitioned across that many
+	// workers and every batch is scattered, pruned under the gossiped
+	// floor, and merged bit-identically to a single-node scan. 0 or 1
+	// keeps the direct RunBatch path.
+	Shards int
+	// ShardOptions overrides the cluster's robustness tuning (timeouts,
+	// lease, faults — the Shards field wins over ShardOptions.Shards).
+	// Nil uses production defaults; tests inject faults through it.
+	ShardOptions *shard.Options
 }
 
 // Server is the resident search service. Build with New, mount
 // Handler() on an http.Server, and call Shutdown to drain.
 type Server struct {
-	cfg    Config
-	router *dispatch.Router // shared calibrated router for default-mode scans
-	start  time.Time
+	cfg     Config
+	router  *dispatch.Router // shared calibrated router for default-mode scans
+	cluster *shard.Cluster   // non-nil when cfg.Shards ≥ 2
+	start   time.Time
 
 	mu       sync.Mutex
 	queue    []*pending
@@ -115,10 +127,18 @@ type stats struct {
 	pruneCellsSaved atomic.Int64
 
 	latency [len(latencyBucketsMS) + 1]int64 // atomic; +Inf last
+
+	// latencySumMS / latencyCount back the Retry-After estimate on 429:
+	// mean request latency times queue depth approximates the backlog's
+	// drain time.
+	latencySumMS atomic.Int64
+	latencyCount atomic.Int64
 }
 
 func (st *stats) observeLatency(d time.Duration) {
 	ms := d.Milliseconds()
+	st.latencySumMS.Add(ms)
+	st.latencyCount.Add(1)
 	for i, ub := range latencyBucketsMS {
 		if ms <= ub {
 			atomic.AddInt64(&st.latency[i], 1)
@@ -175,8 +195,36 @@ func New(cfg Config) (*Server, error) {
 	} else {
 		s.router = dispatch.New(mode, nil)
 	}
+	if cfg.Shards >= 2 {
+		co := shard.Options{}
+		if cfg.ShardOptions != nil {
+			co = *cfg.ShardOptions
+		}
+		co.Shards = cfg.Shards
+		if co.Lease <= 0 {
+			// A resident service prefers slow failure detection over false
+			// positives: an in-process worker does not silently die, so a
+			// long lease only matters under injected faults.
+			co.Lease = 30 * time.Second
+		}
+		cl, err := shard.New(cfg.DB, co)
+		if err != nil {
+			return nil, fmt.Errorf("server: building shard cluster: %w", err)
+		}
+		s.cluster = cl
+	}
 	go s.dispatch()
 	return s, nil
+}
+
+// ShardStats returns the shard cluster's health and fault counters, or
+// nil when the server runs unsharded.
+func (s *Server) ShardStats() *shard.Stats {
+	if s.cluster == nil {
+		return nil
+	}
+	st := s.cluster.Stats()
+	return &st
 }
 
 // Handler returns the server's HTTP handler.
@@ -205,6 +253,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 	select {
 	case <-s.stopped:
+		if s.cluster != nil {
+			s.cluster.Close()
+		}
 		return nil
 	case <-ctx.Done():
 		return ctx.Err()
@@ -272,8 +323,16 @@ func (s *Server) dispatch() {
 		// The batch context is the server's lifetime, not any one
 		// request's: a shared scan must not die with one client, and a
 		// draining server finishes admitted work. Per-query contexts
-		// (deadline, disconnect) ride inside the BatchQueries.
-		results, err := search.RunBatch(context.Background(), batch, s.cfg.DB, group[0].opt)
+		// (deadline, disconnect) ride inside the BatchQueries — on the
+		// sharded path the cluster watches each one and cancels that
+		// query's remote scan work on every shard.
+		var results []search.BatchResult
+		var err error
+		if s.cluster != nil {
+			results, err = s.cluster.SearchBatch(context.Background(), batch, group[0].opt)
+		} else {
+			results, err = search.RunBatch(context.Background(), batch, s.cfg.DB, group[0].opt)
+		}
 		lo := 0
 		for _, p := range group {
 			o := outcome{err: err, batchSize: total}
@@ -284,6 +343,33 @@ func (s *Server) dispatch() {
 			p.out <- o
 		}
 	}
+}
+
+// QueueDepth reports the number of requests currently waiting for a
+// shared scan.
+func (s *Server) QueueDepth() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.queue)
+}
+
+// retryAfterSeconds estimates when a rejected client should come back:
+// the mean request latency times the backlog it would wait behind,
+// clamped to [1, 30] seconds (RFC 7231 permits any delay; a bounded
+// hint keeps well-behaved clients from stampeding or stalling).
+func (s *Server) retryAfterSeconds() int {
+	avgMS := int64(100) // no history yet: assume a fast scan
+	if n := s.st.latencyCount.Load(); n > 0 {
+		avgMS = s.st.latencySumMS.Load() / n
+	}
+	secs := (avgMS*int64(s.QueueDepth()) + 999) / 1000
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 30 {
+		secs = 30
+	}
+	return int(secs)
 }
 
 // admit queues a pending and wakes the dispatcher. It returns an HTTP

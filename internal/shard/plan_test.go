@@ -1,0 +1,104 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+
+	"genomedsm/internal/bio"
+	"genomedsm/internal/search"
+)
+
+func planDB(t *testing.T, seed int64, n, baseLen int) *search.DB {
+	t.Helper()
+	g := bio.NewGenerator(seed)
+	recs := make([]bio.Record, n)
+	for i := range recs {
+		rl := baseLen/2 + (i*37)%(baseLen+1)
+		recs[i] = bio.Record{ID: fmt.Sprintf("r%d", i), Seq: g.Random(rl)}
+	}
+	return search.NewDB(recs)
+}
+
+func TestPlanSpansPartition(t *testing.T) {
+	for _, tc := range []struct{ n, shards int }{
+		{64, 1}, {64, 2}, {64, 4}, {64, 7}, {64, 64}, {64, 100},
+		{1, 4}, {3, 3}, {0, 2},
+	} {
+		db := planDB(t, 7, tc.n, 300)
+		spans := PlanSpans(db, tc.shards)
+		if len(spans) != tc.shards {
+			t.Fatalf("n=%d shards=%d: got %d spans", tc.n, tc.shards, len(spans))
+		}
+		if err := ValidateSpans(spans, tc.n); err != nil {
+			t.Fatalf("n=%d shards=%d: %v", tc.n, tc.shards, err)
+		}
+	}
+}
+
+func TestPlanSpansBalance(t *testing.T) {
+	db := planDB(t, 11, 256, 500)
+	const shards = 4
+	spans := PlanSpans(db, shards)
+	recs, order := db.Records(), db.Order()
+	var loads []int64
+	for _, sp := range spans {
+		var bases int64
+		for r := sp.Lo; r < sp.Hi; r++ {
+			bases += int64(len(recs[order[r]].Seq))
+		}
+		loads = append(loads, bases)
+	}
+	target := db.TotalBases() / shards
+	for i, l := range loads {
+		// Each shard within one max-record-length of the ideal cut.
+		if diff := l - target; diff > 800 || diff < -800 {
+			t.Errorf("shard %d carries %d bases, target %d (loads %v)", i, l, target, loads)
+		}
+	}
+}
+
+func TestValidateSpansRejects(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		spans []Span
+		n     int
+	}{
+		{"empty plan", nil, 4},
+		{"gap", []Span{{0, 2}, {3, 4}}, 4},
+		{"overlap", []Span{{0, 3}, {2, 4}}, 4},
+		{"inverted", []Span{{0, 2}, {2, 1}}, 4},
+		{"short", []Span{{0, 2}}, 4},
+		{"long", []Span{{0, 6}}, 4},
+	} {
+		if err := ValidateSpans(tc.spans, tc.n); err == nil {
+			t.Errorf("%s: ValidateSpans accepted %v over %d records", tc.name, tc.spans, tc.n)
+		}
+	}
+}
+
+func TestSubDBOrderAndMapping(t *testing.T) {
+	db := planDB(t, 13, 40, 300)
+	spans := PlanSpans(db, 3)
+	seen := make(map[int]bool)
+	for _, sp := range spans {
+		sub, toGlobal, err := subDB(db, sp)
+		if err != nil {
+			t.Fatalf("subDB(%v): %v", sp, err)
+		}
+		if sub.Size() != sp.Len() || len(toGlobal) != sp.Len() {
+			t.Fatalf("subDB(%v): %d records, %d mapped", sp, sub.Size(), len(toGlobal))
+		}
+		for li, gi := range toGlobal {
+			if seen[gi] {
+				t.Fatalf("record %d appears in two spans", gi)
+			}
+			seen[gi] = true
+			if sub.Records()[li].ID != db.Records()[gi].ID {
+				t.Fatalf("span %v local %d maps to %d but IDs differ", sp, li, gi)
+			}
+		}
+	}
+	if len(seen) != db.Size() {
+		t.Fatalf("spans cover %d of %d records", len(seen), db.Size())
+	}
+}

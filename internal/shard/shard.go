@@ -1,0 +1,619 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"genomedsm/internal/bio"
+	"genomedsm/internal/recovery"
+	"genomedsm/internal/search"
+)
+
+// Kill schedules one shard crash for fault injection: the worker dies
+// after its AfterGroups-th per-query lane-group scan — mid-scan by
+// construction whenever the shard has more work than that. A dead
+// worker stops answering and heartbeating; the master detects the
+// expired lease and replays the span on a survivor.
+type Kill struct {
+	Shard       int
+	AfterGroups int
+}
+
+// Options configures a Cluster.
+type Options struct {
+	// Shards is the worker count (required, ≥ 1).
+	Shards int
+	// Search is the default scan configuration; SearchBatch's opt
+	// overrides it per call (the serve layer's per-request overrides).
+	Search search.Options
+	// Timeout is the per-attempt wait for a span response before the
+	// request is retransmitted (default 150ms). Retransmits to a live,
+	// busy shard are deduped by request id, so a Timeout shorter than a
+	// scan costs messages, never correctness.
+	Timeout time.Duration
+	// Retry spaces retransmissions: attempt n additionally waits
+	// Retry.Delay(requestID, n) seconds on top of Timeout. Default:
+	// 25ms base, ×2, 400ms cap, 25% jitter.
+	Retry recovery.Backoff
+	// Lease is the heartbeat lease; a shard whose lease expires is
+	// declared dead and its spans replay on survivors (default 3s). A
+	// false positive — a slow shard declared dead — costs duplicate
+	// work, never correctness: the master accepts one response per span
+	// and every response for a span is identical.
+	Lease time.Duration
+	// Heartbeat is the lease renewal period (default Lease/8).
+	Heartbeat time.Duration
+	// Faults injects seeded transport faults (nil = reliable transport).
+	Faults *FaultConfig
+	// Kills schedules worker crashes.
+	Kills []Kill
+	// Spans overrides the computed partition (tests and fuzzing);
+	// must be a valid partition for Shards shards.
+	Spans []Span
+	// NoGossip disables the shared floor broadcast; shards then prune
+	// against their local floors only. Exactness is unaffected — the
+	// gossiped floor is a speed hint (tests pin exactly that).
+	NoGossip bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Timeout <= 0 {
+		o.Timeout = 150 * time.Millisecond
+	}
+	if o.Retry.Base <= 0 {
+		o.Retry = recovery.Backoff{Base: 25e-3, Factor: 2, Cap: 400e-3, Jitter: 0.25, Seed: 1}
+	}
+	if o.Lease <= 0 {
+		o.Lease = 3 * time.Second
+	}
+	if o.Heartbeat <= 0 {
+		o.Heartbeat = o.Lease / 8
+	}
+	return o
+}
+
+// Cluster is the master plus its in-process worker shards. Build with
+// New, search with Search/SearchBatch, inspect with Stats, and Close
+// when done. Safe for concurrent searches.
+type Cluster struct {
+	db      *search.DB
+	opt     Options
+	spans   []Span
+	net     *transport
+	workers []*worker
+	stop    chan struct{}
+	closed  atomic.Bool
+
+	qid atomic.Uint64 // query ids (floor gossip, cancels)
+	rid atomic.Uint64 // request ids (at-least-once dedup)
+
+	mu      sync.Mutex
+	waiters map[uint64]chan response
+	floors  map[uint64]*globalFloor
+
+	lastBeat []atomic.Int64 // unix nanos of each shard's last heartbeat
+	dead     []atomic.Bool  // master's failure-detector verdicts
+	lat      []latAgg
+	ct       counters
+}
+
+// New partitions db across opt.Shards workers and starts them.
+func New(db *search.DB, opt Options) (*Cluster, error) {
+	if db == nil {
+		return nil, errors.New("shard: nil database")
+	}
+	if opt.Shards < 1 {
+		return nil, fmt.Errorf("shard: need at least 1 shard, got %d", opt.Shards)
+	}
+	opt = opt.withDefaults()
+	spans := opt.Spans
+	if spans == nil {
+		spans = PlanSpans(db, opt.Shards)
+	}
+	if len(spans) != opt.Shards {
+		return nil, fmt.Errorf("shard: plan has %d spans for %d shards", len(spans), opt.Shards)
+	}
+	if err := ValidateSpans(spans, db.Size()); err != nil {
+		return nil, err
+	}
+	for _, k := range opt.Kills {
+		if k.Shard < 0 || k.Shard >= opt.Shards {
+			return nil, fmt.Errorf("shard: kill names shard %d of %d", k.Shard, opt.Shards)
+		}
+	}
+	c := &Cluster{
+		db:       db,
+		opt:      opt,
+		spans:    spans,
+		stop:     make(chan struct{}),
+		waiters:  make(map[uint64]chan response),
+		floors:   make(map[uint64]*globalFloor),
+		lastBeat: make([]atomic.Int64, opt.Shards),
+		dead:     make([]atomic.Bool, opt.Shards),
+		lat:      make([]latAgg, opt.Shards),
+	}
+	c.net = newTransport(opt.Shards+1, opt.Faults, c.stop)
+	now := time.Now().UnixNano()
+	c.workers = make([]*worker, opt.Shards)
+	for i := range c.workers {
+		var killAfter int64
+		for _, k := range opt.Kills {
+			if k.Shard == i {
+				killAfter = int64(k.AfterGroups)
+				if killAfter < 1 {
+					killAfter = 1
+				}
+			}
+		}
+		c.workers[i] = newWorker(c, i, killAfter)
+		// The lease clock starts now: a worker that never heartbeats is
+		// declared dead one lease from startup.
+		c.lastBeat[i].Store(now)
+		go c.workers[i].loop()
+		go c.workers[i].beats(opt.Heartbeat)
+	}
+	go c.loop()
+	return c, nil
+}
+
+// Close stops the cluster: in-flight scans abort, workers exit. Safe to
+// call twice.
+func (c *Cluster) Close() {
+	if c.closed.Swap(true) {
+		return
+	}
+	close(c.stop)
+	for _, w := range c.workers {
+		w.cancel()
+	}
+}
+
+// Spans returns the partition (for tests and /statsz).
+func (c *Cluster) Spans() []Span { return c.spans }
+
+func (c *Cluster) masterID() int { return len(c.workers) }
+
+func (c *Cluster) send(from, to int, cl class, payload any) {
+	c.net.send(msg{from: from, to: to, class: cl, payload: payload})
+}
+
+// loop is the master's inbox: response routing, lease renewal, floor
+// gossip. It runs for the cluster's lifetime.
+func (c *Cluster) loop() {
+	for {
+		select {
+		case <-c.stop:
+			return
+		case m := <-c.net.inboxes[c.masterID()]:
+			switch m.class {
+			case cResponse:
+				r := m.payload.(response)
+				c.mu.Lock()
+				ch := c.waiters[r.ID]
+				c.mu.Unlock()
+				if ch != nil {
+					select {
+					case ch <- r:
+					default: // duplicate response; one is enough
+					}
+				}
+			case cBeat:
+				b := m.payload.(heartbeat)
+				c.lastBeat[b.Shard].Store(time.Now().UnixNano())
+			case cFloor:
+				c.onGossip(m.payload.(floorUpdate))
+			}
+		}
+	}
+}
+
+// onGossip folds a worker's evidence into the query's global floor and
+// broadcasts a rise to every live shard. Evidence is deduped by global
+// record index, so replayed spans and duplicated messages cannot count
+// one record twice — the floor stays valid (K distinct eligible records
+// score ≥ it) under every fault the transport can draw.
+func (c *Cluster) onGossip(u floorUpdate) {
+	c.ct.gossipUpdates.Add(1)
+	c.mu.Lock()
+	gf := c.floors[u.QID]
+	c.mu.Unlock()
+	if gf == nil {
+		return // query finished (or gossip disabled); stale evidence
+	}
+	floor, rose := gf.push(u.Evidence)
+	if !rose {
+		return
+	}
+	c.ct.floorBroadcasts.Add(1)
+	for i := range c.workers {
+		if !c.dead[i].Load() {
+			c.send(c.masterID(), i, cFloor, floorSet{QID: u.QID, Floor: floor})
+		}
+	}
+}
+
+// globalFloor is the master-side top-K floor of one in-flight query: a
+// bounded min-heap of per-record evidence, deduped by global index.
+// Same validity argument as search's floorTracker — when K distinct
+// result-eligible records score ≥ f, no record scoring < f can enter
+// the top K — with the dedup made unconditional because the distributed
+// layer can legitimately deliver the same record's score twice.
+type globalFloor struct {
+	mu      sync.Mutex
+	k       int
+	floor   int
+	entries []scoreEv // min-heap on Score
+}
+
+// push folds evidence in and reports the floor (and whether it rose).
+func (g *globalFloor) push(evs []scoreEv) (int, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	rose := false
+	for _, ev := range evs {
+		if g.k <= 0 || (g.floor > 0 && ev.Score <= g.floor) {
+			continue
+		}
+		dup := false
+		for i := range g.entries {
+			if g.entries[i].Index == ev.Index {
+				dup = true
+				if ev.Score > g.entries[i].Score {
+					g.entries[i].Score = ev.Score
+					g.siftDown(i)
+				}
+				break
+			}
+		}
+		if !dup {
+			if len(g.entries) < g.k {
+				g.entries = append(g.entries, ev)
+				for i := len(g.entries) - 1; i > 0; {
+					parent := (i - 1) / 2
+					if g.entries[parent].Score <= g.entries[i].Score {
+						break
+					}
+					g.entries[i], g.entries[parent] = g.entries[parent], g.entries[i]
+					i = parent
+				}
+			} else if ev.Score > g.entries[0].Score {
+				g.entries[0] = ev
+				g.siftDown(0)
+			}
+		}
+		if len(g.entries) == g.k && g.entries[0].Score > g.floor {
+			g.floor = g.entries[0].Score
+			rose = true
+		}
+	}
+	return g.floor, rose
+}
+
+func (g *globalFloor) siftDown(i int) {
+	n := len(g.entries)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && g.entries[l].Score < g.entries[smallest].Score {
+			smallest = l
+		}
+		if r < n && g.entries[r].Score < g.entries[smallest].Score {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		g.entries[i], g.entries[smallest] = g.entries[smallest], g.entries[i]
+		i = smallest
+	}
+}
+
+func (g *globalFloor) current() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.floor
+}
+
+// shardDead evaluates (and latches) the failure detector's verdict for
+// one shard: dead once its lease has expired.
+func (c *Cluster) shardDead(i int) bool {
+	if c.dead[i].Load() {
+		return true
+	}
+	beat := time.Unix(0, c.lastBeat[i].Load())
+	if time.Since(beat) <= c.opt.Lease {
+		return false
+	}
+	if !c.dead[i].Swap(true) {
+		c.ct.deadDetected.Add(1)
+	}
+	return true
+}
+
+// survivor picks the lowest-id live shard — deterministic, so every
+// span manager replaying work converges on the same target.
+func (c *Cluster) survivor() (int, bool) {
+	for i := range c.workers {
+		if !c.shardDead(i) {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// Search runs one query through the cluster.
+func (c *Cluster) Search(ctx context.Context, q bio.Sequence, opt search.Options) (*search.Result, error) {
+	brs, err := c.SearchBatch(ctx, []search.BatchQuery{{Seq: q}}, opt)
+	if err != nil {
+		return nil, err
+	}
+	if brs[0].Err != nil {
+		return nil, brs[0].Err
+	}
+	return brs[0].Result, nil
+}
+
+// SearchBatch scatters the batch to every shard and merges the
+// per-shard results. Results are bit-identical to search.RunBatch of
+// the same batch over the same database with the same options —
+// including under shard kills, message loss, duplication and
+// reordering. Per-query contexts propagate: a cancelled query's scan
+// work stops on every shard at the next lane-group boundary, and its
+// BatchResult carries the context error plus partial diagnostics. The
+// queries' FloorHint/OnScore/OnGroup hooks are owned by the shard
+// protocol and must be nil.
+func (c *Cluster) SearchBatch(ctx context.Context, queries []search.BatchQuery, opt search.Options) ([]search.BatchResult, error) {
+	if c.closed.Load() {
+		return nil, errors.New("shard: cluster closed")
+	}
+	if len(queries) == 0 {
+		return nil, nil
+	}
+	for i, bq := range queries {
+		if bq.FloorHint != nil || bq.OnScore != nil || bq.OnGroup != nil {
+			return nil, fmt.Errorf("shard: query %d sets scan hooks reserved for the shard protocol", i)
+		}
+	}
+	sc := opt.Scoring
+	if sc == (bio.Scoring{}) {
+		sc = bio.DefaultScoring()
+	}
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	c.ct.batches.Add(1)
+	c.ct.queries.Add(int64(len(queries)))
+
+	nq := len(queries)
+	type qmeta struct {
+		qid uint64
+		ctx context.Context
+		k   int
+		gf  *globalFloor
+	}
+	metas := make([]qmeta, nq)
+	wqs := make([]wireQuery, nq)
+	batchDone := make(chan struct{})
+	defer close(batchDone)
+	for i, bq := range queries {
+		qid := c.qid.Add(1)
+		qctx := bq.Ctx
+		if qctx == nil {
+			qctx = ctx
+		}
+		k := bq.TopK
+		if k <= 0 {
+			k = opt.TopK
+		}
+		if k <= 0 {
+			k = 10
+		}
+		minScore := bq.MinScore
+		if minScore == 0 {
+			minScore = opt.MinScore
+		}
+		metas[i] = qmeta{qid: qid, ctx: qctx, k: k}
+		wqs[i] = wireQuery{QID: qid, Seq: bq.Seq, TopK: k, MinScore: minScore}
+		if opt.Prune && !c.opt.NoGossip {
+			gf := &globalFloor{k: k}
+			metas[i].gf = gf
+			c.mu.Lock()
+			c.floors[qid] = gf
+			c.mu.Unlock()
+		}
+		if qctx.Done() != nil {
+			go c.watchCancel(qid, qctx, batchDone)
+		}
+	}
+	defer func() {
+		c.mu.Lock()
+		for _, m := range metas {
+			delete(c.floors, m.qid)
+		}
+		c.mu.Unlock()
+	}()
+
+	spanResults := make([][]wireResult, len(c.spans))
+	spanErrs := make([]error, len(c.spans))
+	var wg sync.WaitGroup
+	for si := range c.spans {
+		wg.Add(1)
+		go func(si int) {
+			defer wg.Done()
+			spanResults[si], spanErrs[si] = c.runSpan(ctx, si, wqs, opt)
+		}(si)
+	}
+	wg.Wait()
+	for _, err := range spanErrs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	out := make([]search.BatchResult, nq)
+	for i := range queries {
+		m := metas[i]
+		qerr := m.ctx.Err()
+		res := &search.Result{}
+		var pst *search.PruneStats
+		if opt.Prune {
+			pst = &search.PruneStats{}
+			res.Prune = pst
+		}
+		var hits []search.Hit
+		partial := false
+		for si := range c.spans {
+			wr := spanResults[si][i]
+			res.PaddedCells += wr.Padded
+			if pst != nil && wr.Prune != nil {
+				pst.Skipped += wr.Prune.Skipped
+				pst.Abandoned += wr.Prune.Abandoned
+				pst.Scanned += wr.Prune.Scanned
+				pst.CellsSaved += wr.Prune.CellsSaved
+				if wr.Prune.FloorFinal > pst.FloorFinal {
+					// A shard-local floor is globally valid evidence: its
+					// K records are records of the full database too.
+					pst.FloorFinal = wr.Prune.FloorFinal
+				}
+			}
+			if wr.Cancelled {
+				partial = true
+			}
+			if wr.Cancelled || qerr != nil {
+				res.Searched += wr.Searched
+				res.Cells += wr.Cells
+			} else {
+				hits = append(hits, wr.Hits...)
+			}
+		}
+		if qerr == nil && partial {
+			// A shard saw this query's cancel but the context has not
+			// reported it here yet; it fired either way.
+			qerr = context.Canceled
+		}
+		if qerr != nil {
+			out[i] = search.BatchResult{Result: res, Err: qerr}
+			continue
+		}
+		res.Searched = c.db.Size()
+		res.Cells = int64(len(queries[i].Seq)) * c.db.TotalBases()
+		if pst != nil && m.gf != nil {
+			if f := m.gf.current(); f > pst.FloorFinal {
+				pst.FloorFinal = f
+			}
+		}
+		// Merge under the canonical total order — score descending,
+		// record index ascending on ties — then keep the K best. Every
+		// global winner survives its own span's top K, spans are
+		// disjoint, and one response per span reached here, so this
+		// reproduces the single-node merge bit for bit.
+		sort.Slice(hits, func(a, b int) bool {
+			if hits[a].Score != hits[b].Score {
+				return hits[a].Score > hits[b].Score
+			}
+			return hits[a].Index < hits[b].Index
+		})
+		if len(hits) > m.k {
+			hits = hits[:m.k]
+		}
+		res.Hits = hits
+		if !opt.NoEndpoints {
+			if err := search.Realign(queries[i].Seq, c.db.Records(), sc, res.Hits); err != nil {
+				return nil, err
+			}
+		}
+		out[i] = search.BatchResult{Result: res}
+	}
+	return out, nil
+}
+
+// watchCancel fans one query's context cancellation out to the shards,
+// so a client disconnect stops remote scan work, not just the merge.
+func (c *Cluster) watchCancel(qid uint64, qctx context.Context, done chan struct{}) {
+	select {
+	case <-qctx.Done():
+		for i := range c.workers {
+			if !c.dead[i].Load() {
+				c.send(c.masterID(), i, cCancel, cancelMsg{QID: qid})
+			}
+		}
+	case <-done:
+	case <-c.stop:
+	}
+}
+
+// runSpan drives one span to completion: scatter with at-least-once
+// retransmission, lease-based death detection, and replay on a
+// survivor. Exactly one response is accepted, so a false-positive death
+// (or a duplicate delivery) can never double the span's records into
+// the merge.
+func (c *Cluster) runSpan(ctx context.Context, home int, wqs []wireQuery, opt search.Options) ([]wireResult, error) {
+	sp := c.spans[home]
+	target := home
+	register := func() (request, chan response) {
+		id := c.rid.Add(1)
+		ch := make(chan response, 1)
+		c.mu.Lock()
+		c.waiters[id] = ch
+		c.mu.Unlock()
+		return request{ID: id, Span: sp, Queries: wqs, Opt: opt}, ch
+	}
+	drop := func(id uint64) {
+		c.mu.Lock()
+		delete(c.waiters, id)
+		c.mu.Unlock()
+	}
+	req, ch := register()
+	defer func() { drop(req.ID) }()
+	attempt := 0
+	for {
+		if c.shardDead(target) {
+			nt, ok := c.survivor()
+			if !ok {
+				return nil, fmt.Errorf("shard: span %v lost: no live shard remains", sp)
+			}
+			// Replay on the survivor under a fresh request id: the dead
+			// shard's cached response (if it was only slow) answers the
+			// old id, which no longer has a waiter.
+			drop(req.ID)
+			req, ch = register()
+			target = nt
+			attempt = 0
+			c.ct.reassigns.Add(1)
+			c.lat[target].reassigned.Add(1)
+		}
+		start := time.Now()
+		c.send(c.masterID(), target, cRequest, req)
+		wait := c.opt.Timeout + time.Duration(c.opt.Retry.Delay(req.ID, attempt)*float64(time.Second))
+		timer := time.NewTimer(wait)
+		select {
+		case r := <-ch:
+			timer.Stop()
+			c.lat[target].observe(time.Since(start))
+			if r.Err != "" {
+				return nil, fmt.Errorf("shard %d: %s", r.Shard, r.Err)
+			}
+			if len(r.Results) != len(wqs) {
+				return nil, fmt.Errorf("shard %d: %d results for %d queries", r.Shard, len(r.Results), len(wqs))
+			}
+			return r.Results, nil
+		case <-timer.C:
+			attempt++
+			c.ct.retries.Add(1)
+		case <-ctx.Done():
+			timer.Stop()
+			return nil, ctx.Err()
+		case <-c.stop:
+			timer.Stop()
+			return nil, errors.New("shard: cluster closed")
+		}
+	}
+}

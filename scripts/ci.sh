@@ -11,6 +11,10 @@
 #      differential oracle, under the race detector, plus a
 #      crash-recovery matrix (8 seeds x 3 strategies, one kill + 5%
 #      message loss each) asserting bit-exact kill-and-recover runs,
+#      plus a sharded-search chaos matrix (8 seeds x {kill one shard
+#      mid-scan, 5% message loss, 5% duplication}, -race) asserting the
+#      distributed scan stays bit-identical to single-node with the
+#      recovery counters proving each kill was detected and reassigned,
 #      plus a pruned-vs-unpruned search differential sweep (3 seeds x
 #      skewed/uniform databases, -race) asserting bit-identical hits
 #   3. per-package coverage, gated on >= 85% combined coverage of
@@ -59,8 +63,8 @@ go build ./...
 echo "== go test -race"
 go test -race ./...
 
-echo "== go test -race -count=2 (swar + align + search + dispatch + dbpack + server)"
-go test -race -count=2 ./internal/swar ./internal/align ./internal/search ./internal/dispatch ./internal/dbpack ./internal/server ./cmd/genomedsm
+echo "== go test -race -count=2 (swar + align + search + shard + dispatch + dbpack + server)"
+go test -race -count=2 ./internal/swar ./internal/align ./internal/search ./internal/shard ./internal/dispatch ./internal/dbpack ./internal/server ./cmd/genomedsm
 
 echo "== chaos sweep (16 seeds x 3 strategies, -race)"
 chaos_bin=$(mktemp -d)/genomedsm
@@ -85,6 +89,22 @@ while [ "$seed" -le 8 ]; do
     seed=$((seed + 1))
 done
 echo "crash-recovery matrix ok"
+
+echo "== sharded-search chaos matrix (8 seeds x kill/loss/dup, -race)"
+# The distributed-search robustness contract: across every seed, a
+# 4-shard scatter with one worker killed mid-scan (the oracle also
+# requires its counters to prove the kill, detection and reassignment
+# happened), 5% message loss, or 5% duplication must return hits
+# bit-identical to a fault-free single-node scan.
+seed=1
+while [ "$seed" -le 8 ]; do
+    for faults in "-kill-shard 1@1" "-loss 0.05" "-dup 0.05"; do
+        "$chaos_bin" chaos -search -shards 4 -schedules 1 -seed "$seed" $faults >/dev/null ||
+            { echo "sharded-search matrix FAILED at seed $seed faults '$faults'"; exit 1; }
+    done
+    seed=$((seed + 1))
+done
+echo "sharded-search chaos matrix ok"
 
 echo "== pruned-vs-unpruned differential sweep (3 seeds x skewed/uniform, -race)"
 # The exact-pruning contract: `search -prune` (and -prune -prefilter)
@@ -221,6 +241,19 @@ awk -v tol="$maxregress" -v d="$dauto" -v f="$dfixed" \
     bf = (mf > ml) ? mf : ml
     if (m < bf) { printf "dispatch gate FAILED: mixed auto at %.2fx of best fixed route\n", m / bf; exit 1 }
     printf "dispatch gate ok: uniform %.2fx, skewed %.2fx, mixed %.2fx over best fixed\n", d / f, sa / sf, m / bf
+}'
+
+echo "== sharded scaling sanity gate (4-shard in-process >= single-node)"
+# The distribution layer's wins come from adding hosts; on one host it
+# must at least hold parity with the single-node scan on the uniform
+# benchmark database. The floor is twice the benchdiff tolerance — the
+# same same-speed-parity allowance the dispatch gate uses.
+sharded=$(best SearchDatabaseSharded)
+echo "sharded $sharded cells/s vs single-node $uniform"
+awk -v tol="$maxregress" -v sh="$sharded" -v u="$uniform" 'BEGIN {
+    floor = 1 - 2 * tol / 100
+    if (sh < floor * u) { printf "scaling gate FAILED: 4-shard at %.2fx of single-node (floor %.2fx)\n", sh / u, floor; exit 1 }
+    printf "scaling gate ok: 4-shard at %.2fx of single-node\n", sh / u
 }'
 
 echo "== serve batching gate (batched >= 1.5x sequential queries/s)"
