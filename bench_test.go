@@ -8,11 +8,13 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"path/filepath"
 	"testing"
 	"time"
 
 	"genomedsm/internal/align"
 	"genomedsm/internal/bio"
+	"genomedsm/internal/dbpack"
 	"genomedsm/internal/experiments"
 	"genomedsm/internal/heuristics"
 	"genomedsm/internal/search"
@@ -603,6 +605,93 @@ func BenchmarkCompareBlocked8(b *testing.B) {
 		if _, err := Compare(pair.S, pair.T, Options{
 			Strategy: StrategyHeuristicBlock, Processors: 8,
 		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchPackDB is a database sized so pack load cost is visible: 256
+// records around 1kb each, with the default 11-mer prefilter index
+// embedded (the index decode is most of a v1 load).
+func benchPackDB() (bio.Sequence, []bio.Record, int64) {
+	g := bio.NewGenerator(88)
+	q := g.Random(1000)
+	var db []bio.Record
+	cells := int64(0)
+	for i := 0; i < 256; i++ {
+		t := g.Random(500 + i*37%1000)
+		db = append(db, bio.Record{ID: fmt.Sprintf("r%d", i), Seq: t})
+		cells += int64(q.Len()) * int64(t.Len())
+	}
+	return q, db, cells
+}
+
+// benchPackFile writes the benchPackDB database as one pack file in the
+// given format and returns its path.
+func benchPackFile(b *testing.B, format string) string {
+	b.Helper()
+	_, recs, _ := benchPackDB()
+	p, err := dbpack.Build(recs, 11)
+	if err != nil {
+		b.Fatal(err)
+	}
+	path := filepath.Join(b.TempDir(), "bench-"+format+".pack")
+	if format == "v2" {
+		err = dbpack.WriteFileV2(path, p)
+	} else {
+		err = dbpack.WriteFile(path, p)
+	}
+	if err != nil {
+		b.Fatal(err)
+	}
+	return path
+}
+
+// benchPackColdStart times open → first-query-ready: load the pack,
+// answer one short query through the full fast path (lane layout
+// included), close. This is the serve-restart metric the v2 format
+// exists for; ci.sh gates v2 mmap at ≥ 2× the v1 decode.
+func benchPackColdStart(b *testing.B, format string) {
+	path := benchPackFile(b, format)
+	q := bio.NewGenerator(7).Random(12)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := dbpack.Open(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := search.RunCtx(context.Background(), q, p.DB, search.Options{NoEndpoints: true, Lanes: 8}); err != nil {
+			b.Fatal(err)
+		}
+		if err := p.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPackColdStartV1(b *testing.B) { benchPackColdStart(b, "v1") }
+func BenchmarkPackColdStartV2(b *testing.B) { benchPackColdStart(b, "v2") }
+
+// BenchmarkSearchDatabasePackV2 scans through an mmap-opened v2 pack:
+// the kernels read lane words straight out of the mapped section.
+// Comparable against BenchmarkSearchDatabase8 tier numbers via cells/s.
+func BenchmarkSearchDatabasePackV2(b *testing.B) {
+	path := benchPackFile(b, "v2")
+	p, err := dbpack.Open(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer p.Close()
+	q, _, cells := benchPackDB()
+	opt := search.Options{NoEndpoints: true}
+	if _, err := search.RunCtx(context.Background(), q, p.DB, opt); err != nil {
+		b.Fatal(err)
+	}
+	reportCells(b, cells)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := search.RunCtx(context.Background(), q, p.DB, opt); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,0 +1,34 @@
+package main
+
+import (
+	"fmt"
+	"io"
+
+	"genomedsm/internal/dbpack"
+)
+
+// openPack is the one shared pack-prepare path for `serve` and
+// `search -pack`: open the file in whichever format it carries (v2 is
+// mmap'd with zero-copy views and the precomputed lane layout attached;
+// v1 decodes through the legacy path and builds the layout in heap),
+// and report how the bytes got into memory — including the re-index
+// notice a legacy pack earns. Both commands used to duplicate this
+// load-and-prepare work with slightly different behavior; now neither
+// can drift.
+func openPack(path string, w io.Writer) (*dbpack.Pack, error) {
+	p, err := dbpack.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	mode := p.Info.Mode.String()
+	switch p.Info.Mode {
+	case dbpack.LoadMMap:
+		fmt.Fprintf(w, "pack %s: %s, %d bytes mapped\n", path, mode, p.Info.MappedBytes)
+	default:
+		fmt.Fprintf(w, "pack %s: %s, %d bytes on heap\n", path, mode, p.Info.HeapBytes)
+	}
+	if p.Info.Notice != "" {
+		fmt.Fprintf(w, "pack %s: %s\n", path, p.Info.Notice)
+	}
+	return p, nil
+}

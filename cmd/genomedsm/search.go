@@ -9,7 +9,6 @@ import (
 	"time"
 
 	"genomedsm"
-	"genomedsm/internal/dbpack"
 	"genomedsm/internal/dispatch"
 	"genomedsm/internal/shard"
 	"genomedsm/internal/stats"
@@ -75,12 +74,20 @@ func searchCmd(args []string, w io.Writer) error {
 	var q genomedsm.Sequence
 	var db *genomedsm.SearchDB
 	if *packFile != "" {
-		// Pre-packed database: the parse, sort and prefilter index were
-		// paid at `genomedsm index` time; the scan starts cold-path-free.
-		p, err := dbpack.ReadFile(*packFile)
+		// Pre-packed database: the parse, sort, prefilter index and (v2)
+		// lane layout were paid at `genomedsm index` time; the scan
+		// starts cold-path-free through the same shared prepare path the
+		// server uses. JSON mode keeps stdout machine-readable, so the
+		// load chatter is dropped there.
+		pw := io.Writer(w)
+		if *jsonOut {
+			pw = io.Discard
+		}
+		p, err := openPack(*packFile, pw)
 		if err != nil {
 			return err
 		}
+		defer p.Close()
 		db = p.DB
 		if q, err = loadQuery(*qFile, *n, *seed); err != nil {
 			return err

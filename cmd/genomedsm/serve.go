@@ -32,6 +32,7 @@ func indexCmd(args []string, w io.Writer) error {
 		dbFile = fs.String("db", "", "database FASTA file (synthetic when empty)")
 		out    = fs.String("o", "", "output pack file (required)")
 		word   = fs.Int("word", 11, "prefilter seed word size embedded in the pack (0 = no index)")
+		format = fs.String("format", "v2", "pack format: v2 (page-aligned sections, mmap'd zero-copy at load, lane layout precomputed) or v1 (legacy varint stream)")
 		n      = fs.Int("n", 1000, "synthetic query length (homolog planting)")
 		dbSize = fs.Int("db-size", 200, "synthetic database record count")
 		dbLen  = fs.Int("db-len", 1000, "synthetic database base record length")
@@ -62,15 +63,26 @@ func indexCmd(args []string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	if err := dbpack.WriteFile(*out, p); err != nil {
+	switch *format {
+	case "v2":
+		// Index time is where the lane-group interleave is paid: EncodeV2
+		// computes it once and lays it out exactly as the SWAR kernels
+		// consume it, so every later Open is validate-header-and-map.
+		err = dbpack.WriteFileV2(*out, p)
+	case "v1":
+		err = dbpack.WriteFile(*out, p)
+	default:
+		return fmt.Errorf("unknown -format %q: want v2 or v1", *format)
+	}
+	if err != nil {
 		return err
 	}
 	info, err := os.Stat(*out)
 	if err != nil {
 		return err
 	}
-	line := fmt.Sprintf("packed %d records (%d bases) into %s: %d bytes in %.3fs",
-		p.DB.Size(), p.DB.TotalBases(), *out, info.Size(), time.Since(start).Seconds())
+	line := fmt.Sprintf("packed %d records (%d bases) into %s (%s): %d bytes in %.3fs",
+		p.DB.Size(), p.DB.TotalBases(), *out, *format, info.Size(), time.Since(start).Seconds())
 	if ix := p.DB.WordIndex(); ix != nil {
 		line += fmt.Sprintf(", %d-mer index (%d postings)", ix.Word(), ix.Postings())
 	}
@@ -123,13 +135,16 @@ func serveCmd(args []string, w io.Writer) error {
 	}
 
 	var db *search.DB
+	var packInfo *dbpack.Info
 	switch {
 	case *pack != "":
-		p, err := dbpack.ReadFile(*pack)
+		p, err := openPack(*pack, w)
 		if err != nil {
 			return err
 		}
+		defer p.Close()
 		db = p.DB
+		packInfo = &p.Info
 	default:
 		_, recs, err := loadSearchInputs("", *dbFile, 1000, *dbSize, *dbLen, *seed, *plant)
 		if err != nil {
@@ -140,7 +155,8 @@ func serveCmd(args []string, w io.Writer) error {
 
 	installDispatch(mode)
 	srv, err := server.New(server.Config{
-		DB: db,
+		DB:   db,
+		Pack: packInfo,
 		Options: search.Options{
 			Scoring:   genomedsm.Scoring{Match: *match, Mismatch: *mismatch, Gap: *gap},
 			TopK:      *k,

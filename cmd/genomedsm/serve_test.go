@@ -128,6 +128,46 @@ func buildTestPack(t *testing.T) string {
 	return pack
 }
 
+// TestOpenPackFormats pins the shared prepare path both `serve` and
+// `search -pack` go through: a default (v2) index mmaps and says so; a
+// -format v1 index still loads but earns the re-index notice.
+func TestOpenPackFormats(t *testing.T) {
+	dir := t.TempDir()
+	for _, tc := range []struct {
+		format string
+		wants  []string
+	}{
+		{"v2", []string{"mmap"}},
+		{"v1", []string{"legacy-v1", "re-index"}},
+	} {
+		pack := filepath.Join(dir, tc.format+".pack")
+		var buf bytes.Buffer
+		if err := indexCmd([]string{"-db-size", "16", "-db-len", "100", "-n", "150",
+			"-format", tc.format, "-o", pack}, &buf); err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(buf.String(), "("+tc.format+")") {
+			t.Errorf("index output %q does not name the %s format", buf.String(), tc.format)
+		}
+		buf.Reset()
+		p, err := openPack(pack, &buf)
+		if err != nil {
+			t.Fatalf("openPack(%s): %v", tc.format, err)
+		}
+		for _, want := range tc.wants {
+			if !strings.Contains(buf.String(), want) {
+				t.Errorf("%s load output %q, want mention of %q", tc.format, buf.String(), want)
+			}
+		}
+		if p.DB.Layout() == nil {
+			t.Errorf("%s pack loaded without a lane layout", tc.format)
+		}
+		if err := p.Close(); err != nil {
+			t.Errorf("Close(%s): %v", tc.format, err)
+		}
+	}
+}
+
 func TestServeCmdBadPacks(t *testing.T) {
 	good, err := os.ReadFile(buildTestPack(t))
 	if err != nil {
@@ -163,7 +203,7 @@ func TestServeCmdBadPacks(t *testing.T) {
 		{"missing", filepath.Join(dir, "nope.pack"), "no such file"},
 		{"not a pack", write("junk.pack", []byte("this is not a pack at all")), "bad magic"},
 		{"corrupt", write("corrupt.pack", corrupt), "checksum"},
-		{"truncated", write("short.pack", good[:len(good)/3]), "checksum"},
+		{"truncated", write("short.pack", good[:len(good)/3]), "truncated"},
 		{"stale version", write("stale.pack", stale), "format version"},
 	}
 	for _, tc := range cases {

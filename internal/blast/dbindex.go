@@ -2,6 +2,7 @@ package blast
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 
 	"genomedsm/internal/bio"
@@ -23,7 +24,27 @@ import (
 type DBWordIndex struct {
 	w    int
 	recs []bio.Sequence
-	idx  map[uint32][]DBPosting
+	// idx is the build-side representation: NewDBWordIndex appends
+	// postings per word as it scans, which wants a map. nil for a
+	// restored index.
+	idx map[uint32][]DBPosting
+	// words/posts is the restore-side representation: pack files store
+	// words sorted, so a loaded index binary-searches the sorted pair
+	// instead of paying a posting-count-sized map build on every load —
+	// the dominant cost of opening a pack with an embedded index.
+	words []uint32
+	posts [][]DBPosting
+}
+
+// lookup returns the posting list for word under either representation.
+func (ix *DBWordIndex) lookup(word uint32) []DBPosting {
+	if ix.idx != nil {
+		return ix.idx[word]
+	}
+	if i, ok := slices.BinarySearch(ix.words, word); ok {
+		return ix.posts[i]
+	}
+	return nil
 }
 
 // DBPosting locates one indexed word occurrence: record index and
@@ -76,7 +97,7 @@ func RestoreDBWordIndex(db []bio.Record, w int, words []uint32, postings [][]DBP
 	if len(words) != len(postings) {
 		return nil, fmt.Errorf("blast: %d words with %d posting lists", len(words), len(postings))
 	}
-	ix := &DBWordIndex{w: w, recs: make([]bio.Sequence, len(db)), idx: make(map[uint32][]DBPosting, len(words))}
+	ix := &DBWordIndex{w: w, recs: make([]bio.Sequence, len(db)), words: words, posts: postings}
 	for r, rec := range db {
 		ix.recs[r] = rec.Seq
 	}
@@ -84,6 +105,11 @@ func RestoreDBWordIndex(db []bio.Record, w int, words []uint32, postings [][]DBP
 	for i, word := range words {
 		if word > max {
 			return nil, fmt.Errorf("blast: word %#x exceeds the %d-mer space", word, w)
+		}
+		if i > 0 && word <= words[i-1] {
+			// The sorted-slice representation binary-searches, so an
+			// unsorted table would silently lose postings — reject it.
+			return nil, fmt.Errorf("blast: word table not strictly ascending at entry %d", i)
 		}
 		for _, p := range postings[i] {
 			if p.Rec < 0 || int(p.Rec) >= len(db) {
@@ -93,7 +119,6 @@ func RestoreDBWordIndex(db []bio.Record, w int, words []uint32, postings [][]DBP
 				return nil, fmt.Errorf("blast: posting at %d overruns record %d (len %d)", p.Pos, p.Rec, ix.recs[p.Rec].Len())
 			}
 		}
-		ix.idx[word] = postings[i]
 	}
 	return ix, nil
 }
@@ -107,7 +132,13 @@ func (ix *DBWordIndex) Records() int { return len(ix.recs) }
 // Postings returns the count of indexed word occurrences.
 func (ix *DBWordIndex) Postings() int {
 	n := 0
-	for _, ps := range ix.idx {
+	if ix.idx != nil {
+		for _, ps := range ix.idx {
+			n += len(ps)
+		}
+		return n
+	}
+	for _, ps := range ix.posts {
 		n += len(ps)
 	}
 	return n
@@ -115,8 +146,12 @@ func (ix *DBWordIndex) Postings() int {
 
 // Export returns the index content in deterministic serialization
 // order: words ascending, each with its posting list (record ascending,
-// position ascending — the insertion order of NewDBWordIndex).
+// position ascending — the insertion order of NewDBWordIndex). A
+// restored index already holds that exact shape and returns it as is.
 func (ix *DBWordIndex) Export() (words []uint32, postings [][]DBPosting) {
+	if ix.idx == nil {
+		return ix.words, ix.posts
+	}
 	words = make([]uint32, 0, len(ix.idx))
 	for w := range ix.idx {
 		words = append(words, w)
@@ -162,7 +197,7 @@ func (ix *DBWordIndex) SeedScores(q bio.Sequence, sc bio.Scoring, xdrop int) []i
 			continue
 		}
 		qStart := i - ix.w + 1
-		for _, p := range ix.idx[word] {
+		for _, p := range ix.lookup(word) {
 			key := diagKey{rec: p.Rec, diag: p.Pos - int32(qStart)}
 			if covered[key] >= int(p.Pos)+ix.w {
 				continue

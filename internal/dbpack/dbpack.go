@@ -40,11 +40,16 @@ const packVersion = 1
 // Pack is a loaded (or about-to-be-written) database pack.
 type Pack struct {
 	// DB is the prepared database, ready to scan. After ReadFile it
-	// carries the stored scan order and word index.
+	// carries the stored scan order and word index; after Open it also
+	// carries the lane-group layout (mapped for v2, built for v1).
 	DB *search.DB
 	// Word is the word size of the embedded prefilter index, 0 when the
 	// pack was built without one.
 	Word int
+	// Info describes how the pack got into memory (Open fills it).
+	Info Info
+	// close releases the mmap'd region of an Open'd v2 pack.
+	close func() error
 }
 
 // Build prepares records for packing: the canonical scan order is
@@ -207,10 +212,15 @@ func Decode(blob []byte) (*Pack, error) {
 	return p, nil
 }
 
-// WriteFile writes the pack atomically: encode to a temp file in the
-// destination directory, fsync, rename.
+// WriteFile writes the pack atomically in the legacy v1 format; new
+// packs should use WriteFileV2 (mmap-ready).
 func WriteFile(path string, p *Pack) error {
-	blob := p.Encode()
+	return writeBlob(path, p.Encode())
+}
+
+// writeBlob writes blob atomically: temp file in the destination
+// directory, fsync, rename.
+func writeBlob(path string, blob []byte) error {
 	tmp, err := os.CreateTemp(filepath.Dir(path), ".dbpack-*")
 	if err != nil {
 		return err

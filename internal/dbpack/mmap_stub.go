@@ -1,0 +1,15 @@
+//go:build !unix
+
+package dbpack
+
+import (
+	"fmt"
+	"os"
+)
+
+// mmapFile is unavailable on this platform; Open falls back to reading
+// the pack into one aligned buffer (LoadCopy), behind the same API and
+// with the same zero-copy views into that buffer.
+func mmapFile(f *os.File, size int64) ([]byte, func() error, error) {
+	return nil, nil, fmt.Errorf("dbpack: mmap unsupported on this platform")
+}

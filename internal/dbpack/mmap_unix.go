@@ -1,0 +1,25 @@
+//go:build unix
+
+package dbpack
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// mmapFile maps the file read-only and private. The mapping base is
+// page-aligned, so the pack's page-aligned sections land 8-aligned in
+// memory and decodeV2 can reinterpret them as []uint64 in place.
+// PROT_READ doubles as a safety net: any accidental write through a
+// zero-copy view faults instead of silently corrupting the pack.
+func mmapFile(f *os.File, size int64) ([]byte, func() error, error) {
+	if size <= 0 || size != int64(int(size)) {
+		return nil, nil, fmt.Errorf("dbpack: cannot map %d-byte file", size)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_PRIVATE)
+	if err != nil {
+		return nil, nil, fmt.Errorf("dbpack: mmap: %w", err)
+	}
+	return data, func() error { return syscall.Munmap(data) }, nil
+}

@@ -186,10 +186,16 @@ func RunBatch(ctx context.Context, queries []BatchQuery, db *DB, opt Options) ([
 		workers = runtime.NumCPU()
 	}
 	groups := db.groups(lanes)
+	// The precomputed lane layout applies only to the 8-lane group cut it
+	// was built for; 16-lane and scalar cuts regroup records.
+	var lay *Layout
+	if lanes == bio.PackedLanes8 {
+		lay = db.layout
+	}
 	if workers > len(groups) && len(groups) > 0 {
 		workers = len(groups)
 	}
-	work := make(chan []int)
+	work := make(chan int)
 	heaps := make([][]*topK, workers)
 	errs := make([]error, workers)
 	padded := make([][]int64, workers)
@@ -212,7 +218,9 @@ func RunBatch(ctx context.Context, queries []BatchQuery, db *DB, opt Options) ([
 			procCells[w] = make([]int64, nq)
 			targets := make([]bio.Sequence, 0, lanes)
 			kept := make([]int, 0, lanes)
-			for group := range work {
+			gp := &groupProf{sc: sc}
+			for gi := range work {
+				group := groups[gi]
 				if err := ctx.Err(); err != nil {
 					errs[w] = err
 					return
@@ -221,12 +229,25 @@ func RunBatch(ctx context.Context, queries []BatchQuery, db *DB, opt Options) ([
 				for _, idx := range group {
 					groupBases += int64(len(db.recs[idx].Seq))
 				}
+				// Every query of the batch scans this group with the same
+				// query-independent packed profile: reset the lazy holder
+				// once per work item, point it at the group's precomputed
+				// layout words when the DB carries them. Singleton groups
+				// take the striped path and never need it.
+				use := (*groupProf)(nil)
+				if lanes == bio.PackedLanes8 && len(group) > 1 {
+					gp.reset(db, group)
+					if lay != nil {
+						gp.words = lay.GroupWords(gi)
+					}
+					use = gp
+				}
 				for qi, st := range states {
 					if st.done() {
 						continue
 					}
 					err := scanGroupFor(&al, st, db, group, sc, opt, lanes,
-						heaps[w][qi], &pstats[w][qi], &padded[w][qi], targets, kept)
+						heaps[w][qi], &pstats[w][qi], &padded[w][qi], targets, kept, use)
 					if err != nil {
 						errs[w] = err
 						return
@@ -241,9 +262,9 @@ func RunBatch(ctx context.Context, queries []BatchQuery, db *DB, opt Options) ([
 		}(w)
 	}
 feed:
-	for _, g := range groups {
+	for gi := range groups {
 		select {
-		case work <- g:
+		case work <- gi:
 		case <-ctx.Done():
 			break feed
 		}
@@ -323,12 +344,56 @@ feed:
 	return out, nil
 }
 
+// groupProf lazily builds — at most once per work item — the
+// query-independent int8 packed profile of one full lane group, shared
+// by every query of the batch. With a DB layout attached the build
+// reads the precomputed interleaved words (the pack-v2 zero-copy path);
+// otherwise it interleaves the record bytes once instead of once per
+// query. Either build is bit-identical to the profile the kernels would
+// construct per scan (TestPackedProfileFromWords pins the equivalence),
+// so sharing changes cost only, never results.
+type groupProf struct {
+	words   []uint64       // the group's layout words; nil without a layout
+	targets []bio.Sequence // full group targets in rank order
+	lens    []int          // their lengths
+	sc      bio.Scoring
+	prof    *bio.PackedProfile
+	tried   bool
+}
+
+// reset points the holder at a new group and drops any cached profile.
+func (g *groupProf) reset(db *DB, group []int) {
+	g.words, g.prof, g.tried = nil, nil, false
+	g.targets = g.targets[:0]
+	g.lens = g.lens[:0]
+	for _, idx := range group {
+		t := db.recs[idx].Seq
+		g.targets = append(g.targets, t)
+		g.lens = append(g.lens, len(t))
+	}
+}
+
+// profile returns the group's int8 packed profile, building it on first
+// use; nil under exactly the conditions bio.NewPackedProfile8 returns
+// nil, so callers fall back identically.
+func (g *groupProf) profile() *bio.PackedProfile {
+	if !g.tried {
+		g.tried = true
+		if g.words != nil {
+			g.prof = bio.NewPackedProfile8FromWords(g.words, g.lens, g.sc)
+		} else {
+			g.prof = bio.NewPackedProfile8(g.targets, g.sc)
+		}
+	}
+	return g.prof
+}
+
 // scanGroupFor scores one lane group for one query: stage-1 record
 // skipping against the query's floor, the kernel route (adaptive,
 // bounded or plain), and the heap/floor pushes. This is the body of the
 // original single-query Run worker, parameterized by query state.
 func scanGroupFor(al *swar.Aligner, st *qstate, db *DB, group []int, sc bio.Scoring, opt Options, lanes int,
-	heap *topK, ps *PruneStats, padded *int64, targets []bio.Sequence, kept []int) error {
+	heap *topK, ps *PruneStats, padded *int64, targets []bio.Sequence, kept []int, gp *groupProf) error {
 	q := st.q
 	targets = targets[:0]
 	kept = kept[:0]
@@ -364,6 +429,12 @@ func scanGroupFor(al *swar.Aligner, st *qstate, db *DB, group []int, sc bio.Scor
 	if len(kept) == 0 {
 		return nil
 	}
+	if gp != nil && len(kept) != len(group) {
+		// Stage-1 skips compacted the surviving lanes, so the full-group
+		// profile no longer lines up lane for lane — the kernels rebuild
+		// from the compacted targets as before.
+		gp = nil
+	}
 	maxLen := 0
 	for _, idx := range kept {
 		t := db.recs[idx].Seq
@@ -380,12 +451,12 @@ func scanGroupFor(al *swar.Aligner, st *qstate, db *DB, group []int, sc bio.Scor
 		// Adaptive path: the router picks the route and the scorer
 		// reports the padded cells that route computed.
 		var pad int64
-		scores, prunedMask, rowsScanned, pad, err = scoreGroupRouted(al, q, targets, sc, st.scan, ab)
+		scores, prunedMask, rowsScanned, pad, err = scoreGroupRouted(al, q, targets, sc, st.scan, ab, gp)
 		*padded += pad
 	} else if opt.Prune {
-		scores, prunedMask, rowsScanned, err = scoreGroupBounded(al, q, targets, sc, opt.Lanes, ab)
+		scores, prunedMask, rowsScanned, err = scoreGroupBounded(al, q, targets, sc, opt.Lanes, ab, gp)
 	} else {
-		scores, err = scoreGroup(al, q, targets, sc, opt.Lanes)
+		scores, err = scoreGroup(al, q, targets, sc, opt.Lanes, gp)
 	}
 	if err != nil {
 		return err

@@ -18,10 +18,11 @@ import (
 // process loads it without re-parsing FASTA or re-sorting. A DB is
 // read-only after construction and safe for concurrent scans.
 type DB struct {
-	recs  []bio.Record
-	order []int // canonical scan order: length desc, index asc on ties
-	total int64 // Σ record lengths
-	ix    *blast.DBWordIndex
+	recs   []bio.Record
+	order  []int // canonical scan order: length desc, index asc on ties
+	total  int64 // Σ record lengths
+	ix     *blast.DBWordIndex
+	layout *Layout // optional precomputed lane-group layout (layout.go)
 }
 
 // sortedOrder computes the canonical scan order of recs: decreasing

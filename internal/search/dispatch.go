@@ -46,8 +46,9 @@ func routerFor(opt Options) (*dispatch.Router, error) {
 // picks, under an optional pruning bound (nil ab = no pruning), and
 // returns the padded cells the chosen kernels actually computed.
 // Results are bit-exact against scoreGroup/scoreGroupBounded for every
-// route, including forced mis-routes.
-func scoreGroupRouted(al *swar.Aligner, q bio.Sequence, targets []bio.Sequence, sc bio.Scoring, st *dispatch.ScanState, ab *swar.Bound) (scores []int, pruned []bool, rows []int, padded int64, err error) {
+// route, including forced mis-routes. A non-nil gp supplies the group's
+// shared prebuilt int8 profile for the inter8 route.
+func scoreGroupRouted(al *swar.Aligner, q bio.Sequence, targets []bio.Sequence, sc bio.Scoring, st *dispatch.ScanState, ab *swar.Bound, gp *groupProf) (scores []int, pruned []bool, rows []int, padded int64, err error) {
 	g := len(targets)
 	scores = make([]int, g)
 	pruned = make([]bool, g)
@@ -131,7 +132,16 @@ func scoreGroupRouted(al *swar.Aligner, q bio.Sequence, targets []bio.Sequence, 
 
 	switch st.Group(len(q), lens, sc) {
 	case dispatch.GroupInter8:
-		ls, ok := al.Scan8Bounded(q, targets, sc, ab)
+		var ls swar.LaneScores
+		var ok bool
+		if gp != nil {
+			// gp.profile() is nil exactly when NewPackedProfile8 would be,
+			// and Scan8Prof refuses under the same gap condition as
+			// Scan8Bounded, so the fallback below triggers identically.
+			ls, ok = al.Scan8Prof(q, gp.profile(), sc, len(targets), ab)
+		} else {
+			ls, ok = al.Scan8Bounded(q, targets, sc, ab)
+		}
 		if !ok {
 			// Scoring magnitudes do not fit int8 lanes at all.
 			idxs := make([]int, g)

@@ -208,7 +208,8 @@ func seedFloor(ft *floorTracker, q bio.Sequence, db []bio.Record, sc bio.Scoring
 // scores slot is then 0 and meaningless) and rows[i] is the number of
 // query rows the kernel rung that resolved target i consumed. Targets
 // that are not pruned are scored bit-exactly to scoreGroup's result.
-func scoreGroupBounded(al *swar.Aligner, q bio.Sequence, targets []bio.Sequence, sc bio.Scoring, lanesOpt int, ab *swar.Bound) ([]int, []bool, []int, error) {
+// A non-nil gp supplies the group's shared prebuilt int8 profile.
+func scoreGroupBounded(al *swar.Aligner, q bio.Sequence, targets []bio.Sequence, sc bio.Scoring, lanesOpt int, ab *swar.Bound, gp *groupProf) ([]int, []bool, []int, error) {
 	switch lanesOpt {
 	case 0, 8:
 		if len(targets) == 1 {
@@ -216,6 +217,9 @@ func scoreGroupBounded(al *swar.Aligner, q bio.Sequence, targets []bio.Sequence,
 			// intra-sequence kernel uses all lanes on the single pair.
 			p, rows, pruned := al.StripedScoreBounded(q, targets[0], sc, ab)
 			return []int{p.Score}, []bool{pruned}, []int{rows}, nil
+		}
+		if gp != nil {
+			return al.GroupScores(q, targets, sc, gp.profile(), ab)
 		}
 		return al.ScoresBounded(q, targets, sc, ab)
 	case 16:

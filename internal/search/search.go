@@ -187,8 +187,10 @@ func Run(q bio.Sequence, db []bio.Record, opt Options) (*Result, error) {
 // Lanes option. The default (0/8) uses the full int8→int16→scalar chain
 // of swar.Scores; 16 starts at int16 with scalar fallback; 1 is the
 // scalar reference path (align.Scan with its striped fast path disabled,
-// so differential tests compare two independent kernels).
-func scoreGroup(al *swar.Aligner, q bio.Sequence, targets []bio.Sequence, sc bio.Scoring, lanesOpt int) ([]int, error) {
+// so differential tests compare two independent kernels). A non-nil gp
+// supplies the group's shared prebuilt int8 profile (bit-identical to
+// the one the chain would build) for the 0/8 path.
+func scoreGroup(al *swar.Aligner, q bio.Sequence, targets []bio.Sequence, sc bio.Scoring, lanesOpt int, gp *groupProf) ([]int, error) {
 	switch lanesOpt {
 	case 0, 8:
 		if len(targets) == 1 {
@@ -200,6 +202,10 @@ func scoreGroup(al *swar.Aligner, q bio.Sequence, targets []bio.Sequence, sc bio
 				return nil, err
 			}
 			return []int{r.BestScore}, nil
+		}
+		if gp != nil {
+			scores, _, _, err := al.GroupScores(q, targets, sc, gp.profile(), nil)
+			return scores, err
 		}
 		return al.Scores(q, targets, sc)
 	case 16:

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"genomedsm/internal/bio"
+	"genomedsm/internal/dbpack"
 	"genomedsm/internal/dispatch"
 	"genomedsm/internal/search"
 	"genomedsm/internal/shard"
@@ -319,6 +320,14 @@ type StatszJSON struct {
 	QueueHigh  int64 `json:"queue_high"`
 	BatchMax   int64 `json:"batch_max"`
 
+	// Pack describes how the served database got into memory: the pack
+	// load mode ("mmap", "copy", "legacy-v1" or "memory" for an
+	// in-process build), the pack format version (0 when built in
+	// memory), and the mapped vs heap-resident byte split. A true
+	// layout_rebuilt flags a pack whose stored lane-group section
+	// failed semantic validation and was rebuilt from the records.
+	Pack PackJSON `json:"pack"`
+
 	// Shards is present when the server scans through a shard cluster:
 	// per-shard health (liveness, span, answered counts, latency) plus
 	// the cluster's retry/kill/reassign and gossip counters.
@@ -341,6 +350,16 @@ type StatszJSON struct {
 	LatencyMS map[string]int64 `json:"latency_ms"`
 }
 
+// PackJSON is the /statsz pack-load block (see StatszJSON.Pack).
+type PackJSON struct {
+	Mode          string `json:"mode"`
+	Version       int    `json:"version"`
+	MappedBytes   int64  `json:"mapped_bytes"`
+	HeapBytes     int64  `json:"heap_bytes"`
+	LayoutRebuilt bool   `json:"layout_rebuilt,omitempty"`
+	Notice        string `json:"notice,omitempty"`
+}
+
 func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 	var out StatszJSON
 	out.UptimeMS = time.Since(s.start).Milliseconds()
@@ -348,6 +367,18 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 	out.TotalBases = s.cfg.DB.TotalBases()
 	if ix := s.cfg.DB.WordIndex(); ix != nil {
 		out.PackedWord = ix.Word()
+	}
+	pi := dbpack.Info{} // zero value reports an in-memory build
+	if s.cfg.Pack != nil {
+		pi = *s.cfg.Pack
+	}
+	out.Pack = PackJSON{
+		Mode:          pi.Mode.String(),
+		Version:       pi.Version,
+		MappedBytes:   pi.MappedBytes,
+		HeapBytes:     pi.HeapBytes,
+		LayoutRebuilt: pi.LayoutRebuilt,
+		Notice:        pi.Notice,
 	}
 	out.Queries = s.st.queries.Load()
 	out.Served = s.st.served.Load()

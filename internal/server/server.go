@@ -37,6 +37,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"genomedsm/internal/dbpack"
 	"genomedsm/internal/dispatch"
 	"genomedsm/internal/search"
 	"genomedsm/internal/shard"
@@ -67,6 +68,11 @@ type Config struct {
 	// lease, faults — the Shards field wins over ShardOptions.Shards).
 	// Nil uses production defaults; tests inject faults through it.
 	ShardOptions *shard.Options
+	// Pack, when non-nil, records how the served database was loaded
+	// (dbpack.Open fills it: mmap vs copy vs legacy-v1, mapped and
+	// heap-resident bytes). Surfaced verbatim on /statsz; nil reports
+	// an in-memory build.
+	Pack *dbpack.Info
 }
 
 // Server is the resident search service. Build with New, mount
@@ -180,6 +186,11 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	// A resident server always scans with the lane-group layout in
+	// place: for a v2 pack this is the mapped (or validated-and-copied)
+	// section and costs nothing; for a v1 pack or in-memory build it is
+	// one interleaving pass here at startup instead of per scan.
+	cfg.DB.EnsureLayout()
 	s := &Server{
 		cfg:     cfg,
 		start:   time.Now(),

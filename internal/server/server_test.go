@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"path/filepath"
+	"runtime"
 	"strings"
 	"sync"
 	"testing"
@@ -14,6 +16,7 @@ import (
 
 	"genomedsm/internal/bio"
 	"genomedsm/internal/blast"
+	"genomedsm/internal/dbpack"
 	"genomedsm/internal/search"
 )
 
@@ -412,6 +415,57 @@ func TestShutdownDrain(t *testing.T) {
 	}
 }
 
+// TestStatszPackInfo checks that a pack-loaded server surfaces the
+// load mode and byte split on /statsz: serving a v2 pack is
+// validate-header-and-map, and the stats page is where that shows.
+func TestStatszPackInfo(t *testing.T) {
+	q, recs := testDB(t, 48, 60, 30)
+	p, err := dbpack.Build(recs, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "db.pack")
+	if err := dbpack.WriteFileV2(path, p); err != nil {
+		t.Fatal(err)
+	}
+	opened, err := dbpack.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { opened.Close() }) //nolint:errcheck // best-effort teardown
+	s, err := New(Config{DB: opened.DB, Pack: &opened.Info})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(s.Handler())
+	defer hs.Close()
+	resp, body := postSearch(t, hs.URL, RequestJSON{Query: q.String()})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("search over pack-backed server: status %d: %s", resp.StatusCode, body)
+	}
+	sresp, err := http.Get(hs.URL + "/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	var st StatszJSON
+	if err := json.NewDecoder(sresp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if runtime.GOOS == "linux" && st.Pack.Mode != "mmap" {
+		t.Errorf("pack mode %q, want mmap on linux", st.Pack.Mode)
+	}
+	if st.Pack.Version != 2 {
+		t.Errorf("pack version %d, want 2", st.Pack.Version)
+	}
+	if st.Pack.Mode == "mmap" && st.Pack.MappedBytes == 0 {
+		t.Error("mmap-backed server reports 0 mapped bytes")
+	}
+	if st.Pack.LayoutRebuilt {
+		t.Error("clean pack reports a rebuilt layout")
+	}
+}
+
 // TestStatsz sanity-checks the observability surface after traffic.
 func TestStatsz(t *testing.T) {
 	q, recs := testDB(t, 48, 60, 30)
@@ -440,6 +494,9 @@ func TestStatsz(t *testing.T) {
 	}
 	if len(st.Routes.Group) == 0 {
 		t.Error("statsz has no group route counts after auto-dispatch scans")
+	}
+	if st.Pack.Mode != "memory" || st.Pack.Version != 0 {
+		t.Errorf("in-memory server reports pack %+v, want memory mode version 0", st.Pack)
 	}
 	total := int64(0)
 	for _, n := range st.LatencyMS {

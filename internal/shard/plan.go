@@ -49,9 +49,15 @@ func (s Span) String() string { return fmt.Sprintf("[%d,%d)", s.Lo, s.Hi) }
 // spans balanced by total base count: with every shard scanning the
 // same query, bases are proportional to DP cells, so equal bases means
 // equal work (DSA's partition rule). The cut points are the ranks where
-// the cumulative base count first reaches i/shards of the total, which
-// is deterministic — every master over the same database computes the
-// same plan.
+// the cumulative base count first reaches i/shards of the total,
+// rounded to the nearest lane-group boundary (multiple of
+// bio.PackedLanes8) — an aligned span's lane groups coincide with the
+// global 8-lane groups, so a worker attaches to its slice of the
+// pack's precomputed (possibly mmap'd) lane layout instead of
+// re-interleaving its sub-database (see subDB). The rounding moves at
+// most half a group of records per cut and is deterministic — every
+// master over the same database computes the same plan, and FuzzShardPlan
+// proves the plan never affects results, only balance.
 func PlanSpans(db *search.DB, shards int) []Span {
 	order := db.Order()
 	recs := db.Records()
@@ -68,6 +74,21 @@ func PlanSpans(db *search.DB, shards int) []Span {
 			for hi < n && cum < target {
 				cum += int64(len(recs[order[hi]].Seq))
 				hi++
+			}
+			if hi < n {
+				down := hi - hi%bio.PackedLanes8
+				up := min(down+bio.PackedLanes8, n)
+				if hi-down <= up-hi {
+					for hi > down {
+						hi--
+						cum -= int64(len(recs[order[hi]].Seq))
+					}
+				} else {
+					for hi < up {
+						cum += int64(len(recs[order[hi]].Seq))
+						hi++
+					}
+				}
 			}
 		}
 		spans[s] = Span{Lo: lo, Hi: hi}
@@ -139,6 +160,20 @@ func subDB(db *search.DB, sp Span) (*search.DB, []int, error) {
 		// index; proper sub-spans re-derive nothing and fall back to the
 		// per-run query-side prefilter, which is equally exact.
 		d.SetWordIndex(ix)
+	}
+	if lay := db.Layout(); lay != nil && sp.Len() > 0 &&
+		sp.Lo%bio.PackedLanes8 == 0 && (sp.Hi%bio.PackedLanes8 == 0 || sp.Hi == len(order)) {
+		// A lane-aligned span's groups coincide with the global 8-lane
+		// groups (the sub-DB's canonical order is the span's slice of the
+		// global one, and groups cut every 8 ranks from rank 0), so the
+		// sub-DB can alias the parent's precomputed — possibly mmap'd —
+		// layout slice instead of re-interleaving. A trailing partial
+		// group only occurs at sp.Hi == n, where all its lanes are
+		// in-span, so the slice is exactly BuildLayout(sub-DB). Unaligned
+		// custom spans skip the attach and fall back to lazy rebuild.
+		if err := d.SetLayout(lay.Slice(sp.Lo/bio.PackedLanes8, (sp.Hi+bio.PackedLanes8-1)/bio.PackedLanes8)); err != nil {
+			return nil, nil, err
+		}
 	}
 	return d, toGlobal, nil
 }

@@ -32,6 +32,65 @@ func TestPlanSpansPartition(t *testing.T) {
 		if err := ValidateSpans(spans, tc.n); err != nil {
 			t.Fatalf("n=%d shards=%d: %v", tc.n, tc.shards, err)
 		}
+		for i, sp := range spans[:len(spans)-1] {
+			// Interior cuts land on lane-group boundaries so every
+			// shard can slice the precomputed layout (see subDB).
+			if sp.Hi != tc.n && sp.Hi%bio.PackedLanes8 != 0 {
+				t.Errorf("n=%d shards=%d: span %d ends at unaligned rank %d", tc.n, tc.shards, i, sp.Hi)
+			}
+		}
+	}
+}
+
+func TestSubDBLayoutAttach(t *testing.T) {
+	db := planDB(t, 17, 44, 300)
+	db.EnsureLayout()
+	spans := PlanSpans(db, 3)
+	for si, sp := range spans {
+		d, _, err := subDB(db, sp)
+		if err != nil {
+			t.Fatalf("span %v: %v", sp, err)
+		}
+		if sp.Len() == 0 {
+			continue
+		}
+		lay := d.Layout()
+		if lay == nil {
+			t.Fatalf("span %d %v: planned span did not attach a layout slice", si, sp)
+		}
+		// The attached slice must be exactly what building from the
+		// sub-database would produce — that is the bit-exactness claim.
+		want := search.BuildLayout(d)
+		if lay.Groups() != want.Groups() {
+			t.Fatalf("span %v: %d groups, want %d", sp, lay.Groups(), want.Groups())
+		}
+		for g := 0; g < want.Groups(); g++ {
+			gw, ww := lay.GroupWords(g), want.GroupWords(g)
+			if len(gw) != len(ww) {
+				t.Fatalf("span %v group %d: %d words, want %d", sp, g, len(gw), len(ww))
+			}
+			for j := range ww {
+				if gw[j] != ww[j] {
+					t.Fatalf("span %v group %d word %d: %#x want %#x", sp, g, j, gw[j], ww[j])
+				}
+			}
+		}
+		// And it must alias the parent's words, not copy them.
+		if pw, sw := db.Layout().Words(), lay.Words(); len(sw) > 0 {
+			off := db.Layout().Offsets()[sp.Lo/bio.PackedLanes8]
+			if &pw[off] != &sw[0] {
+				t.Errorf("span %v: layout slice copied instead of aliasing parent words", sp)
+			}
+		}
+	}
+	// An unaligned custom span must skip the attach (lazy rebuild is
+	// still exact, just not zero-copy).
+	d, _, err := subDB(db, Span{Lo: 4, Hi: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Layout() != nil {
+		t.Error("unaligned span attached a layout slice")
 	}
 }
 
@@ -49,9 +108,13 @@ func TestPlanSpansBalance(t *testing.T) {
 		loads = append(loads, bases)
 	}
 	target := db.TotalBases() / shards
+	// Each cut lands within one max-record-length of the ideal point,
+	// then moves at most half a lane group (4 records) to the nearest
+	// group boundary so workers can slice the precomputed lane layout:
+	// tolerance = (1 + PackedLanes8/2) × max record length (750 here).
+	tol := int64(1+bio.PackedLanes8/2) * 750
 	for i, l := range loads {
-		// Each shard within one max-record-length of the ideal cut.
-		if diff := l - target; diff > 800 || diff < -800 {
+		if diff := l - target; diff > tol || diff < -tol {
 			t.Errorf("shard %d carries %d bases, target %d (loads %v)", i, l, target, loads)
 		}
 	}

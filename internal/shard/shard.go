@@ -313,11 +313,6 @@ func (g *globalFloor) siftDown(i int) {
 	}
 }
 
-func (g *globalFloor) current() int {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	return g.floor
-}
 
 // shardDead evaluates (and latches) the failure detector's verdict for
 // one shard: dead once its lease has expired.
@@ -505,11 +500,6 @@ func (c *Cluster) SearchBatch(ctx context.Context, queries []search.BatchQuery, 
 		}
 		res.Searched = c.db.Size()
 		res.Cells = int64(len(queries[i].Seq)) * c.db.TotalBases()
-		if pst != nil && m.gf != nil {
-			if f := m.gf.current(); f > pst.FloorFinal {
-				pst.FloorFinal = f
-			}
-		}
 		// Merge under the canonical total order — score descending,
 		// record index ascending on ties — then keep the K best. Every
 		// global winner survives its own span's top K, spans are
@@ -525,6 +515,17 @@ func (c *Cluster) SearchBatch(ctx context.Context, queries []search.BatchQuery, 
 			hits = hits[:m.k]
 		}
 		res.Hits = hits
+		if pst != nil && len(hits) == m.k && hits[m.k-1].Score > pst.FloorFinal {
+			// The final floor comes from the merged hits, not the gossip
+			// heap: a full top K is K distinct records scoring ≥ the K-th
+			// score — the single-node tracker's exact final value — while
+			// the gossip heap only knows whichever fire-and-forget floor
+			// updates survived the transport, which would make the
+			// reported floor vary with message loss on replays. Gossip
+			// evidence is always ≤ the true K-th best, so the hits
+			// dominate anything it could add.
+			pst.FloorFinal = hits[m.k-1].Score
+		}
 		if !opt.NoEndpoints {
 			if err := search.Realign(queries[i].Seq, c.db.Records(), sc, res.Hits); err != nil {
 				return nil, err

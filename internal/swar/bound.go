@@ -69,6 +69,22 @@ func (a *Aligner) Scan8Bounded(q bio.Sequence, targets []bio.Sequence, sc bio.Sc
 	return a.finish(q, prof, sc, len(targets), ab), true
 }
 
+// Scan8Prof is Scan8Bounded with a caller-supplied prebuilt 8-lane
+// profile: the pack-v2 fast path, where the profile is built once from
+// the precomputed lane-interleaved layout words and shared across the
+// queries of a batch instead of being rebuilt per scan. prof must
+// describe the group being scanned under sc (bio.NewPackedProfile8 or
+// its bit-identical from-words equivalent) and lanes is the number of
+// live targets. ok is false when prof is nil or the gap penalty does
+// not fit an int8 lane — the same conditions under which Scan8Bounded
+// refuses, so callers fall back identically.
+func (a *Aligner) Scan8Prof(q bio.Sequence, prof *bio.PackedProfile, sc bio.Scoring, lanes int, ab *Bound) (LaneScores, bool) {
+	if prof == nil || -sc.Gap > bio.PackedCap8 {
+		return LaneScores{}, false
+	}
+	return a.finish(q, prof, sc, lanes, ab), true
+}
+
 // Scan16Bounded is Scan16 under a Bound.
 func (a *Aligner) Scan16Bounded(q bio.Sequence, targets []bio.Sequence, sc bio.Scoring, ab *Bound) (LaneScores, bool) {
 	if -sc.Gap > bio.PackedCap16 {
@@ -89,6 +105,22 @@ func (a *Aligner) Scan16Bounded(q bio.Sequence, targets []bio.Sequence, sc bio.S
 // int8 → int16 → scalar ladder as Scores; with a nil or disabled bound
 // the result degenerates to exactly Scores.
 func (a *Aligner) ScoresBounded(q bio.Sequence, targets []bio.Sequence, sc bio.Scoring, ab *Bound) (scores []int, pruned []bool, rows []int, err error) {
+	return a.scoresLadder(q, targets, sc, nil, ab)
+}
+
+// GroupScores is the same int8 → int16 → scalar ladder for one lane
+// group of at most PackedLanes8 targets, optionally starting from a
+// caller-supplied prebuilt int8 profile — the pack-v2 fast path, where
+// the group's profile comes from the precomputed lane layout (or is
+// built once and shared across the queries of a batch) instead of being
+// rebuilt per call. prof, when non-nil, must describe exactly these
+// targets under this scoring (bio.NewPackedProfile8 or its bit-identical
+// from-words equivalent); a nil prof reproduces ScoresBounded exactly.
+func (a *Aligner) GroupScores(q bio.Sequence, targets []bio.Sequence, sc bio.Scoring, prof *bio.PackedProfile, ab *Bound) (scores []int, pruned []bool, rows []int, err error) {
+	return a.scoresLadder(q, targets, sc, prof, ab)
+}
+
+func (a *Aligner) scoresLadder(q bio.Sequence, targets []bio.Sequence, sc bio.Scoring, prof *bio.PackedProfile, ab *Bound) (scores []int, pruned []bool, rows []int, err error) {
 	if err := sc.Validate(); err != nil {
 		return nil, nil, nil, err
 	}
@@ -101,7 +133,16 @@ func (a *Aligner) ScoresBounded(q bio.Sequence, targets []bio.Sequence, sc bio.S
 	var narrow []int // target indices needing the int16 retry
 	for lo := 0; lo < len(targets); lo += bio.PackedLanes8 {
 		hi := min(lo+bio.PackedLanes8, len(targets))
-		ls, ok := a.Scan8Bounded(q, targets[lo:hi], sc, ab)
+		var ls LaneScores
+		var ok bool
+		if prof != nil && lo == 0 && hi == len(targets) {
+			// The prebuilt profile covers the whole (single-subgroup) lane
+			// group; its nil-vs-built conditions match NewPackedProfile8,
+			// so ok agrees with the build-per-call path below.
+			ls, ok = a.Scan8Prof(q, prof, sc, hi-lo, ab)
+		} else {
+			ls, ok = a.Scan8Bounded(q, targets[lo:hi], sc, ab)
+		}
 		if !ok {
 			for i := lo; i < hi; i++ {
 				narrow = append(narrow, i)

@@ -21,9 +21,10 @@
 #      internal/dsm + internal/chaos + internal/recovery (the
 #      protocol, its harness and the fault-tolerance layer)
 #   4. an index/serve e2e smoke: pack a synthetic database with the
-#      real binary, serve it resident, answer an HTTP query with hits,
-#      then drain cleanly on SIGTERM
-#   5. a 1-iteration smoke run of every kernel, search and serve
+#      real binary (v2 format), serve it resident with /statsz proving
+#      the pack is mmap'd, answer an HTTP query with hits, then drain
+#      cleanly on SIGTERM
+#   5. a 1-iteration smoke run of every kernel, search, serve and pack
 #      benchmark
 #   6. the kernel, search and serve benchmarks for real, gated by
 #      cmd/benchdiff against the committed BENCH_kernels.json baseline,
@@ -34,7 +35,9 @@
 #      and skewed databases and beat every fixed route outright on the
 #      mixed database (where no single fixed route wins both halves),
 #      plus the serve batching gate: one 16-query POST must beat 16
-#      sequential single-query POSTs by >= 1.5x queries/s
+#      sequential single-query POSTs by >= 1.5x queries/s, plus the
+#      pack cold-start gate: opening + first query on a v2 (mmap) pack
+#      must be >= 2x faster than the same on a v1 (varint-decode) pack
 #
 # The benchmark gate fails the build when any kernel loses more than
 # BENCHDIFF_MAX_REGRESS percent (default 5) cells/sec against the
@@ -46,7 +49,7 @@
 # with `benchdiff -diff seed current`, not gated on. After an
 # intentional perf change, re-record with:
 #
-#   go test -run '^$' -bench 'Kernel|Search|Serve' -count 5 . | go run ./cmd/benchdiff -snapshot baseline
+#   go test -run '^$' -bench 'Kernel|Search|Serve|Pack' -count 5 . | go run ./cmd/benchdiff -snapshot baseline
 #
 # On shared/noisy machines set BENCHDIFF_MAX_REGRESS higher, increase
 # BENCH_COUNT so best-of has more samples, or set SKIP_BENCHDIFF=1 to
@@ -167,8 +170,17 @@ q=$(sed -n '2p' "$e2edir/q.fa" | cut -c1-200)
 curl -sf -d "{\"query\":\"$q\",\"top_k\":3}" http://127.0.0.1:17878/search |
     grep -q '"score"' ||
     { echo "e2e FAILED: query returned no scored hits"; kill "$serve_pid" 2>/dev/null; exit 1; }
-curl -sf http://127.0.0.1:17878/statsz | grep -q '"served": *1' ||
+statsz=$(curl -sf http://127.0.0.1:17878/statsz)
+echo "$statsz" | grep -q '"served": *1' ||
     { echo "e2e FAILED: statsz did not count the query"; kill "$serve_pid" 2>/dev/null; exit 1; }
+# The zero-copy contract: `index` writes v2 by default and `serve` must
+# have mmap'd it, with /statsz reporting the mapped load verbatim.
+echo "$statsz" | grep -q '"mode": *"mmap"' ||
+    { echo "e2e FAILED: statsz pack mode is not mmap"
+      echo "$statsz"; kill "$serve_pid" 2>/dev/null; exit 1; }
+echo "$statsz" | grep -q '"version": *2' ||
+    { echo "e2e FAILED: statsz pack version is not 2"
+      echo "$statsz"; kill "$serve_pid" 2>/dev/null; exit 1; }
 kill -TERM "$serve_pid"
 wait "$serve_pid" || { echo "e2e FAILED: serve exited non-zero after SIGTERM"
                        cat "$e2edir/serve.log"; exit 1; }
@@ -178,7 +190,7 @@ rm -rf "$e2edir"
 echo "index/serve e2e ok"
 
 echo "== benchmark smoke (1 iteration)"
-go test -run '^$' -bench 'Kernel|Search|Serve' -benchtime 1x .
+go test -run '^$' -bench 'Kernel|Search|Serve|Pack' -benchtime 1x .
 
 if [ "${SKIP_BENCHDIFF:-0}" = "1" ]; then
     echo "== benchdiff gate skipped (SKIP_BENCHDIFF=1)"
@@ -189,7 +201,7 @@ count="${BENCH_COUNT:-5}"
 maxregress="${BENCHDIFF_MAX_REGRESS:-5}"
 echo "== benchmark regression gate (count=$count, max-regress=${maxregress}%)"
 benchout=$(mktemp)
-go test -run '^$' -bench 'Kernel|Search|Serve' -benchtime 1s -count "$count" . |
+go test -run '^$' -bench 'Kernel|Search|Serve|Pack' -benchtime 1s -count "$count" . |
     tee "$benchout" |
     go run ./cmd/benchdiff -check -baseline baseline -max-regress "$maxregress"
 
@@ -265,9 +277,30 @@ echo "== serve batching gate (batched >= 1.5x sequential queries/s)"
 # exists to remove.
 seqrate=$(best ServeQueryLatency queries/s)
 batchrate=$(best ServeThroughputBatched queries/s)
-rm -f "$benchout"
 echo "sequential $seqrate queries/s vs batched $batchrate queries/s"
 awk -v s="$seqrate" -v b="$batchrate" 'BEGIN {
     if (b < 1.5 * s) { printf "serve gate FAILED: batched at %.2fx of sequential < 1.5x\n", b / s; exit 1 }
     printf "serve gate ok: batched %.2fx over sequential\n", b / s
+}'
+
+echo "== pack cold-start gate (v2 mmap >= 2x v1 decode)"
+# The tentpole win of the v2 format: open-pack-and-answer-first-query
+# must be at least twice as fast mmap'ing v2 as varint-decoding v1 of
+# the same database. ns/op is a latency (lower is better), so collapse
+# the -count runs with min, not the max the throughput gates use.
+fastest() {
+    awk -v name="Benchmark$1" '
+        $1 ~ "^"name"(-[0-9]+)?$" {
+            for (i = 2; i < NF; i++)
+                if ($(i+1) == "ns/op" && (best == "" || $i < best)) best = $i
+        }
+        END { if (best == "") exit 1; print best }' "$benchout"
+}
+v1cold=$(fastest PackColdStartV1)
+v2cold=$(fastest PackColdStartV2)
+rm -f "$benchout"
+echo "v1 cold start $v1cold ns/op vs v2 $v2cold ns/op"
+awk -v a="$v1cold" -v b="$v2cold" 'BEGIN {
+    if (a < 2.0 * b) { printf "cold-start gate FAILED: v2 only %.2fx faster than v1 < 2x\n", a / b; exit 1 }
+    printf "cold-start gate ok: v2 %.2fx faster than v1\n", a / b
 }'
